@@ -1,0 +1,61 @@
+"""Shared configuration for the benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper on the synthetic
+stand-in datasets.  Two environment variables trade fidelity for runtime:
+
+* ``REPRO_BENCH_SCALE``   — dataset size multiplier (default 0.3)
+* ``REPRO_BENCH_MAX_ITER`` — active-learning iterations per run (default 12)
+
+The reproduced rows/series are printed and also written to
+``benchmarks/results/<artifact>.txt`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_MAX_ITERATIONS = int(os.environ.get("REPRO_BENCH_MAX_ITER", "12"))
+BENCH_NOISE_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_max_iterations() -> int:
+    return BENCH_MAX_ITERATIONS
+
+
+@pytest.fixture(scope="session")
+def bench_noise_repeats() -> int:
+    return BENCH_NOISE_REPEATS
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(artifact: str, text: str) -> None:
+        print(f"\n===== {artifact} =====\n{text}\n")
+        (RESULTS_DIR / f"{artifact}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,56 @@
+"""Ablation: number of blocking dimensions for margin-based selection (§5.1).
+
+The paper's enhancement uses the single largest-magnitude weight dimension as
+the blocking dimension; this ablation sweeps 1, 3, 10 and "all" dimensions and
+records how much unlabeled scoring work is skipped and whether quality moves.
+"""
+
+from repro.core import ActiveLearningConfig
+from repro.harness import prepare_dataset, reporting, run_active_learning
+from repro.harness.builders import Combination
+from repro.learners import LinearSVM
+from repro.selectors import BlockedMarginSelector, MarginSelector
+
+
+def test_ablation_blocking_dimensions(run_once, emit, bench_scale, bench_max_iterations):
+    def sweep():
+        prepared = prepare_dataset("abt_buy", scale=bench_scale)
+        config = ActiveLearningConfig(
+            seed_size=30, batch_size=10, max_iterations=bench_max_iterations,
+            target_f1=None, random_state=0,
+        )
+        dim = prepared.pool.dim
+
+        variants = {"margin(all)": Combination("margin(all)", LinearSVM, MarginSelector)}
+        for k in (1, 3, 10):
+            variants[f"margin({k}dim)"] = Combination(
+                f"margin({k}dim)", LinearSVM, lambda k=k: BlockedMarginSelector(k)
+            )
+
+        rows = []
+        for name, combination in variants.items():
+            run = run_active_learning(prepared, combination, config=config)
+            scored = sum(r.scored_examples for r in run.records)
+            rows.append(
+                {
+                    "variant": name,
+                    "best_f1": round(run.best_f1, 4),
+                    "examples_scored": scored,
+                    "scoring_time_s": round(sum(r.scoring_time for r in run.records), 5),
+                    "feature_dim": dim,
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        "ablation_blocking_dimensions",
+        reporting.format_table(rows, title="Ablation — blocking dimensions for margin (abt_buy)"),
+    )
+
+    by_name = {row["variant"]: row for row in rows}
+    # Fewer blocking dimensions prune at least as many examples as more dimensions.
+    assert by_name["margin(1dim)"]["examples_scored"] <= by_name["margin(3dim)"]["examples_scored"]
+    assert by_name["margin(3dim)"]["examples_scored"] <= by_name["margin(all)"]["examples_scored"]
+    # Pruning must not collapse quality (the §5.1 claim).
+    assert by_name["margin(1dim)"]["best_f1"] >= by_name["margin(all)"]["best_f1"] - 0.15

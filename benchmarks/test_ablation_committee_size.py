@@ -1,0 +1,69 @@
+"""Ablation: QBC committee size and tree-ensemble size.
+
+DESIGN.md calls out the committee size as the main tunable of
+query-by-committee (Section 4.1 of the paper: larger committees select more
+informative examples but cost more to create).  This ablation sweeps both the
+bootstrap committee size for the linear SVM and the number of trees in the
+learner-aware forest committee.
+"""
+
+from repro.core import ActiveLearningConfig, ActiveLearningLoop, PerfectOracle
+from repro.harness import prepare_dataset, reporting
+from repro.learners import LinearSVM, RandomForest
+from repro.selectors import QBCSelector, TreeQBCSelector
+
+
+def test_ablation_committee_size(run_once, emit, bench_scale, bench_max_iterations):
+    def sweep():
+        prepared = prepare_dataset("dblp_scholar", scale=bench_scale)
+        config = ActiveLearningConfig(
+            seed_size=30, batch_size=10, max_iterations=bench_max_iterations,
+            target_f1=None, random_state=0,
+        )
+
+        def run_loop(learner, selector):
+            return ActiveLearningLoop(
+                learner=learner,
+                selector=selector,
+                pool=prepared.pool,
+                oracle=PerfectOracle(prepared.pool),
+                config=config,
+                dataset_name=prepared.name,
+            ).run()
+
+        rows = []
+        for size in (2, 5, 10, 20):
+            run = run_loop(LinearSVM(), QBCSelector(size))
+            rows.append(
+                {
+                    "committee": f"QBC({size})",
+                    "best_f1": round(run.best_f1, 4),
+                    "labels_to_convergence": run.labels_to_convergence(),
+                    "committee_creation_s": round(
+                        sum(r.committee_creation_time for r in run.records), 4
+                    ),
+                }
+            )
+        for n_trees in (2, 10, 20, 50):
+            run = run_loop(RandomForest(n_trees=n_trees), TreeQBCSelector())
+            rows.append(
+                {
+                    "committee": f"Trees({n_trees})",
+                    "best_f1": round(run.best_f1, 4),
+                    "labels_to_convergence": run.labels_to_convergence(),
+                    "committee_creation_s": 0.0,
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        "ablation_committee_size",
+        reporting.format_table(rows, title="Ablation — committee size (dblp_scholar)"),
+    )
+
+    by_name = {row["committee"]: row for row in rows}
+    # Larger bootstrap committees cost more to create.
+    assert by_name["QBC(20)"]["committee_creation_s"] > by_name["QBC(2)"]["committee_creation_s"]
+    # Bigger forests are at least as good as the 2-tree forest.
+    assert by_name["Trees(20)"]["best_f1"] >= by_name["Trees(2)"]["best_f1"] - 0.05

@@ -1,0 +1,48 @@
+"""Fig. 8 / Fig. 9: QBC vs margin progressive F1 per classifier family.
+
+The paper plots Abt-Buy (Fig. 8) and Cora (Fig. 9); the qualitative claim is
+that margin-based selection reaches progressive F1 comparable to QBC for both
+linear and non-convex non-linear classifiers, and that tree ensembles dominate
+every other family.
+"""
+
+import pytest
+
+from repro.harness import experiments, reporting
+
+
+@pytest.mark.parametrize("dataset", ["abt_buy", "cora"])
+def test_fig08_09_selector_comparison(run_once, emit, bench_scale, bench_max_iterations, dataset):
+    result = run_once(
+        experiments.selector_comparison,
+        dataset=dataset,
+        scale=bench_scale,
+        max_iterations=bench_max_iterations,
+    )
+
+    blocks = []
+    for family, curves in result["groups"].items():
+        blocks.append(
+            reporting.format_curves(
+                curves, title=f"[{dataset}] {family} classifiers — progressive F1 vs #labels"
+            )
+        )
+    emit(f"fig08_09_qbc_vs_margin_{dataset}", "\n\n".join(blocks))
+
+    groups = result["groups"]
+    best = {
+        family: max(curve["summary"]["best_f1"] for curve in curves.values())
+        for family, curves in groups.items()
+    }
+    # Tree ensembles achieve the best progressive F1 of all families.
+    assert best["tree"] >= best["linear"] - 0.02
+    assert best["tree"] >= best["non_linear"] - 0.02
+
+    # Margin-based selection is comparable to QBC for linear classifiers.
+    linear = groups["linear"]
+    margin_f1 = linear["Linear-Margin"]["summary"]["best_f1"]
+    qbc_f1 = max(
+        linear["Linear-QBC(2)"]["summary"]["best_f1"],
+        linear["Linear-QBC(20)"]["summary"]["best_f1"],
+    )
+    assert abs(margin_f1 - qbc_f1) < 0.2

@@ -1,0 +1,71 @@
+"""Fig. 10: example-selection latency breakdown on Cora.
+
+Paper claims reproduced here:
+* QBC's selection time is dominated by committee creation, which grows with
+  the committee size and the number of labels (Fig. 10a/b).
+* Margin-based selection pays only example-scoring time and is therefore much
+  faster in aggregate.
+* Tree-based QBC pays no committee creation at all (Fig. 10c).
+* Blocking and active ensembles further reduce the linear classifier's
+  example-scoring work (Fig. 10d).
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_fig10_selection_latency(run_once, emit, bench_scale, bench_max_iterations):
+    result = run_once(
+        experiments.selection_latency,
+        dataset="cora",
+        scale=bench_scale,
+        max_iterations=bench_max_iterations,
+    )
+    panels = result["panels"]
+
+    blocks = []
+    for panel_name, curves in panels.items():
+        blocks.append(
+            reporting.format_curves(
+                curves,
+                x_key="labels",
+                y_key="committee_creation_time",
+                title=f"[cora] {panel_name} — committee creation time (s) vs #labels",
+            )
+        )
+        blocks.append(
+            reporting.format_curves(
+                curves,
+                x_key="labels",
+                y_key="scoring_time",
+                title=f"[cora] {panel_name} — example scoring time (s) vs #labels",
+            )
+        )
+    emit("fig10_selection_latency", "\n\n".join(blocks))
+
+    linear = panels["linear"]
+
+    def total(curve, key):
+        return sum(curve[key])
+
+    qbc2 = linear["Linear-QBC(2)"]
+    qbc20 = linear["Linear-QBC(20)"]
+    margin = linear["Linear-Margin"]
+
+    # Committee creation dominates QBC latency and grows with committee size.
+    assert total(qbc20, "committee_creation_time") > total(qbc2, "committee_creation_time")
+    assert total(qbc2, "committee_creation_time") > total(qbc2, "scoring_time")
+
+    # Margin pays no committee-creation cost and is faster overall than QBC(20).
+    assert total(margin, "committee_creation_time") == 0.0
+    assert total(margin, "selection_time") < total(qbc20, "selection_time")
+
+    # Tree-based (learner-aware) QBC has zero committee-creation cost too.
+    for curve in panels["tree"].values():
+        assert total(curve, "committee_creation_time") == 0.0
+
+    # Blocking scores less work than it would without pruning (Fig. 10d):
+    # the enhancement panels exist and report selection times.
+    enhancements = panels["linear_enhancements"]
+    assert total(enhancements["Linear-Margin(1Dim)"], "selection_time") <= total(
+        qbc20, "selection_time"
+    )

@@ -1,0 +1,51 @@
+"""Fig. 12 / Fig. 13: best selector per classifier — quality and user wait time.
+
+Reproduced claims: random forests with learner-aware QBC (Trees(20)) reach the
+best progressive F1 on every dataset while requiring the least user wait time;
+rule learners terminate early with the lowest F1.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_fig12_13_classifier_comparison(run_once, emit, bench_scale, bench_max_iterations):
+    result = run_once(
+        experiments.classifier_comparison,
+        scale=bench_scale,
+        max_iterations=bench_max_iterations,
+    )
+
+    blocks = []
+    rows = []
+    for dataset, variants in result.items():
+        blocks.append(
+            reporting.format_curves(
+                variants, title=f"[{dataset}] best variants — progressive F1 vs #labels (Fig. 12)"
+            )
+        )
+        blocks.append(
+            reporting.format_curves(
+                variants,
+                y_key="user_wait_time",
+                title=f"[{dataset}] best variants — user wait time (s) vs #labels (Fig. 13)",
+            )
+        )
+        row = {"dataset": dataset}
+        for name, curve in variants.items():
+            row[name] = curve["summary"]["best_f1"]
+        rows.append(row)
+    blocks.append(reporting.format_table(rows, title="Fig. 12 summary — best progressive F1"))
+    emit("fig12_13_classifier_comparison", "\n\n".join(blocks))
+
+    trees_wins = 0
+    for dataset, variants in result.items():
+        trees_f1 = variants["Trees(20)"]["summary"]["best_f1"]
+        others = [
+            curve["summary"]["best_f1"] for name, curve in variants.items() if name != "Trees(20)"
+        ]
+        if trees_f1 >= max(others) - 0.01:
+            trees_wins += 1
+        # Rules never beat the tree ensemble.
+        assert trees_f1 >= variants["Rules(LFP/LFN)"]["summary"]["best_f1"] - 0.01
+    # Trees(20) wins (or ties) on at least 4 of the 5 perfect-Oracle datasets.
+    assert trees_wins >= len(result) - 1

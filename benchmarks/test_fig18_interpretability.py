@@ -1,0 +1,46 @@
+"""Fig. 18: interpretability — #DNF atoms and tree depth vs #labels.
+
+Reproduced claims: the DNF unrolled from tree ensembles grows with more labels
+and with larger committees, and contains orders of magnitude more atoms than
+the concise rule ensemble learned by LFP/LFN.
+"""
+
+from repro.harness import experiments, reporting
+
+
+def test_fig18_interpretability(run_once, emit, bench_scale, bench_max_iterations):
+    result = run_once(
+        experiments.interpretability_comparison,
+        dataset="abt_buy",
+        tree_sizes=(2, 10, 20),
+        scale=bench_scale,
+        max_iterations=bench_max_iterations,
+    )
+
+    blocks = []
+    for name, curve in result["trees"].items():
+        blocks.append(
+            reporting.format_series(curve["labels"], curve["dnf_atoms"], f"{name} #DNF atoms")
+        )
+        blocks.append(
+            reporting.format_series(curve["labels"], curve["max_depth"], f"{name} max tree depth")
+        )
+    rules = result["rules"]["Rules(LFP/LFN)"]
+    blocks.append(
+        reporting.format_series(rules["labels"], rules["dnf_atoms"], "Rules(LFP/LFN) #DNF atoms")
+    )
+    emit("fig18_interpretability", "\n".join(blocks))
+
+    atoms_by_size = {
+        name: max(curve["dnf_atoms"]) for name, curve in result["trees"].items()
+    }
+    # Larger tree committees produce larger DNFs.
+    assert atoms_by_size["Trees(20)"] > atoms_by_size["Trees(2)"]
+
+    # Rules have far fewer atoms than any tree ensemble (interpretability win).
+    max_rule_atoms = max(rules["dnf_atoms"]) if rules["dnf_atoms"] else 0
+    assert max_rule_atoms * 5 < atoms_by_size["Trees(20)"]
+
+    # Tree DNFs grow (or at least never shrink dramatically) as labels accumulate.
+    trees20 = result["trees"]["Trees(20)"]
+    assert trees20["dnf_atoms"][-1] >= trees20["dnf_atoms"][0]

@@ -1,0 +1,64 @@
+"""Compare example-selection strategies for a linear SVM (Fig. 8b / 10b style).
+
+Runs learner-agnostic QBC (committee sizes 2 and 20), learner-aware margin
+selection and margin with a single blocking dimension on the same dataset, and
+prints progressive F1 together with the latency breakdown (committee-creation
+vs example-scoring time) that explains why margin-based strategies are faster.
+
+Run:  python examples/compare_selectors.py [dataset]
+"""
+
+import sys
+
+from repro.core import ActiveLearningConfig
+from repro.harness import prepare_dataset
+from repro.harness.builders import run_active_learning
+from repro.harness.reporting import format_series, format_table
+
+
+def main(dataset: str = "dblp_scholar") -> None:
+    prepared = prepare_dataset(dataset, scale=0.4)
+    print(
+        f"{dataset}: {prepared.n_pairs} post-blocking pairs, "
+        f"class skew {prepared.class_skew:.3f}\n"
+    )
+
+    config = ActiveLearningConfig(seed_size=30, batch_size=10, max_iterations=20, target_f1=0.98)
+    combinations = ["Linear-QBC(2)", "Linear-QBC(20)", "Linear-Margin", "Linear-Margin(1Dim)"]
+
+    rows = []
+    for name in combinations:
+        run = run_active_learning(prepared, name, config=config)
+        print(format_series(run.labels_curve(), run.f1_curve(), f"F1  {name}"))
+        rows.append(
+            {
+                "strategy": name,
+                "best_f1": round(run.best_f1, 3),
+                "labels": run.labels_to_convergence(),
+                "committee_creation_s": round(
+                    sum(r.committee_creation_time for r in run.records), 4
+                ),
+                "scoring_s": round(sum(r.scoring_time for r in run.records), 4),
+                "total_wait_s": round(run.total_user_wait_time, 4),
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            columns=[
+                "strategy", "best_f1", "labels",
+                "committee_creation_s", "scoring_s", "total_wait_s",
+            ],
+            title="Selector comparison (linear SVM)",
+        )
+    )
+    print(
+        "\nMargin-based strategies pay no committee-creation cost, which is where "
+        "most of QBC's selection latency goes — the paper's 10-100x latency gap."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "dblp_scholar")

@@ -1,0 +1,59 @@
+"""Crowd-sourced product deduplication with noisy labels (Fig. 14/15 scenario).
+
+Product catalog integration rarely has expert labelers; labels come from a
+crowd that gets some of them wrong.  This example runs the best active
+learning combination (Trees(20)) on the Walmart-Amazon stand-in with Oracles
+of increasing noise and shows how quality degrades — and why crowdsourced
+deployments should terminate early instead of labeling everything.
+
+Run:  python examples/crowdsourced_products.py
+"""
+
+from repro.core import ActiveLearningConfig
+from repro.harness import prepare_dataset
+from repro.harness.builders import run_active_learning
+from repro.harness.reporting import format_series, format_table
+
+
+def main() -> None:
+    prepared = prepare_dataset("walmart_amazon", scale=0.4)
+    print(
+        f"walmart_amazon: {prepared.n_pairs} post-blocking pairs, "
+        f"class skew {prepared.class_skew:.3f}\n"
+    )
+
+    rows = []
+    for noise in (0.0, 0.1, 0.2, 0.3):
+        config = ActiveLearningConfig(
+            seed_size=30,
+            batch_size=10,
+            max_iterations=20,
+            target_f1=None,  # noisy runs continue; we want to see the degradation
+            random_state=1,
+        )
+        run = run_active_learning(
+            prepared, "Trees(20)", config=config, noise=noise, oracle_seed=7
+        )
+        label = f"{int(noise * 100)}% noise"
+        print(format_series(run.labels_curve(), run.f1_curve(), f"F1  {label}"))
+        best_labels = run.labels_to_convergence()
+        rows.append(
+            {
+                "oracle_noise": label,
+                "best_f1": round(run.best_f1, 3),
+                "final_f1": round(run.final_f1, 3),
+                "labels_at_best": best_labels,
+            }
+        )
+
+    print()
+    print(format_table(rows, title="Trees(20) under label noise (Walmart-Amazon stand-in)"))
+    print(
+        "\nWith a perfect Oracle more labels keep helping; with a noisy crowd the "
+        "curve flattens or declines — the 'best F1' is reached early, so terminate "
+        "active learning before exhausting the budget and add label-error correction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment's setuptools lacks the ``wheel`` package needed for PEP 660
+editable installs, so this shim lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — a unified active-learning benchmark framework for entity matching.
+
+Reproduction of Meduri, Popa, Sen & Sarwat, "A Comprehensive Benchmark
+Framework for Active Learning Methods in Entity Matching" (SIGMOD 2020).
+
+The package is organised as in the paper's architecture (Fig. 1a):
+
+* :mod:`repro.datasets` — synthetic stand-ins for the public EM datasets.
+* :mod:`repro.blocking` — offline Jaccard blocking of the Cartesian product.
+* :mod:`repro.similarity` / :mod:`repro.features` — the 21-function similarity
+  suite and the continuous / Boolean feature extractors.
+* :mod:`repro.learners` — linear SVM, neural network, decision tree / random
+  forest, rule learner, DeepMatcher stand-in, bootstrap committees.
+* :mod:`repro.selectors` — QBC, tree QBC, margin, blocked margin, LFP/LFN,
+  random selection.
+* :mod:`repro.core` — the active-learning loop, Oracles, pools, evaluation and
+  the active ensemble of linear classifiers.
+* :mod:`repro.interpretability` — DNF conversion and atom counting.
+* :mod:`repro.harness` — experiment drivers regenerating every table/figure.
+"""
+
+from .core import (
+    ActiveEnsemble,
+    ActiveEnsembleLoop,
+    ActiveLearningConfig,
+    ActiveLearningLoop,
+    ActiveLearningRun,
+    ExampleSelector,
+    IterationRecord,
+    LabeledPool,
+    Learner,
+    LearnerFamily,
+    NoisyOracle,
+    PairPool,
+    PerfectOracle,
+    evaluate_predictions,
+)
+from .blocking import JaccardBlocker
+from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
+from .features import BooleanFeatureExtractor, FeatureExtractor
+from .learners import (
+    DeepMatcherBaseline,
+    LinearSVM,
+    NeuralNetwork,
+    RandomForest,
+    RuleLearner,
+)
+from .selectors import (
+    BlockedMarginSelector,
+    LFPLFNSelector,
+    MarginSelector,
+    QBCSelector,
+    RandomSelector,
+    TreeQBCSelector,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ActiveLearningLoop",
+    "ActiveLearningConfig",
+    "ActiveLearningRun",
+    "ActiveEnsemble",
+    "ActiveEnsembleLoop",
+    "IterationRecord",
+    "Learner",
+    "LearnerFamily",
+    "ExampleSelector",
+    "LabeledPool",
+    "PairPool",
+    "PerfectOracle",
+    "NoisyOracle",
+    "evaluate_predictions",
+    # data pipeline
+    "EMDataset",
+    "Record",
+    "Table",
+    "dataset_names",
+    "load_dataset",
+    "JaccardBlocker",
+    "FeatureExtractor",
+    "BooleanFeatureExtractor",
+    # learners
+    "LinearSVM",
+    "NeuralNetwork",
+    "RandomForest",
+    "RuleLearner",
+    "DeepMatcherBaseline",
+    # selectors
+    "QBCSelector",
+    "TreeQBCSelector",
+    "MarginSelector",
+    "BlockedMarginSelector",
+    "LFPLFNSelector",
+    "RandomSelector",
+]

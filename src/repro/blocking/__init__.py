@@ -1,0 +1,12 @@
+"""Offline blocking: pruning obvious non-matches before active learning.
+
+The paper applies a Jaccard-similarity blocking function over the tokenized
+attributes of each record pair as a pre-processing step (Section 3 and 6),
+retaining only pairs above a per-dataset threshold.  This package implements
+that blocker together with an inverted-index candidate generator so the
+Cartesian product never needs to be materialized for large tables.
+"""
+
+from .jaccard import JaccardBlocker, BlockingResult
+
+__all__ = ["JaccardBlocker", "BlockingResult"]

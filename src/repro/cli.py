@@ -1,0 +1,131 @@
+"""Command-line interface for the benchmark framework.
+
+Examples
+--------
+List the datasets and learner/selector combinations::
+
+    python -m repro list
+
+Reproduce Table 1 on small stand-ins::
+
+    python -m repro table1 --scale 0.3
+
+Run one active-learning combination end to end::
+
+    python -m repro run --dataset abt_buy --combination "Trees(20)" --scale 0.3
+
+Run a combination against a noisy Oracle::
+
+    python -m repro run --dataset walmart_amazon --combination "Trees(20)" --noise 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ActiveLearningConfig
+from .datasets import dataset_names, get_dataset_spec
+from .harness import experiments, reporting
+from .harness.builders import build_combination, combination_names, run_active_learning
+from .harness.preparation import prepare_dataset, prepare_rule_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active learning benchmark framework for entity matching (SIGMOD 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list datasets and learner/selector combinations")
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1 (dataset statistics)")
+    table1.add_argument("--scale", type=float, default=0.3, help="dataset size multiplier")
+
+    run = subparsers.add_parser("run", help="run one combination on one dataset")
+    run.add_argument("--dataset", required=True, choices=dataset_names())
+    run.add_argument("--combination", required=True, help="e.g. 'Trees(20)', 'Linear-Margin'")
+    run.add_argument("--scale", type=float, default=0.3)
+    run.add_argument("--seed-size", type=int, default=30)
+    run.add_argument("--batch-size", type=int, default=10)
+    run.add_argument("--max-iterations", type=int, default=20)
+    run.add_argument("--target-f1", type=float, default=0.98)
+    run.add_argument("--noise", type=float, default=0.0, help="Oracle label-flip probability")
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list() -> int:
+    print("datasets:")
+    for name in dataset_names():
+        spec = get_dataset_spec(name)
+        print(f"  {name:16s} skew={spec.paper.class_skew:<6} oracle={spec.oracle_kind:7s} {spec.description}")
+    print("\ncombinations:")
+    for name in combination_names():
+        combination = build_combination(name)
+        print(f"  {name:28s} features={combination.feature_kind}")
+    return 0
+
+
+def _command_table1(scale: float) -> int:
+    rows = experiments.table1_dataset_statistics(scale=scale)
+    print(
+        reporting.format_table(
+            rows,
+            columns=[
+                "dataset", "total_pairs", "post_blocking_pairs", "class_skew",
+                "paper_post_blocking_pairs", "paper_class_skew",
+            ],
+            title=f"Table 1 (synthetic stand-ins, scale={scale})",
+        )
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    combination = build_combination(args.combination)
+    if combination.feature_kind == "boolean":
+        prepared = prepare_rule_dataset(args.dataset, scale=args.scale)
+    else:
+        prepared = prepare_dataset(args.dataset, scale=args.scale)
+    print(
+        f"{args.dataset}: {prepared.n_pairs} post-blocking pairs, "
+        f"class skew {prepared.class_skew:.3f}, feature dim {prepared.pool.dim}"
+    )
+    config = ActiveLearningConfig(
+        seed_size=args.seed_size,
+        batch_size=args.batch_size,
+        max_iterations=args.max_iterations,
+        target_f1=args.target_f1 if args.target_f1 > 0 else None,
+        random_state=args.seed,
+    )
+    run = run_active_learning(
+        prepared, combination, config=config, noise=args.noise, oracle_seed=args.seed
+    )
+    print(reporting.format_series(run.labels_curve(), run.f1_curve(), "progressive F1"))
+    summary = run.summary()
+    print(
+        reporting.format_table(
+            [summary],
+            columns=["learner", "selector", "iterations", "labels", "best_f1",
+                     "labels_to_convergence", "total_user_wait_time", "terminated_because"],
+            title="run summary",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "table1":
+        return _command_table1(args.scale)
+    if args.command == "run":
+        return _command_run(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The unified active-learning framework (the paper's primary contribution).
+
+The framework mirrors Figure 1a/2 of the paper: a :class:`Learner` base class
+with one subclass per classifier family, an :class:`ExampleSelector` base
+class with learner-agnostic and learner-aware subclasses, a compatibility
+registry that records which selectors may be combined with which learners, an
+Oracle abstraction (perfect or noisy), and the
+:class:`~repro.core.loop.ActiveLearningLoop` engine that ties them together
+and produces per-iteration quality/latency/label metrics.
+"""
+
+from .base import (
+    ExampleSelector,
+    Learner,
+    LearnerFamily,
+    SelectionResult,
+    check_compatibility,
+)
+from .config import ActiveLearningConfig
+from .evaluation import EvaluationResult, evaluate_predictions
+from .pools import LabeledPool, PairPool
+from .oracle import NoisyOracle, Oracle, PerfectOracle
+from .noise import MajorityVoteOracle
+from .results import ActiveLearningRun, IterationRecord
+from .loop import ActiveLearningLoop
+from .ensemble import ActiveEnsemble, ActiveEnsembleLoop
+
+__all__ = [
+    "Learner",
+    "LearnerFamily",
+    "ExampleSelector",
+    "SelectionResult",
+    "check_compatibility",
+    "ActiveLearningConfig",
+    "EvaluationResult",
+    "evaluate_predictions",
+    "LabeledPool",
+    "PairPool",
+    "Oracle",
+    "PerfectOracle",
+    "NoisyOracle",
+    "MajorityVoteOracle",
+    "IterationRecord",
+    "ActiveLearningRun",
+    "ActiveLearningLoop",
+    "ActiveEnsemble",
+    "ActiveEnsembleLoop",
+]

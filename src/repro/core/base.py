@@ -1,0 +1,174 @@
+"""Base classes for learners and example selectors plus their compatibility rules.
+
+This module encodes the class hierarchy of Figure 2 in the paper: every
+classifier extends :class:`Learner`, every selection strategy extends
+:class:`ExampleSelector`, and each selector declares which learner families it
+is compatible with.  Learner-agnostic selectors (query-by-committee over
+bootstrap committees) accept every family; learner-aware selectors (margin,
+LFP/LFN, tree-committee QBC) accept only the families they were designed for.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import IncompatibleSelectorError, NotFittedError
+
+
+class LearnerFamily(str, Enum):
+    """The four classifier families supported by the benchmark framework."""
+
+    LINEAR = "linear"
+    NON_LINEAR = "non_linear"
+    TREE = "tree"
+    RULE = "rule"
+
+
+class Learner(ABC):
+    """Base class of all classifiers in the framework.
+
+    A learner consumes a dense feature matrix (continuous features for
+    linear/non-linear/tree learners, Boolean features for rule learners) and
+    binary labels (1 = match, 0 = non-match).
+    """
+
+    #: Classifier family; selectors use this for compatibility checks.
+    family: LearnerFamily
+
+    #: Human readable name used in reports.
+    name: str = "learner"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted yet")
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Learner":
+        """Train the model on the cumulative labeled data, replacing any prior fit."""
+
+    @abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict 0/1 labels for each row of ``features``."""
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive (match) class for each row.
+
+        The default implementation maps hard predictions to {0, 1}; learners
+        with calibrated scores override this.
+        """
+        return self.predict(features).astype(float)
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Real-valued decision scores (margins) used by margin-based selection.
+
+        By convention positive scores favour the match class.  Learners that
+        do not expose a margin raise :class:`NotImplementedError`; selectors
+        requiring margins declare the corresponding compatibility.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not expose decision scores")
+
+    @abstractmethod
+    def clone(self) -> "Learner":
+        """A fresh, unfitted copy with identical hyper-parameters.
+
+        Used by the learner-agnostic QBC selector to train bootstrap
+        committees without disturbing the primary model.
+        """
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one example-selection call.
+
+    Attributes
+    ----------
+    indices:
+        Positions (into the unlabeled feature matrix) of the selected examples.
+    committee_creation_time:
+        Seconds spent building a classifier committee (zero for learner-aware
+        strategies, which reuse the trained model).
+    scoring_time:
+        Seconds spent scoring unlabeled examples and picking the batch.
+    scored_examples:
+        How many unlabeled examples were actually scored (blocking-based
+        strategies skip some).
+    diagnostics:
+        Optional per-strategy extra information (e.g. variance histogram).
+    """
+
+    indices: list[int]
+    committee_creation_time: float = 0.0
+    scoring_time: float = 0.0
+    scored_examples: int = 0
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def selection_time(self) -> float:
+        """Total example-selection latency (committee creation + scoring)."""
+        return self.committee_creation_time + self.scoring_time
+
+
+class ExampleSelector(ABC):
+    """Base class of all example-selection strategies."""
+
+    #: Learner families this selector can be combined with.
+    compatible_families: frozenset[LearnerFamily] = frozenset()
+
+    #: Human readable name used in reports.
+    name: str = "selector"
+
+    #: True for strategies that reuse the trained learner (margin, tree QBC,
+    #: LFP/LFN), False for strategies that build their own committee.
+    learner_aware: bool = False
+
+    def validate_learner(self, learner: Learner) -> None:
+        """Raise :class:`IncompatibleSelectorError` when the combination is invalid."""
+        check_compatibility(learner, self)
+
+    @abstractmethod
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        """Choose up to ``batch_size`` informative unlabeled examples.
+
+        ``learner`` is the model trained on the cumulative labeled data at the
+        start of the current iteration.  Implementations must not mutate the
+        labeled arrays.
+        """
+
+
+def check_compatibility(learner: Learner, selector: ExampleSelector) -> None:
+    """Validate a learner/selector combination against the framework's registry.
+
+    Mirrors the class-hierarchy compatibility constraints of Figure 2: e.g.
+    margin-based selection applies to linear and non-convex non-linear
+    classifiers only, LFP/LFN only to rule learners, tree-committee QBC only
+    to tree ensembles, while bootstrap QBC applies to everything.
+    """
+    if not selector.compatible_families:
+        raise IncompatibleSelectorError(
+            f"selector {type(selector).__name__} declares no compatible learner families"
+        )
+    if learner.family not in selector.compatible_families:
+        compatible = sorted(f.value for f in selector.compatible_families)
+        raise IncompatibleSelectorError(
+            f"selector {selector.name!r} is not compatible with learner family "
+            f"{learner.family.value!r} (compatible families: {compatible})"
+        )

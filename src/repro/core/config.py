@@ -1,0 +1,56 @@
+"""Configuration of an active-learning run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ActiveLearningConfig:
+    """Hyper-parameters of the active-learning loop (Section 6 defaults).
+
+    Attributes
+    ----------
+    seed_size:
+        Number of initially labeled examples (30 in the paper).
+    batch_size:
+        Examples selected and labeled per iteration (10 in the paper).
+    max_iterations:
+        Upper bound on labeling iterations; ``None`` runs until another
+        termination criterion fires.
+    target_f1:
+        Stop as soon as the evaluation F1 reaches this value (the paper stops
+        when an approach achieves a near-perfect progressive F1).  ``None``
+        disables the criterion (used for noisy-Oracle experiments, which run
+        until the unlabeled pool is exhausted).
+    convergence_window / convergence_tolerance:
+        A run is also considered converged when the F1 changed by less than
+        ``convergence_tolerance`` over the last ``convergence_window``
+        iterations; set the window to 0 to disable.
+    random_state:
+        Seed for the loop's own randomness (seed sampling, tie-breaking).
+    """
+
+    seed_size: int = 30
+    batch_size: int = 10
+    max_iterations: int | None = 100
+    target_f1: float | None = 0.98
+    convergence_window: int = 0
+    convergence_tolerance: float = 0.002
+    random_state: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.seed_size < 2:
+            raise ConfigurationError("seed_size must be at least 2")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be positive or None")
+        if self.target_f1 is not None and not 0.0 < self.target_f1 <= 1.0:
+            raise ConfigurationError("target_f1 must be in (0, 1] or None")
+        if self.convergence_window < 0:
+            raise ConfigurationError("convergence_window must be non-negative")
+        if self.convergence_tolerance < 0:
+            raise ConfigurationError("convergence_tolerance must be non-negative")

@@ -1,0 +1,249 @@
+"""Active ensembles of high-precision linear classifiers (Section 5.2).
+
+Instead of refining a single classifier, the active ensemble accumulates
+classifiers over the course of active learning: whenever the current candidate
+classifier's precision (measured on the Oracle-labeled examples it predicts as
+matches) reaches the acceptance threshold τ, it is frozen into the ensemble
+and the examples it covers (predicted matches) are removed from both the
+labeled and the unlabeled pools, so the next candidate is learned on the
+remaining, uncovered examples.  The ensemble's prediction is the union of the
+positive predictions of all accepted classifiers (plus the current candidate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import Stopwatch, ensure_rng
+from .base import ExampleSelector, Learner, check_compatibility
+from .config import ActiveLearningConfig
+from .evaluation import evaluate_predictions
+from .oracle import Oracle
+from .pools import LabeledPool, PairPool
+from .results import ActiveLearningRun, IterationRecord
+
+
+class ActiveEnsemble:
+    """A disjunction of accepted classifiers: a pair is a match if any member says so."""
+
+    def __init__(self) -> None:
+        self.members: list[Learner] = []
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def accept(self, learner: Learner) -> None:
+        self.members.append(learner)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Union of the members' positive predictions (all zeros when empty)."""
+        if not self.members:
+            return np.zeros(len(features), dtype=np.int64)
+        votes = np.zeros(len(features), dtype=bool)
+        for member in self.members:
+            votes |= member.predict(features).astype(bool)
+        return votes.astype(np.int64)
+
+    def predict_with_candidate(self, features: np.ndarray, candidate: Learner | None) -> np.ndarray:
+        """Ensemble prediction including the not-yet-accepted candidate model."""
+        predictions = self.predict(features).astype(bool)
+        if candidate is not None and candidate.is_fitted:
+            predictions |= candidate.predict(features).astype(bool)
+        return predictions.astype(np.int64)
+
+
+class ActiveEnsembleLoop:
+    """Active learning of an ensemble of high-precision classifiers.
+
+    Parameters
+    ----------
+    learner_factory:
+        Callable returning a fresh candidate learner (e.g. ``lambda:
+        LinearSVM()``); a new candidate is created whenever the previous one
+        is accepted into the ensemble.
+    selector:
+        Example selector applied to the candidate learner on the *uncovered*
+        unlabeled examples (margin-based in the paper).
+    precision_threshold:
+        τ — the candidate is accepted when its precision on the labeled
+        examples it predicts as matches reaches this value (0.85 in the paper).
+    min_predicted_matches:
+        The candidate must predict at least this many labeled matches before
+        its precision is trusted.
+    """
+
+    def __init__(
+        self,
+        learner_factory,
+        selector: ExampleSelector,
+        pool: PairPool,
+        oracle: Oracle,
+        config: ActiveLearningConfig | None = None,
+        precision_threshold: float = 0.85,
+        min_predicted_matches: int = 3,
+        evaluation_features: np.ndarray | None = None,
+        evaluation_labels: np.ndarray | None = None,
+        dataset_name: str = "unknown",
+    ):
+        if not 0.0 < precision_threshold <= 1.0:
+            raise ConfigurationError("precision_threshold must be in (0, 1]")
+        if min_predicted_matches < 1:
+            raise ConfigurationError("min_predicted_matches must be positive")
+        self.learner_factory = learner_factory
+        probe = learner_factory()
+        check_compatibility(probe, selector)
+        self.selector = selector
+        self.pool = pool
+        self.oracle = oracle
+        self.config = config or ActiveLearningConfig()
+        self.precision_threshold = precision_threshold
+        self.min_predicted_matches = min_predicted_matches
+        if (evaluation_features is None) != (evaluation_labels is None):
+            raise ConfigurationError(
+                "evaluation_features and evaluation_labels must be provided together"
+            )
+        self.evaluation_features = evaluation_features
+        self.evaluation_labels = evaluation_labels
+        self.dataset_name = dataset_name
+        self.ensemble = ActiveEnsemble()
+
+    def run(self) -> ActiveLearningRun:
+        config = self.config
+        rng = ensure_rng(config.random_state)
+        labeled = LabeledPool(self.pool)
+        labeled.seed(config.seed_size, self.oracle, rng=rng)
+
+        # Pool indices whose predicted-match status is already covered by an
+        # accepted ensemble member; they are excluded from further learning.
+        covered = np.zeros(len(self.pool), dtype=bool)
+
+        run = ActiveLearningRun(
+            learner_name=f"{self.learner_factory().name}(ensemble)",
+            selector_name=self.selector.name,
+            dataset_name=self.dataset_name,
+            metadata={
+                "pool_size": len(self.pool),
+                "precision_threshold": self.precision_threshold,
+            },
+        )
+
+        candidate = self.learner_factory()
+        iteration = 0
+        terminated_because = "max_iterations"
+        while True:
+            iteration += 1
+
+            labeled_indices = labeled.labeled_indices
+            active_mask = ~covered[labeled_indices]
+            active_labeled = labeled_indices[active_mask]
+            train_features = self.pool.features[active_labeled]
+            train_labels = labeled.labeled_labels()[active_mask]
+
+            train_watch = Stopwatch()
+            trained = False
+            if len(train_labels) >= 2 and train_labels.min() != train_labels.max():
+                with train_watch.timing():
+                    candidate.fit(train_features, train_labels)
+                trained = True
+
+            evaluation = self._evaluate(candidate if trained else None)
+
+            accepted = self._maybe_accept(
+                candidate if trained else None, train_features, train_labels, covered
+            )
+
+            unlabeled_indices = labeled.unlabeled_indices
+            uncovered_unlabeled = unlabeled_indices[~covered[unlabeled_indices]]
+            selection = None
+            if (
+                trained
+                and len(uncovered_unlabeled) > 0
+                and not self._quality_reached(evaluation.f1)
+            ):
+                selection = self.selector.select(
+                    learner=candidate,
+                    labeled_features=train_features,
+                    labeled_labels=train_labels,
+                    unlabeled_features=self.pool.features[uncovered_unlabeled],
+                    batch_size=min(config.batch_size, len(uncovered_unlabeled)),
+                    rng=rng,
+                )
+
+            record = IterationRecord(
+                iteration=iteration,
+                n_labels=len(labeled),
+                evaluation=evaluation,
+                train_time=train_watch.elapsed,
+                committee_creation_time=selection.committee_creation_time if selection else 0.0,
+                scoring_time=selection.scoring_time if selection else 0.0,
+                scored_examples=selection.scored_examples if selection else 0,
+                selected=len(selection.indices) if selection else 0,
+                extras={"accepted_classifiers": len(self.ensemble)},
+            )
+            run.append(record)
+
+            if self._quality_reached(evaluation.f1):
+                terminated_because = "target_f1"
+                break
+            if len(uncovered_unlabeled) == 0:
+                terminated_because = "unlabeled_exhausted"
+                break
+            if selection is None or not selection.indices:
+                terminated_because = "selector_exhausted"
+                break
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                terminated_because = "max_iterations"
+                break
+
+            chosen_pool_indices = [int(uncovered_unlabeled[i]) for i in selection.indices]
+            labels = self.oracle.label_batch(chosen_pool_indices)
+            labeled.add_batch(chosen_pool_indices, labels)
+
+            if accepted:
+                # The accepted classifier is frozen in the ensemble; the next
+                # iteration starts a fresh candidate on the uncovered examples.
+                candidate = self.learner_factory()
+
+        run.terminated_because = terminated_because
+        run.metadata["accepted_classifiers"] = len(self.ensemble)
+        return run
+
+    # -------------------------------------------------------------- internals
+    def _maybe_accept(
+        self,
+        candidate: Learner | None,
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+        covered: np.ndarray,
+    ) -> bool:
+        """Accept the candidate into the ensemble when it is precise enough."""
+        if candidate is None or not candidate.is_fitted or len(train_labels) == 0:
+            return False
+        predicted = candidate.predict(train_features)
+        predicted_matches = int(predicted.sum())
+        if predicted_matches < self.min_predicted_matches:
+            return False
+        true_positives = int(((predicted == 1) & (train_labels == 1)).sum())
+        precision = true_positives / predicted_matches
+        if precision < self.precision_threshold:
+            return False
+        self.ensemble.accept(candidate)
+        # Remove the accepted classifier's coverage (its predicted matches)
+        # from the whole pool so subsequent candidates focus on what is left.
+        pool_predictions = candidate.predict(self.pool.features)
+        covered |= pool_predictions.astype(bool)
+        return True
+
+    def _evaluate(self, candidate: Learner | None):
+        if self.evaluation_features is not None:
+            features = self.evaluation_features
+            truth = self.evaluation_labels
+        else:
+            features = self.pool.features
+            truth = self.pool.true_labels
+        predictions = self.ensemble.predict_with_candidate(features, candidate)
+        return evaluate_predictions(truth, predictions)
+
+    def _quality_reached(self, f1: float) -> bool:
+        return self.config.target_f1 is not None and f1 >= self.config.target_f1

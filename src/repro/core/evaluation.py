@@ -1,0 +1,77 @@
+"""Quality metrics: precision, recall and F1 on the match class.
+
+Matching pairs carry label 1 and non-matching pairs label 0; precision,
+recall and F1 are computed with respect to the match class, exactly as in the
+paper's quality metric (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Precision/recall/F1 plus the underlying confusion counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def support(self) -> int:
+        """Number of evaluated pairs."""
+        return (
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+        )
+
+
+def evaluate_predictions(truth: np.ndarray, predictions: np.ndarray) -> EvaluationResult:
+    """Compute match-class precision, recall, F1 and accuracy.
+
+    Follows the usual convention for degenerate cases: precision is 0 when
+    nothing was predicted positive, recall is 0 when there are no true
+    matches, and F1 is 0 whenever precision + recall is 0.
+    """
+    truth = np.asarray(truth).astype(int)
+    predictions = np.asarray(predictions).astype(int)
+    if truth.shape != predictions.shape:
+        raise ConfigurationError("truth and predictions must have the same shape")
+    if truth.size == 0:
+        raise ConfigurationError("cannot evaluate on an empty set of pairs")
+
+    true_positives = int(((truth == 1) & (predictions == 1)).sum())
+    false_positives = int(((truth == 0) & (predictions == 1)).sum())
+    true_negatives = int(((truth == 0) & (predictions == 0)).sum())
+    false_negatives = int(((truth == 1) & (predictions == 0)).sum())
+
+    predicted_positive = true_positives + false_positives
+    actual_positive = true_positives + false_negatives
+    precision = true_positives / predicted_positive if predicted_positive else 0.0
+    recall = true_positives / actual_positive if actual_positive else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0.0
+        else 0.0
+    )
+    accuracy = (true_positives + true_negatives) / truth.size
+
+    return EvaluationResult(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=accuracy,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        true_negatives=true_negatives,
+        false_negatives=false_negatives,
+    )

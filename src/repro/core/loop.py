@@ -1,0 +1,179 @@
+"""The active-learning engine shared by all experiments.
+
+One iteration performs: (1) train the learner on the cumulative labeled data,
+(2) evaluate it (by default on all post-blocking pairs — the paper's
+*progressive F1*; optionally on a held-out test set for the supervised-
+comparison experiments), (3) ask the example selector for the next batch of
+ambiguous unlabeled examples, (4) query the Oracle for their labels and add
+them to the labeled pool.  Training, committee-creation and example-scoring
+times are recorded per iteration (the latency metric of Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import Stopwatch, ensure_rng
+from .base import ExampleSelector, Learner, check_compatibility
+from .config import ActiveLearningConfig
+from .evaluation import evaluate_predictions
+from .oracle import Oracle
+from .pools import LabeledPool, PairPool
+from .results import ActiveLearningRun, IterationRecord
+
+
+class ActiveLearningLoop:
+    """Runs active learning for one (learner, selector, dataset) combination.
+
+    Parameters
+    ----------
+    learner, selector:
+        The classifier and example-selection strategy; their compatibility is
+        validated against the framework registry (Fig. 2 of the paper).
+    pool:
+        All post-blocking candidate pairs with features and hidden ground truth.
+    oracle:
+        Label source (perfect or noisy).
+    config:
+        Loop hyper-parameters (seed size, batch size, termination criteria).
+    evaluation_features / evaluation_labels:
+        Optional held-out test set.  When omitted, evaluation runs on the full
+        pool, yielding the paper's progressive F1.
+    dataset_name:
+        Recorded in the run result for reporting.
+    iteration_callback:
+        Optional hook called once per iteration with ``(learner, record)``
+        after training and evaluation; a returned dictionary is merged into
+        the iteration record's ``extras`` (used, e.g., by the interpretability
+        experiment to measure the model's DNF size over time).
+    """
+
+    def __init__(
+        self,
+        learner: Learner,
+        selector: ExampleSelector,
+        pool: PairPool,
+        oracle: Oracle,
+        config: ActiveLearningConfig | None = None,
+        evaluation_features: np.ndarray | None = None,
+        evaluation_labels: np.ndarray | None = None,
+        dataset_name: str = "unknown",
+        iteration_callback=None,
+    ):
+        check_compatibility(learner, selector)
+        self.learner = learner
+        self.selector = selector
+        self.pool = pool
+        self.oracle = oracle
+        self.config = config or ActiveLearningConfig()
+        if (evaluation_features is None) != (evaluation_labels is None):
+            raise ConfigurationError(
+                "evaluation_features and evaluation_labels must be provided together"
+            )
+        self.evaluation_features = evaluation_features
+        self.evaluation_labels = evaluation_labels
+        self.dataset_name = dataset_name
+        self.iteration_callback = iteration_callback
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ActiveLearningRun:
+        config = self.config
+        rng = ensure_rng(config.random_state)
+        labeled = LabeledPool(self.pool)
+        labeled.seed(config.seed_size, self.oracle, rng=rng)
+
+        run = ActiveLearningRun(
+            learner_name=self.learner.name,
+            selector_name=self.selector.name,
+            dataset_name=self.dataset_name,
+            metadata={
+                "pool_size": len(self.pool),
+                "pool_class_skew": self.pool.class_skew,
+                "seed_size": len(labeled),
+                "batch_size": config.batch_size,
+            },
+        )
+
+        iteration = 0
+        terminated_because = "max_iterations"
+        while True:
+            iteration += 1
+
+            train_watch = Stopwatch()
+            with train_watch.timing():
+                self.learner.fit(labeled.labeled_features(), labeled.labeled_labels())
+
+            evaluation = self._evaluate()
+
+            unlabeled_indices = labeled.unlabeled_indices
+            selection = None
+            if len(unlabeled_indices) > 0 and not self._quality_reached(evaluation.f1):
+                selection = self.selector.select(
+                    learner=self.learner,
+                    labeled_features=labeled.labeled_features(),
+                    labeled_labels=labeled.labeled_labels(),
+                    unlabeled_features=self.pool.features[unlabeled_indices],
+                    batch_size=min(config.batch_size, len(unlabeled_indices)),
+                    rng=rng,
+                )
+
+            record = IterationRecord(
+                iteration=iteration,
+                n_labels=len(labeled),
+                evaluation=evaluation,
+                train_time=train_watch.elapsed,
+                committee_creation_time=selection.committee_creation_time if selection else 0.0,
+                scoring_time=selection.scoring_time if selection else 0.0,
+                scored_examples=selection.scored_examples if selection else 0,
+                selected=len(selection.indices) if selection else 0,
+            )
+            if self.iteration_callback is not None:
+                extras = self.iteration_callback(self.learner, record)
+                if extras:
+                    record.extras.update(extras)
+            run.append(record)
+
+            if self._quality_reached(evaluation.f1):
+                terminated_because = "target_f1"
+                break
+            if len(unlabeled_indices) == 0:
+                terminated_because = "unlabeled_exhausted"
+                break
+            if selection is None or not selection.indices:
+                terminated_because = "selector_exhausted"
+                break
+            if self._converged(run):
+                terminated_because = "converged"
+                break
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                terminated_because = "max_iterations"
+                break
+
+            chosen_pool_indices = [int(unlabeled_indices[i]) for i in selection.indices]
+            labels = self.oracle.label_batch(chosen_pool_indices)
+            labeled.add_batch(chosen_pool_indices, labels)
+
+        run.terminated_because = terminated_because
+        return run
+
+    # -------------------------------------------------------------- internals
+    def _evaluate(self):
+        if self.evaluation_features is not None:
+            features = self.evaluation_features
+            truth = self.evaluation_labels
+        else:
+            features = self.pool.features
+            truth = self.pool.true_labels
+        predictions = self.learner.predict(features)
+        return evaluate_predictions(truth, predictions)
+
+    def _quality_reached(self, f1: float) -> bool:
+        return self.config.target_f1 is not None and f1 >= self.config.target_f1
+
+    def _converged(self, run: ActiveLearningRun) -> bool:
+        window = self.config.convergence_window
+        if window <= 0 or len(run.records) < window + 1:
+            return False
+        recent = [record.f1 for record in run.records[-(window + 1):]]
+        return max(recent) - min(recent) <= self.config.convergence_tolerance

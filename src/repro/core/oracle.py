@@ -1,0 +1,83 @@
+"""Oracles: the source of labels during active learning.
+
+The paper distinguishes a *perfect* Oracle (the available ground truth) from
+an *imperfect* Oracle that flips the true label with a fixed probability,
+which emulates crowd-sourced labeling without error-correction (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, OracleError
+from ..utils import ensure_rng
+from .pools import PairPool
+
+
+class Oracle(ABC):
+    """Provides labels for pool examples and counts how many were requested."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+
+    @abstractmethod
+    def _label(self, index: int) -> int:
+        """Label one pool example (implementation hook)."""
+
+    def label(self, index: int) -> int:
+        """Label one example, counting the query."""
+        self.queries += 1
+        return self._label(index)
+
+    def label_batch(self, indices: list[int]) -> list[int]:
+        """Label a batch of examples."""
+        return [self.label(index) for index in indices]
+
+
+class PerfectOracle(Oracle):
+    """Returns the hidden ground-truth label of the pool."""
+
+    def __init__(self, pool: PairPool):
+        super().__init__()
+        self.pool = pool
+
+    def _label(self, index: int) -> int:
+        index = int(index)
+        if index < 0 or index >= len(self.pool):
+            raise OracleError(f"no ground truth for example {index}")
+        return int(self.pool.true_labels[index])
+
+
+class NoisyOracle(Oracle):
+    """Flips the true label with a fixed probability (crowd-sourcing emulation).
+
+    Per the paper, the perturbation is applied whenever the random draw falls
+    within the noise probability — a harsher criterion than real crowdsourced
+    settings, which would correct noise via majority voting.  Labels are
+    memoised so asking twice about the same pair returns the same answer.
+    """
+
+    def __init__(self, pool: PairPool, noise_probability: float, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        if not 0.0 <= noise_probability <= 1.0:
+            raise ConfigurationError("noise_probability must be in [0, 1]")
+        self.pool = pool
+        self.noise_probability = noise_probability
+        self._rng = ensure_rng(rng)
+        self._memo: dict[int, int] = {}
+
+    def _label(self, index: int) -> int:
+        index = int(index)
+        if index < 0 or index >= len(self.pool):
+            raise OracleError(f"no ground truth for example {index}")
+        if index in self._memo:
+            return self._memo[index]
+        truth = int(self.pool.true_labels[index])
+        if self._rng.random() < self.noise_probability:
+            answer = 1 - truth
+        else:
+            answer = truth
+        self._memo[index] = answer
+        return answer

@@ -1,0 +1,140 @@
+"""Pools of candidate pairs: the full post-blocking pool and the labeled subset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.base import CandidatePair
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+
+
+class PairPool:
+    """All post-blocking candidate pairs with their features and ground truth.
+
+    The ground-truth labels are *hidden* from learners and selectors — only
+    the Oracle reads them.  The pool is immutable; the labeled/unlabeled split
+    is tracked by :class:`LabeledPool`.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        true_labels: np.ndarray,
+        pairs: list[CandidatePair] | None = None,
+    ):
+        features = np.asarray(features, dtype=float)
+        true_labels = np.asarray(true_labels, dtype=int)
+        if features.ndim != 2:
+            raise ConfigurationError("features must be a 2-D matrix")
+        if len(features) != len(true_labels):
+            raise ConfigurationError("features and true_labels must be aligned")
+        if pairs is not None and len(pairs) != len(features):
+            raise ConfigurationError("pairs must be aligned with features")
+        self.features = features
+        self.true_labels = true_labels
+        self.pairs = pairs
+
+    def __len__(self) -> int:
+        return len(self.true_labels)
+
+    @property
+    def dim(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def class_skew(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.true_labels.mean())
+
+
+class LabeledPool:
+    """Tracks which pool examples have been labeled and with which Oracle labels.
+
+    Oracle labels may differ from the pool's hidden ground truth when a noisy
+    Oracle is used; learners always train on the Oracle labels.
+    """
+
+    def __init__(self, pool: PairPool):
+        self.pool = pool
+        self._oracle_labels: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._oracle_labels)
+
+    def add(self, index: int, oracle_label: int) -> None:
+        index = int(index)
+        if index < 0 or index >= len(self.pool):
+            raise ConfigurationError(f"index {index} outside the pool")
+        if index in self._oracle_labels:
+            raise ConfigurationError(f"example {index} was already labeled")
+        self._oracle_labels[index] = int(oracle_label)
+
+    def add_batch(self, indices: list[int], oracle_labels: list[int]) -> None:
+        if len(indices) != len(oracle_labels):
+            raise ConfigurationError("indices and labels must be aligned")
+        for index, label in zip(indices, oracle_labels):
+            self.add(index, label)
+
+    def is_labeled(self, index: int) -> bool:
+        return int(index) in self._oracle_labels
+
+    @property
+    def labeled_indices(self) -> np.ndarray:
+        return np.array(sorted(self._oracle_labels), dtype=np.int64)
+
+    @property
+    def unlabeled_indices(self) -> np.ndarray:
+        labeled = self._oracle_labels
+        return np.array([i for i in range(len(self.pool)) if i not in labeled], dtype=np.int64)
+
+    def labeled_features(self) -> np.ndarray:
+        return self.pool.features[self.labeled_indices]
+
+    def labeled_labels(self) -> np.ndarray:
+        return np.array([self._oracle_labels[i] for i in self.labeled_indices], dtype=np.int64)
+
+    def unlabeled_features(self) -> np.ndarray:
+        return self.pool.features[self.unlabeled_indices]
+
+    def seed(
+        self,
+        size: int,
+        oracle,
+        rng: np.random.Generator | int | None = None,
+        stratified: bool = True,
+    ) -> None:
+        """Label an initial random sample of the pool (the 30-example seed).
+
+        With ``stratified=True`` the sample is guaranteed to contain at least
+        two examples of each class whenever the pool does — without this, a
+        heavily skewed EM dataset frequently yields an all-negative seed from
+        which no classifier can be learned.
+        """
+        if len(self) > 0:
+            raise ConfigurationError("seed() must be called on an empty labeled pool")
+        size = min(size, len(self.pool))
+        rng = ensure_rng(rng)
+
+        indices: list[int]
+        if stratified:
+            positives = np.flatnonzero(self.pool.true_labels == 1)
+            negatives = np.flatnonzero(self.pool.true_labels == 0)
+            minimum_per_class = 2
+            chosen: list[int] = []
+            if len(positives) and len(negatives) and size >= 2 * minimum_per_class:
+                n_pos = min(len(positives), max(minimum_per_class, int(round(size * self.pool.class_skew))))
+                n_pos = min(n_pos, size - minimum_per_class)
+                n_neg = size - n_pos
+                n_neg = min(n_neg, len(negatives))
+                chosen.extend(int(i) for i in rng.choice(positives, size=n_pos, replace=False))
+                chosen.extend(int(i) for i in rng.choice(negatives, size=n_neg, replace=False))
+            else:
+                chosen.extend(int(i) for i in rng.choice(len(self.pool), size=size, replace=False))
+            indices = chosen
+        else:
+            indices = [int(i) for i in rng.choice(len(self.pool), size=size, replace=False)]
+
+        for index in indices:
+            self.add(index, oracle.label(index))

@@ -1,0 +1,138 @@
+"""Per-iteration records and whole-run results of active learning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .evaluation import EvaluationResult
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Everything measured in one active-learning iteration.
+
+    ``n_labels`` is the cumulative number of Oracle labels consumed when the
+    model of this iteration was trained (the x-axis of the paper's figures);
+    the time fields implement the latency metric of Section 3.
+    """
+
+    iteration: int
+    n_labels: int
+    evaluation: EvaluationResult
+    train_time: float
+    committee_creation_time: float
+    scoring_time: float
+    scored_examples: int
+    selected: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def selection_time(self) -> float:
+        return self.committee_creation_time + self.scoring_time
+
+    @property
+    def user_wait_time(self) -> float:
+        """Train time + example-selection time (the Fig. 13 metric)."""
+        return self.train_time + self.selection_time
+
+    @property
+    def f1(self) -> float:
+        return self.evaluation.f1
+
+
+@dataclass
+class ActiveLearningRun:
+    """The full trajectory of one (learner, selector, dataset) run."""
+
+    learner_name: str
+    selector_name: str
+    dataset_name: str
+    records: list[IterationRecord] = field(default_factory=list)
+    terminated_because: str = "unknown"
+    metadata: dict = field(default_factory=dict)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # --------------------------------------------------------------- curves
+    def labels_curve(self) -> np.ndarray:
+        return np.array([record.n_labels for record in self.records])
+
+    def f1_curve(self) -> np.ndarray:
+        return np.array([record.f1 for record in self.records])
+
+    def selection_time_curve(self) -> np.ndarray:
+        return np.array([record.selection_time for record in self.records])
+
+    def user_wait_time_curve(self) -> np.ndarray:
+        return np.array([record.user_wait_time for record in self.records])
+
+    # -------------------------------------------------------------- summaries
+    @property
+    def final_f1(self) -> float:
+        self._require_records()
+        return self.records[-1].f1
+
+    @property
+    def best_f1(self) -> float:
+        self._require_records()
+        return float(max(record.f1 for record in self.records))
+
+    @property
+    def total_labels(self) -> int:
+        self._require_records()
+        return self.records[-1].n_labels
+
+    @property
+    def total_user_wait_time(self) -> float:
+        return float(sum(record.user_wait_time for record in self.records))
+
+    @property
+    def average_user_wait_time(self) -> float:
+        self._require_records()
+        return self.total_user_wait_time / len(self.records)
+
+    def labels_to_convergence(self, tolerance: float = 0.01) -> int:
+        """Minimum #labels after which the F1 stays within ``tolerance`` of its best.
+
+        This is the "#labels" metric of Section 3: the number of labeled
+        examples needed to reach the approach's convergent quality.
+        """
+        self._require_records()
+        best = self.best_f1
+        for record in self.records:
+            if record.f1 >= best - tolerance:
+                return record.n_labels
+        return self.records[-1].n_labels
+
+    def f1_at_labels(self, n_labels: int) -> float:
+        """F1 of the most recent iteration with at most ``n_labels`` labels."""
+        self._require_records()
+        eligible = [record.f1 for record in self.records if record.n_labels <= n_labels]
+        return eligible[-1] if eligible else 0.0
+
+    def _require_records(self) -> None:
+        if not self.records:
+            raise ConfigurationError("run has no iteration records")
+
+    def summary(self) -> dict:
+        """A flat dictionary used by the benchmark reporting code."""
+        self._require_records()
+        return {
+            "learner": self.learner_name,
+            "selector": self.selector_name,
+            "dataset": self.dataset_name,
+            "iterations": len(self.records),
+            "labels": self.total_labels,
+            "best_f1": round(self.best_f1, 4),
+            "final_f1": round(self.final_f1, 4),
+            "labels_to_convergence": self.labels_to_convergence(),
+            "total_user_wait_time": round(self.total_user_wait_time, 4),
+            "terminated_because": self.terminated_because,
+        }

@@ -1,0 +1,39 @@
+"""Synthetic entity-matching datasets.
+
+The paper evaluates on nine public EM datasets (Table 1).  Those CSVs are not
+available offline, so this package generates deterministic synthetic stand-ins
+with the same attribute schemas, comparable class skew and realistic string
+noise (typos, token drops, abbreviations, missing values).  Each dataset is a
+pair of left/right tables plus a ground-truth set of matching id pairs, which
+is exactly the input shape the paper's pipeline consumes (blocking → feature
+extraction → active learning).
+"""
+
+from .base import CandidatePair, EMDataset, Record, Table
+from .corruption import CorruptionConfig, Corruptor
+from .catalog import (
+    DATASET_SPECS,
+    DatasetSpec,
+    dataset_names,
+    get_dataset_spec,
+    load_dataset,
+)
+from .social_media import SocialMediaDataset, generate_social_media_dataset
+from .splits import train_test_split_pairs
+
+__all__ = [
+    "Record",
+    "Table",
+    "CandidatePair",
+    "EMDataset",
+    "Corruptor",
+    "CorruptionConfig",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "dataset_names",
+    "get_dataset_spec",
+    "load_dataset",
+    "SocialMediaDataset",
+    "generate_social_media_dataset",
+    "train_test_split_pairs",
+]

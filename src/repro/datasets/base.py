@@ -1,0 +1,146 @@
+"""Core data structures for entity-matching datasets.
+
+An EM task is defined by two tables (left and right), a schema of aligned
+attributes, and a ground-truth set of matching record id pairs.  Candidate
+pairs are produced later by the blocking step (:mod:`repro.blocking`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single entity mention: an id plus attribute-name → string-value map."""
+
+    record_id: str
+    attributes: Mapping[str, str]
+
+    def value(self, attribute: str) -> str:
+        """Return the attribute value, or an empty string when missing/null."""
+        value = self.attributes.get(attribute)
+        return "" if value is None else str(value)
+
+    def text(self) -> str:
+        """All attribute values concatenated; used by token blocking."""
+        return " ".join(self.value(a) for a in self.attributes)
+
+
+class Table:
+    """An ordered collection of records sharing one schema."""
+
+    def __init__(self, name: str, schema: Iterable[str], records: Iterable[Record] = ()):
+        self.name = name
+        self.schema = list(schema)
+        if not self.schema:
+            raise DatasetError(f"table {name!r} must have at least one attribute")
+        self._records: list[Record] = []
+        self._by_id: dict[str, Record] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: Record) -> None:
+        if record.record_id in self._by_id:
+            raise DatasetError(f"duplicate record id {record.record_id!r} in table {self.name!r}")
+        self._records.append(record)
+        self._by_id[record.record_id] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError as exc:
+            raise DatasetError(f"no record {record_id!r} in table {self.name!r}") from exc
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._by_id
+
+    @property
+    def records(self) -> list[Record]:
+        return list(self._records)
+
+    def record_ids(self) -> list[str]:
+        return [record.record_id for record in self._records]
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """A candidate (left record, right record) pair surviving blocking.
+
+    ``label`` is the ground-truth label (1 = match, 0 = non-match) when known;
+    Oracles read it, learners never see it directly.
+    """
+
+    left: Record
+    right: Record
+    label: int | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.left.record_id, self.right.record_id)
+
+    def with_label(self, label: int) -> "CandidatePair":
+        return CandidatePair(self.left, self.right, int(label))
+
+
+@dataclass
+class EMDataset:
+    """A complete entity-matching task.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"abt_buy"``).
+    left, right:
+        The two tables to be matched.
+    matched_columns:
+        Aligned attribute names compared by the feature extractor.
+    matches:
+        Ground-truth set of matching ``(left_id, right_id)`` pairs.
+    """
+
+    name: str
+    left: Table
+    right: Table
+    matched_columns: list[str]
+    matches: set[tuple[str, str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        missing_left = [c for c in self.matched_columns if c not in self.left.schema]
+        missing_right = [c for c in self.matched_columns if c not in self.right.schema]
+        if missing_left or missing_right:
+            raise DatasetError(
+                f"matched columns missing from schema: left={missing_left}, right={missing_right}"
+            )
+        for left_id, right_id in self.matches:
+            if left_id not in self.left or right_id not in self.right:
+                raise DatasetError(f"match ({left_id!r}, {right_id!r}) references unknown records")
+
+    @property
+    def total_pairs(self) -> int:
+        """Size of the full Cartesian product (the "#Total Pairs" of Table 1)."""
+        return len(self.left) * len(self.right)
+
+    def is_match(self, left_id: str, right_id: str) -> bool:
+        return (left_id, right_id) in self.matches
+
+    def label_pairs(self, pairs: Iterable[CandidatePair]) -> list[CandidatePair]:
+        """Attach ground-truth labels to candidate pairs."""
+        return [pair.with_label(1 if self.is_match(*pair.key) else 0) for pair in pairs]
+
+    def class_skew(self, pairs: Iterable[CandidatePair]) -> float:
+        """Fraction of matching pairs among the given candidate pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return 0.0
+        positives = sum(1 for pair in pairs if self.is_match(*pair.key))
+        return positives / len(pairs)

@@ -1,0 +1,146 @@
+"""String corruption model for the synthetic dataset generators.
+
+The right-table copy of an entity is produced by corrupting the clean entity
+description: typos, token drops, token swaps, abbreviations and missing
+values.  The per-operation probabilities are controlled by
+:class:`CorruptionConfig`; dataset specs use higher corruption for the "hard"
+product datasets (Abt-Buy, Amazon-Google, Walmart-Amazon) and lower corruption
+for the cleaner publication datasets (DBLP-ACM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Probabilities of the individual corruption operations.
+
+    All probabilities are applied independently; ``typo_rate`` is per
+    character, the token-level rates are per token, and the value-level rates
+    are per attribute value.
+    """
+
+    typo_rate: float = 0.02
+    token_drop_rate: float = 0.1
+    token_swap_rate: float = 0.05
+    abbreviation_rate: float = 0.1
+    missing_value_rate: float = 0.02
+    token_insert_rate: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in (
+            "typo_rate",
+            "token_drop_rate",
+            "token_swap_rate",
+            "abbreviation_rate",
+            "missing_value_rate",
+            "token_insert_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def scaled(self, factor: float) -> "CorruptionConfig":
+        """Return a config with every rate multiplied by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise ConfigurationError("corruption scale factor must be non-negative")
+        return CorruptionConfig(
+            typo_rate=min(1.0, self.typo_rate * factor),
+            token_drop_rate=min(1.0, self.token_drop_rate * factor),
+            token_swap_rate=min(1.0, self.token_swap_rate * factor),
+            abbreviation_rate=min(1.0, self.abbreviation_rate * factor),
+            missing_value_rate=min(1.0, self.missing_value_rate * factor),
+            token_insert_rate=min(1.0, self.token_insert_rate * factor),
+        )
+
+
+NOISE_TOKENS = ["new", "sale", "oem", "refurbished", "original", "genuine", "item", "misc"]
+
+
+class Corruptor:
+    """Applies configurable random noise to attribute values."""
+
+    def __init__(self, config: CorruptionConfig | None = None, rng: np.random.Generator | None = None):
+        self.config = config or CorruptionConfig()
+        self._rng = rng or np.random.default_rng()
+
+    def corrupt_value(self, value: str, rng: np.random.Generator | None = None) -> str:
+        """Corrupt a single attribute value; may return an empty string (missing)."""
+        rng = rng or self._rng
+        if not value:
+            return value
+        if rng.random() < self.config.missing_value_rate:
+            return ""
+        tokens = value.split()
+        tokens = self._drop_tokens(tokens, rng)
+        tokens = self._swap_tokens(tokens, rng)
+        tokens = self._abbreviate_tokens(tokens, rng)
+        tokens = self._insert_tokens(tokens, rng)
+        tokens = [self._typo(token, rng) for token in tokens]
+        corrupted = " ".join(token for token in tokens if token)
+        # Never corrupt a non-empty value into emptiness accidentally: that
+        # case is reserved for the explicit missing_value_rate above.
+        return corrupted if corrupted else value
+
+    def corrupt_record(self, attributes: dict[str, str], rng: np.random.Generator | None = None) -> dict[str, str]:
+        """Corrupt every attribute value of a record independently."""
+        rng = rng or self._rng
+        return {name: self.corrupt_value(value, rng) for name, value in attributes.items()}
+
+    def _drop_tokens(self, tokens: list[str], rng: np.random.Generator) -> list[str]:
+        if len(tokens) <= 1:
+            return tokens
+        kept = [t for t in tokens if rng.random() >= self.config.token_drop_rate]
+        return kept if kept else [tokens[0]]
+
+    def _swap_tokens(self, tokens: list[str], rng: np.random.Generator) -> list[str]:
+        tokens = list(tokens)
+        if len(tokens) >= 2 and rng.random() < self.config.token_swap_rate:
+            i = int(rng.integers(0, len(tokens) - 1))
+            tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+        return tokens
+
+    def _abbreviate_tokens(self, tokens: list[str], rng: np.random.Generator) -> list[str]:
+        out = []
+        for token in tokens:
+            if len(token) > 4 and token.isalpha() and rng.random() < self.config.abbreviation_rate:
+                out.append(token[0] if rng.random() < 0.3 else token[:3])
+            else:
+                out.append(token)
+        return out
+
+    def _insert_tokens(self, tokens: list[str], rng: np.random.Generator) -> list[str]:
+        if rng.random() < self.config.token_insert_rate:
+            position = int(rng.integers(0, len(tokens) + 1))
+            noise = NOISE_TOKENS[int(rng.integers(0, len(NOISE_TOKENS)))]
+            tokens = tokens[:position] + [noise] + tokens[position:]
+        return tokens
+
+    def _typo(self, token: str, rng: np.random.Generator) -> str:
+        characters = list(token)
+        result = []
+        for ch in characters:
+            roll = rng.random()
+            if roll < self.config.typo_rate and ch.isalpha():
+                kind = rng.random()
+                if kind < 0.34:
+                    # substitution
+                    result.append(_ALPHABET[int(rng.integers(0, 26))])
+                elif kind < 0.67:
+                    # deletion: skip the character
+                    continue
+                else:
+                    # duplication
+                    result.append(ch)
+                    result.append(ch)
+            else:
+                result.append(ch)
+        return "".join(result)

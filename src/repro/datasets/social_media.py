@@ -1,0 +1,156 @@
+"""Synthetic enterprise ↔ social-media person-matching dataset (Fig. 19).
+
+The paper's final experiment matches 467K enterprise employee records against
+50M social-media user profiles from Qian et al.; the dataset is proprietary
+and has no ground truth, so rules learned by each selection strategy are
+validated manually by an expert.  This module generates a synthetic stand-in:
+person profiles with name/location/email/occupation attributes where the
+right-hand profiles of the same person use nicknames, initials and personal
+email domains.  Ground truth is kept *hidden* from the learning pipeline and
+used only to simulate the human expert that accepts or rejects learned rules
+(a rule is "valid" when its precision on the hidden truth exceeds a
+threshold), mirroring the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from . import vocab
+from .base import EMDataset, Record, Table
+
+_EMAIL_CORP_DOMAIN = "bigcorp.com"
+_EMAIL_PERSONAL_DOMAINS = ["gmail.com", "yahoo.com", "outlook.com", "mail.com"]
+
+_NICKNAMES = {
+    "james": "jim", "robert": "bob", "william": "bill", "richard": "rick",
+    "michael": "mike", "elizabeth": "liz", "jennifer": "jen", "patricia": "pat",
+    "thomas": "tom", "joseph": "joe", "charles": "chuck", "susan": "sue",
+    "barbara": "barb", "jessica": "jess", "david": "dave",
+}
+
+SOCIAL_MEDIA_SCHEMA = ["name", "location", "email", "occupation", "gender", "homepage"]
+
+
+@dataclass
+class SocialMediaDataset:
+    """The synthetic social-media EM task plus its *hidden* ground truth.
+
+    ``dataset.matches`` is populated (so simulation of the human validator is
+    possible) but the active-learning experiments for Fig. 19 never hand it to
+    an Oracle; they only use it to decide whether a learned rule would have
+    been accepted by the expert.
+    """
+
+    dataset: EMDataset
+    validation_precision_threshold: float = 0.85
+
+
+def _person(rng: np.random.Generator) -> dict[str, str]:
+    first = vocab.pick(rng, vocab.FIRST_NAMES)
+    last = vocab.pick(rng, vocab.LAST_NAMES)
+    city = vocab.pick(rng, vocab.CITIES)
+    occupation = vocab.pick(rng, vocab.OCCUPATIONS)
+    gender = "female" if rng.random() < 0.5 else "male"
+    return {
+        "first": first,
+        "last": last,
+        "city": city,
+        "occupation": occupation,
+        "gender": gender,
+    }
+
+
+def _enterprise_record(person: dict[str, str]) -> dict[str, str]:
+    first, last = person["first"], person["last"]
+    return {
+        "name": f"{first} {last}",
+        "location": person["city"],
+        "email": f"{first}.{last}@{_EMAIL_CORP_DOMAIN}",
+        "occupation": person["occupation"],
+        "gender": person["gender"],
+        "homepage": f"https://www.{_EMAIL_CORP_DOMAIN}/people/{first}-{last}",
+    }
+
+
+def _social_record(person: dict[str, str], rng: np.random.Generator) -> dict[str, str]:
+    first, last = person["first"], person["last"]
+    display_first = _NICKNAMES.get(first, first)
+    if rng.random() < 0.25:
+        display_first = first[0]
+    display_last = last if rng.random() > 0.1 else f"{last[0]}."
+    domain = vocab.pick(rng, _EMAIL_PERSONAL_DOMAINS)
+    email_local = f"{display_first}{last}{int(rng.integers(1, 99))}"
+    occupation = person["occupation"] if rng.random() < 0.7 else ""
+    location = person["city"] if rng.random() < 0.8 else vocab.pick(rng, vocab.CITIES)
+    return {
+        "name": f"{display_first} {display_last}",
+        "location": location,
+        "email": f"{email_local}@{domain}",
+        "occupation": occupation,
+        "gender": person["gender"] if rng.random() < 0.9 else "",
+        "homepage": f"https://social.example/{display_first}{last}" if rng.random() < 0.4 else "",
+    }
+
+
+def generate_social_media_dataset(
+    n_employees: int = 150,
+    profiles_per_employee_family: int = 5,
+    match_fraction: float = 0.6,
+    seed: int | np.random.Generator | None = 7,
+) -> SocialMediaDataset:
+    """Generate the synthetic enterprise ↔ social-media matching task.
+
+    Parameters
+    ----------
+    n_employees:
+        Number of enterprise (left-table) records.
+    profiles_per_employee_family:
+        For every employee, how many social profiles share the employee's last
+        name / city (the hard non-matches the rules must discriminate).
+    match_fraction:
+        Fraction of employees that actually have a social-media profile.
+    """
+    if n_employees <= 0 or profiles_per_employee_family <= 0:
+        raise ConfigurationError("dataset sizes must be positive")
+    if not 0.0 < match_fraction <= 1.0:
+        raise ConfigurationError("match_fraction must be in (0, 1]")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    left = Table("enterprise", SOCIAL_MEDIA_SCHEMA)
+    right = Table("social_media", SOCIAL_MEDIA_SCHEMA)
+    matches: set[tuple[str, str]] = set()
+
+    profile_index = 0
+    for employee_index in range(n_employees):
+        person = _person(rng)
+        left_id = f"E{employee_index}"
+        left.add(Record(left_id, _enterprise_record(person)))
+
+        if rng.random() < match_fraction:
+            right_id = f"S{profile_index}"
+            right.add(Record(right_id, _social_record(person, rng)))
+            matches.add((left_id, right_id))
+            profile_index += 1
+
+        # Confusable non-matching profiles: same last name or same city.
+        for _ in range(profiles_per_employee_family - 1):
+            impostor = _person(rng)
+            if rng.random() < 0.6:
+                impostor["last"] = person["last"]
+            else:
+                impostor["city"] = person["city"]
+            right.add(Record(f"S{profile_index}", _social_record(impostor, rng)))
+            profile_index += 1
+
+    dataset = EMDataset(
+        name="social_media",
+        left=left,
+        right=right,
+        matched_columns=SOCIAL_MEDIA_SCHEMA,
+        matches=matches,
+    )
+    return SocialMediaDataset(dataset=dataset)

@@ -1,0 +1,56 @@
+"""Train/test splitting of candidate pairs.
+
+The paper uses two evaluation protocols (Section 6):
+
+* *Progressive F1*: the model is evaluated on **all** post-blocking pairs
+  every iteration — no split is required.
+* *Active vs. supervised* (Fig. 16, 17): a conventional 80/20 split where the
+  20% held-out test set preserves the class skew of the post-blocking pairs
+  (stratified split) and never participates in example selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+from .base import CandidatePair
+
+
+def train_test_split_pairs(
+    pairs: list[CandidatePair],
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[CandidatePair], list[CandidatePair]]:
+    """Stratified split of labeled candidate pairs into (train, test).
+
+    Pairs must carry ground-truth labels (``pair.label`` not None) so the
+    split can preserve class skew.  Returns ``(train_pairs, test_pairs)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test_fraction must be in (0, 1)")
+    if any(pair.label is None for pair in pairs):
+        raise ConfigurationError("all pairs must be labeled before splitting")
+    rng = ensure_rng(seed)
+
+    positives = [pair for pair in pairs if pair.label == 1]
+    negatives = [pair for pair in pairs if pair.label == 0]
+
+    def split_group(group: list[CandidatePair]) -> tuple[list[CandidatePair], list[CandidatePair]]:
+        if not group:
+            return [], []
+        indices = rng.permutation(len(group))
+        n_test = max(1, int(round(len(group) * test_fraction))) if len(group) > 1 else 0
+        test_idx = set(int(i) for i in indices[:n_test])
+        train = [pair for i, pair in enumerate(group) if i not in test_idx]
+        test = [pair for i, pair in enumerate(group) if i in test_idx]
+        return train, test
+
+    train_pos, test_pos = split_group(positives)
+    train_neg, test_neg = split_group(negatives)
+    train = train_pos + train_neg
+    test = test_pos + test_neg
+    rng.shuffle(train)
+    rng.shuffle(test)
+    return train, test

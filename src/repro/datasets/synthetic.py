@@ -1,0 +1,319 @@
+"""Synthetic entity generators and the dataset assembly machinery.
+
+The generation model mirrors how real EM benchmark datasets behave:
+
+* Entities are generated in *families*: groups of similar entities that share
+  core tokens (same brand and product category, same research topic and
+  venue, ...).  Pairs of records within a family survive token blocking, so
+  they become the hard non-match candidate pairs; pairs across families are
+  pruned by blocking, like the obvious non-matches of the paper's offline
+  blocking step.
+* Each entity appears once in the left table (clean) and once in the right
+  table (corrupted by :class:`~repro.datasets.corruption.Corruptor`), so the
+  ground truth is the set of (left, right) copies of the same entity.
+* The family size controls the class skew of the post-blocking pairs
+  (roughly ``1 / family_size``), matching Table 1's skew column.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from . import vocab
+from .base import EMDataset, Record, Table
+from .corruption import CorruptionConfig, Corruptor
+
+
+class EntityGenerator(ABC):
+    """Generates families of related entities for one domain schema."""
+
+    #: Attribute names produced by this generator (the table schema).
+    schema: list[str] = []
+
+    @abstractmethod
+    def generate_family(
+        self, rng: np.random.Generator, family_size: int
+    ) -> list[dict[str, str]]:
+        """Generate ``family_size`` distinct entities that share core tokens."""
+
+
+class ProductEntityGenerator(EntityGenerator):
+    """Products described by name/description/price (Abt-Buy style).
+
+    A family models a *product line*: every member is a variant of the same
+    base model (``sony cybershot dsc-w80`` vs ``dsc-w82``), shares the brand,
+    category, most name qualifiers, most description words and a similar
+    price.  Non-matching pairs inside a family are therefore nearly as similar
+    as true matches once the right-table copy has been corrupted — which is
+    exactly what makes the real product datasets (Abt-Buy, Amazon-Google,
+    Walmart-Amazon) hard for linear models and easier for tree ensembles that
+    can combine several weak similarity signals.
+
+    ``hardness`` scales how much family members overlap (0 = distinct
+    products, 1 = near-identical variants).
+    """
+
+    def __init__(self, schema: list[str] | None = None, hardness: float = 1.0):
+        self.schema = schema or ["name", "description", "price"]
+        self.hardness = hardness
+
+    def generate_family(self, rng, family_size):
+        brand = vocab.pick(rng, vocab.BRANDS)
+        category = vocab.pick(rng, vocab.PRODUCT_CATEGORIES)
+        shared_adjectives = vocab.pick_many(rng, vocab.PRODUCT_ADJECTIVES, 2)
+        shared_noun = vocab.pick(rng, vocab.PRODUCT_NOUNS)
+        base_model = vocab.model_number(rng)
+        model_prefix = base_model.rstrip("0123456789") or base_model
+        base_number = int(rng.integers(10, 900))
+        shared_description = vocab.pick_many(rng, vocab.DESCRIPTION_WORDS, 7)
+        shared_features = vocab.pick_many(rng, vocab.DESCRIPTION_WORDS, 4)
+        base_price = float(rng.uniform(20, 900))
+        dimensions = f"{rng.integers(5, 60)} x {rng.integers(5, 60)} x {rng.integers(2, 30)} inches"
+        weight = f"{float(rng.uniform(0.5, 40)):.1f} pounds"
+
+        entities = []
+        for member in range(family_size):
+            if rng.random() < self.hardness:
+                # A close variant of the family's base model: the model number
+                # differs by a small offset, e.g. dsc-w80 vs dsc-w82.
+                model = f"{model_prefix}{base_number + member}"
+            else:
+                model = vocab.model_number(rng)
+            variant_word = vocab.pick(rng, vocab.PRODUCT_ADJECTIVES)
+            name = (
+                f"{brand} {shared_adjectives[0]} {shared_adjectives[1]} "
+                f"{category} {model} {shared_noun}"
+            )
+            member_words = vocab.pick_many(rng, vocab.DESCRIPTION_WORDS, 2)
+            description = (
+                f"{brand} {category} {variant_word} "
+                + " ".join(shared_description)
+                + " "
+                + " ".join(member_words)
+            )
+            price_jitter = 1.0 + (1.0 - self.hardness) * 0.2 + 0.08 * float(rng.standard_normal())
+            price = round(max(5.0, base_price * price_jitter), 2)
+            entity = {
+                "name": name,
+                "description": description,
+                "price": f"{price:.2f}",
+                "manufacturer": brand,
+                "brand": brand,
+                "title": name,
+                "features": " ".join(shared_features) + f" {variant_word}",
+                "modelno": model,
+                "category": category,
+                "dimensions": dimensions,
+                "shipweight": weight,
+                "orig_longdescr": description + " " + " ".join(member_words),
+                "shortdescr": f"{brand} {category} {model}",
+                "longdescr": description,
+                "groupname": category,
+            }
+            entities.append({key: entity[key] for key in self.schema})
+        return entities
+
+
+class PublicationEntityGenerator(EntityGenerator):
+    """Bibliographic records (DBLP/ACM/Scholar style): title, authors, venue, year.
+
+    A family shares a research topic and venue; members are different papers
+    on that topic, often sharing an author, so titles overlap heavily.
+    ``hardness`` controls how few member-specific title words remain (1 at
+    hardness 1.0, 3 at hardness 0.0).
+    """
+
+    def __init__(self, schema: list[str] | None = None, hardness: float = 0.5):
+        self.schema = schema or ["title", "authors", "venue", "year"]
+        self.hardness = hardness
+
+    def _author(self, rng) -> str:
+        return f"{vocab.pick(rng, vocab.FIRST_NAMES)} {vocab.pick(rng, vocab.LAST_NAMES)}"
+
+    def generate_family(self, rng, family_size):
+        topic = vocab.pick_many(rng, vocab.RESEARCH_TOPICS, 3)
+        venue = vocab.pick(rng, vocab.VENUES)
+        shared_author = self._author(rng)
+        base_year = int(rng.integers(1995, 2019))
+        member_specific_words = max(1, int(round(3 - 2 * self.hardness)))
+        entities = []
+        for _ in range(family_size):
+            extra_topic = vocab.pick_many(rng, vocab.RESEARCH_TOPICS, member_specific_words)
+            title = " ".join(topic[:2] + extra_topic + [topic[2]])
+            authors = ", ".join(
+                [shared_author] + [self._author(rng) for _ in range(int(rng.integers(1, 3)))]
+            )
+            year = base_year + int(rng.integers(0, 4))
+            long_venue = vocab.VENUE_LONG[venue] if rng.random() < 0.5 else venue
+            entity = {
+                "title": title,
+                "authors": authors,
+                "author": authors,
+                "venue": long_venue,
+                "year": str(year),
+                "date": str(year),
+                "address": vocab.pick(rng, vocab.CITIES),
+                "publisher": "acm press" if venue in ("sigmod", "pods", "kdd") else "ieee",
+                "editor": self._author(rng),
+                "vol": str(int(rng.integers(1, 40))),
+                "pgs": f"{int(rng.integers(1, 500))}-{int(rng.integers(500, 999))}",
+            }
+            entities.append({key: entity[key] for key in self.schema})
+        return entities
+
+
+class BeerEntityGenerator(EntityGenerator):
+    """Beer records (BeerAdvocate-RateBeer style)."""
+
+    schema = ["beer_name", "brew_factory_name", "style", "ABV"]
+
+    def generate_family(self, rng, family_size):
+        brewery = (
+            f"{vocab.pick(rng, vocab.BREWERY_NAMES)} {vocab.pick(rng, vocab.BREWERY_WORDS)}"
+        )
+        style = vocab.pick(rng, vocab.BEER_STYLES)
+        entities = []
+        for _ in range(family_size):
+            qualifier = vocab.pick(rng, vocab.PRODUCT_ADJECTIVES)
+            name_noun = vocab.pick(rng, vocab.BREWERY_NAMES)
+            abv = round(float(rng.uniform(3.5, 12.0)), 1)
+            entities.append(
+                {
+                    "beer_name": f"{brewery.split()[0]} {qualifier} {name_noun} {style}",
+                    "brew_factory_name": brewery,
+                    "style": style,
+                    "ABV": f"{abv}%",
+                }
+            )
+        return entities
+
+
+class BabyProductEntityGenerator(EntityGenerator):
+    """Baby product records (BuyBuyBaby-BabiesRUs style)."""
+
+    schema = [
+        "title", "price", "is_discounted", "category", "company_struct",
+        "company_free", "brand", "weight", "length", "width", "height",
+        "fabrics", "colors", "materials",
+    ]
+
+    def generate_family(self, rng, family_size):
+        brand = vocab.pick(rng, vocab.BRANDS)
+        category = vocab.pick(rng, ["stroller", "carseat", "crib", "highchair", "playmat", "bottle", "monitor"])
+        company = f"{brand} {vocab.pick(rng, vocab.COMPANY_SUFFIXES)}"
+        entities = []
+        for _ in range(family_size):
+            color = vocab.pick(rng, vocab.BABY_COLORS)
+            material = vocab.pick(rng, vocab.BABY_MATERIALS)
+            model = vocab.model_number(rng)
+            price = round(float(rng.uniform(10, 400)), 2)
+            entities.append(
+                {
+                    "title": f"{brand} {category} {model} {color}",
+                    "price": f"{price:.2f}",
+                    "is_discounted": "yes" if rng.random() < 0.3 else "no",
+                    "category": f"baby {category}",
+                    "company_struct": company,
+                    "company_free": brand,
+                    "brand": brand,
+                    "weight": f"{float(rng.uniform(0.5, 30)):.1f} pounds",
+                    "length": f"{float(rng.uniform(5, 50)):.1f}",
+                    "width": f"{float(rng.uniform(5, 40)):.1f}",
+                    "height": f"{float(rng.uniform(5, 45)):.1f}",
+                    "fabrics": material,
+                    "colors": color,
+                    "materials": material,
+                }
+            )
+        return entities
+
+
+_GENERATOR_FACTORIES = {
+    "product": ProductEntityGenerator,
+    "publication": PublicationEntityGenerator,
+    "beer": BeerEntityGenerator,
+    "baby": BabyProductEntityGenerator,
+}
+
+
+def make_entity_generator(
+    domain: str, schema: list[str] | None = None, hardness: float | None = None
+) -> EntityGenerator:
+    """Instantiate the entity generator for a domain name.
+
+    ``hardness`` (0..1) is forwarded to domains that support it (product and
+    publication); it controls how confusable family members are.
+    """
+    try:
+        factory = _GENERATOR_FACTORIES[domain]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown generator domain {domain!r}; known: {sorted(_GENERATOR_FACTORIES)}"
+        ) from exc
+    if domain in ("product", "publication"):
+        if hardness is None:
+            return factory(schema)
+        return factory(schema, hardness=hardness)
+    return factory()
+
+
+def generate_em_dataset(
+    name: str,
+    generator: EntityGenerator,
+    n_families: int,
+    family_size: int,
+    corruption: CorruptionConfig,
+    seed: int | np.random.Generator | None = 0,
+    duplicate_probability: float = 1.0,
+    left_corruption_scale: float = 0.25,
+) -> EMDataset:
+    """Generate a synthetic :class:`EMDataset`.
+
+    Parameters
+    ----------
+    n_families, family_size:
+        Number of entity families and entities per family.  Family size
+        controls class skew among post-blocking pairs (≈ ``1/family_size``).
+    corruption:
+        Corruption applied to the right-table copy of each entity.
+    duplicate_probability:
+        Probability that an entity has a right-table copy at all; entities
+        without one only contribute non-matching pairs.
+    left_corruption_scale:
+        The left table also receives mild noise (a fraction of the right-table
+        corruption) so that neither side is perfectly clean.
+    """
+    if n_families <= 0 or family_size <= 0:
+        raise ConfigurationError("n_families and family_size must be positive")
+    if not 0.0 <= duplicate_probability <= 1.0:
+        raise ConfigurationError("duplicate_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+
+    right_corruptor = Corruptor(corruption)
+    left_corruptor = Corruptor(corruption.scaled(left_corruption_scale))
+
+    left = Table(f"{name}_left", generator.schema)
+    right = Table(f"{name}_right", generator.schema)
+    matches: set[tuple[str, str]] = set()
+
+    entity_index = 0
+    for _ in range(n_families):
+        for entity in generator.generate_family(rng, family_size):
+            left_id = f"L{entity_index}"
+            right_id = f"R{entity_index}"
+            left.add(Record(left_id, left_corruptor.corrupt_record(entity, rng)))
+            if rng.random() < duplicate_probability:
+                right.add(Record(right_id, right_corruptor.corrupt_record(entity, rng)))
+                matches.add((left_id, right_id))
+            entity_index += 1
+
+    return EMDataset(
+        name=name,
+        left=left,
+        right=right,
+        matched_columns=list(generator.schema),
+        matches=matches,
+    )

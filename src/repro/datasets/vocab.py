@@ -1,0 +1,153 @@
+"""Vocabularies for the synthetic dataset generators.
+
+Small, hand-curated word pools from which the generators assemble entity
+attribute values (product names, publication titles, person names, ...).
+The pools are intentionally modest: realistic EM difficulty comes from token
+overlap between *different* entities plus string corruption, not from a large
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BRANDS = [
+    "sony", "samsung", "panasonic", "canon", "nikon", "apple", "dell", "lenovo",
+    "toshiba", "philips", "bosch", "garmin", "logitech", "netgear", "belkin",
+    "olympus", "kodak", "epson", "brother", "sandisk", "kingston", "seagate",
+    "asus", "acer", "lg", "jvc", "pioneer", "yamaha", "casio", "fujifilm",
+]
+
+PRODUCT_CATEGORIES = [
+    "camera", "camcorder", "laptop", "monitor", "printer", "router", "speaker",
+    "headphones", "keyboard", "mouse", "tablet", "television", "projector",
+    "receiver", "soundbar", "microwave", "blender", "vacuum", "refrigerator",
+    "dishwasher", "stroller", "carseat", "crib", "highchair", "playmat",
+]
+
+PRODUCT_ADJECTIVES = [
+    "digital", "wireless", "portable", "compact", "professional", "ultra",
+    "premium", "smart", "hd", "4k", "bluetooth", "rechargeable", "waterproof",
+    "lightweight", "ergonomic", "stainless", "cordless", "noise", "cancelling",
+    "gaming", "deluxe", "classic", "advanced", "slim",
+]
+
+PRODUCT_NOUNS = [
+    "series", "edition", "model", "pro", "plus", "mini", "max", "lite", "kit",
+    "bundle", "pack", "set", "system", "station", "hub", "dock",
+]
+
+DESCRIPTION_WORDS = [
+    "features", "includes", "with", "high", "quality", "performance", "battery",
+    "life", "display", "screen", "resolution", "memory", "storage", "warranty",
+    "lightweight", "design", "color", "black", "white", "silver", "zoom",
+    "optical", "sensor", "megapixel", "inch", "usb", "hdmi", "wifi", "remote",
+    "control", "energy", "efficient", "capacity", "speed", "fast", "charging",
+    "adjustable", "washable", "safety", "certified", "soft", "durable",
+]
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei", "ana",
+    "luis", "maria", "ahmed", "fatima", "hiroshi", "yuki", "ravi", "priya",
+    "chen", "olga", "ivan", "sofia", "lars", "ingrid", "pierre", "claire",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green", "adams",
+    "nelson", "baker", "hall", "rivera", "campbell", "mitchell", "carter",
+]
+
+RESEARCH_TOPICS = [
+    "query", "optimization", "distributed", "database", "systems", "indexing",
+    "transaction", "processing", "stream", "mining", "learning", "entity",
+    "matching", "schema", "integration", "graph", "analytics", "storage",
+    "memory", "parallel", "join", "algorithms", "approximate", "sampling",
+    "crowdsourcing", "cleaning", "provenance", "privacy", "scalable",
+    "adaptive", "workload", "benchmark", "evaluation", "semantic", "knowledge",
+]
+
+VENUES = [
+    "sigmod", "vldb", "icde", "kdd", "cikm", "edbt", "icdt", "wsdm", "www",
+    "acl", "nips", "icml", "aaai", "pods", "sigir",
+]
+
+VENUE_LONG = {
+    "sigmod": "acm sigmod international conference on management of data",
+    "vldb": "international conference on very large data bases",
+    "icde": "ieee international conference on data engineering",
+    "kdd": "acm sigkdd conference on knowledge discovery and data mining",
+    "cikm": "conference on information and knowledge management",
+    "edbt": "international conference on extending database technology",
+    "icdt": "international conference on database theory",
+    "wsdm": "web search and data mining",
+    "www": "the web conference",
+    "acl": "association for computational linguistics",
+    "nips": "neural information processing systems",
+    "icml": "international conference on machine learning",
+    "aaai": "aaai conference on artificial intelligence",
+    "pods": "symposium on principles of database systems",
+    "sigir": "conference on research and development in information retrieval",
+}
+
+CITIES = [
+    "portland", "seattle", "san francisco", "new york", "boston", "chicago",
+    "austin", "denver", "atlanta", "toronto", "vancouver", "london", "paris",
+    "berlin", "munich", "zurich", "amsterdam", "tokyo", "singapore", "sydney",
+    "melbourne", "bangalore", "beijing", "shanghai", "seoul",
+]
+
+OCCUPATIONS = [
+    "software engineer", "data scientist", "product manager", "accountant",
+    "nurse", "teacher", "designer", "analyst", "consultant", "researcher",
+    "technician", "architect", "electrician", "sales manager", "writer",
+]
+
+BEER_STYLES = [
+    "india pale ale", "stout", "porter", "pilsner", "lager", "wheat ale",
+    "amber ale", "saison", "barleywine", "brown ale", "pale ale", "tripel",
+    "dubbel", "kolsch", "gose",
+]
+
+BREWERY_WORDS = [
+    "brewing", "brewery", "brewhouse", "beer", "company", "works", "craft",
+    "ales", "cellars",
+]
+
+BREWERY_NAMES = [
+    "stone", "sierra", "anchor", "cascade", "ridge", "harbor", "summit",
+    "golden", "iron", "copper", "river", "mountain", "valley", "prairie",
+    "lakeside", "old town", "union", "liberty", "granite", "pine",
+]
+
+BABY_MATERIALS = ["cotton", "polyester", "bamboo", "fleece", "organic cotton", "plastic", "wood"]
+BABY_COLORS = ["pink", "blue", "grey", "white", "green", "yellow", "lavender", "teal"]
+
+COMPANY_SUFFIXES = ["inc", "corp", "llc", "ltd", "co", "group", "solutions", "technologies"]
+
+
+def pick(rng: np.random.Generator, pool: list[str]) -> str:
+    """Pick a single element of ``pool`` uniformly at random."""
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def pick_many(rng: np.random.Generator, pool: list[str], count: int) -> list[str]:
+    """Pick ``count`` distinct elements (or all of them if the pool is small)."""
+    count = min(count, len(pool))
+    indices = rng.choice(len(pool), size=count, replace=False)
+    return [pool[int(i)] for i in indices]
+
+
+def model_number(rng: np.random.Generator) -> str:
+    """Generate a plausible alphanumeric product model number, e.g. ``dsc-w3400``."""
+    letters = "".join(chr(ord("a") + int(rng.integers(0, 26))) for _ in range(int(rng.integers(2, 4))))
+    digits = int(rng.integers(10, 10000))
+    if rng.random() < 0.5:
+        return f"{letters}-{digits}"
+    return f"{letters}{digits}"

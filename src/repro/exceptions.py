@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class while still distinguishing specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an object is constructed or configured with invalid values."""
+
+
+class IncompatibleSelectorError(ConfigurationError):
+    """Raised when a learner/example-selector combination is not supported.
+
+    The paper's framework (Fig. 2) records which selectors are applicable to
+    which learner families; attempting to pair, e.g., a margin selector with a
+    random forest raises this error.
+    """
+
+
+class NotFittedError(ReproError):
+    """Raised when predict/score is called on a learner that was never trained."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification or generated dataset is invalid."""
+
+
+class FeatureExtractionError(ReproError):
+    """Raised when feature extraction fails, e.g. mismatched schemas."""
+
+
+class OracleError(ReproError):
+    """Raised when an Oracle is queried for a pair it has no ground truth for."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to make progress."""

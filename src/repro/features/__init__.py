@@ -1,0 +1,23 @@
+"""Feature extraction for candidate record pairs.
+
+Two extractors mirror Section 3 of the paper:
+
+* :class:`FeatureExtractor` — continuous features: each of the 21 similarity
+  functions applied to each aligned attribute pair (missing values → 0).
+  Used by linear, non-convex non-linear and tree-based classifiers.
+* :class:`BooleanFeatureExtractor` — Boolean features: each rule-supported
+  similarity function evaluated against a grid of thresholds in ``(0, 1]``
+  (e.g. ``JaccardSim(left.name, right.name) ≥ 0.4``).  Used by the rule-based
+  learner of Qian et al.
+"""
+
+from .extractor import FeatureDescriptor, FeatureExtractor, FeatureMatrix
+from .boolean import BooleanFeatureDescriptor, BooleanFeatureExtractor
+
+__all__ = [
+    "FeatureDescriptor",
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "BooleanFeatureDescriptor",
+    "BooleanFeatureExtractor",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness: prepares datasets, builds learner/selector combinations
+and regenerates every table and figure of the paper's evaluation section.
+
+Each ``figXX_*`` / ``tableX_*`` function in :mod:`repro.harness.experiments`
+returns plain dictionaries/lists that the reporting helpers render as the same
+rows or series the paper plots; the ``benchmarks/`` directory wires them into
+pytest-benchmark targets.
+"""
+
+from .preparation import PreparedDataset, prepare_dataset, prepare_rule_dataset
+from .builders import (
+    COMBINATIONS,
+    build_combination,
+    combination_names,
+    run_active_learning,
+    run_ensemble_learning,
+)
+from . import experiments, reporting
+
+__all__ = [
+    "PreparedDataset",
+    "prepare_dataset",
+    "prepare_rule_dataset",
+    "COMBINATIONS",
+    "combination_names",
+    "build_combination",
+    "run_active_learning",
+    "run_ensemble_learning",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,199 @@
+"""Named learner/selector combinations and run helpers.
+
+The combination names mirror the labels used in the paper's figures
+(``Trees(20)``, ``Linear-Margin(1Dim)``, ``NN-QBC(2)``, ``Rules(LFP/LFN)``,
+...), so experiment code and benchmark output read like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core import (
+    ActiveEnsembleLoop,
+    ActiveLearningConfig,
+    ActiveLearningLoop,
+    ActiveLearningRun,
+    NoisyOracle,
+    PerfectOracle,
+)
+from ..core.base import ExampleSelector, Learner
+from ..core.pools import PairPool
+from ..exceptions import ConfigurationError
+from ..learners import (
+    DeepMatcherBaseline,
+    LinearSVM,
+    NeuralNetwork,
+    RandomForest,
+    RuleLearner,
+)
+from ..selectors import (
+    BlockedMarginSelector,
+    LFPLFNSelector,
+    MarginSelector,
+    QBCSelector,
+    RandomSelector,
+    TreeQBCSelector,
+)
+from .preparation import PreparedDataset
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A named (learner, selector) combination.
+
+    ``feature_kind`` tells the harness whether the combination consumes
+    continuous or Boolean (rule) features; ``is_ensemble`` marks the active
+    ensemble of linear classifiers, which uses its own loop.
+    """
+
+    name: str
+    learner_factory: Callable[[], Learner]
+    selector_factory: Callable[[], ExampleSelector]
+    feature_kind: str = "continuous"
+    is_ensemble: bool = False
+
+
+def _nn(random_state: int | None = 0) -> NeuralNetwork:
+    # A smaller network / epoch budget than a GPU deployment, sized for the
+    # synthetic datasets; architecture and optimizer follow Section 4.2.2.
+    return NeuralNetwork(hidden_units=24, epochs=30, random_state=random_state)
+
+
+COMBINATIONS: dict[str, Combination] = {
+    combo.name: combo
+    for combo in [
+        Combination("Trees(2)", lambda: RandomForest(n_trees=2), TreeQBCSelector),
+        Combination("Trees(10)", lambda: RandomForest(n_trees=10), TreeQBCSelector),
+        Combination("Trees(20)", lambda: RandomForest(n_trees=20), TreeQBCSelector),
+        Combination("Linear-Margin", LinearSVM, MarginSelector),
+        Combination("Linear-Margin(1Dim)", LinearSVM, lambda: BlockedMarginSelector(1)),
+        Combination("Linear-QBC(2)", LinearSVM, lambda: QBCSelector(2)),
+        Combination("Linear-QBC(20)", LinearSVM, lambda: QBCSelector(20)),
+        Combination(
+            "Linear-Margin(Ensemble)", LinearSVM, MarginSelector, is_ensemble=True
+        ),
+        Combination("NN-Margin", _nn, MarginSelector),
+        Combination("NN-QBC(2)", _nn, lambda: QBCSelector(2)),
+        Combination(
+            "Rules(LFP/LFN)", RuleLearner, LFPLFNSelector, feature_kind="boolean"
+        ),
+        Combination(
+            "Rules-QBC(2)", RuleLearner, lambda: QBCSelector(2), feature_kind="boolean"
+        ),
+        Combination(
+            "Rules-QBC(5)", RuleLearner, lambda: QBCSelector(5), feature_kind="boolean"
+        ),
+        Combination(
+            "Rules-QBC(10)", RuleLearner, lambda: QBCSelector(10), feature_kind="boolean"
+        ),
+        Combination(
+            "Rules-QBC(20)", RuleLearner, lambda: QBCSelector(20), feature_kind="boolean"
+        ),
+        Combination(
+            "SupervisedTrees(Random-20)", lambda: RandomForest(n_trees=20), RandomSelector
+        ),
+        Combination("DeepMatcher", DeepMatcherBaseline, RandomSelector),
+    ]
+}
+
+
+def combination_names() -> list[str]:
+    return list(COMBINATIONS)
+
+
+def build_combination(name: str) -> Combination:
+    try:
+        return COMBINATIONS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown combination {name!r}; known: {combination_names()}"
+        ) from exc
+
+
+def make_oracle(pool: PairPool, noise: float = 0.0, seed: int | None = 0):
+    """A perfect Oracle for ``noise == 0``, otherwise a noisy one."""
+    if noise <= 0.0:
+        return PerfectOracle(pool)
+    return NoisyOracle(pool, noise_probability=noise, rng=seed)
+
+
+def run_active_learning(
+    prepared: PreparedDataset,
+    combination: str | Combination,
+    config: ActiveLearningConfig | None = None,
+    noise: float = 0.0,
+    oracle_seed: int | None = 0,
+    evaluation_features: np.ndarray | None = None,
+    evaluation_labels: np.ndarray | None = None,
+    iteration_callback=None,
+) -> ActiveLearningRun:
+    """Run one named combination on a prepared dataset and return its trajectory."""
+    if isinstance(combination, str):
+        combination = build_combination(combination)
+    if combination.feature_kind != prepared.feature_kind:
+        raise ConfigurationError(
+            f"combination {combination.name!r} needs {combination.feature_kind} features but "
+            f"the prepared dataset provides {prepared.feature_kind} features"
+        )
+    oracle = make_oracle(prepared.pool, noise=noise, seed=oracle_seed)
+
+    if combination.is_ensemble:
+        loop = ActiveEnsembleLoop(
+            learner_factory=combination.learner_factory,
+            selector=combination.selector_factory(),
+            pool=prepared.pool,
+            oracle=oracle,
+            config=config,
+            evaluation_features=evaluation_features,
+            evaluation_labels=evaluation_labels,
+            dataset_name=prepared.name,
+        )
+        run = loop.run()
+        run.metadata["combination"] = combination.name
+        return run
+
+    loop = ActiveLearningLoop(
+        learner=combination.learner_factory(),
+        selector=combination.selector_factory(),
+        pool=prepared.pool,
+        oracle=oracle,
+        config=config,
+        evaluation_features=evaluation_features,
+        evaluation_labels=evaluation_labels,
+        dataset_name=prepared.name,
+        iteration_callback=iteration_callback,
+    )
+    run = loop.run()
+    run.metadata["combination"] = combination.name
+    return run
+
+
+def run_ensemble_learning(
+    prepared: PreparedDataset,
+    config: ActiveLearningConfig | None = None,
+    noise: float = 0.0,
+    oracle_seed: int | None = 0,
+    precision_threshold: float = 0.85,
+) -> tuple[ActiveLearningRun, ActiveEnsembleLoop]:
+    """Run the active ensemble of linear classifiers and return (run, loop).
+
+    The loop object is returned too so callers can inspect the accepted
+    classifiers (e.g. the ``#AcceptedSVMs`` annotation of Fig. 11).
+    """
+    oracle = make_oracle(prepared.pool, noise=noise, seed=oracle_seed)
+    loop = ActiveEnsembleLoop(
+        learner_factory=LinearSVM,
+        selector=MarginSelector(),
+        pool=prepared.pool,
+        oracle=oracle,
+        config=config,
+        precision_threshold=precision_threshold,
+        dataset_name=prepared.name,
+    )
+    run = loop.run()
+    run.metadata["combination"] = "Linear-Margin(Ensemble)"
+    return run, loop

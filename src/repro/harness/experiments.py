@@ -1,0 +1,576 @@
+"""Per-table / per-figure experiment drivers.
+
+Every public function regenerates one artifact of the paper's evaluation
+section and returns plain Python data structures (dicts and lists) that
+:mod:`repro.harness.reporting` renders as text tables or series.  All
+functions accept ``scale`` (dataset size multiplier) and loop-budget
+parameters so benchmarks can trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRun
+from ..core.evaluation import evaluate_predictions
+from ..datasets import dataset_names, get_dataset_spec, generate_social_media_dataset
+from ..interpretability import forest_to_dnf, rule_learner_to_dnf
+from ..learners import RandomForest, RuleLearner
+from ..selectors import LFPLFNSelector, QBCSelector, TreeQBCSelector
+from .builders import (
+    build_combination,
+    make_oracle,
+    run_active_learning,
+    run_ensemble_learning,
+)
+from .preparation import (
+    PreparedDataset,
+    prepare_dataset,
+    prepare_pool_from_pairs,
+    prepare_rule_dataset,
+)
+
+#: The five perfect-Oracle datasets of Section 6.1.
+PERFECT_ORACLE_DATASETS = ["abt_buy", "amazon_google", "dblp_acm", "dblp_scholar", "cora"]
+
+#: The Magellan/DeepMatcher datasets used with noisy Oracles (Section 6.2).
+MAGELLAN_DATASETS = ["walmart_amazon", "amazon_bestbuy", "beer", "babyproducts"]
+
+#: Reference numbers from Table 2 (best progressive F1 per approach, perfect Oracle).
+TABLE2_PAPER_F1 = {
+    "Trees(20)": {"abt_buy": 0.963, "amazon_google": 0.971, "dblp_acm": 0.99, "dblp_scholar": 0.99, "cora": 0.98},
+    "Linear-Margin(Ensemble)": {"abt_buy": 0.663, "amazon_google": 0.69, "dblp_acm": 0.977, "dblp_scholar": 0.922, "cora": 0.945},
+    "Linear-Margin(1Dim)": {"abt_buy": 0.61, "amazon_google": 0.7, "dblp_acm": 0.975, "dblp_scholar": 0.936, "cora": 0.89},
+    "Linear-QBC(2)": {"abt_buy": 0.61, "amazon_google": 0.7, "dblp_acm": 0.976, "dblp_scholar": 0.935, "cora": 0.941},
+    "Linear-QBC(20)": {"abt_buy": 0.61, "amazon_google": 0.7, "dblp_acm": 0.976, "dblp_scholar": 0.936, "cora": 0.95},
+    "NN-Margin": {"abt_buy": 0.63, "amazon_google": 0.72, "dblp_acm": 0.978, "dblp_scholar": 0.938, "cora": 0.709},
+    "NN-QBC(2)": {"abt_buy": 0.63, "amazon_google": 0.725, "dblp_acm": 0.97, "dblp_scholar": 0.949, "cora": 0.95},
+    "Rules(LFP/LFN)": {"abt_buy": 0.17, "amazon_google": 0.51, "dblp_acm": 0.962, "dblp_scholar": 0.586, "cora": 0.18},
+}
+
+
+def _default_config(max_iterations: int, target_f1: float | None = 0.98, seed: int = 0) -> ActiveLearningConfig:
+    return ActiveLearningConfig(
+        seed_size=30,
+        batch_size=10,
+        max_iterations=max_iterations,
+        target_f1=target_f1,
+        random_state=seed,
+    )
+
+
+def _prepare(name: str, combination_name: str, scale: float, seed: int | None = None) -> PreparedDataset:
+    combination = build_combination(combination_name)
+    if combination.feature_kind == "boolean":
+        return prepare_rule_dataset(name, scale=scale, seed=seed)
+    return prepare_dataset(name, scale=scale, seed=seed)
+
+
+def _curve(run: ActiveLearningRun) -> dict:
+    return {
+        "labels": [int(v) for v in run.labels_curve()],
+        "f1": [round(float(v), 4) for v in run.f1_curve()],
+        "selection_time": [round(float(v), 6) for v in run.selection_time_curve()],
+        "committee_creation_time": [round(float(r.committee_creation_time), 6) for r in run.records],
+        "scoring_time": [round(float(r.scoring_time), 6) for r in run.records],
+        "user_wait_time": [round(float(v), 6) for v in run.user_wait_time_curve()],
+        "summary": run.summary(),
+    }
+
+
+# --------------------------------------------------------------------- Table 1
+def table1_dataset_statistics(scale: float = 1.0, names: list[str] | None = None) -> list[dict]:
+    """Table 1: per-dataset matched columns, #total pairs, #post-blocking pairs, skew."""
+    rows = []
+    for name in names or dataset_names():
+        spec = get_dataset_spec(name)
+        prepared = prepare_dataset(name, scale=scale)
+        rows.append(
+            {
+                "dataset": name,
+                "matched_columns": ", ".join(spec.matched_columns),
+                "total_pairs": prepared.dataset.total_pairs,
+                "post_blocking_pairs": prepared.n_pairs,
+                "class_skew": round(prepared.class_skew, 3),
+                "paper_total_pairs": spec.paper.total_pairs,
+                "paper_post_blocking_pairs": spec.paper.post_blocking_pairs,
+                "paper_class_skew": spec.paper.class_skew,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 8 / 9
+SELECTOR_COMPARISON_GROUPS = {
+    "non_linear": ["NN-QBC(2)", "NN-Margin"],
+    "linear": ["Linear-QBC(2)", "Linear-QBC(20)", "Linear-Margin"],
+    "tree": ["Trees(2)", "Trees(10)", "Trees(20)"],
+}
+
+
+def selector_comparison(
+    dataset: str = "abt_buy",
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    groups: dict[str, list[str]] | None = None,
+    seed: int = 0,
+) -> dict:
+    """Fig. 8/9: QBC vs margin progressive F1 per classifier family."""
+    groups = groups or SELECTOR_COMPARISON_GROUPS
+    config = _default_config(max_iterations, seed=seed)
+    result: dict = {"dataset": dataset, "groups": {}}
+    for family, combination_names in groups.items():
+        family_result = {}
+        for combination_name in combination_names:
+            prepared = _prepare(dataset, combination_name, scale)
+            run = run_active_learning(prepared, combination_name, config=config)
+            family_result[combination_name] = _curve(run)
+        result["groups"][family] = family_result
+    return result
+
+
+# --------------------------------------------------------------------- Fig. 10
+def selection_latency(
+    dataset: str = "cora",
+    scale: float = 1.0,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Fig. 10: committee-creation vs example-scoring time per strategy.
+
+    Includes the Fig. 10d panel: margin with a single blocking dimension and
+    the active ensemble, whose selection times shrink as covered examples are
+    pruned.  Latency is measured over a fixed number of iterations, so the
+    early-stopping-on-quality criterion is disabled.
+    """
+    config = _default_config(max_iterations, target_f1=None, seed=seed)
+    panels: dict[str, dict] = {
+        "non_linear": {},
+        "linear": {},
+        "tree": {},
+        "linear_enhancements": {},
+    }
+
+    for combination_name in ("NN-QBC(2)", "NN-Margin"):
+        prepared = _prepare(dataset, combination_name, scale)
+        panels["non_linear"][combination_name] = _curve(
+            run_active_learning(prepared, combination_name, config=config)
+        )
+    for combination_name in ("Linear-QBC(2)", "Linear-QBC(20)", "Linear-Margin"):
+        prepared = _prepare(dataset, combination_name, scale)
+        panels["linear"][combination_name] = _curve(
+            run_active_learning(prepared, combination_name, config=config)
+        )
+    for combination_name in ("Trees(2)", "Trees(10)", "Trees(20)"):
+        prepared = _prepare(dataset, combination_name, scale)
+        panels["tree"][combination_name] = _curve(
+            run_active_learning(prepared, combination_name, config=config)
+        )
+
+    prepared = prepare_dataset(dataset, scale=scale)
+    panels["linear_enhancements"]["Linear-Margin(1Dim)"] = _curve(
+        run_active_learning(prepared, "Linear-Margin(1Dim)", config=config)
+    )
+    panels["linear_enhancements"]["Linear-Margin"] = _curve(
+        run_active_learning(prepared, "Linear-Margin", config=config)
+    )
+    ensemble_run, _ = run_ensemble_learning(prepared, config=config)
+    panels["linear_enhancements"]["Linear-Margin(Ensemble)"] = _curve(ensemble_run)
+
+    return {"dataset": dataset, "panels": panels}
+
+
+# --------------------------------------------------------------------- Fig. 11
+def linear_enhancements(
+    datasets: list[str] | None = None,
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    seed: int = 0,
+) -> dict:
+    """Fig. 11: effect of blocking and active ensembles on linear classifiers."""
+    datasets = datasets or PERFECT_ORACLE_DATASETS
+    config = _default_config(max_iterations, seed=seed)
+    result: dict = {}
+    for dataset in datasets:
+        prepared = prepare_dataset(dataset, scale=scale)
+        blocking_run = run_active_learning(prepared, "Linear-Margin(1Dim)", config=config)
+        margin_run = run_active_learning(prepared, "Linear-Margin", config=config)
+        ensemble_run, ensemble_loop = run_ensemble_learning(prepared, config=config)
+        result[dataset] = {
+            "Margin(1Dim)": _curve(blocking_run),
+            "Margin(AllDim)": _curve(margin_run),
+            "Margin(Ensemble)": _curve(ensemble_run),
+            "accepted_svms": len(ensemble_loop.ensemble),
+        }
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 12 / 13
+BEST_VARIANTS = {
+    "NN-Margin": "NN-Margin",
+    "Linear-Margin(Ensemble)": "Linear-Margin(Ensemble)",
+    "Trees(20)": "Trees(20)",
+    "Rules(LFP/LFN)": "Rules(LFP/LFN)",
+}
+
+
+def classifier_comparison(
+    datasets: list[str] | None = None,
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    variants: dict[str, str] | None = None,
+    seed: int = 0,
+) -> dict:
+    """Fig. 12/13: best selector per classifier — progressive F1 and user wait time."""
+    datasets = datasets or PERFECT_ORACLE_DATASETS
+    variants = variants or BEST_VARIANTS
+    config = _default_config(max_iterations, seed=seed)
+    result: dict = {}
+    for dataset in datasets:
+        per_dataset = {}
+        for label, combination_name in variants.items():
+            prepared = _prepare(dataset, combination_name, scale)
+            run = run_active_learning(prepared, combination_name, config=config)
+            per_dataset[label] = _curve(run)
+        result[dataset] = per_dataset
+    return result
+
+
+# --------------------------------------------------------------------- Table 2
+TABLE2_APPROACHES = [
+    "Trees(20)",
+    "Linear-Margin(Ensemble)",
+    "Linear-Margin(1Dim)",
+    "Linear-QBC(2)",
+    "Linear-QBC(20)",
+    "NN-Margin",
+    "NN-QBC(2)",
+    "Rules(LFP/LFN)",
+]
+
+
+def table2_best_f1(
+    datasets: list[str] | None = None,
+    approaches: list[str] | None = None,
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    seed: int = 0,
+) -> list[dict]:
+    """Table 2: best progressive F1 and #labels-to-convergence per approach/dataset."""
+    datasets = datasets or PERFECT_ORACLE_DATASETS
+    approaches = approaches or TABLE2_APPROACHES
+    config = _default_config(max_iterations, seed=seed)
+    rows = []
+    for approach in approaches:
+        row: dict = {"approach": approach}
+        for dataset in datasets:
+            prepared = _prepare(dataset, approach, scale)
+            run = run_active_learning(prepared, approach, config=config)
+            paper = TABLE2_PAPER_F1.get(approach, {}).get(dataset)
+            row[dataset] = {
+                "best_f1": round(run.best_f1, 3),
+                "labels": run.labels_to_convergence(),
+                "paper_f1": paper,
+            }
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------- Fig. 14 / 15
+def noisy_oracle_curves(
+    dataset: str = "abt_buy",
+    approaches: list[str] | None = None,
+    noise_levels: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    repeats: int = 3,
+    scale: float = 1.0,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Fig. 14/15: progressive F1 under a probabilistically noisy Oracle.
+
+    Each noise level is averaged over ``repeats`` runs with distinct random
+    seeds, as in the paper.  The 0% level uses a single run (it is
+    deterministic given the seed).
+    """
+    approaches = approaches or ["Trees(20)"]
+    result: dict = {"dataset": dataset, "approaches": {}}
+    for approach in approaches:
+        prepared = _prepare(dataset, approach, scale)
+        per_noise: dict = {}
+        for noise in noise_levels:
+            runs = []
+            n_runs = 1 if noise == 0.0 else repeats
+            for repeat in range(n_runs):
+                config = ActiveLearningConfig(
+                    seed_size=30,
+                    batch_size=10,
+                    max_iterations=max_iterations,
+                    target_f1=None,  # noisy-Oracle runs continue until exhaustion
+                    random_state=seed + repeat,
+                )
+                run = run_active_learning(
+                    prepared, approach, config=config, noise=noise, oracle_seed=seed + repeat
+                )
+                runs.append(run)
+            min_len = min(len(run.records) for run in runs)
+            f1_matrix = np.array([run.f1_curve()[:min_len] for run in runs])
+            labels = runs[0].labels_curve()[:min_len]
+            per_noise[f"{int(noise * 100)}%"] = {
+                "labels": [int(v) for v in labels],
+                "f1": [round(float(v), 4) for v in f1_matrix.mean(axis=0)],
+                "f1_std": [round(float(v), 4) for v in f1_matrix.std(axis=0)],
+                "final_f1": round(float(f1_matrix.mean(axis=0)[-1]), 4),
+            }
+        result["approaches"][approach] = per_noise
+    return result
+
+
+def noisy_oracle_magellan(
+    datasets: list[str] | None = None,
+    noise_levels: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    repeats: int = 3,
+    scale: float = 1.0,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Fig. 15: Trees(20) on the Magellan/DeepMatcher datasets under label noise."""
+    datasets = datasets or MAGELLAN_DATASETS
+    result: dict = {}
+    for dataset in datasets:
+        result[dataset] = noisy_oracle_curves(
+            dataset=dataset,
+            approaches=["Trees(20)"],
+            noise_levels=noise_levels,
+            repeats=repeats,
+            scale=scale,
+            max_iterations=max_iterations,
+            seed=seed,
+        )["approaches"]["Trees(20)"]
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 16 / 17
+def active_vs_supervised(
+    datasets: list[str] | None = None,
+    approaches: tuple[str, ...] = (
+        "Trees(20)",
+        "SupervisedTrees(Random-20)",
+        "DeepMatcher",
+    ),
+    noise: float = 0.0,
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> dict:
+    """Fig. 16/17: active vs supervised learning on a held-out 20% test split.
+
+    Example selection draws from 80% of the post-blocking pairs while the
+    remaining 20% (stratified) are used purely for evaluation.
+    """
+    from ..datasets.splits import train_test_split_pairs
+
+    datasets = datasets or MAGELLAN_DATASETS
+    result: dict = {}
+    for dataset in datasets:
+        prepared = prepare_dataset(dataset, scale=scale)
+        train_pairs, test_pairs = train_test_split_pairs(
+            prepared.pairs, test_fraction=test_fraction, seed=seed
+        )
+        train_prepared = prepare_pool_from_pairs(prepared.dataset, train_pairs, "continuous")
+        test_matrix = prepare_pool_from_pairs(prepared.dataset, test_pairs, "continuous")
+
+        per_dataset: dict = {"test_labels": len(test_pairs)}
+        for approach in approaches:
+            config = ActiveLearningConfig(
+                seed_size=30,
+                batch_size=10,
+                max_iterations=max_iterations,
+                target_f1=None,
+                random_state=seed,
+            )
+            run = run_active_learning(
+                train_prepared,
+                approach,
+                config=config,
+                noise=noise,
+                oracle_seed=seed,
+                evaluation_features=test_matrix.pool.features,
+                evaluation_labels=test_matrix.pool.true_labels,
+            )
+            per_dataset[approach] = _curve(run)
+        result[dataset] = per_dataset
+    return result
+
+
+def active_vs_supervised_noise(
+    dataset: str = "abt_buy",
+    noise_levels: tuple[float, ...] = (0.0, 0.1, 0.2),
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    seed: int = 0,
+) -> dict:
+    """Fig. 17: active vs supervised tree ensembles under Oracle noise (Abt-Buy)."""
+    result: dict = {"dataset": dataset, "noise_levels": {}}
+    for noise in noise_levels:
+        comparison = active_vs_supervised(
+            datasets=[dataset],
+            approaches=("Trees(20)", "SupervisedTrees(Random-20)"),
+            noise=noise,
+            scale=scale,
+            max_iterations=max_iterations,
+            seed=seed,
+        )
+        result["noise_levels"][f"{int(noise * 100)}%"] = comparison[dataset]
+    return result
+
+
+# --------------------------------------------------------------------- Fig. 18
+def interpretability_comparison(
+    dataset: str = "abt_buy",
+    tree_sizes: tuple[int, ...] = (2, 10, 20),
+    scale: float = 1.0,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Fig. 18: #DNF atoms and tree depth versus #labels (trees vs rules)."""
+    config = _default_config(max_iterations, seed=seed)
+    result: dict = {"dataset": dataset, "trees": {}, "rules": {}}
+
+    continuous = prepare_dataset(dataset, scale=scale)
+    for n_trees in tree_sizes:
+        atoms_curve: list[int] = []
+        depth_curve: list[int] = []
+
+        def record_model(learner, record, atoms_curve=atoms_curve, depth_curve=depth_curve):
+            formula = forest_to_dnf(learner, continuous.descriptors)
+            atoms_curve.append(formula.n_atoms)
+            depth_curve.append(learner.max_tree_depth)
+            return {"dnf_atoms": formula.n_atoms, "max_depth": learner.max_tree_depth}
+
+        oracle = make_oracle(continuous.pool)
+        loop = ActiveLearningLoop(
+            learner=RandomForest(n_trees=n_trees),
+            selector=TreeQBCSelector(),
+            pool=continuous.pool,
+            oracle=oracle,
+            config=config,
+            dataset_name=dataset,
+            iteration_callback=record_model,
+        )
+        run = loop.run()
+        result["trees"][f"Trees({n_trees})"] = {
+            "labels": [int(v) for v in run.labels_curve()],
+            "dnf_atoms": atoms_curve,
+            "max_depth": depth_curve,
+            "summary": run.summary(),
+        }
+
+    boolean = prepare_rule_dataset(dataset, scale=scale)
+    atoms_curve = []
+
+    def record_rules(learner, record, atoms_curve=atoms_curve):
+        formula = rule_learner_to_dnf(learner, boolean.descriptors)
+        atoms_curve.append(formula.n_atoms)
+        return {"dnf_atoms": formula.n_atoms}
+
+    oracle = make_oracle(boolean.pool)
+    loop = ActiveLearningLoop(
+        learner=RuleLearner(),
+        selector=LFPLFNSelector(),
+        pool=boolean.pool,
+        oracle=oracle,
+        config=config,
+        dataset_name=dataset,
+        iteration_callback=record_rules,
+    )
+    run = loop.run()
+    result["rules"]["Rules(LFP/LFN)"] = {
+        "labels": [int(v) for v in run.labels_curve()],
+        "dnf_atoms": atoms_curve,
+        "summary": run.summary(),
+    }
+    return result
+
+
+# --------------------------------------------------------------------- Fig. 19
+def social_media_comparison(
+    committee_sizes: tuple[int, ...] = (2, 5, 10, 20),
+    n_employees: int = 120,
+    max_iterations: int = 15,
+    validation_precision: float = 0.85,
+    seed: int = 0,
+) -> dict:
+    """Fig. 19: LFP/LFN vs QBC(k) for rule learners on the social-media dataset.
+
+    There is no Oracle-visible ground truth in the paper's version of this
+    experiment; learned rules are validated by a human expert.  Here the
+    hidden ground truth simulates that expert: a learned rule is *valid* when
+    its precision on the hidden truth reaches ``validation_precision``, and
+    coverage is the number of pairs predicted as matches by the valid rules.
+    """
+    social = generate_social_media_dataset(n_employees=n_employees, seed=seed)
+    dataset = social.dataset
+    # Person records are short and the profile pool is huge; a moderately
+    # tight token-Jaccard blocker keeps the confusable same-name/same-city
+    # profiles while pruning the bulk of the Cartesian product.
+    from ..blocking import JaccardBlocker
+
+    blocking = JaccardBlocker(threshold=0.25).block(dataset)
+    prepared = prepare_pool_from_pairs(dataset, blocking.pairs, feature_kind="boolean")
+
+    config = ActiveLearningConfig(
+        seed_size=40,
+        batch_size=10,
+        max_iterations=max_iterations,
+        target_f1=None,
+        random_state=seed,
+    )
+
+    strategies: dict[str, object] = {"LFP/LFN": LFPLFNSelector()}
+    for size in committee_sizes:
+        strategies[f"QBC({size})"] = QBCSelector(size)
+
+    result: dict = {"post_blocking_pairs": prepared.n_pairs, "strategies": {}}
+    for label, selector in strategies.items():
+        learner = RuleLearner(min_precision=validation_precision)
+        oracle = make_oracle(prepared.pool)
+        loop = ActiveLearningLoop(
+            learner=learner,
+            selector=selector,
+            pool=prepared.pool,
+            oracle=oracle,
+            config=config,
+            dataset_name="social_media",
+        )
+        run = loop.run()
+
+        valid_rules = 0
+        coverage = 0
+        covered = np.zeros(len(prepared.pool), dtype=bool)
+        for rule in learner.rules:
+            fires = rule.covers(prepared.pool.features)
+            if fires.sum() == 0:
+                continue
+            precision = float(
+                (prepared.pool.true_labels[fires.astype(bool)] == 1).mean()
+            )
+            if precision >= validation_precision:
+                valid_rules += 1
+                covered |= fires.astype(bool)
+        coverage = int(covered.sum())
+
+        result["strategies"][label] = {
+            "iterations": len(run),
+            "valid_rules": valid_rules,
+            "coverage": coverage,
+            "avg_user_wait_time": round(run.average_user_wait_time, 6),
+            "total_user_wait_time": round(run.total_user_wait_time, 6),
+            "avg_wait_per_valid_rule": round(
+                run.total_user_wait_time / valid_rules, 6
+            )
+            if valid_rules
+            else None,
+            "labels": run.total_labels,
+        }
+    return result

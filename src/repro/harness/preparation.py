@@ -1,0 +1,171 @@
+"""Dataset preparation: generation, blocking and feature extraction.
+
+Preparing a dataset (generating records, blocking and extracting the 21×attrs
+similarity features) is the most expensive part of every experiment and is
+identical across learner/selector combinations, so prepared datasets are
+memoised per ``(name, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blocking import BlockingResult, JaccardBlocker
+from ..datasets import CandidatePair, EMDataset, get_dataset_spec, load_dataset
+from ..features import (
+    BooleanFeatureDescriptor,
+    BooleanFeatureExtractor,
+    FeatureDescriptor,
+    FeatureExtractor,
+)
+from ..core.pools import PairPool
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset after blocking and feature extraction, ready for active learning."""
+
+    name: str
+    dataset: EMDataset
+    blocking: BlockingResult
+    pairs: list[CandidatePair]
+    pool: PairPool
+    descriptors: list[FeatureDescriptor] | list[BooleanFeatureDescriptor]
+    feature_kind: str
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def class_skew(self) -> float:
+        return self.pool.class_skew
+
+
+_CACHE: dict[tuple, PreparedDataset] = {}
+
+
+def clear_preparation_cache() -> None:
+    """Drop all memoised prepared datasets (mainly useful in tests)."""
+    _CACHE.clear()
+
+
+def prepare_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    use_cache: bool = True,
+) -> PreparedDataset:
+    """Generate, block and extract *continuous* features for a catalog dataset."""
+    key = (name, round(scale, 6), seed, "continuous")
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    spec = get_dataset_spec(name)
+    dataset = load_dataset(name, scale=scale, seed=seed)
+    blocker = JaccardBlocker(threshold=spec.blocking_threshold)
+    blocking = blocker.block(dataset)
+    pairs = blocking.pairs
+
+    extractor = FeatureExtractor(dataset.matched_columns)
+    matrix = extractor.extract(pairs)
+    pool = PairPool(
+        features=matrix.matrix,
+        true_labels=np.array([pair.label for pair in pairs], dtype=np.int64),
+        pairs=pairs,
+    )
+    prepared = PreparedDataset(
+        name=name,
+        dataset=dataset,
+        blocking=blocking,
+        pairs=pairs,
+        pool=pool,
+        descriptors=list(extractor.descriptors),
+        feature_kind="continuous",
+    )
+    if use_cache:
+        _CACHE[key] = prepared
+    return prepared
+
+
+def prepare_rule_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    use_cache: bool = True,
+) -> PreparedDataset:
+    """Generate, block and extract *Boolean* (thresholded) features for rule learners."""
+    key = (name, round(scale, 6), seed, "boolean")
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    spec = get_dataset_spec(name)
+    dataset = load_dataset(name, scale=scale, seed=seed)
+    blocker = JaccardBlocker(threshold=spec.blocking_threshold)
+    blocking = blocker.block(dataset)
+    pairs = blocking.pairs
+
+    extractor = BooleanFeatureExtractor(dataset.matched_columns)
+    matrix = extractor.extract(pairs)
+    pool = PairPool(
+        features=matrix,
+        true_labels=np.array([pair.label for pair in pairs], dtype=np.int64),
+        pairs=pairs,
+    )
+    prepared = PreparedDataset(
+        name=name,
+        dataset=dataset,
+        blocking=blocking,
+        pairs=pairs,
+        pool=pool,
+        descriptors=list(extractor.descriptors),
+        feature_kind="boolean",
+    )
+    if use_cache:
+        _CACHE[key] = prepared
+    return prepared
+
+
+def prepare_pool_from_pairs(
+    dataset: EMDataset,
+    pairs: list[CandidatePair],
+    feature_kind: str = "continuous",
+) -> PreparedDataset:
+    """Build a :class:`PreparedDataset` from already-blocked pairs.
+
+    Used by the social-media experiment and by tests that construct their own
+    candidate pairs.
+    """
+    if feature_kind == "continuous":
+        extractor = FeatureExtractor(dataset.matched_columns)
+        matrix = extractor.extract(pairs).matrix
+        descriptors = list(extractor.descriptors)
+    elif feature_kind == "boolean":
+        extractor = BooleanFeatureExtractor(dataset.matched_columns)
+        matrix = extractor.extract(pairs)
+        descriptors = list(extractor.descriptors)
+    else:
+        raise ValueError(f"unknown feature kind {feature_kind!r}")
+
+    pool = PairPool(
+        features=matrix,
+        true_labels=np.array([pair.label for pair in pairs], dtype=np.int64),
+        pairs=pairs,
+    )
+    blocking = BlockingResult(
+        pairs=pairs,
+        total_pairs=dataset.total_pairs,
+        threshold=0.0,
+        class_skew=pool.class_skew,
+    )
+    return PreparedDataset(
+        name=dataset.name,
+        dataset=dataset,
+        blocking=blocking,
+        pairs=pairs,
+        pool=pool,
+        descriptors=descriptors,
+        feature_kind=feature_kind,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text reporting helpers for the experiment results.
+
+The benchmark targets print the same rows/series as the paper's tables and
+figures; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str | None = None) -> str:
+    """Render a list of flat dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(labels: Iterable, values: Iterable, name: str, max_points: int = 12) -> str:
+    """Render one curve (e.g. progressive F1 vs #labels) as a compact text series."""
+    labels = list(labels)
+    values = list(values)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be aligned")
+    if not labels:
+        return f"{name}: (empty)"
+    step = max(1, len(labels) // max_points)
+    sampled = list(range(0, len(labels), step))
+    if sampled[-1] != len(labels) - 1:
+        sampled.append(len(labels) - 1)
+    points = ", ".join(f"{labels[i]}:{_format_cell(values[i])}" for i in sampled)
+    return f"{name}: {points}"
+
+
+def format_curves(curves: dict[str, dict], x_key: str = "labels", y_key: str = "f1", title: str | None = None) -> str:
+    """Render several named curves (one per approach) as stacked text series."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, curve in curves.items():
+        if not isinstance(curve, dict) or x_key not in curve or y_key not in curve:
+            continue
+        lines.append(format_series(curve[x_key], curve[y_key], name))
+    return "\n".join(lines) if lines else "(no curves)"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, dict):
+        return "{" + ", ".join(f"{k}={_format_cell(v)}" for k, v in value.items()) + "}"
+    return str(value)

@@ -1,0 +1,22 @@
+"""Interpretability analysis: DNF formulae, atom counts and tree depths.
+
+Section 6.3 compares rule-based models with tree ensembles on an
+interpretability metric defined as the inverse of the number of *atoms* in the
+model's DNF representation, where an atom is a similarity predicate with a
+threshold applied to an attribute pair.  Trees are converted to DNF by walking
+every root-to-leaf path that predicts the match class.
+"""
+
+from .dnf import Atom, Conjunction, DNFFormula
+from .convert import forest_to_dnf, rule_learner_to_dnf, tree_to_dnf
+from .metrics import interpretability_score
+
+__all__ = [
+    "Atom",
+    "Conjunction",
+    "DNFFormula",
+    "tree_to_dnf",
+    "forest_to_dnf",
+    "rule_learner_to_dnf",
+    "interpretability_score",
+]

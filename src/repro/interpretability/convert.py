@@ -1,0 +1,88 @@
+"""Conversion of learned models into DNF formulae."""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..features.boolean import BooleanFeatureDescriptor
+from ..features.extractor import FeatureDescriptor
+from ..learners.random_forest import RandomForest
+from ..learners.rules import RuleLearner
+from ..learners.tree import DecisionTree
+from .dnf import Atom, Conjunction, DNFFormula
+
+
+def _atom_from_continuous(descriptor: FeatureDescriptor, threshold: float, goes_left: bool) -> Atom:
+    # A tree split "feature <= threshold" on a similarity feature becomes the
+    # atom "similarity < threshold" on the left branch and "similarity >=
+    # threshold" on the right branch (similarities are continuous in [0, 1]).
+    operator = "<" if goes_left else ">="
+    return Atom(
+        attribute=descriptor.attribute,
+        similarity=descriptor.similarity,
+        threshold=float(threshold),
+        operator=operator,
+    )
+
+
+def tree_to_dnf(tree: DecisionTree, descriptors: list[FeatureDescriptor]) -> DNFFormula:
+    """Convert a decision tree's match-predicting paths into a DNF formula."""
+    if not tree.is_fitted:
+        raise NotFittedError("tree must be fitted before conversion")
+    formula = DNFFormula()
+    for path in tree.positive_paths():
+        if not path:
+            # A root-only tree predicting "match" everywhere has no atoms;
+            # represent it as a trivially-true atom on the first descriptor.
+            if not descriptors:
+                raise ConfigurationError("descriptors must not be empty")
+            formula.add(
+                Conjunction(
+                    (
+                        Atom(
+                            attribute=descriptors[0].attribute,
+                            similarity=descriptors[0].similarity,
+                            threshold=0.0,
+                            operator=">=",
+                        ),
+                    )
+                )
+            )
+            continue
+        atoms = tuple(
+            _atom_from_continuous(descriptors[feature], threshold, goes_left)
+            for feature, threshold, goes_left in path
+        )
+        formula.add(Conjunction(atoms))
+    return formula
+
+
+def forest_to_dnf(forest: RandomForest, descriptors: list[FeatureDescriptor]) -> DNFFormula:
+    """Union of the DNF formulae of every tree in the forest (Section 6.3)."""
+    if not forest.is_fitted:
+        raise NotFittedError("forest must be fitted before conversion")
+    formula = DNFFormula()
+    for tree in forest.trees:
+        for conjunction in tree_to_dnf(tree, descriptors).conjunctions:
+            formula.add(conjunction)
+    return formula
+
+
+def rule_learner_to_dnf(
+    learner: RuleLearner, descriptors: list[BooleanFeatureDescriptor]
+) -> DNFFormula:
+    """Convert the rule learner's accepted conjunctive rules into a DNF formula."""
+    if not learner.is_fitted:
+        raise NotFittedError("rule learner must be fitted before conversion")
+    formula = DNFFormula()
+    for rule in learner.rules:
+        atoms = tuple(
+            Atom(
+                attribute=descriptors[predicate].attribute,
+                similarity=descriptors[predicate].similarity,
+                threshold=descriptors[predicate].threshold,
+                operator=">=",
+            )
+            for predicate in rule.predicates
+        )
+        formula.add(Conjunction(atoms))
+    return formula

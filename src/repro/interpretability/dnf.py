@@ -1,0 +1,71 @@
+"""DNF (disjunctive normal form) representation of matching models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A Boolean predicate: a similarity function on an attribute pair vs a threshold.
+
+    ``operator`` is ``">="`` for "similarity at least threshold" (the usual
+    match-favouring direction) or ``"<"`` for the negated direction that
+    appears when a decision-tree path goes below a split threshold.
+    """
+
+    attribute: str
+    similarity: str
+    threshold: float
+    operator: str = ">="
+
+    def __post_init__(self) -> None:
+        if self.operator not in (">=", "<"):
+            raise ConfigurationError("operator must be '>=' or '<'")
+
+    def describe(self) -> str:
+        return f"{self.similarity}({self.attribute}) {self.operator} {self.threshold:.2f}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction (AND) of atoms — one matching rule."""
+
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ConfigurationError("a conjunction needs at least one atom")
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.atoms)
+
+    def describe(self) -> str:
+        return " AND ".join(atom.describe() for atom in self.atoms)
+
+
+@dataclass
+class DNFFormula:
+    """A disjunction (OR) of conjunctions — the full matching model."""
+
+    conjunctions: list[Conjunction] = field(default_factory=list)
+
+    def add(self, conjunction: Conjunction) -> None:
+        self.conjunctions.append(conjunction)
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.conjunctions)
+
+    @property
+    def n_atoms(self) -> int:
+        """Total atoms counted with repetition (the Section 6.3 convention)."""
+        return sum(conjunction.n_atoms for conjunction in self.conjunctions)
+
+    def describe(self) -> str:
+        if not self.conjunctions:
+            return "<empty DNF>"
+        return "\n OR \n".join(conjunction.describe() for conjunction in self.conjunctions)

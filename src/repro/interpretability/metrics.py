@@ -1,0 +1,19 @@
+"""Interpretability metric of Singh et al. as used in Section 6.3."""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .dnf import DNFFormula
+
+
+def interpretability_score(formula: DNFFormula) -> float:
+    """Interpretability is inversely proportional to the number of DNF atoms.
+
+    An empty formula is maximally interpretable (score 1.0) by convention —
+    there is nothing to read.
+    """
+    if formula is None:
+        raise ConfigurationError("formula must not be None")
+    if formula.n_atoms == 0:
+        return 1.0
+    return 1.0 / formula.n_atoms

@@ -1,0 +1,44 @@
+"""Classifiers supported by the benchmark framework.
+
+One learner per family from the paper's Figure 2:
+
+* :class:`LinearSVM` — linear classifier (hinge loss, L2 regularization,
+  Pegasos-style training), the framework's "Linear Classifier".
+* :class:`NeuralNetwork` — non-convex non-linear classifier: one hidden layer
+  with ReLU, batch normalization, dropout and a sigmoid output, trained with
+  SGD + momentum on an L2 loss (Section 4.2.2).
+* :class:`DecisionTree` / :class:`RandomForest` — tree-based classifiers in
+  the Corleone configuration: unlimited depth, ``log2(Dim+1)`` random features
+  per split (Section 4.1.1).
+* :class:`RuleLearner` — rule-based classifier learning an ensemble (monotone
+  DNF) of high-precision conjunctive rules over Boolean predicate features
+  (Section 4.3, Qian et al.).
+* :class:`DeepMatcherBaseline` — stand-in for the DeepMatcher supervised
+  deep-learning baseline of Fig. 16 (deeper feed-forward network with a 3:1
+  train/validation split and early stopping).
+* :class:`BootstrapCommittee` — learner-agnostic bootstrap committee used by
+  query-by-committee selection.
+"""
+
+from .linear_svm import LinearSVM
+from .neural_network import NeuralNetwork
+from .tree import DecisionTree
+from .random_forest import RandomForest
+from .rules import ConjunctiveRule, RuleLearner
+from .deep_matcher import DeepMatcherBaseline
+from .committee import BootstrapCommittee
+from .logistic_regression import LogisticRegression
+from .naive_bayes import GaussianNaiveBayes
+
+__all__ = [
+    "LinearSVM",
+    "NeuralNetwork",
+    "DecisionTree",
+    "RandomForest",
+    "ConjunctiveRule",
+    "RuleLearner",
+    "DeepMatcherBaseline",
+    "BootstrapCommittee",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+]

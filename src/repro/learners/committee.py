@@ -1,0 +1,71 @@
+"""Learner-agnostic bootstrap committees for query-by-committee selection.
+
+Following Mozafari et al. (and Fig. 3 of the paper), QBC draws ``B`` bootstrap
+samples with replacement from the cumulative labeled data, trains one copy of
+the classifier on each sample, and measures disagreement among the committee
+members' label predictions on the unlabeled pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Learner
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+
+
+class BootstrapCommittee:
+    """A committee of clones of a base learner trained on bootstrap resamples."""
+
+    def __init__(self, base_learner: Learner, size: int):
+        if size < 2:
+            raise ConfigurationError("a committee needs at least 2 members")
+        self.base_learner = base_learner
+        self.size = size
+        self.members: list[Learner] = []
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> "BootstrapCommittee":
+        """Train all committee members on bootstrap samples of the labeled data."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if len(features) != len(labels) or len(labels) == 0:
+            raise ConfigurationError("labeled data must be non-empty and aligned")
+        rng = ensure_rng(rng)
+        n = len(labels)
+        has_both_classes = labels.min() != labels.max()
+        self.members = []
+        for _ in range(self.size):
+            indices = rng.integers(0, n, size=n)
+            if has_both_classes and labels[indices].min() == labels[indices].max():
+                # Bootstrap samples drawn from skewed EM data can easily miss
+                # the minority class; force one minority example in.
+                minority = 1 if labels[indices].max() == 0 else 0
+                minority_positions = np.flatnonzero(labels == minority)
+                indices[int(rng.integers(0, n))] = int(rng.choice(minority_positions))
+            member = self.base_learner.clone()
+            member.fit(features[indices], labels[indices])
+            self.members.append(member)
+        return self
+
+    def predictions(self, features: np.ndarray) -> np.ndarray:
+        """0/1 label predictions of every member: shape ``(size, n_examples)``."""
+        if not self.members:
+            raise ConfigurationError("committee has not been fitted")
+        return np.vstack([member.predict(features) for member in self.members])
+
+    def variance(self, features: np.ndarray) -> np.ndarray:
+        """Per-example disagreement ``(P/C)·(1 − P/C)`` from Mozafari et al.
+
+        ``P`` is the number of members voting for the match class and ``C`` is
+        the committee size; the value is maximal (0.25) when the committee is
+        split evenly.
+        """
+        votes = self.predictions(features)
+        positive_fraction = votes.mean(axis=0)
+        return positive_fraction * (1.0 - positive_fraction)

@@ -1,0 +1,98 @@
+"""Logistic regression: a second linear-family learner (extension).
+
+The paper evaluates one representative per classifier family; because the
+framework is plug-and-play, additional members of a family can be dropped in
+without touching the selectors.  Logistic regression shares the linear SVM's
+margin semantics (``w·x + b``), so margin-based and blocked-margin selection
+apply to it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Learner, LearnerFamily
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+
+
+class LogisticRegression(Learner):
+    """L2-regularized logistic regression trained with full-batch gradient descent."""
+
+    family = LearnerFamily.LINEAR
+    name = "logistic_regression"
+
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        epochs: int = 200,
+        learning_rate: float = 0.5,
+        class_weight: str | None = "balanced",
+        random_state: int | None = 0,
+    ):
+        super().__init__()
+        if regularization < 0:
+            raise ConfigurationError("regularization must be non-negative")
+        if epochs <= 0 or learning_rate <= 0:
+            raise ConfigurationError("epochs and learning_rate must be positive")
+        if class_weight not in (None, "balanced"):
+            raise ConfigurationError("class_weight must be None or 'balanced'")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.class_weight = class_weight
+        self.random_state = random_state
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def clone(self) -> "LogisticRegression":
+        return LogisticRegression(
+            regularization=self.regularization,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            class_weight=self.class_weight,
+            random_state=self.random_state,
+        )
+
+    def _sample_weights(self, labels: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones_like(labels, dtype=float)
+        n = len(labels)
+        n_pos = max(1, int(labels.sum()))
+        n_neg = max(1, n - int(labels.sum()))
+        return np.where(labels == 1, n / (2.0 * n_pos), n / (2.0 * n_neg))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features must be 2-D and aligned with labels")
+        rng = ensure_rng(self.random_state)
+        n, dim = features.shape
+        weights = rng.normal(scale=1e-3, size=dim)
+        bias = 0.0
+        sample_weights = self._sample_weights(labels)
+
+        for _ in range(self.epochs):
+            scores = features @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+            error = sample_weights * (probabilities - labels)
+            gradient_w = features.T @ error / n + self.regularization * weights
+            gradient_b = float(error.mean())
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+
+        self.weights = weights
+        self.bias = bias
+        self._fitted = True
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(features, dtype=float) @ self.weights + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(self.decision_scores(features), -30, 30)))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) > 0.5).astype(np.int64)

@@ -1,0 +1,90 @@
+"""Gaussian naive Bayes (extension learner).
+
+Sarawagi & Bhamidipaty's early active-learning EM work combined
+query-by-committee with naive Bayes classifiers; this learner lets the same
+comparison be made inside this framework.  Similarity features are continuous
+in [0, 1], so a Gaussian likelihood per feature/class is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Learner, LearnerFamily
+from ..exceptions import ConfigurationError
+
+_VARIANCE_FLOOR = 1e-4
+
+
+class GaussianNaiveBayes(Learner):
+    """Per-class independent Gaussian likelihoods with class priors."""
+
+    family = LearnerFamily.NON_LINEAR
+    name = "naive_bayes"
+
+    def __init__(self, variance_smoothing: float = 1e-3):
+        super().__init__()
+        if variance_smoothing <= 0:
+            raise ConfigurationError("variance_smoothing must be positive")
+        self.variance_smoothing = variance_smoothing
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+        self._log_priors: np.ndarray | None = None
+        self._classes = np.array([0, 1])
+
+    def clone(self) -> "GaussianNaiveBayes":
+        return GaussianNaiveBayes(variance_smoothing=self.variance_smoothing)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GaussianNaiveBayes":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features must be 2-D and aligned with labels")
+        n, dim = features.shape
+        means = np.zeros((2, dim))
+        variances = np.ones((2, dim))
+        priors = np.zeros(2)
+        global_variance = features.var(axis=0).mean() if n else 1.0
+        for class_label in (0, 1):
+            mask = labels == class_label
+            count = int(mask.sum())
+            priors[class_label] = (count + 1) / (n + 2)  # Laplace-smoothed prior
+            if count > 0:
+                means[class_label] = features[mask].mean(axis=0)
+                variances[class_label] = features[mask].var(axis=0)
+        variances = variances + self.variance_smoothing * max(global_variance, _VARIANCE_FLOOR)
+        variances = np.maximum(variances, _VARIANCE_FLOOR)
+        self._means = means
+        self._variances = variances
+        self._log_priors = np.log(priors)
+        self._fitted = True
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        scores = np.zeros((len(features), 2))
+        for class_label in (0, 1):
+            mean = self._means[class_label]
+            variance = self._variances[class_label]
+            log_likelihood = -0.5 * (
+                np.log(2.0 * np.pi * variance) + (features - mean) ** 2 / variance
+            ).sum(axis=1)
+            scores[:, class_label] = log_likelihood + self._log_priors[class_label]
+        return scores
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        joint = self._joint_log_likelihood(features)
+        # Normalize in log space for numerical stability.
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood[:, 1] / likelihood.sum(axis=1)
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Log-odds of the match class (usable by margin-style selection)."""
+        self._require_fitted()
+        joint = self._joint_log_likelihood(features)
+        return joint[:, 1] - joint[:, 0]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) > 0.5).astype(np.int64)

@@ -1,0 +1,243 @@
+"""Feed-forward neural network (the non-convex non-linear classifier).
+
+Architecture and training follow Section 4.2.2 of the paper: a single hidden
+layer with ReLU activation, batch normalization of the hidden representation,
+dropout of half the hidden units, an affine output whose scalar value is the
+*margin*, and a sigmoid that turns the margin into a match probability.
+Training uses an L2 loss and SGD with momentum (learning rate 0.001, decay
+0.99, momentum 0.95, 50 epochs, mini-batches of 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Learner, LearnerFamily
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+
+_BN_EPSILON = 1e-5
+
+
+class NeuralNetwork(Learner):
+    """Single-hidden-layer neural network with batch norm and dropout.
+
+    Parameters
+    ----------
+    hidden_units:
+        Number of hidden neurons (``h`` in the paper).
+    epochs, batch_size, learning_rate, momentum, decay:
+        SGD-with-momentum hyper-parameters; defaults match the paper.
+    dropout_rate:
+        Fraction of hidden units dropped during training (0.5 in the paper).
+    class_weight:
+        ``"balanced"`` re-weights the per-example loss inversely to class
+        frequency, mitigating the heavy EM class skew.
+    hidden_layers:
+        Number of identically-sized hidden layers; the paper's model uses 1,
+        the DeepMatcher stand-in uses more.
+    """
+
+    family = LearnerFamily.NON_LINEAR
+    name = "neural_network"
+
+    def __init__(
+        self,
+        hidden_units: int = 32,
+        epochs: int = 50,
+        batch_size: int = 8,
+        learning_rate: float = 0.001,
+        momentum: float = 0.95,
+        decay: float = 0.99,
+        dropout_rate: float = 0.5,
+        class_weight: str | None = "balanced",
+        hidden_layers: int = 1,
+        random_state: int | None = 0,
+    ):
+        super().__init__()
+        if hidden_units <= 0 or epochs <= 0 or batch_size <= 0 or hidden_layers <= 0:
+            raise ConfigurationError("hidden_units, epochs, batch_size, hidden_layers must be positive")
+        if not 0.0 <= dropout_rate < 1.0:
+            raise ConfigurationError("dropout_rate must be in [0, 1)")
+        if class_weight not in (None, "balanced"):
+            raise ConfigurationError("class_weight must be None or 'balanced'")
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.decay = decay
+        self.dropout_rate = dropout_rate
+        self.class_weight = class_weight
+        self.hidden_layers = hidden_layers
+        self.random_state = random_state
+        self._layers: list[dict] = []
+        self._output: dict = {}
+
+    def clone(self) -> "NeuralNetwork":
+        return NeuralNetwork(
+            hidden_units=self.hidden_units,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            decay=self.decay,
+            dropout_rate=self.dropout_rate,
+            class_weight=self.class_weight,
+            hidden_layers=self.hidden_layers,
+            random_state=self.random_state,
+        )
+
+    # ------------------------------------------------------------------ setup
+    def _init_parameters(self, dim: int, rng: np.random.Generator) -> None:
+        self._layers = []
+        fan_in = dim
+        for _ in range(self.hidden_layers):
+            layer = {
+                "W": rng.normal(scale=np.sqrt(2.0 / fan_in), size=(fan_in, self.hidden_units)),
+                "b": np.zeros(self.hidden_units),
+                "gamma": np.ones(self.hidden_units),
+                "beta": np.zeros(self.hidden_units),
+                "running_mean": np.zeros(self.hidden_units),
+                "running_var": np.ones(self.hidden_units),
+            }
+            layer["vel"] = {key: np.zeros_like(layer[key]) for key in ("W", "b", "gamma", "beta")}
+            self._layers.append(layer)
+            fan_in = self.hidden_units
+        self._output = {
+            "W": rng.normal(scale=np.sqrt(1.0 / fan_in), size=(fan_in, 1)),
+            "b": np.zeros(1),
+        }
+        self._output["vel"] = {key: np.zeros_like(self._output[key]) for key in ("W", "b")}
+
+    def _sample_weights(self, labels: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones_like(labels, dtype=float)
+        n = len(labels)
+        n_pos = max(1, int(labels.sum()))
+        n_neg = max(1, n - int(labels.sum()))
+        return np.where(labels == 1, n / (2.0 * n_pos), n / (2.0 * n_neg))
+
+    # --------------------------------------------------------------- training
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "NeuralNetwork":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features must be 2-D and aligned with labels")
+        rng = ensure_rng(self.random_state)
+        n, dim = features.shape
+        self._init_parameters(dim, rng)
+        sample_weights = self._sample_weights(labels)
+
+        learning_rate = self.learning_rate
+        batch_size = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                if len(batch) < 2:
+                    continue  # batch norm needs at least two samples
+                self._sgd_step(
+                    features[batch], labels[batch], sample_weights[batch], learning_rate, rng
+                )
+            learning_rate *= self.decay
+
+        self._fitted = True
+        return self
+
+    def _sgd_step(self, x, y, weights, learning_rate, rng) -> None:
+        caches = []
+        activation = x
+        for layer in self._layers:
+            pre = activation @ layer["W"] + layer["b"]
+            relu = np.maximum(pre, 0.0)
+            mean = relu.mean(axis=0)
+            var = relu.var(axis=0)
+            layer["running_mean"] = 0.9 * layer["running_mean"] + 0.1 * mean
+            layer["running_var"] = 0.9 * layer["running_var"] + 0.1 * var
+            normalized = (relu - mean) / np.sqrt(var + _BN_EPSILON)
+            scaled = layer["gamma"] * normalized + layer["beta"]
+            if self.dropout_rate > 0.0:
+                mask = (rng.random(scaled.shape) >= self.dropout_rate) / (1.0 - self.dropout_rate)
+            else:
+                mask = np.ones_like(scaled)
+            dropped = scaled * mask
+            caches.append(
+                {
+                    "input": activation,
+                    "pre": pre,
+                    "relu": relu,
+                    "mean": mean,
+                    "var": var,
+                    "normalized": normalized,
+                    "mask": mask,
+                }
+            )
+            activation = dropped
+
+        margin = activation @ self._output["W"] + self._output["b"]
+        probability = _sigmoid(margin).ravel()
+
+        # L2 loss: 0.5 * w_i * (p_i - y_i)^2, back-propagated through the sigmoid.
+        error = weights * (probability - y)
+        d_margin = (error * probability * (1.0 - probability))[:, None] / len(y)
+
+        grad_out_w = activation.T @ d_margin
+        grad_out_b = d_margin.sum(axis=0)
+        d_activation = d_margin @ self._output["W"].T
+
+        self._apply_update(self._output, {"W": grad_out_w, "b": grad_out_b}, learning_rate)
+
+        for layer, cache in zip(reversed(self._layers), reversed(caches)):
+            d_scaled = d_activation * cache["mask"]
+            d_gamma = (d_scaled * cache["normalized"]).sum(axis=0)
+            d_beta = d_scaled.sum(axis=0)
+            d_normalized = d_scaled * layer["gamma"]
+            # Batch-norm backward pass.
+            m = cache["relu"].shape[0]
+            inv_std = 1.0 / np.sqrt(cache["var"] + _BN_EPSILON)
+            centered = cache["relu"] - cache["mean"]
+            d_var = (d_normalized * centered * -0.5 * inv_std**3).sum(axis=0)
+            d_mean = (-d_normalized * inv_std).sum(axis=0) + d_var * (-2.0 * centered.mean(axis=0))
+            d_relu = d_normalized * inv_std + d_var * 2.0 * centered / m + d_mean / m
+            d_pre = d_relu * (cache["pre"] > 0.0)
+            grad_w = cache["input"].T @ d_pre
+            grad_b = d_pre.sum(axis=0)
+            d_activation = d_pre @ layer["W"].T
+            self._apply_update(
+                layer, {"W": grad_w, "b": grad_b, "gamma": d_gamma, "beta": d_beta}, learning_rate
+            )
+
+    def _apply_update(self, parameters: dict, gradients: dict, learning_rate: float) -> None:
+        for key, gradient in gradients.items():
+            velocity = parameters["vel"][key]
+            velocity *= self.momentum
+            velocity -= learning_rate * gradient
+            parameters[key] = parameters[key] + velocity
+            parameters["vel"][key] = velocity
+
+    # -------------------------------------------------------------- inference
+    def _forward(self, features: np.ndarray) -> np.ndarray:
+        activation = np.asarray(features, dtype=float)
+        for layer in self._layers:
+            pre = activation @ layer["W"] + layer["b"]
+            relu = np.maximum(pre, 0.0)
+            normalized = (relu - layer["running_mean"]) / np.sqrt(layer["running_var"] + _BN_EPSILON)
+            activation = layer["gamma"] * normalized + layer["beta"]
+        margin = activation @ self._output["W"] + self._output["b"]
+        return margin.ravel()
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """The affine output of the network — the margin of Section 4.2.2."""
+        self._require_fitted()
+        return self._forward(features)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.decision_scores(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) > 0.5).astype(np.int64)
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -30.0, 30.0)))

@@ -1,0 +1,220 @@
+"""Rule-based learner: an ensemble (monotone DNF) of conjunctive matching rules.
+
+Following Qian et al. (and Section 4.3 of the paper), the rule learner works
+on *Boolean* predicate features (``JaccardSim(left.name, right.name) ≥ 0.4``)
+and learns a disjunction of high-precision conjunctive rules.  Each conjunct
+is grown greedily, predicate by predicate, until it reaches the precision
+target on the labeled data; rules are accumulated set-cover style so that
+every new rule covers positives missed by the existing ensemble — exactly the
+"active ensemble of high-precision rules" the paper describes.
+
+The learner also exposes the hooks required by the LFP/LFN example-selection
+heuristic: the current candidate rule, its rule-minus relaxations, and a
+feature-similarity score used to rank likely false positives/negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import Learner, LearnerFamily
+from ..exceptions import ConfigurationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class ConjunctiveRule:
+    """A conjunction of Boolean predicates, referenced by feature column index."""
+
+    predicates: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.predicates) == 0:
+            raise ConfigurationError("a conjunctive rule needs at least one predicate")
+        if len(set(self.predicates)) != len(self.predicates):
+            raise ConfigurationError("duplicate predicates in rule")
+
+    def covers(self, boolean_features: np.ndarray) -> np.ndarray:
+        """Boolean mask of the rows on which every predicate of the rule holds."""
+        return np.all(boolean_features[:, list(self.predicates)] >= 0.5, axis=1)
+
+    def minus(self, predicate: int) -> "ConjunctiveRule | None":
+        """The rule-minus relaxation obtained by dropping one predicate."""
+        remaining = tuple(p for p in self.predicates if p != predicate)
+        if not remaining:
+            return None
+        return ConjunctiveRule(remaining)
+
+    def relaxations(self) -> list["ConjunctiveRule"]:
+        """All rule-minus variants (each drops exactly one predicate)."""
+        variants = [self.minus(p) for p in self.predicates]
+        return [v for v in variants if v is not None]
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.predicates)
+
+    def describe(self, feature_names: list[str]) -> str:
+        return " AND ".join(feature_names[p] for p in self.predicates)
+
+
+class RuleLearner(Learner):
+    """Learns a monotone DNF of high-precision conjunctive rules.
+
+    Parameters
+    ----------
+    min_precision:
+        A conjunctive rule is accepted into the DNF only if its precision on
+        the labeled data is at least this value (the paper uses 0.85 as the
+        ensemble acceptance threshold).
+    max_predicates:
+        Maximum number of atoms per conjunctive rule.
+    max_rules:
+        Cap on the number of rules in the DNF.
+    min_positive_coverage:
+        A rule must cover at least this many labeled positives to be accepted.
+    """
+
+    family = LearnerFamily.RULE
+    name = "rule_learner"
+
+    def __init__(
+        self,
+        min_precision: float = 0.85,
+        max_predicates: int = 4,
+        max_rules: int = 12,
+        min_positive_coverage: int = 2,
+        random_state: int | None = 0,
+    ):
+        super().__init__()
+        if not 0.0 < min_precision <= 1.0:
+            raise ConfigurationError("min_precision must be in (0, 1]")
+        if max_predicates <= 0 or max_rules <= 0 or min_positive_coverage <= 0:
+            raise ConfigurationError("max_predicates, max_rules, min_positive_coverage must be positive")
+        self.min_precision = min_precision
+        self.max_predicates = max_predicates
+        self.max_rules = max_rules
+        self.min_positive_coverage = min_positive_coverage
+        self.random_state = random_state
+        self.rules: list[ConjunctiveRule] = []
+        self.candidate_rule: ConjunctiveRule | None = None
+
+    def clone(self) -> "RuleLearner":
+        return RuleLearner(
+            min_precision=self.min_precision,
+            max_predicates=self.max_predicates,
+            max_rules=self.max_rules,
+            min_positive_coverage=self.min_positive_coverage,
+            random_state=self.random_state,
+        )
+
+    # ------------------------------------------------------------------ train
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RuleLearner":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features must be 2-D and aligned with labels")
+        self.rules = []
+        self.candidate_rule = None
+
+        uncovered_positives = labels == 1
+        while uncovered_positives.sum() >= self.min_positive_coverage and len(self.rules) < self.max_rules:
+            rule = self._grow_rule(features, labels, uncovered_positives)
+            if rule is None:
+                break
+            covered = rule.covers(features)
+            precision = _precision(covered, labels)
+            positive_coverage = int((covered & uncovered_positives).sum())
+            self.candidate_rule = rule
+            if precision < self.min_precision or positive_coverage < self.min_positive_coverage:
+                # Keep the candidate around for LFP/LFN refinement, but do not
+                # accept it into the DNF yet.
+                break
+            self.rules.append(rule)
+            uncovered_positives = uncovered_positives & ~covered
+
+        if self.candidate_rule is None and self.rules:
+            self.candidate_rule = self.rules[-1]
+        self._fitted = True
+        return self
+
+    def _grow_rule(
+        self, features: np.ndarray, labels: np.ndarray, target_positives: np.ndarray
+    ) -> ConjunctiveRule | None:
+        """Greedily grow one conjunction maximizing precision, then coverage."""
+        n, dim = features.shape
+        chosen: list[int] = []
+        coverage = np.ones(n, dtype=bool)
+
+        for _ in range(self.max_predicates):
+            best_predicate = None
+            best_score = (-1.0, -1)
+            for predicate in range(dim):
+                if predicate in chosen:
+                    continue
+                new_coverage = coverage & (features[:, predicate] >= 0.5)
+                positives_covered = int((new_coverage & target_positives).sum())
+                if positives_covered == 0:
+                    continue
+                precision = _precision(new_coverage, labels)
+                score = (precision, positives_covered)
+                if score > best_score:
+                    best_score = score
+                    best_predicate = predicate
+            if best_predicate is None:
+                break
+            chosen.append(best_predicate)
+            coverage = coverage & (features[:, best_predicate] >= 0.5)
+            if best_score[0] >= 1.0:
+                break
+
+        if not chosen:
+            return None
+        return ConjunctiveRule(tuple(chosen))
+
+    # -------------------------------------------------------------- inference
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        if not self.rules:
+            return np.zeros(len(features), dtype=np.int64)
+        fired = np.zeros(len(features), dtype=bool)
+        for rule in self.rules:
+            fired |= rule.covers(features)
+        return fired.astype(np.int64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraction of DNF rules that fire; 0 when the DNF is empty."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        if not self.rules:
+            return np.zeros(len(features))
+        fires = np.vstack([rule.covers(features) for rule in self.rules])
+        return fires.mean(axis=0)
+
+    # ---------------------------------------------------------- introspection
+    @property
+    def n_atoms(self) -> int:
+        """Total number of atoms across the DNF (atoms counted with repetition)."""
+        return sum(rule.n_atoms for rule in self.rules)
+
+    def describe(self, feature_names: list[str]) -> str:
+        """Human-readable DNF, e.g. for the Abt-Buy rule listing in Section 6.3."""
+        if not self.rules:
+            return "<empty DNF>"
+        return "\n OR \n".join(rule.describe(feature_names) for rule in self.rules)
+
+    def active_rule(self) -> ConjunctiveRule:
+        """The rule refined by LFP/LFN selection in the current iteration."""
+        if self.candidate_rule is None:
+            raise NotFittedError("rule learner has no candidate rule yet")
+        return self.candidate_rule
+
+
+def _precision(predicted_positive: np.ndarray, labels: np.ndarray) -> float:
+    covered = int(predicted_positive.sum())
+    if covered == 0:
+        return 0.0
+    true_positive = int((predicted_positive & (labels == 1)).sum())
+    return true_positive / covered

@@ -1,0 +1,217 @@
+"""CART-style decision tree with random feature sub-sampling at each split.
+
+Configured like the Corleone system (and Section 4.1.1 of the paper): trees of
+unlimited depth that consider a random subset of ``log2(Dim + 1)`` features at
+every node split.  The tree is the building block of
+:class:`~repro.learners.random_forest.RandomForest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import Learner, LearnerFamily
+from ..exceptions import ConfigurationError
+from ..utils import ensure_rng
+
+
+@dataclass
+class _Node:
+    """A tree node: either an internal split or a leaf with a match probability."""
+
+    prediction: float
+    depth: int
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree(Learner):
+    """Binary classification tree (Gini impurity, unlimited depth by default).
+
+    Parameters
+    ----------
+    max_features:
+        ``"log2"`` (the Corleone setting — ``log2(Dim+1)`` random features per
+        split), ``"all"`` to consider every feature, or an explicit integer.
+    max_depth:
+        Optional depth cap (None = unlimited, as in the paper).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    """
+
+    family = LearnerFamily.TREE
+    name = "decision_tree"
+
+    def __init__(
+        self,
+        max_features: str | int = "log2",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        random_state: int | None = 0,
+    ):
+        super().__init__()
+        if isinstance(max_features, str) and max_features not in ("log2", "all"):
+            raise ConfigurationError("max_features must be 'log2', 'all' or an int")
+        if isinstance(max_features, int) and max_features <= 0:
+            raise ConfigurationError("max_features must be positive")
+        if min_samples_split < 2:
+            raise ConfigurationError("min_samples_split must be at least 2")
+        if max_depth is not None and max_depth <= 0:
+            raise ConfigurationError("max_depth must be positive or None")
+        self.max_features = max_features
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._dim: int | None = None
+
+    def clone(self) -> "DecisionTree":
+        return DecisionTree(
+            max_features=self.max_features,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            random_state=self.random_state,
+        )
+
+    # ------------------------------------------------------------------ train
+    def _n_split_features(self, dim: int) -> int:
+        if self.max_features == "all":
+            return dim
+        if self.max_features == "log2":
+            return max(1, int(np.log2(dim + 1)))
+        return min(dim, int(self.max_features))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray, rng: np.random.Generator | None = None) -> "DecisionTree":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ConfigurationError("features must be 2-D and aligned with labels")
+        rng = rng if rng is not None else ensure_rng(self.random_state)
+        self._dim = features.shape[1]
+        self._root = self._build(features, labels, depth=0, rng=rng)
+        self._fitted = True
+        return self
+
+    def _build(self, features: np.ndarray, labels: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(prediction=float(labels.mean()) if len(labels) else 0.0, depth=depth, n_samples=len(labels))
+        if (
+            len(labels) < self.min_samples_split
+            or _gini(labels) == 0.0
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        best = self._best_split(features, labels, rng)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], labels[mask], depth + 1, rng)
+        node.right = self._build(features[~mask], labels[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        n, dim = features.shape
+        candidates = rng.choice(dim, size=self._n_split_features(dim), replace=False)
+        parent_impurity = _gini(labels)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        for feature in candidates:
+            column = features[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_values = column[order]
+            sorted_labels = labels[order]
+            distinct = np.nonzero(np.diff(sorted_values))[0]
+            if len(distinct) == 0:
+                continue
+            # Cumulative positives to the left of each candidate split point.
+            cumulative_pos = np.cumsum(sorted_labels)
+            total_pos = cumulative_pos[-1]
+            left_counts = distinct + 1
+            right_counts = n - left_counts
+            left_pos = cumulative_pos[distinct]
+            right_pos = total_pos - left_pos
+            p_left = left_pos / left_counts
+            p_right = right_pos / right_counts
+            gini_left = 2.0 * p_left * (1.0 - p_left)
+            gini_right = 2.0 * p_right * (1.0 - p_right)
+            weighted = (left_counts * gini_left + right_counts * gini_right) / n
+            gains = parent_impurity - weighted
+            best_index = int(np.argmax(gains))
+            if gains[best_index] > best_gain:
+                best_gain = float(gains[best_index])
+                split_position = distinct[best_index]
+                threshold = 0.5 * (sorted_values[split_position] + sorted_values[split_position + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    # -------------------------------------------------------------- inference
+    def _leaf_for(self, row: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        return np.array([self._leaf_for(row).prediction for row in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    # ---------------------------------------------------------- introspection
+    @property
+    def depth(self) -> int:
+        """Maximum depth of any leaf in the fitted tree."""
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return node.depth
+            return max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def positive_paths(self) -> list[list[tuple[int, float, bool]]]:
+        """Root-to-leaf paths that predict the *match* class.
+
+        Each path is a list of ``(feature_index, threshold, goes_left)``
+        triples; used by the interpretability analysis to convert trees into
+        DNF formulae (Section 6.3).
+        """
+        self._require_fitted()
+        paths: list[list[tuple[int, float, bool]]] = []
+
+        def walk(node: _Node, prefix: list[tuple[int, float, bool]]) -> None:
+            if node.is_leaf:
+                if node.prediction >= 0.5:
+                    paths.append(list(prefix))
+                return
+            walk(node.left, prefix + [(node.feature, node.threshold, True)])
+            walk(node.right, prefix + [(node.feature, node.threshold, False)])
+
+        walk(self._root, [])
+        return paths

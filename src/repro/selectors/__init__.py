@@ -1,0 +1,36 @@
+"""Example-selection strategies.
+
+* :class:`QBCSelector` — learner-agnostic query-by-committee over bootstrap
+  committees (Section 4.1); compatible with every learner family.
+* :class:`TreeQBCSelector` — learner-aware QBC for random forests: the trees
+  of the trained forest are the committee (Section 4.1.1).
+* :class:`MarginSelector` — learner-aware margin-based selection for linear
+  and non-convex non-linear classifiers (Section 4.2).
+* :class:`BlockedMarginSelector` — margin selection accelerated by blocking
+  dimensions: examples whose top-weight feature dimensions are all zero are
+  skipped (Section 5.1).
+* :class:`LFPLFNSelector` — Likely False Positive / Likely False Negative
+  heuristic for rule-based learners (Section 4.3).
+* :class:`RandomSelector` — uniform random selection, the supervised-learning
+  baseline used by Fig. 16/17.
+"""
+
+from .qbc import QBCSelector
+from .tree_qbc import TreeQBCSelector
+from .margin import MarginSelector
+from .blocked_margin import BlockedMarginSelector
+from .lfp_lfn import LFPLFNSelector
+from .random_selector import RandomSelector
+from .uncertainty import DensityWeightedSelector, EntropySelector, LeastConfidenceSelector
+
+__all__ = [
+    "QBCSelector",
+    "TreeQBCSelector",
+    "MarginSelector",
+    "BlockedMarginSelector",
+    "LFPLFNSelector",
+    "RandomSelector",
+    "LeastConfidenceSelector",
+    "EntropySelector",
+    "DensityWeightedSelector",
+]

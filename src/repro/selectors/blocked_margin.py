@@ -1,0 +1,83 @@
+"""Margin selection with blocking dimensions (the Section 5.1 enhancement).
+
+The blocking dimensions are the ``top_k`` feature dimensions with the largest
+absolute weights of the linear classifier.  Unlabeled examples whose blocking
+dimensions are all zero are skipped — their margin would simply equal the
+bias, so they cannot be ambiguous — and the full dot product is computed only
+for the remaining examples.  Using all dimensions as blocking dimensions is
+equivalent to the plain margin strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ExampleSelector, Learner, LearnerFamily, SelectionResult
+from ..exceptions import ConfigurationError, IncompatibleSelectorError
+from ..utils import Stopwatch
+from .ranking import top_k_with_random_ties
+
+
+class BlockedMarginSelector(ExampleSelector):
+    """Learner-aware margin selection that prunes examples via blocking dimensions.
+
+    Parameters
+    ----------
+    n_blocking_dimensions:
+        How many of the largest-magnitude weight dimensions act as blocking
+        dimensions (1 in the paper's ``margin(1Dim)`` configuration; passing
+        the full dimensionality disables pruning and recovers vanilla margin).
+    """
+
+    compatible_families = frozenset({LearnerFamily.LINEAR})
+    learner_aware = True
+
+    def __init__(self, n_blocking_dimensions: int = 1):
+        if n_blocking_dimensions < 1:
+            raise ConfigurationError("n_blocking_dimensions must be at least 1")
+        self.n_blocking_dimensions = n_blocking_dimensions
+        self.name = f"margin_blocking({n_blocking_dimensions}dim)"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        weights = getattr(learner, "weights", None)
+        if weights is None:
+            raise IncompatibleSelectorError(
+                "blocked margin selection requires a linear learner exposing a weight vector"
+            )
+
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            dim = unlabeled_features.shape[1]
+            k = min(self.n_blocking_dimensions, dim)
+            blocking_dimensions = np.argsort(-np.abs(weights))[:k]
+            blocking_values = unlabeled_features[:, blocking_dimensions]
+            candidate_mask = np.any(blocking_values != 0.0, axis=1)
+            candidate_positions = np.flatnonzero(candidate_mask)
+
+            if len(candidate_positions) == 0:
+                # Every example was pruned; fall back to scoring everything so
+                # the loop can still make progress.
+                candidate_positions = np.arange(len(unlabeled_features))
+
+            margins = np.abs(learner.decision_scores(unlabeled_features[candidate_positions]))
+            ranked = top_k_with_random_ties(margins, batch_size, rng, largest=False)
+            indices = [int(candidate_positions[i]) for i in ranked]
+
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=int(len(candidate_positions)),
+            diagnostics={
+                "blocking_dimensions": [int(d) for d in blocking_dimensions],
+                "pruned_examples": int(len(unlabeled_features) - len(candidate_positions)),
+            },
+        )

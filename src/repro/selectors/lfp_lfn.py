@@ -1,0 +1,100 @@
+"""Likely False Positives / Likely False Negatives selection for rule learners.
+
+The heuristic of Qian et al. (Section 4.3 of the paper):
+
+* **LFPs** — among the unlabeled examples *matched* by the current candidate
+  rule, the ones that look least similar overall (lowest fraction of satisfied
+  Boolean predicates) are likely false positives; labeling them lets the next
+  iteration learn a more selective (higher-precision) rule.
+* **LFNs** — among the unlabeled examples matched by a *rule-minus* relaxation
+  (the candidate rule with one predicate dropped) but **not** by the full
+  rule, the ones that look most similar overall are likely missed matches;
+  labeling them recovers recall.
+
+When neither LFPs nor LFNs exist the selector returns an empty batch, which
+terminates active learning — the early-termination behaviour the paper reports
+for rule-based learners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ExampleSelector, Learner, LearnerFamily, SelectionResult
+from ..exceptions import IncompatibleSelectorError
+from ..utils import Stopwatch
+from .ranking import top_k_with_random_ties
+
+
+class LFPLFNSelector(ExampleSelector):
+    """Learner-aware heuristic selection for rule-based classifiers."""
+
+    compatible_families = frozenset({LearnerFamily.RULE})
+    learner_aware = True
+    name = "lfp_lfn"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        if not hasattr(learner, "active_rule"):
+            raise IncompatibleSelectorError(
+                "LFP/LFN selection requires a rule learner exposing active_rule()"
+            )
+
+        try:
+            rule = learner.active_rule()
+        except Exception:
+            rule = None
+        if rule is None or len(unlabeled_features) == 0:
+            return SelectionResult(indices=[], scored_examples=0)
+
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            overall_similarity = unlabeled_features.mean(axis=1)
+            covered = rule.covers(unlabeled_features)
+
+            # Likely false positives: matched by the rule, low overall similarity.
+            lfp_candidates = np.flatnonzero(covered)
+            # Likely false negatives: matched by some rule-minus relaxation but
+            # not by the full rule, high overall similarity.
+            relaxed_coverage = np.zeros(len(unlabeled_features), dtype=bool)
+            for relaxed in rule.relaxations():
+                relaxed_coverage |= relaxed.covers(unlabeled_features)
+            lfn_candidates = np.flatnonzero(relaxed_coverage & ~covered)
+
+            half = max(1, batch_size // 2)
+            lfp_selected: list[int] = []
+            lfn_selected: list[int] = []
+            if len(lfp_candidates):
+                ranked = top_k_with_random_ties(
+                    overall_similarity[lfp_candidates], min(half, len(lfp_candidates)), rng, largest=False
+                )
+                lfp_selected = [int(lfp_candidates[i]) for i in ranked]
+            if len(lfn_candidates):
+                remaining = batch_size - len(lfp_selected)
+                ranked = top_k_with_random_ties(
+                    overall_similarity[lfn_candidates],
+                    min(remaining, len(lfn_candidates)),
+                    rng,
+                    largest=True,
+                )
+                lfn_selected = [int(lfn_candidates[i]) for i in ranked]
+
+            indices = lfp_selected + lfn_selected
+
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+            diagnostics={
+                "lfp_candidates": int(len(lfp_candidates)),
+                "lfn_candidates": int(len(lfn_candidates)),
+            },
+        )

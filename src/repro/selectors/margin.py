@@ -1,0 +1,45 @@
+"""Margin-based example selection for linear and non-linear classifiers (§4.2).
+
+The margin of an example is the magnitude of the learner's decision score
+(``|w·x + b|`` for a linear SVM, the absolute affine output for the neural
+network); examples with the smallest margin are the ones the classifier is
+least certain about and are passed to the Oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ExampleSelector, Learner, LearnerFamily, SelectionResult
+from ..utils import Stopwatch
+from .ranking import top_k_with_random_ties
+
+
+class MarginSelector(ExampleSelector):
+    """Selects the unlabeled examples closest to the decision boundary."""
+
+    compatible_families = frozenset({LearnerFamily.LINEAR, LearnerFamily.NON_LINEAR})
+    learner_aware = True
+    name = "margin"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            margins = np.abs(learner.decision_scores(unlabeled_features))
+            indices = top_k_with_random_ties(margins, batch_size, rng, largest=False)
+
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+            diagnostics={"min_margin": float(margins.min()) if len(margins) else 0.0},
+        )

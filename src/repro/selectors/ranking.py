@@ -1,0 +1,28 @@
+"""Shared ranking helpers for example selectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_with_random_ties(
+    scores: np.ndarray, k: int, rng: np.random.Generator, largest: bool = True
+) -> list[int]:
+    """Indices of the ``k`` best scores, breaking ties uniformly at random.
+
+    With ``largest=True`` higher scores are better (QBC variance); with
+    ``largest=False`` lower scores are better (absolute margin).  Random
+    tie-breaking mirrors the paper: "When several examples have the same
+    measure of high disagreement, a random subset of those examples is
+    selected."
+    """
+    scores = np.asarray(scores, dtype=float)
+    n = len(scores)
+    if n == 0 or k <= 0:
+        return []
+    k = min(k, n)
+    # A random jitter key makes argsort break exact ties randomly while the
+    # primary ordering stays by score.
+    tiebreak = rng.random(n)
+    keys = np.lexsort((tiebreak, -scores if largest else scores))
+    return [int(i) for i in keys[:k]]

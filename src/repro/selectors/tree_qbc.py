@@ -1,0 +1,53 @@
+"""Learner-aware query-by-committee for tree ensembles (Section 4.1.1).
+
+Random forests already train a committee of decision trees during the
+training phase, so tree-based QBC skips the bootstrap committee creation and
+only pays the example-scoring cost: the per-example vote variance among the
+forest's trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ExampleSelector, Learner, LearnerFamily, SelectionResult
+from ..exceptions import IncompatibleSelectorError
+from ..utils import Stopwatch
+from .ranking import top_k_with_random_ties
+
+
+class TreeQBCSelector(ExampleSelector):
+    """QBC whose committee is the trained forest itself (zero creation cost)."""
+
+    compatible_families = frozenset({LearnerFamily.TREE})
+    learner_aware = True
+    name = "tree_qbc"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        if not hasattr(learner, "committee_predictions"):
+            raise IncompatibleSelectorError(
+                "tree QBC requires a learner exposing committee_predictions() "
+                "(e.g. RandomForest)"
+            )
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            votes = learner.committee_predictions(unlabeled_features)
+            positive_fraction = votes.mean(axis=0)
+            variance = positive_fraction * (1.0 - positive_fraction)
+            indices = top_k_with_random_ties(variance, batch_size, rng)
+
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+            diagnostics={"max_variance": float(variance.max()) if len(variance) else 0.0},
+        )

@@ -1,0 +1,143 @@
+"""Uncertainty-sampling selectors (extensions beyond the paper's core set).
+
+The paper's related-work section discusses selective sampling and other
+uncertainty-driven strategies; these selectors implement the two standard
+probability-based variants so they can be benchmarked against QBC and margin
+inside the same framework:
+
+* :class:`LeastConfidenceSelector` — pick the examples whose predicted match
+  probability is closest to 0.5 (maximum label uncertainty).
+* :class:`EntropySelector` — pick the examples with the highest predictive
+  entropy; for binary classification the ranking is equivalent to least
+  confidence, but the entropy values themselves are also useful diagnostics.
+
+Both are learner-aware in the weak sense that they only require a calibrated
+``predict_proba`` — every learner in the framework provides one — so they are
+registered as compatible with all families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ExampleSelector, Learner, LearnerFamily, SelectionResult
+from ..utils import Stopwatch
+from .ranking import top_k_with_random_ties
+
+_ALL_FAMILIES = frozenset(
+    {LearnerFamily.LINEAR, LearnerFamily.NON_LINEAR, LearnerFamily.TREE, LearnerFamily.RULE}
+)
+
+
+class LeastConfidenceSelector(ExampleSelector):
+    """Selects the unlabeled examples whose match probability is closest to 0.5."""
+
+    compatible_families = _ALL_FAMILIES
+    learner_aware = True
+    name = "least_confidence"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            probabilities = learner.predict_proba(unlabeled_features)
+            uncertainty = 0.5 - np.abs(probabilities - 0.5)
+            indices = top_k_with_random_ties(uncertainty, batch_size, rng)
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+            diagnostics={"max_uncertainty": float(uncertainty.max()) if len(uncertainty) else 0.0},
+        )
+
+
+class EntropySelector(ExampleSelector):
+    """Selects the unlabeled examples with the highest predictive entropy."""
+
+    compatible_families = _ALL_FAMILIES
+    learner_aware = True
+    name = "entropy"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            probabilities = np.clip(learner.predict_proba(unlabeled_features), 1e-9, 1 - 1e-9)
+            entropy = -(
+                probabilities * np.log2(probabilities)
+                + (1.0 - probabilities) * np.log2(1.0 - probabilities)
+            )
+            indices = top_k_with_random_ties(entropy, batch_size, rng)
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+            diagnostics={"max_entropy": float(entropy.max()) if len(entropy) else 0.0},
+        )
+
+
+class DensityWeightedSelector(ExampleSelector):
+    """Information-density selection: uncertainty weighted by representativeness.
+
+    An ambiguous example that sits in a dense region of the unlabeled pool is
+    more valuable than an equally ambiguous outlier.  The density term is the
+    average cosine similarity of an example to a random reference sample of
+    the pool, raised to ``density_weight``.
+    """
+
+    compatible_families = _ALL_FAMILIES
+    learner_aware = True
+
+    def __init__(self, density_weight: float = 1.0, reference_sample: int = 200):
+        self.density_weight = density_weight
+        self.reference_sample = reference_sample
+        self.name = f"density_weighted({density_weight:g})"
+
+    def select(
+        self,
+        learner: Learner,
+        labeled_features: np.ndarray,
+        labeled_labels: np.ndarray,
+        unlabeled_features: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> SelectionResult:
+        scoring_watch = Stopwatch()
+        with scoring_watch.timing():
+            probabilities = learner.predict_proba(unlabeled_features)
+            uncertainty = 0.5 - np.abs(probabilities - 0.5)
+
+            n = len(unlabeled_features)
+            sample_size = min(self.reference_sample, n)
+            reference_idx = rng.choice(n, size=sample_size, replace=False) if n else []
+            reference = unlabeled_features[reference_idx]
+            norms = np.linalg.norm(unlabeled_features, axis=1) + 1e-12
+            reference_norms = np.linalg.norm(reference, axis=1) + 1e-12
+            cosine = (unlabeled_features @ reference.T) / np.outer(norms, reference_norms)
+            density = cosine.mean(axis=1) if sample_size else np.ones(n)
+            density = np.clip(density, 0.0, None)
+
+            scores = uncertainty * np.power(density, self.density_weight)
+            indices = top_k_with_random_ties(scores, batch_size, rng)
+        return SelectionResult(
+            indices=indices,
+            committee_creation_time=0.0,
+            scoring_time=scoring_watch.elapsed,
+            scored_examples=len(unlabeled_features),
+        )

@@ -1,0 +1,77 @@
+"""String similarity substrate.
+
+The paper extracts feature vectors by applying 21 similarity functions from
+the Java Simmetrics library to every pair of aligned attributes.  This package
+is a from-scratch Python replacement: character/edit-based measures,
+token-based set measures, hybrid measures and a registry
+(:data:`DEFAULT_SIMILARITY_SUITE`) listing the 21 functions used by the
+feature extractor.  Rule-based learners only use the reduced
+:data:`RULE_SIMILARITY_SUITE` (exact equality, Jaro-Winkler, Jaccard), as in
+Section 3 of the paper.
+"""
+
+from .tokenizers import qgrams, tokenize_words, tokenize_words_and_numbers
+from .edit_based import (
+    damerau_levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    longest_common_subsequence_similarity,
+    needleman_wunsch_similarity,
+    prefix_similarity,
+    smith_waterman_similarity,
+    suffix_similarity,
+)
+from .token_based import (
+    block_distance_similarity,
+    cosine_similarity,
+    dice_similarity,
+    generalized_jaccard_similarity,
+    jaccard_similarity,
+    monge_elkan_similarity,
+    overlap_similarity,
+    qgram_similarity,
+    soft_tfidf_similarity,
+    tfidf_cosine_similarity,
+)
+from .simple import exact_match_similarity, numeric_similarity, length_similarity
+from .registry import (
+    DEFAULT_SIMILARITY_SUITE,
+    RULE_SIMILARITY_SUITE,
+    SimilarityFunction,
+    get_similarity_function,
+    list_similarity_functions,
+)
+
+__all__ = [
+    "qgrams",
+    "tokenize_words",
+    "tokenize_words_and_numbers",
+    "levenshtein_similarity",
+    "damerau_levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "needleman_wunsch_similarity",
+    "smith_waterman_similarity",
+    "longest_common_subsequence_similarity",
+    "prefix_similarity",
+    "suffix_similarity",
+    "jaccard_similarity",
+    "generalized_jaccard_similarity",
+    "dice_similarity",
+    "overlap_similarity",
+    "cosine_similarity",
+    "tfidf_cosine_similarity",
+    "soft_tfidf_similarity",
+    "monge_elkan_similarity",
+    "qgram_similarity",
+    "block_distance_similarity",
+    "exact_match_similarity",
+    "numeric_similarity",
+    "length_similarity",
+    "SimilarityFunction",
+    "DEFAULT_SIMILARITY_SUITE",
+    "RULE_SIMILARITY_SUITE",
+    "get_similarity_function",
+    "list_similarity_functions",
+]

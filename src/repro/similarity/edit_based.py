@@ -1,0 +1,252 @@
+"""Character / edit-distance based similarity measures.
+
+Every function takes two strings and returns a similarity in ``[0, 1]``
+(1.0 means identical, 0.0 means maximally dissimilar).  Empty-vs-empty pairs
+are treated as identical (similarity 1.0); empty-vs-non-empty as 0.0, matching
+the paper's convention that missing attributes yield a similarity of 0.
+
+The dynamic-programming measures (Levenshtein, Damerau, Needleman-Wunsch,
+Smith-Waterman, LCS) are quadratic in string length; because the feature
+extractor applies them to every attribute of every candidate pair, inputs are
+truncated to :data:`MAX_DP_CHARS` characters.  Attribute values in EM datasets
+are short (titles, names, prices), so the truncation almost never triggers,
+but it bounds the worst case on long description fields.
+"""
+
+from __future__ import annotations
+
+from .tokenizers import normalize
+
+#: Maximum string length considered by the quadratic DP measures.
+MAX_DP_CHARS = 48
+
+
+def _empty_guard(a: str, b: str) -> float | None:
+    """Handle empty-string corner cases shared by all measures."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return None
+
+
+def _dp_normalize(text: str) -> str:
+    return normalize(text)[:MAX_DP_CHARS]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic Levenshtein (insert/delete/substitute, unit costs)."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+        previous = current
+    return previous[len(b)]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Levenshtein distance normalized by the longer string length."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    return 1.0 - levenshtein_distance(a, b) / max(len(a), len(b))
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Optimal-string-alignment distance (adds adjacent transpositions)."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    width = len(b) + 1
+    two_back = list(range(width))
+    previous = list(range(width))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            best = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            if i > 1 and j > 1 and ca == b[j - 2] and a[i - 2] == cb:
+                best = min(best, two_back[j - 2] + 1)
+            current[j] = best
+        two_back, previous = previous, current
+    return previous[len(b)]
+
+
+def damerau_levenshtein_similarity(a: str, b: str) -> float:
+    """Damerau-Levenshtein distance normalized by the longer string length."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    return 1.0 - damerau_levenshtein_distance(a, b) / max(len(a), len(b))
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity: transposition-aware matching of nearby characters."""
+    a, b = normalize(a), normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    if a == b:
+        return 1.0
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - match_window)
+        hi = min(len(b), i + match_window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ca:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by up to 4 characters of common prefix."""
+    a_n, b_n = normalize(a), normalize(b)
+    guard = _empty_guard(a_n, b_n)
+    if guard is not None:
+        return guard
+    jaro = jaro_similarity(a_n, b_n)
+    prefix = 0
+    for ca, cb in zip(a_n[:4], b_n[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def needleman_wunsch_similarity(a: str, b: str, gap_cost: float = 1.0) -> float:
+    """Global-alignment (Needleman-Wunsch) score normalized to [0, 1]."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    previous = [-gap_cost * j for j in range(len(b) + 1)]
+    for i, ca in enumerate(a, start=1):
+        current = [-gap_cost * i] + [0.0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            match = 1.0 if ca == cb else -1.0
+            current[j] = max(
+                previous[j - 1] + match,
+                previous[j] - gap_cost,
+                current[j - 1] - gap_cost,
+            )
+        previous = current
+    max_len = max(len(a), len(b))
+    # Raw score ranges from -gap_cost*max_len to +max_len; rescale to [0, 1].
+    raw = previous[len(b)]
+    return float((raw + gap_cost * max_len) / ((1.0 + gap_cost) * max_len))
+
+
+def smith_waterman_similarity(a: str, b: str, gap_cost: float = 0.5) -> float:
+    """Local-alignment (Smith-Waterman) score normalized by min string length."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    previous = [0.0] * (len(b) + 1)
+    best = 0.0
+    for ca in a:
+        current = [0.0] * (len(b) + 1)
+        for j, cb in enumerate(b, start=1):
+            match = 1.0 if ca == cb else -1.0
+            value = max(
+                0.0,
+                previous[j - 1] + match,
+                previous[j] - gap_cost,
+                current[j - 1] - gap_cost,
+            )
+            current[j] = value
+            if value > best:
+                best = value
+        previous = current
+    return float(best / min(len(a), len(b)))
+
+
+def longest_common_subsequence_length(a: str, b: str) -> int:
+    """Length of the longest (not necessarily contiguous) common subsequence."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for ca in a:
+        current = [0] * (len(b) + 1)
+        for j, cb in enumerate(b, start=1):
+            if ca == cb:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[len(b)]
+
+
+def longest_common_subsequence_similarity(a: str, b: str) -> float:
+    """LCS length normalized by the longer string length."""
+    a, b = _dp_normalize(a), _dp_normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    return longest_common_subsequence_length(a, b) / max(len(a), len(b))
+
+
+def prefix_similarity(a: str, b: str) -> float:
+    """Length of the common prefix normalized by the shorter string length."""
+    a, b = normalize(a), normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    common = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        common += 1
+    return common / min(len(a), len(b))
+
+
+def suffix_similarity(a: str, b: str) -> float:
+    """Length of the common suffix normalized by the shorter string length."""
+    a, b = normalize(a), normalize(b)
+    guard = _empty_guard(a, b)
+    if guard is not None:
+        return guard
+    common = 0
+    for ca, cb in zip(reversed(a), reversed(b)):
+        if ca != cb:
+            break
+        common += 1
+    return common / min(len(a), len(b))

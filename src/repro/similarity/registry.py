@@ -1,0 +1,109 @@
+"""Registry of named similarity functions.
+
+The feature extractor applies :data:`DEFAULT_SIMILARITY_SUITE` — 21 similarity
+functions mirroring the Simmetrics set used in the paper — to every aligned
+attribute pair.  Rule-based learners use only :data:`RULE_SIMILARITY_SUITE`
+(exact equality, Jaro-Winkler, Jaccard), as stated in Section 3.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from . import edit_based, simple, token_based
+
+
+@dataclass(frozen=True)
+class SimilarityFunction:
+    """A named string-similarity measure returning values in ``[0, 1]``."""
+
+    name: str
+    func: Callable[[str, str], float]
+    description: str = ""
+
+    def __call__(self, a: str, b: str) -> float:
+        return float(self.func(a, b))
+
+
+def _suite(*functions: SimilarityFunction) -> tuple[SimilarityFunction, ...]:
+    names = [f.name for f in functions]
+    if len(names) != len(set(names)):
+        raise ConfigurationError(f"duplicate similarity function names: {names}")
+    return tuple(functions)
+
+
+#: The 21 similarity functions applied by the continuous feature extractor.
+DEFAULT_SIMILARITY_SUITE: tuple[SimilarityFunction, ...] = _suite(
+    SimilarityFunction("exact_match", simple.exact_match_similarity, "exact equality"),
+    SimilarityFunction("levenshtein", edit_based.levenshtein_similarity, "normalized edit distance"),
+    SimilarityFunction(
+        "damerau_levenshtein",
+        edit_based.damerau_levenshtein_similarity,
+        "edit distance with transpositions",
+    ),
+    SimilarityFunction("jaro", edit_based.jaro_similarity, "Jaro"),
+    SimilarityFunction("jaro_winkler", edit_based.jaro_winkler_similarity, "Jaro-Winkler"),
+    SimilarityFunction(
+        "needleman_wunsch", edit_based.needleman_wunsch_similarity, "global alignment"
+    ),
+    SimilarityFunction(
+        "smith_waterman", edit_based.smith_waterman_similarity, "local alignment"
+    ),
+    SimilarityFunction(
+        "lcs", edit_based.longest_common_subsequence_similarity, "longest common subsequence"
+    ),
+    SimilarityFunction("common_prefix", edit_based.prefix_similarity, "common prefix length"),
+    SimilarityFunction("common_suffix", edit_based.suffix_similarity, "common suffix length"),
+    SimilarityFunction("jaccard", token_based.jaccard_similarity, "token-set Jaccard"),
+    SimilarityFunction(
+        "generalized_jaccard",
+        token_based.generalized_jaccard_similarity,
+        "token-bag Jaccard",
+    ),
+    SimilarityFunction("dice", token_based.dice_similarity, "token-set Dice"),
+    SimilarityFunction("overlap", token_based.overlap_similarity, "token-set overlap"),
+    SimilarityFunction("cosine", token_based.cosine_similarity, "binary token cosine"),
+    SimilarityFunction(
+        "tf_cosine", token_based.tfidf_cosine_similarity, "term-frequency cosine"
+    ),
+    SimilarityFunction(
+        "soft_tfidf", token_based.soft_tfidf_similarity, "soft TF-IDF (Jaro-Winkler inner)"
+    ),
+    SimilarityFunction(
+        "monge_elkan", token_based.monge_elkan_similarity, "Monge-Elkan (Jaro-Winkler inner)"
+    ),
+    SimilarityFunction(
+        "qgram", functools.partial(token_based.qgram_similarity, q=3), "character 3-gram Dice"
+    ),
+    SimilarityFunction(
+        "block_distance", token_based.block_distance_similarity, "L1 token-count similarity"
+    ),
+    SimilarityFunction("numeric", simple.numeric_similarity, "relative numeric difference"),
+)
+
+#: Reduced suite supported by the rule-based learner of Qian et al.
+RULE_SIMILARITY_SUITE: tuple[SimilarityFunction, ...] = _suite(
+    SimilarityFunction("exact_match", simple.exact_match_similarity, "exact equality"),
+    SimilarityFunction("jaro_winkler", edit_based.jaro_winkler_similarity, "Jaro-Winkler"),
+    SimilarityFunction("jaccard", token_based.jaccard_similarity, "token-set Jaccard"),
+)
+
+_BY_NAME = {f.name: f for f in DEFAULT_SIMILARITY_SUITE}
+
+
+def list_similarity_functions() -> list[str]:
+    """Names of all similarity functions in the default suite."""
+    return list(_BY_NAME)
+
+
+def get_similarity_function(name: str) -> SimilarityFunction:
+    """Look up a similarity function from the default suite by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown similarity function {name!r}; known: {sorted(_BY_NAME)}"
+        ) from exc

@@ -1,0 +1,54 @@
+"""Simple exact / numeric / length-based similarity measures."""
+
+from __future__ import annotations
+
+from .tokenizers import normalize
+
+
+def exact_match_similarity(a: str, b: str) -> float:
+    """1.0 when the normalized strings are identical, else 0.0.
+
+    This is the "equality" predicate used by the rule-based learner of
+    Qian et al. (e.g. ``P1.firstName = P2.FName``).
+    """
+    a_n, b_n = normalize(a), normalize(b)
+    if not a_n and not b_n:
+        return 1.0
+    return 1.0 if a_n == b_n else 0.0
+
+
+def _try_parse_number(text: str) -> float | None:
+    cleaned = normalize(text).replace("$", "").replace(",", "").strip()
+    if not cleaned:
+        return None
+    try:
+        return float(cleaned)
+    except ValueError:
+        return None
+
+
+def numeric_similarity(a: str, b: str) -> float:
+    """Relative-difference similarity for numeric attributes such as price.
+
+    Returns ``1 - |x - y| / max(|x|, |y|)`` clipped to ``[0, 1]`` when both
+    values parse as numbers, and falls back to exact string match otherwise.
+    """
+    x, y = _try_parse_number(a), _try_parse_number(b)
+    if x is None or y is None:
+        return exact_match_similarity(a, b)
+    if x == y:
+        return 1.0
+    denominator = max(abs(x), abs(y))
+    if denominator == 0.0:
+        return 1.0
+    return max(0.0, 1.0 - abs(x - y) / denominator)
+
+
+def length_similarity(a: str, b: str) -> float:
+    """Ratio of the shorter to the longer normalized string length."""
+    a_n, b_n = normalize(a), normalize(b)
+    if not a_n and not b_n:
+        return 1.0
+    if not a_n or not b_n:
+        return 0.0
+    return min(len(a_n), len(b_n)) / max(len(a_n), len(b_n))

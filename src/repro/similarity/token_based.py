@@ -1,0 +1,161 @@
+"""Token-based and hybrid similarity measures.
+
+All functions operate on whitespace/word tokens (or character q-grams) of the
+two input strings and return a similarity in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from .edit_based import jaro_winkler_similarity
+from .tokenizers import normalize, qgrams, tokenize_words
+
+
+def _empty_guard(a_tokens, b_tokens) -> float | None:
+    if not a_tokens and not b_tokens:
+        return 1.0
+    if not a_tokens or not b_tokens:
+        return 0.0
+    return None
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard coefficient over word-token sets: ``|A ∩ B| / |A ∪ B|``."""
+    a_set, b_set = set(tokenize_words(a)), set(tokenize_words(b))
+    guard = _empty_guard(a_set, b_set)
+    if guard is not None:
+        return guard
+    return len(a_set & b_set) / len(a_set | b_set)
+
+
+def generalized_jaccard_similarity(a: str, b: str) -> float:
+    """Multiset (bag) Jaccard: intersection/union on token counts."""
+    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
+    guard = _empty_guard(a_counts, b_counts)
+    if guard is not None:
+        return guard
+    intersection = sum((a_counts & b_counts).values())
+    union = sum((a_counts | b_counts).values())
+    return intersection / union
+
+
+def dice_similarity(a: str, b: str) -> float:
+    """Sørensen-Dice coefficient over word-token sets."""
+    a_set, b_set = set(tokenize_words(a)), set(tokenize_words(b))
+    guard = _empty_guard(a_set, b_set)
+    if guard is not None:
+        return guard
+    return 2.0 * len(a_set & b_set) / (len(a_set) + len(b_set))
+
+
+def overlap_similarity(a: str, b: str) -> float:
+    """Overlap coefficient: intersection normalized by the smaller set."""
+    a_set, b_set = set(tokenize_words(a)), set(tokenize_words(b))
+    guard = _empty_guard(a_set, b_set)
+    if guard is not None:
+        return guard
+    return len(a_set & b_set) / min(len(a_set), len(b_set))
+
+
+def cosine_similarity(a: str, b: str) -> float:
+    """Cosine similarity over binary word-token vectors."""
+    a_set, b_set = set(tokenize_words(a)), set(tokenize_words(b))
+    guard = _empty_guard(a_set, b_set)
+    if guard is not None:
+        return guard
+    return len(a_set & b_set) / math.sqrt(len(a_set) * len(b_set))
+
+
+def tfidf_cosine_similarity(a: str, b: str) -> float:
+    """Cosine similarity over term-frequency vectors of the two strings.
+
+    Without a corpus we cannot compute document frequencies, so the inverse
+    document frequency degenerates to a constant and this measure becomes a
+    term-frequency cosine — the standard corpus-free fallback.
+    """
+    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
+    guard = _empty_guard(a_counts, b_counts)
+    if guard is not None:
+        return guard
+    dot = sum(count * b_counts.get(token, 0) for token, count in a_counts.items())
+    norm_a = math.sqrt(sum(count * count for count in a_counts.values()))
+    norm_b = math.sqrt(sum(count * count for count in b_counts.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return min(1.0, dot / (norm_a * norm_b))
+
+
+def qgram_similarity(a: str, b: str, q: int = 3) -> float:
+    """Dice coefficient over padded character q-gram multisets."""
+    a_grams, b_grams = Counter(qgrams(a, q=q)), Counter(qgrams(b, q=q))
+    guard = _empty_guard(a_grams, b_grams)
+    if guard is not None:
+        return guard
+    intersection = sum((a_grams & b_grams).values())
+    total = sum(a_grams.values()) + sum(b_grams.values())
+    return 2.0 * intersection / total
+
+
+def block_distance_similarity(a: str, b: str) -> float:
+    """L1 (city-block) distance over token counts, rescaled to a similarity."""
+    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
+    guard = _empty_guard(a_counts, b_counts)
+    if guard is not None:
+        return guard
+    tokens = set(a_counts) | set(b_counts)
+    distance = sum(abs(a_counts.get(t, 0) - b_counts.get(t, 0)) for t in tokens)
+    total = sum(a_counts.values()) + sum(b_counts.values())
+    return 1.0 - distance / total
+
+
+def monge_elkan_similarity(a: str, b: str, inner=jaro_winkler_similarity) -> float:
+    """Monge-Elkan: average best inner-similarity of each left token.
+
+    For every token of ``a`` the best-matching token of ``b`` (under the inner
+    measure, Jaro-Winkler by default) is found and the scores are averaged.
+    The measure is asymmetric in general; we symmetrize by averaging both
+    directions, which is the common implementation choice.
+    """
+    a_tokens, b_tokens = tokenize_words(a), tokenize_words(b)
+    guard = _empty_guard(a_tokens, b_tokens)
+    if guard is not None:
+        return guard
+
+    def directed(left: list[str], right: list[str]) -> float:
+        return sum(max(inner(lt, rt) for rt in right) for lt in left) / len(left)
+
+    return min(1.0, 0.5 * (directed(a_tokens, b_tokens) + directed(b_tokens, a_tokens)))
+
+
+def soft_tfidf_similarity(a: str, b: str, threshold: float = 0.9) -> float:
+    """Soft TF-IDF (corpus-free variant) with Jaro-Winkler token matching.
+
+    Tokens of ``a`` are softly matched to tokens of ``b`` whenever their
+    Jaro-Winkler similarity exceeds ``threshold``; matched token weights
+    contribute proportionally to the cosine-style score.
+    """
+    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
+    guard = _empty_guard(a_counts, b_counts)
+    if guard is not None:
+        return guard
+    norm_a = math.sqrt(sum(c * c for c in a_counts.values()))
+    norm_b = math.sqrt(sum(c * c for c in b_counts.values()))
+    score = 0.0
+    for token_a, count_a in a_counts.items():
+        best_sim, best_token = 0.0, None
+        for token_b in b_counts:
+            sim = 1.0 if token_a == token_b else jaro_winkler_similarity(token_a, token_b)
+            if sim > best_sim:
+                best_sim, best_token = sim, token_b
+        if best_token is not None and best_sim >= threshold:
+            score += best_sim * count_a * b_counts[best_token]
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return min(1.0, score / (norm_a * norm_b))
+
+
+def token_exact_similarity(a: str, b: str) -> float:
+    """1.0 if the normalized token sequences are identical, else 0.0."""
+    return 1.0 if tokenize_words(a) == tokenize_words(b) else 0.0

@@ -1,0 +1,56 @@
+"""Tokenizers shared by the token-based similarity measures and blocking."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+_WORD_OR_NUMBER_RE = re.compile(r"[a-z]+|\d+(?:\.\d+)?")
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace; None-safe."""
+    if text is None:
+        return ""
+    return " ".join(str(text).lower().split())
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Split a string into lower-cased alphanumeric word tokens.
+
+    >>> tokenize_words("Sony Cyber-shot DSC-W80")
+    ['sony', 'cyber', 'shot', 'dsc', 'w80']
+    """
+    return _WORD_RE.findall(normalize(text))
+
+
+def tokenize_words_and_numbers(text: str) -> list[str]:
+    """Split into alphabetic words and numbers, keeping decimal points.
+
+    Useful for price/volume attributes where ``"12.99"`` should stay one token.
+    """
+    return _WORD_OR_NUMBER_RE.findall(normalize(text))
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the list of character q-grams of the normalized string.
+
+    With ``pad=True`` the string is padded with ``q - 1`` boundary markers on
+    each side, which is the Simmetrics convention and gives prefix/suffix
+    characters the same weight as interior characters.
+    """
+    s = normalize(text)
+    if not s:
+        return []
+    if pad:
+        padding = "#" * (q - 1)
+        s = f"{padding}{s}{padding}"
+    if len(s) < q:
+        return [s]
+    return [s[i : i + q] for i in range(len(s) - q + 1)]
+
+
+def token_counts(tokens: list[str]) -> Counter:
+    """Multiset view of a token list."""
+    return Counter(tokens)

@@ -1,0 +1,100 @@
+"""Small shared utilities: reproducible RNG handling and wall-clock timers."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None.
+
+    Every stochastic component in the library accepts either an integer seed,
+    an existing generator (so that callers can share one RNG stream), or None
+    for a fresh non-deterministic generator.
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise ConfigurationError(
+        f"expected an int seed, numpy Generator or None, got {type(seed_or_rng)!r}"
+    )
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer used for latency accounting.
+
+    The active learning loop keeps separate stopwatches for training time,
+    committee-creation time and example-scoring time, mirroring the latency
+    metric definitions in Section 3 of the paper.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise ConfigurationError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the duration of the last interval."""
+        if self._started_at is None:
+            raise ConfigurationError("stopwatch was not started")
+        interval = time.perf_counter() - self._started_at
+        self.elapsed += interval
+        self._started_at = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def timing(self) -> Iterator["Stopwatch"]:
+        """Context manager that accumulates the time spent inside the block."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a stopwatch that holds the block's duration."""
+    watch = Stopwatch()
+    watch.start()
+    try:
+        yield watch
+    finally:
+        if watch._started_at is not None:
+            watch.stop()
+
+
+def batched(items: list, batch_size: int) -> Iterator[list]:
+    """Yield consecutive batches of at most ``batch_size`` items.
+
+    >>> list(batched([1, 2, 3, 4, 5], batch_size=2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    current: list = []
+    for item in items:
+        current.append(item)
+        if len(current) == batch_size:
+            yield current
+            current = []
+    if current:
+        yield current

@@ -1,0 +1,138 @@
+"""Shared fixtures for the test suite.
+
+Dataset preparation (generation + blocking + feature extraction) is the
+slowest part of the pipeline, so the prepared datasets are session-scoped and
+deliberately tiny (scale 0.15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveLearningConfig
+from repro.datasets import CandidatePair, EMDataset, Record, Table
+from repro.harness.preparation import (
+    PreparedDataset,
+    prepare_dataset,
+    prepare_rule_dataset,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_prepared() -> PreparedDataset:
+    """A small continuous-feature dataset (publication domain)."""
+    return prepare_dataset("dblp_acm", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def tiny_product_prepared() -> PreparedDataset:
+    """A small continuous-feature dataset (product domain, harder)."""
+    return prepare_dataset("abt_buy", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def tiny_rule_prepared() -> PreparedDataset:
+    """A small Boolean-feature dataset for rule learners."""
+    return prepare_rule_dataset("dblp_acm", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ActiveLearningConfig:
+    """A loop configuration small enough for unit tests."""
+    return ActiveLearningConfig(
+        seed_size=20, batch_size=10, max_iterations=5, target_f1=0.98, random_state=0
+    )
+
+
+def make_blobs(
+    n_per_class: int = 60,
+    dim: int = 6,
+    separation: float = 4.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two Gaussian blobs: a linearly separable binary classification problem."""
+    rng = np.random.default_rng(seed)
+    center = np.zeros(dim)
+    center[0] = separation
+    negatives = rng.normal(size=(n_per_class, dim))
+    positives = rng.normal(size=(n_per_class, dim)) + center
+    features = np.vstack([negatives, positives])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    order = rng.permutation(len(labels))
+    return features[order], labels[order]
+
+
+def make_xor(n_per_quadrant: int = 40, noise: float = 0.15, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """An XOR problem: not linearly separable, solvable by trees and neural nets."""
+    rng = np.random.default_rng(seed)
+    quadrants = [(0, 0, 0), (1, 1, 0), (0, 1, 1), (1, 0, 1)]
+    features, labels = [], []
+    for x, y, label in quadrants:
+        points = rng.normal(scale=noise, size=(n_per_quadrant, 2)) + np.array([x, y])
+        features.append(points)
+        labels.extend([label] * n_per_quadrant)
+    features = np.vstack(features)
+    labels = np.array(labels)
+    order = rng.permutation(len(labels))
+    return features[order], labels[order]
+
+
+@pytest.fixture
+def blobs() -> tuple[np.ndarray, np.ndarray]:
+    return make_blobs()
+
+
+@pytest.fixture
+def xor_data() -> tuple[np.ndarray, np.ndarray]:
+    return make_xor()
+
+
+def make_toy_dataset() -> EMDataset:
+    """A tiny hand-written EM dataset with four matches and two non-matching rows."""
+    schema = ["name", "city"]
+    left = Table(
+        "left",
+        schema,
+        [
+            Record("l1", {"name": "alice cooper", "city": "portland"}),
+            Record("l2", {"name": "bob dylan", "city": "seattle"}),
+            Record("l3", {"name": "carol king", "city": "austin"}),
+            Record("l4", {"name": "dan brown", "city": "denver"}),
+            Record("l5", {"name": "eve ensler", "city": "boston"}),
+        ],
+    )
+    right = Table(
+        "right",
+        schema,
+        [
+            Record("r1", {"name": "alice coper", "city": "portland"}),
+            Record("r2", {"name": "bob dilan", "city": "seattle"}),
+            Record("r3", {"name": "carol kings", "city": "austin"}),
+            Record("r4", {"name": "daniel brown", "city": "denver"}),
+            Record("r5", {"name": "frank zappa", "city": "chicago"}),
+        ],
+    )
+    matches = {("l1", "r1"), ("l2", "r2"), ("l3", "r3"), ("l4", "r4")}
+    return EMDataset(name="toy", left=left, right=right, matched_columns=schema, matches=matches)
+
+
+@pytest.fixture
+def toy_dataset() -> EMDataset:
+    return make_toy_dataset()
+
+
+@pytest.fixture
+def toy_pairs(toy_dataset) -> list[CandidatePair]:
+    """All labeled Cartesian pairs of the toy dataset."""
+    pairs = [
+        CandidatePair(left, right)
+        for left in toy_dataset.left
+        for right in toy_dataset.right
+    ]
+    return toy_dataset.label_pairs(pairs)

@@ -1,0 +1,86 @@
+"""Tests for the Jaccard token blocker."""
+
+import pytest
+
+from repro.blocking import JaccardBlocker
+from repro.datasets import load_dataset
+from repro.exceptions import ConfigurationError
+
+
+class TestBlockerValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            JaccardBlocker(threshold=0.0)
+
+    def test_threshold_must_not_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            JaccardBlocker(threshold=1.5)
+
+
+class TestBlockingOnToyData(object):
+    def test_retains_all_true_matches(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset)
+        retained = {pair.key for pair in result.pairs}
+        assert toy_dataset.matches <= retained
+
+    def test_prunes_unrelated_pairs(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset)
+        assert result.post_blocking_pairs < toy_dataset.total_pairs
+        assert ("l1", "r5") not in {pair.key for pair in result.pairs}
+
+    def test_labels_attached(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset)
+        labels = {pair.key: pair.label for pair in result.pairs}
+        assert labels[("l1", "r1")] == 1
+
+    def test_attach_labels_false(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset, attach_labels=False)
+        assert all(pair.label is None for pair in result.pairs)
+        assert result.class_skew is None
+
+    def test_reduction_ratio(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset)
+        expected = 1.0 - result.post_blocking_pairs / toy_dataset.total_pairs
+        assert result.reduction_ratio == pytest.approx(expected)
+
+    def test_statistics(self, toy_dataset):
+        result = JaccardBlocker(threshold=0.2).block(toy_dataset)
+        assert result.statistics["left_records"] == 5
+        assert result.statistics["right_records"] == 5
+        assert result.statistics["ground_truth_matches"] == 4
+        assert result.statistics["matches_retained"] == 4
+
+
+class TestBlockingThresholdMonotonicity:
+    def test_higher_threshold_keeps_fewer_pairs(self, toy_dataset):
+        loose = JaccardBlocker(threshold=0.05).block(toy_dataset)
+        tight = JaccardBlocker(threshold=0.5).block(toy_dataset)
+        assert tight.post_blocking_pairs <= loose.post_blocking_pairs
+
+    def test_threshold_one_keeps_only_identical_token_sets(self, toy_dataset):
+        result = JaccardBlocker(threshold=1.0).block(toy_dataset)
+        for pair in result.pairs:
+            left_tokens = set(pair.left.text().lower().split())
+            right_tokens = set(pair.right.text().lower().split())
+            assert left_tokens == right_tokens
+
+
+class TestBlockingOnCatalogData:
+    def test_retains_most_matches_on_synthetic_dataset(self):
+        dataset = load_dataset("dblp_acm", scale=0.15)
+        result = JaccardBlocker(threshold=0.19).block(dataset)
+        assert result.statistics["matches_retained"] >= 0.9 * result.statistics["ground_truth_matches"]
+
+    def test_candidate_pairs_returns_jaccard_scores(self):
+        dataset = load_dataset("beer", scale=0.3)
+        blocker = JaccardBlocker(threshold=0.2)
+        triples = blocker.candidate_pairs(dataset.left, dataset.right)
+        assert triples
+        for _, _, jaccard in triples:
+            assert 0.2 <= jaccard <= 1.0
+
+    def test_skew_is_fraction_of_matches(self):
+        dataset = load_dataset("beer", scale=0.3)
+        result = JaccardBlocker(threshold=0.18).block(dataset)
+        positives = sum(pair.label for pair in result.pairs)
+        assert result.class_skew == pytest.approx(positives / len(result.pairs))

@@ -1,0 +1,137 @@
+"""Tests for the learner/selector base classes and the compatibility registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    ExampleSelector,
+    Learner,
+    LearnerFamily,
+    SelectionResult,
+    check_compatibility,
+)
+from repro.exceptions import IncompatibleSelectorError, NotFittedError
+from repro.learners import LinearSVM, NeuralNetwork, RandomForest, RuleLearner
+from repro.selectors import (
+    BlockedMarginSelector,
+    LFPLFNSelector,
+    MarginSelector,
+    QBCSelector,
+    RandomSelector,
+    TreeQBCSelector,
+)
+
+ALL_LEARNERS = [LinearSVM(), NeuralNetwork(), RandomForest(), RuleLearner()]
+
+
+class TestCompatibilityRegistry:
+    """The combination rules of Fig. 2 in the paper."""
+
+    @pytest.mark.parametrize("learner", ALL_LEARNERS, ids=lambda l: l.family.value)
+    def test_qbc_is_learner_agnostic(self, learner):
+        check_compatibility(learner, QBCSelector(2))
+
+    @pytest.mark.parametrize("learner", ALL_LEARNERS, ids=lambda l: l.family.value)
+    def test_random_selection_is_learner_agnostic(self, learner):
+        check_compatibility(learner, RandomSelector())
+
+    def test_margin_works_with_linear_and_non_linear(self):
+        check_compatibility(LinearSVM(), MarginSelector())
+        check_compatibility(NeuralNetwork(), MarginSelector())
+
+    def test_margin_rejects_trees_and_rules(self):
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(RandomForest(), MarginSelector())
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(RuleLearner(), MarginSelector())
+
+    def test_blocked_margin_only_linear(self):
+        check_compatibility(LinearSVM(), BlockedMarginSelector(1))
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(NeuralNetwork(), BlockedMarginSelector(1))
+
+    def test_tree_qbc_only_trees(self):
+        check_compatibility(RandomForest(), TreeQBCSelector())
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(LinearSVM(), TreeQBCSelector())
+
+    def test_lfp_lfn_only_rules(self):
+        check_compatibility(RuleLearner(), LFPLFNSelector())
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(RandomForest(), LFPLFNSelector())
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(NeuralNetwork(), LFPLFNSelector())
+
+    def test_selector_without_declared_families_is_rejected(self):
+        class Undeclared(ExampleSelector):
+            def select(self, *args, **kwargs):
+                return SelectionResult(indices=[])
+
+        with pytest.raises(IncompatibleSelectorError):
+            check_compatibility(LinearSVM(), Undeclared())
+
+    def test_validate_learner_is_equivalent(self):
+        MarginSelector().validate_learner(LinearSVM())
+        with pytest.raises(IncompatibleSelectorError):
+            MarginSelector().validate_learner(RuleLearner())
+
+
+class TestLearnerBase:
+    def test_default_decision_scores_not_implemented(self):
+        class Minimal(Learner):
+            family = LearnerFamily.LINEAR
+
+            def fit(self, features, labels):
+                self._fitted = True
+                return self
+
+            def predict(self, features):
+                return np.zeros(len(features), dtype=int)
+
+            def clone(self):
+                return Minimal()
+
+        learner = Minimal()
+        learner.fit(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(NotImplementedError):
+            learner.decision_scores(np.zeros((2, 2)))
+
+    def test_default_predict_proba_uses_predict(self):
+        class Minimal(Learner):
+            family = LearnerFamily.LINEAR
+
+            def fit(self, features, labels):
+                self._fitted = True
+                return self
+
+            def predict(self, features):
+                return np.ones(len(features), dtype=int)
+
+            def clone(self):
+                return Minimal()
+
+        learner = Minimal().fit(np.zeros((3, 2)), np.zeros(3))
+        assert np.allclose(learner.predict_proba(np.zeros((3, 2))), 1.0)
+
+    def test_require_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM()._require_fitted()
+
+
+class TestSelectionResult:
+    def test_selection_time_is_sum(self):
+        result = SelectionResult(indices=[1, 2], committee_creation_time=0.5, scoring_time=0.25)
+        assert result.selection_time == pytest.approx(0.75)
+
+    def test_defaults(self):
+        result = SelectionResult(indices=[])
+        assert result.selection_time == 0.0
+        assert result.scored_examples == 0
+        assert result.diagnostics == {}
+
+    def test_learner_aware_flags(self):
+        assert MarginSelector.learner_aware is True
+        assert TreeQBCSelector.learner_aware is True
+        assert LFPLFNSelector.learner_aware is True
+        assert QBCSelector.learner_aware is False
+        assert RandomSelector.learner_aware is False

@@ -1,0 +1,130 @@
+"""Tests for the loop configuration and run/iteration result containers."""
+
+import pytest
+
+from repro.core import ActiveLearningConfig, ActiveLearningRun, IterationRecord
+from repro.core.evaluation import EvaluationResult
+from repro.exceptions import ConfigurationError
+
+
+def make_evaluation(f1: float) -> EvaluationResult:
+    return EvaluationResult(
+        precision=f1, recall=f1, f1=f1, accuracy=f1,
+        true_positives=1, false_positives=0, true_negatives=1, false_negatives=0,
+    )
+
+
+def make_record(iteration: int, n_labels: int, f1: float, **times) -> IterationRecord:
+    return IterationRecord(
+        iteration=iteration,
+        n_labels=n_labels,
+        evaluation=make_evaluation(f1),
+        train_time=times.get("train_time", 0.1),
+        committee_creation_time=times.get("committee_creation_time", 0.2),
+        scoring_time=times.get("scoring_time", 0.05),
+        scored_examples=50,
+        selected=10,
+    )
+
+
+class TestActiveLearningConfig:
+    def test_paper_defaults(self):
+        config = ActiveLearningConfig()
+        assert config.seed_size == 30
+        assert config.batch_size == 10
+
+    def test_invalid_seed_size(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(seed_size=1)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(batch_size=0)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(max_iterations=0)
+
+    def test_invalid_target_f1(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(target_f1=0.0)
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(target_f1=1.5)
+
+    def test_none_disables_termination_criteria(self):
+        config = ActiveLearningConfig(max_iterations=None, target_f1=None)
+        assert config.max_iterations is None
+        assert config.target_f1 is None
+
+    def test_invalid_convergence(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(convergence_window=-1)
+        with pytest.raises(ConfigurationError):
+            ActiveLearningConfig(convergence_tolerance=-0.1)
+
+
+class TestIterationRecord:
+    def test_selection_time_is_creation_plus_scoring(self):
+        record = make_record(1, 30, 0.5, committee_creation_time=0.4, scoring_time=0.1)
+        assert record.selection_time == pytest.approx(0.5)
+
+    def test_user_wait_time_includes_training(self):
+        record = make_record(1, 30, 0.5, train_time=1.0, committee_creation_time=0.4, scoring_time=0.1)
+        assert record.user_wait_time == pytest.approx(1.5)
+
+    def test_f1_shortcut(self):
+        assert make_record(1, 30, 0.75).f1 == pytest.approx(0.75)
+
+
+class TestActiveLearningRun:
+    def make_run(self, f1_values):
+        run = ActiveLearningRun(learner_name="l", selector_name="s", dataset_name="d")
+        for i, f1 in enumerate(f1_values, start=1):
+            run.append(make_record(i, 30 + 10 * (i - 1), f1))
+        return run
+
+    def test_curves(self):
+        run = self.make_run([0.2, 0.5, 0.9])
+        assert run.labels_curve().tolist() == [30, 40, 50]
+        assert run.f1_curve().tolist() == pytest.approx([0.2, 0.5, 0.9])
+        assert len(run.selection_time_curve()) == 3
+        assert len(run.user_wait_time_curve()) == 3
+
+    def test_summaries(self):
+        run = self.make_run([0.2, 0.9, 0.85])
+        assert run.best_f1 == pytest.approx(0.9)
+        assert run.final_f1 == pytest.approx(0.85)
+        assert run.total_labels == 50
+        assert len(run) == 3
+
+    def test_labels_to_convergence(self):
+        run = self.make_run([0.2, 0.88, 0.9, 0.9])
+        # within 0.01 of best (0.9) is first reached at the third iteration
+        assert run.labels_to_convergence(tolerance=0.01) == 50
+        # a looser tolerance is reached earlier
+        assert run.labels_to_convergence(tolerance=0.05) == 40
+
+    def test_f1_at_labels(self):
+        run = self.make_run([0.2, 0.5, 0.9])
+        assert run.f1_at_labels(45) == pytest.approx(0.5)
+        assert run.f1_at_labels(10) == 0.0
+        assert run.f1_at_labels(1000) == pytest.approx(0.9)
+
+    def test_wait_time_totals(self):
+        run = self.make_run([0.2, 0.5])
+        assert run.total_user_wait_time == pytest.approx(2 * 0.35)
+        assert run.average_user_wait_time == pytest.approx(0.35)
+
+    def test_summary_dict(self):
+        run = self.make_run([0.2, 0.5])
+        summary = run.summary()
+        assert summary["learner"] == "l"
+        assert summary["iterations"] == 2
+        assert summary["best_f1"] == pytest.approx(0.5)
+
+    def test_empty_run_raises(self):
+        run = ActiveLearningRun(learner_name="l", selector_name="s", dataset_name="d")
+        with pytest.raises(ConfigurationError):
+            _ = run.best_f1
+        with pytest.raises(ConfigurationError):
+            run.summary()

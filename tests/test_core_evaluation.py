@@ -1,0 +1,98 @@
+"""Tests for the quality metrics (precision / recall / F1 on the match class)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate_predictions
+from repro.exceptions import ConfigurationError
+
+
+class TestEvaluatePredictions:
+    def test_perfect_predictions(self):
+        truth = np.array([1, 0, 1, 0])
+        result = evaluate_predictions(truth, truth)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+        assert result.accuracy == 1.0
+
+    def test_all_wrong(self):
+        truth = np.array([1, 0, 1, 0])
+        result = evaluate_predictions(truth, 1 - truth)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+        assert result.accuracy == 0.0
+
+    def test_known_confusion_matrix(self):
+        truth = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        predictions = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+        result = evaluate_predictions(truth, predictions)
+        assert result.true_positives == 2
+        assert result.false_negatives == 1
+        assert result.false_positives == 1
+        assert result.true_negatives == 4
+        assert result.precision == pytest.approx(2 / 3)
+        assert result.recall == pytest.approx(2 / 3)
+        assert result.f1 == pytest.approx(2 / 3)
+        assert result.accuracy == pytest.approx(6 / 8)
+        assert result.support == 8
+
+    def test_no_predicted_positives(self):
+        truth = np.array([1, 0, 1])
+        predictions = np.zeros(3, dtype=int)
+        result = evaluate_predictions(truth, predictions)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_no_actual_positives(self):
+        truth = np.zeros(4, dtype=int)
+        predictions = np.array([1, 0, 0, 0])
+        result = evaluate_predictions(truth, predictions)
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_predictions(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_predictions(np.zeros(0), np.zeros(0))
+
+    def test_accepts_boolean_arrays(self):
+        truth = np.array([True, False, True])
+        predictions = np.array([True, True, True])
+        result = evaluate_predictions(truth, predictions)
+        assert result.recall == 1.0
+        assert result.precision == pytest.approx(2 / 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    truth=st.lists(st.integers(0, 1), min_size=1, max_size=60),
+    predictions=st.lists(st.integers(0, 1), min_size=1, max_size=60),
+)
+def test_metric_invariants(truth, predictions):
+    n = min(len(truth), len(predictions))
+    truth = np.array(truth[:n])
+    predictions = np.array(predictions[:n])
+    result = evaluate_predictions(truth, predictions)
+
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    assert 0.0 <= result.f1 <= 1.0
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.support == n
+    # F1 is the harmonic mean: it lies between precision and recall.
+    assert result.f1 <= max(result.precision, result.recall) + 1e-12
+    assert result.f1 >= min(result.precision, result.recall) - 1e-12
+    # Confusion counts add up.
+    total = (
+        result.true_positives + result.false_positives
+        + result.true_negatives + result.false_negatives
+    )
+    assert total == n

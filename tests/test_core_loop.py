@@ -1,0 +1,305 @@
+"""Tests for the active-learning loop engine and the active ensemble loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActiveEnsemble,
+    ActiveEnsembleLoop,
+    ActiveLearningConfig,
+    ActiveLearningLoop,
+    NoisyOracle,
+    PairPool,
+    PerfectOracle,
+)
+from repro.exceptions import ConfigurationError, IncompatibleSelectorError
+from repro.learners import LinearSVM, RandomForest, RuleLearner
+from repro.selectors import LFPLFNSelector, MarginSelector, QBCSelector, RandomSelector, TreeQBCSelector
+
+from .conftest import make_blobs
+
+
+@pytest.fixture
+def blob_pool() -> PairPool:
+    features, labels = make_blobs(n_per_class=80, dim=5, seed=0)
+    return PairPool(features=features, true_labels=labels)
+
+
+def small_config(**overrides) -> ActiveLearningConfig:
+    defaults = dict(seed_size=10, batch_size=5, max_iterations=6, target_f1=0.99, random_state=0)
+    defaults.update(overrides)
+    return ActiveLearningConfig(**defaults)
+
+
+class TestActiveLearningLoop:
+    def test_rejects_incompatible_combination(self, blob_pool):
+        with pytest.raises(IncompatibleSelectorError):
+            ActiveLearningLoop(
+                learner=RandomForest(n_trees=2),
+                selector=MarginSelector(),
+                pool=blob_pool,
+                oracle=PerfectOracle(blob_pool),
+            )
+
+    def test_evaluation_arguments_must_come_together(self, blob_pool):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningLoop(
+                learner=LinearSVM(),
+                selector=MarginSelector(),
+                pool=blob_pool,
+                oracle=PerfectOracle(blob_pool),
+                evaluation_features=blob_pool.features,
+            )
+
+    def test_run_produces_records(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=50),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(),
+            dataset_name="blobs",
+        )
+        run = loop.run()
+        assert len(run) >= 1
+        assert run.dataset_name == "blobs"
+        assert run.records[0].n_labels == 10
+        assert run.terminated_because in {
+            "target_f1", "max_iterations", "unlabeled_exhausted", "selector_exhausted", "converged",
+        }
+
+    def test_labels_grow_by_batch_size(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=50),
+            selector=RandomSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=4),
+        )
+        run = loop.run()
+        labels = run.labels_curve()
+        assert labels[0] == 10
+        assert all(b - a == 5 for a, b in zip(labels, labels[1:]))
+
+    def test_target_f1_terminates_early(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=RandomForest(n_trees=5),
+            selector=TreeQBCSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=0.5, max_iterations=50),
+        )
+        run = loop.run()
+        assert run.terminated_because == "target_f1"
+        assert len(run) < 50
+
+    def test_max_iterations_respected(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=20),
+            selector=RandomSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=3),
+        )
+        run = loop.run()
+        assert len(run) == 3
+        assert run.terminated_because == "max_iterations"
+
+    def test_unlabeled_exhaustion(self):
+        features, labels = make_blobs(n_per_class=12, dim=3, seed=0)
+        pool = PairPool(features=features, true_labels=labels)
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=20),
+            selector=RandomSelector(),
+            pool=pool,
+            oracle=PerfectOracle(pool),
+            config=ActiveLearningConfig(
+                seed_size=10, batch_size=10, max_iterations=50, target_f1=None, random_state=0
+            ),
+        )
+        run = loop.run()
+        assert run.terminated_because == "unlabeled_exhausted"
+        assert run.total_labels == len(pool)
+
+    def test_convergence_window_terminates(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=RandomForest(n_trees=3),
+            selector=TreeQBCSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=ActiveLearningConfig(
+                seed_size=10, batch_size=5, max_iterations=30, target_f1=None,
+                convergence_window=2, convergence_tolerance=0.5, random_state=0,
+            ),
+        )
+        run = loop.run()
+        assert run.terminated_because == "converged"
+
+    def test_selector_exhaustion_with_rules(self):
+        rng = np.random.default_rng(0)
+        features = (rng.random((150, 6)) > 0.45).astype(float)
+        labels = ((features[:, 0] > 0.5) & (features[:, 1] > 0.5)).astype(int)
+        pool = PairPool(features=features, true_labels=labels)
+        loop = ActiveLearningLoop(
+            learner=RuleLearner(min_precision=0.8),
+            selector=LFPLFNSelector(),
+            pool=pool,
+            oracle=PerfectOracle(pool),
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=50, target_f1=None, random_state=0
+            ),
+        )
+        run = loop.run()
+        assert run.terminated_because in {"selector_exhausted", "unlabeled_exhausted", "max_iterations"}
+
+    def test_progressive_evaluation_uses_whole_pool(self, blob_pool):
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=30),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=2, target_f1=None),
+        )
+        run = loop.run()
+        assert run.records[0].evaluation.support == len(blob_pool)
+
+    def test_heldout_evaluation(self, blob_pool):
+        test_features, test_labels = make_blobs(n_per_class=25, dim=5, seed=3)
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=30),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=2, target_f1=None),
+            evaluation_features=test_features,
+            evaluation_labels=test_labels,
+        )
+        run = loop.run()
+        assert run.records[0].evaluation.support == 50
+
+    def test_oracle_queries_match_label_count(self, blob_pool):
+        oracle = PerfectOracle(blob_pool)
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=30),
+            selector=RandomSelector(),
+            pool=blob_pool,
+            oracle=oracle,
+            config=small_config(target_f1=None, max_iterations=3),
+        )
+        run = loop.run()
+        # The final iteration selects a batch that is never labeled (the loop
+        # stops first), so queries equal the labels consumed by trained models
+        # plus possibly one extra selected-but-unlabeled batch.
+        assert oracle.queries >= run.total_labels
+
+    def test_iteration_callback_extras_are_recorded(self, blob_pool):
+        def callback(learner, record):
+            return {"weight_norm": float(np.linalg.norm(learner.weights))}
+
+        loop = ActiveLearningLoop(
+            learner=LinearSVM(epochs=30),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=2, target_f1=None),
+            iteration_callback=callback,
+        )
+        run = loop.run()
+        assert all("weight_norm" in record.extras for record in run.records)
+
+    def test_deterministic_given_config_seed(self, blob_pool):
+        def run_once():
+            return ActiveLearningLoop(
+                learner=RandomForest(n_trees=3, random_state=1),
+                selector=TreeQBCSelector(),
+                pool=blob_pool,
+                oracle=PerfectOracle(blob_pool),
+                config=small_config(max_iterations=3, target_f1=None),
+            ).run()
+
+        first, second = run_once(), run_once()
+        assert first.f1_curve().tolist() == second.f1_curve().tolist()
+        assert first.labels_curve().tolist() == second.labels_curve().tolist()
+
+    def test_noisy_oracle_labels_used_for_training(self, blob_pool):
+        noisy = NoisyOracle(blob_pool, noise_probability=1.0, rng=0)
+        loop = ActiveLearningLoop(
+            learner=RandomForest(n_trees=3),
+            selector=TreeQBCSelector(),
+            pool=blob_pool,
+            oracle=noisy,
+            config=small_config(max_iterations=3, target_f1=None),
+        )
+        run = loop.run()
+        # Training on fully flipped labels must hurt quality badly.
+        assert run.best_f1 < 0.5
+
+
+class TestActiveEnsembleLoop:
+    def test_runs_and_accepts_members(self, blob_pool):
+        loop = ActiveEnsembleLoop(
+            learner_factory=lambda: LinearSVM(epochs=60),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=8, target_f1=0.995),
+            precision_threshold=0.85,
+        )
+        run = loop.run()
+        assert len(run) >= 1
+        assert run.metadata["accepted_classifiers"] == len(loop.ensemble)
+        assert run.records[-1].extras["accepted_classifiers"] >= 0
+
+    def test_invalid_precision_threshold(self, blob_pool):
+        with pytest.raises(ConfigurationError):
+            ActiveEnsembleLoop(
+                learner_factory=LinearSVM,
+                selector=MarginSelector(),
+                pool=blob_pool,
+                oracle=PerfectOracle(blob_pool),
+                precision_threshold=0.0,
+            )
+
+    def test_incompatible_selector_rejected(self, blob_pool):
+        with pytest.raises(IncompatibleSelectorError):
+            ActiveEnsembleLoop(
+                learner_factory=lambda: RandomForest(n_trees=2),
+                selector=MarginSelector(),
+                pool=blob_pool,
+                oracle=PerfectOracle(blob_pool),
+            )
+
+    def test_ensemble_predictions_are_union(self, blob_pool):
+        ensemble = ActiveEnsemble()
+        features, labels = make_blobs(n_per_class=40, dim=5, seed=2)
+        positive_only = LinearSVM().fit(features, np.ones(len(labels), dtype=int))
+        negative_only = LinearSVM().fit(features, np.zeros(len(labels), dtype=int))
+        assert np.all(ensemble.predict(features) == 0)
+        ensemble.accept(negative_only)
+        assert np.all(ensemble.predict(features) == 0)
+        ensemble.accept(positive_only)
+        assert np.all(ensemble.predict(features) == 1)
+
+    def test_predict_with_candidate_includes_candidate(self, blob_pool):
+        ensemble = ActiveEnsemble()
+        features, labels = make_blobs(n_per_class=40, dim=5, seed=2)
+        candidate = LinearSVM().fit(features, labels)
+        with_candidate = ensemble.predict_with_candidate(features, candidate)
+        assert with_candidate.sum() > 0
+
+    def test_quality_comparable_to_single_classifier(self, blob_pool):
+        single = ActiveLearningLoop(
+            learner=LinearSVM(epochs=60),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=8, target_f1=None),
+        ).run()
+        ensemble = ActiveEnsembleLoop(
+            learner_factory=lambda: LinearSVM(epochs=60),
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(max_iterations=8, target_f1=None),
+        ).run()
+        assert ensemble.best_f1 >= single.best_f1 - 0.15

@@ -1,0 +1,155 @@
+"""Tests for pair pools, the labeled pool and the Oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabeledPool, NoisyOracle, PairPool, PerfectOracle
+from repro.exceptions import ConfigurationError, OracleError
+
+
+@pytest.fixture
+def pool() -> PairPool:
+    rng = np.random.default_rng(0)
+    features = rng.random((40, 6))
+    labels = np.array(([1] * 8) + ([0] * 32))
+    return PairPool(features=features, true_labels=labels)
+
+
+class TestPairPool:
+    def test_basic_properties(self, pool):
+        assert len(pool) == 40
+        assert pool.dim == 6
+        assert pool.class_skew == pytest.approx(0.2)
+
+    def test_requires_2d_features(self):
+        with pytest.raises(ConfigurationError):
+            PairPool(features=np.zeros(5), true_labels=np.zeros(5))
+
+    def test_requires_aligned_labels(self):
+        with pytest.raises(ConfigurationError):
+            PairPool(features=np.zeros((5, 2)), true_labels=np.zeros(4))
+
+    def test_pairs_must_align(self):
+        with pytest.raises(ConfigurationError):
+            PairPool(features=np.zeros((3, 2)), true_labels=np.zeros(3), pairs=[1, 2])
+
+    def test_empty_pool_skew(self):
+        empty = PairPool(features=np.zeros((0, 3)), true_labels=np.zeros(0))
+        assert empty.class_skew == 0.0
+
+
+class TestLabeledPool:
+    def test_add_and_query(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.add(3, 1)
+        labeled.add(10, 0)
+        assert len(labeled) == 2
+        assert labeled.is_labeled(3)
+        assert not labeled.is_labeled(4)
+        assert labeled.labeled_indices.tolist() == [3, 10]
+        assert labeled.labeled_labels().tolist() == [1, 0]
+
+    def test_features_views(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.add_batch([0, 5], [1, 0])
+        assert labeled.labeled_features().shape == (2, pool.dim)
+        assert labeled.unlabeled_features().shape == (38, pool.dim)
+        assert len(labeled.unlabeled_indices) == 38
+        assert 0 not in labeled.unlabeled_indices
+
+    def test_double_label_rejected(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.add(1, 0)
+        with pytest.raises(ConfigurationError):
+            labeled.add(1, 1)
+
+    def test_out_of_range_rejected(self, pool):
+        labeled = LabeledPool(pool)
+        with pytest.raises(ConfigurationError):
+            labeled.add(1000, 1)
+
+    def test_batch_mismatch_rejected(self, pool):
+        labeled = LabeledPool(pool)
+        with pytest.raises(ConfigurationError):
+            labeled.add_batch([1, 2], [0])
+
+    def test_seed_is_stratified(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.seed(10, PerfectOracle(pool), rng=0)
+        assert len(labeled) == 10
+        labels = labeled.labeled_labels()
+        assert labels.sum() >= 2
+        assert (labels == 0).sum() >= 2
+
+    def test_seed_unstratified(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.seed(10, PerfectOracle(pool), rng=0, stratified=False)
+        assert len(labeled) == 10
+
+    def test_seed_larger_than_pool_is_capped(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.seed(1000, PerfectOracle(pool), rng=0)
+        assert len(labeled) == len(pool)
+
+    def test_seed_twice_rejected(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.seed(5, PerfectOracle(pool), rng=0)
+        with pytest.raises(ConfigurationError):
+            labeled.seed(5, PerfectOracle(pool), rng=0)
+
+    def test_seed_counts_oracle_queries(self, pool):
+        oracle = PerfectOracle(pool)
+        LabeledPool(pool).seed(12, oracle, rng=0)
+        assert oracle.queries == 12
+
+
+class TestPerfectOracle:
+    def test_returns_ground_truth(self, pool):
+        oracle = PerfectOracle(pool)
+        for index in range(len(pool)):
+            assert oracle.label(index) == pool.true_labels[index]
+
+    def test_counts_queries(self, pool):
+        oracle = PerfectOracle(pool)
+        oracle.label_batch([0, 1, 2])
+        assert oracle.queries == 3
+
+    def test_out_of_range(self, pool):
+        with pytest.raises(OracleError):
+            PerfectOracle(pool).label(10_000)
+
+
+class TestNoisyOracle:
+    def test_zero_noise_equals_truth(self, pool):
+        oracle = NoisyOracle(pool, noise_probability=0.0, rng=0)
+        answers = oracle.label_batch(list(range(len(pool))))
+        assert answers == pool.true_labels.tolist()
+
+    def test_full_noise_flips_everything(self, pool):
+        oracle = NoisyOracle(pool, noise_probability=1.0, rng=0)
+        answers = oracle.label_batch(list(range(len(pool))))
+        assert answers == (1 - pool.true_labels).tolist()
+
+    def test_noise_rate_is_approximately_respected(self, pool):
+        oracle = NoisyOracle(pool, noise_probability=0.3, rng=1)
+        answers = np.array(oracle.label_batch(list(range(len(pool)))))
+        flip_rate = (answers != pool.true_labels).mean()
+        assert 0.1 <= flip_rate <= 0.5
+
+    def test_answers_are_memoised(self, pool):
+        oracle = NoisyOracle(pool, noise_probability=0.5, rng=2)
+        first = [oracle.label(5) for _ in range(10)]
+        assert len(set(first)) == 1
+
+    def test_invalid_probability(self, pool):
+        with pytest.raises(ConfigurationError):
+            NoisyOracle(pool, noise_probability=1.5)
+
+    def test_different_seeds_give_different_noise(self, pool):
+        a = NoisyOracle(pool, noise_probability=0.5, rng=1).label_batch(list(range(len(pool))))
+        b = NoisyOracle(pool, noise_probability=0.5, rng=2).label_batch(list(range(len(pool))))
+        assert a != b
+
+    def test_out_of_range(self, pool):
+        with pytest.raises(OracleError):
+            NoisyOracle(pool, noise_probability=0.1).label(-200)

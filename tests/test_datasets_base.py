@@ -1,0 +1,97 @@
+"""Tests for the core dataset data structures (Record, Table, EMDataset, pairs)."""
+
+import pytest
+
+from repro.datasets import CandidatePair, EMDataset, Record, Table
+from repro.exceptions import DatasetError
+
+
+class TestRecord:
+    def test_value_returns_attribute(self):
+        record = Record("r1", {"name": "sony tv"})
+        assert record.value("name") == "sony tv"
+
+    def test_value_missing_attribute_is_empty(self):
+        record = Record("r1", {"name": "sony tv"})
+        assert record.value("price") == ""
+
+    def test_value_none_is_empty(self):
+        record = Record("r1", {"name": None})
+        assert record.value("name") == ""
+
+    def test_text_concatenates_values(self):
+        record = Record("r1", {"name": "sony tv", "price": "99"})
+        assert "sony tv" in record.text()
+        assert "99" in record.text()
+
+
+class TestTable:
+    def test_requires_schema(self):
+        with pytest.raises(DatasetError):
+            Table("t", [])
+
+    def test_add_and_lookup(self):
+        table = Table("t", ["name"])
+        table.add(Record("a", {"name": "x"}))
+        assert table["a"].value("name") == "x"
+        assert "a" in table
+        assert len(table) == 1
+
+    def test_duplicate_id_rejected(self):
+        table = Table("t", ["name"], [Record("a", {"name": "x"})])
+        with pytest.raises(DatasetError):
+            table.add(Record("a", {"name": "y"}))
+
+    def test_missing_id_raises(self):
+        table = Table("t", ["name"])
+        with pytest.raises(DatasetError):
+            table["missing"]
+
+    def test_iteration_preserves_order(self):
+        records = [Record(f"r{i}", {"name": str(i)}) for i in range(5)]
+        table = Table("t", ["name"], records)
+        assert [r.record_id for r in table] == [f"r{i}" for i in range(5)]
+        assert table.record_ids() == [f"r{i}" for i in range(5)]
+
+
+class TestCandidatePair:
+    def test_key(self):
+        pair = CandidatePair(Record("l", {"a": "1"}), Record("r", {"a": "1"}))
+        assert pair.key == ("l", "r")
+
+    def test_with_label(self):
+        pair = CandidatePair(Record("l", {"a": "1"}), Record("r", {"a": "1"}))
+        labeled = pair.with_label(1)
+        assert labeled.label == 1
+        assert pair.label is None  # original unchanged
+
+
+class TestEMDataset:
+    def test_valid_construction(self, toy_dataset):
+        assert toy_dataset.total_pairs == 25
+        assert toy_dataset.is_match("l1", "r1")
+        assert not toy_dataset.is_match("l1", "r2")
+
+    def test_matched_columns_must_exist(self):
+        left = Table("l", ["name"], [Record("l1", {"name": "a"})])
+        right = Table("r", ["name"], [Record("r1", {"name": "a"})])
+        with pytest.raises(DatasetError):
+            EMDataset("bad", left, right, matched_columns=["name", "price"], matches=set())
+
+    def test_matches_must_reference_known_records(self):
+        left = Table("l", ["name"], [Record("l1", {"name": "a"})])
+        right = Table("r", ["name"], [Record("r1", {"name": "a"})])
+        with pytest.raises(DatasetError):
+            EMDataset("bad", left, right, matched_columns=["name"], matches={("l1", "zzz")})
+
+    def test_label_pairs(self, toy_dataset, toy_pairs):
+        labels = {pair.key: pair.label for pair in toy_pairs}
+        assert labels[("l1", "r1")] == 1
+        assert labels[("l1", "r2")] == 0
+        assert sum(labels.values()) == len(toy_dataset.matches)
+
+    def test_class_skew(self, toy_dataset, toy_pairs):
+        assert toy_dataset.class_skew(toy_pairs) == pytest.approx(4 / 25)
+
+    def test_class_skew_empty(self, toy_dataset):
+        assert toy_dataset.class_skew([]) == 0.0

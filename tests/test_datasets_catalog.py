@@ -1,0 +1,81 @@
+"""Tests for the dataset catalog (Table 1 stand-ins)."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    dataset_names,
+    get_dataset_spec,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestCatalogSpecs:
+    def test_contains_all_nine_paper_datasets(self):
+        expected = {
+            "abt_buy", "amazon_google", "dblp_acm", "dblp_scholar", "cora",
+            "walmart_amazon", "amazon_bestbuy", "beer", "babyproducts",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_paper_statistics_recorded(self):
+        spec = get_dataset_spec("abt_buy")
+        assert spec.paper.post_blocking_pairs == 8682
+        assert spec.paper.class_skew == pytest.approx(0.12)
+
+    def test_matched_columns_match_table1(self):
+        assert get_dataset_spec("abt_buy").matched_columns == ["name", "description", "price"]
+        assert get_dataset_spec("dblp_acm").matched_columns == ["title", "authors", "venue", "year"]
+        assert len(get_dataset_spec("cora").matched_columns) == 9
+        assert len(get_dataset_spec("babyproducts").matched_columns) == 14
+
+    def test_family_size_tracks_inverse_skew(self):
+        for spec in DATASET_SPECS.values():
+            assert spec.family_size >= 2
+            # family_size should be in the right ballpark of 1/skew
+            assert spec.family_size <= 2.5 / spec.paper.class_skew
+
+    def test_noisy_oracle_datasets_marked(self):
+        for name in ("walmart_amazon", "amazon_bestbuy", "beer", "babyproducts"):
+            assert get_dataset_spec(name).oracle_kind == "noisy"
+        assert get_dataset_spec("abt_buy").oracle_kind == "perfect"
+
+    def test_generation_seed_is_stable(self):
+        assert get_dataset_spec("cora").generation_seed() == get_dataset_spec("cora").generation_seed()
+        assert get_dataset_spec("cora").generation_seed() != get_dataset_spec("beer").generation_seed()
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            get_dataset_spec("imaginary")
+
+
+class TestLoadDataset:
+    def test_load_is_deterministic(self):
+        a = load_dataset("beer", scale=0.4)
+        b = load_dataset("beer", scale=0.4)
+        assert [r.attributes for r in a.left] == [r.attributes for r in b.left]
+        assert a.matches == b.matches
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("beer", scale=0.4, seed=1)
+        b = load_dataset("beer", scale=0.4, seed=2)
+        assert [r.attributes for r in a.left] != [r.attributes for r in b.left]
+
+    def test_scale_changes_size(self):
+        small = load_dataset("dblp_acm", scale=0.1)
+        large = load_dataset("dblp_acm", scale=0.3)
+        assert len(large.left) > len(small.left)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("dblp_acm", scale=0.0)
+
+    def test_schema_matches_spec(self):
+        dataset = load_dataset("walmart_amazon", scale=0.1)
+        assert dataset.matched_columns == get_dataset_spec("walmart_amazon").matched_columns
+
+    def test_every_left_record_has_unique_match(self):
+        dataset = load_dataset("dblp_acm", scale=0.2)
+        left_ids = [left for left, _ in dataset.matches]
+        assert len(left_ids) == len(set(left_ids))

@@ -1,0 +1,91 @@
+"""Tests for the string corruption model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corruption import CorruptionConfig, Corruptor
+from repro.exceptions import ConfigurationError
+
+
+class TestCorruptionConfig:
+    def test_defaults_are_valid(self):
+        CorruptionConfig()
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(typo_rate=-0.1)
+
+    def test_rejects_rate_above_one(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig(token_drop_rate=1.5)
+
+    def test_scaled_multiplies_rates(self):
+        config = CorruptionConfig(typo_rate=0.1, token_drop_rate=0.2)
+        scaled = config.scaled(2.0)
+        assert scaled.typo_rate == pytest.approx(0.2)
+        assert scaled.token_drop_rate == pytest.approx(0.4)
+
+    def test_scaled_caps_at_one(self):
+        config = CorruptionConfig(token_drop_rate=0.6)
+        assert config.scaled(5.0).token_drop_rate == 1.0
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionConfig().scaled(-1.0)
+
+    def test_scaled_zero_disables_noise(self):
+        scaled = CorruptionConfig().scaled(0.0)
+        assert scaled.typo_rate == 0.0
+        assert scaled.missing_value_rate == 0.0
+
+
+class TestCorruptor:
+    def test_zero_noise_is_identity(self):
+        corruptor = Corruptor(CorruptionConfig().scaled(0.0), rng=np.random.default_rng(0))
+        value = "sony cybershot dsc w80 camera"
+        assert corruptor.corrupt_value(value) == value
+
+    def test_empty_value_stays_empty(self):
+        corruptor = Corruptor(rng=np.random.default_rng(0))
+        assert corruptor.corrupt_value("") == ""
+
+    def test_never_returns_empty_unless_missing(self):
+        config = CorruptionConfig(
+            typo_rate=0.5, token_drop_rate=0.9, token_swap_rate=0.5,
+            abbreviation_rate=0.9, missing_value_rate=0.0, token_insert_rate=0.5,
+        )
+        corruptor = Corruptor(config, rng=np.random.default_rng(1))
+        for _ in range(50):
+            assert corruptor.corrupt_value("alpha beta gamma") != ""
+
+    def test_missing_value_rate_one_always_blanks(self):
+        config = CorruptionConfig(missing_value_rate=1.0)
+        corruptor = Corruptor(config, rng=np.random.default_rng(2))
+        assert corruptor.corrupt_value("anything at all") == ""
+
+    def test_deterministic_given_rng(self):
+        config = CorruptionConfig().scaled(2.0)
+        a = Corruptor(config, rng=np.random.default_rng(7)).corrupt_value("garmin gps navigator unit")
+        b = Corruptor(config, rng=np.random.default_rng(7)).corrupt_value("garmin gps navigator unit")
+        assert a == b
+
+    def test_heavy_noise_changes_string(self):
+        config = CorruptionConfig(typo_rate=0.4, token_drop_rate=0.4, missing_value_rate=0.0)
+        corruptor = Corruptor(config, rng=np.random.default_rng(3))
+        original = "professional wireless noise cancelling headphones"
+        changed = sum(corruptor.corrupt_value(original) != original for _ in range(20))
+        assert changed >= 18
+
+    def test_corrupt_record_covers_all_attributes(self):
+        corruptor = Corruptor(CorruptionConfig().scaled(0.0), rng=np.random.default_rng(0))
+        record = {"name": "a product", "price": "12.99"}
+        assert corruptor.corrupt_record(record) == record
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.text(alphabet="abcdefghij ", min_size=1, max_size=40), seed=st.integers(0, 1000))
+    def test_corruption_output_is_string(self, value, seed):
+        corruptor = Corruptor(CorruptionConfig().scaled(3.0), rng=np.random.default_rng(seed))
+        result = corruptor.corrupt_value(value)
+        assert isinstance(result, str)

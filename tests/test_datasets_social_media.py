@@ -1,0 +1,59 @@
+"""Tests for the synthetic social-media dataset (Fig. 19 substrate)."""
+
+import pytest
+
+from repro.datasets import generate_social_media_dataset
+from repro.datasets.social_media import SOCIAL_MEDIA_SCHEMA
+from repro.exceptions import ConfigurationError
+
+
+class TestSocialMediaGeneration:
+    def test_schema(self):
+        social = generate_social_media_dataset(n_employees=20, seed=0)
+        assert social.dataset.matched_columns == SOCIAL_MEDIA_SCHEMA
+        assert social.dataset.left.schema == SOCIAL_MEDIA_SCHEMA
+
+    def test_sizes(self):
+        social = generate_social_media_dataset(
+            n_employees=30, profiles_per_employee_family=4, match_fraction=0.5, seed=1
+        )
+        assert len(social.dataset.left) == 30
+        # every employee contributes (family - 1) impostors plus possibly one true profile
+        assert len(social.dataset.right) >= 30 * 3
+        assert len(social.dataset.matches) <= 30
+
+    def test_match_fraction_controls_matches(self):
+        low = generate_social_media_dataset(n_employees=50, match_fraction=0.2, seed=2)
+        high = generate_social_media_dataset(n_employees=50, match_fraction=0.9, seed=2)
+        assert len(high.dataset.matches) > len(low.dataset.matches)
+
+    def test_deterministic(self):
+        a = generate_social_media_dataset(n_employees=25, seed=3)
+        b = generate_social_media_dataset(n_employees=25, seed=3)
+        assert a.dataset.matches == b.dataset.matches
+
+    def test_enterprise_emails_use_corporate_domain(self):
+        social = generate_social_media_dataset(n_employees=10, seed=4)
+        for record in social.dataset.left:
+            assert record.value("email").endswith("bigcorp.com")
+
+    def test_social_profiles_do_not_use_corporate_domain(self):
+        social = generate_social_media_dataset(n_employees=10, seed=4)
+        for record in social.dataset.right:
+            assert not record.value("email").endswith("bigcorp.com")
+
+    def test_validation_threshold_default(self):
+        social = generate_social_media_dataset(n_employees=5, seed=0)
+        assert social.validation_precision_threshold == pytest.approx(0.85)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_social_media_dataset(n_employees=0)
+        with pytest.raises(ConfigurationError):
+            generate_social_media_dataset(n_employees=5, match_fraction=0.0)
+
+    def test_matches_reference_existing_records(self):
+        social = generate_social_media_dataset(n_employees=40, seed=5)
+        for left_id, right_id in social.dataset.matches:
+            assert left_id in social.dataset.left
+            assert right_id in social.dataset.right

@@ -1,0 +1,56 @@
+"""Tests for the stratified train/test split used by the supervised comparison."""
+
+import pytest
+
+from repro.datasets import train_test_split_pairs
+from repro.exceptions import ConfigurationError
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self, toy_pairs):
+        train, test = train_test_split_pairs(toy_pairs, test_fraction=0.2, seed=0)
+        assert len(train) + len(test) == len(toy_pairs)
+        train_keys = {pair.key for pair in train}
+        test_keys = {pair.key for pair in test}
+        assert not train_keys & test_keys
+
+    def test_stratification_keeps_both_classes(self, toy_pairs):
+        train, test = train_test_split_pairs(toy_pairs, test_fraction=0.25, seed=1)
+        assert any(pair.label == 1 for pair in train)
+        assert any(pair.label == 1 for pair in test)
+        assert any(pair.label == 0 for pair in test)
+
+    def test_test_fraction_respected_approximately(self, tiny_prepared):
+        pairs = tiny_prepared.pairs
+        train, test = train_test_split_pairs(pairs, test_fraction=0.2, seed=0)
+        assert len(test) == pytest.approx(0.2 * len(pairs), rel=0.25)
+
+    def test_skew_preserved(self, tiny_prepared):
+        pairs = tiny_prepared.pairs
+        skew = sum(pair.label for pair in pairs) / len(pairs)
+        train, test = train_test_split_pairs(pairs, test_fraction=0.2, seed=0)
+        test_skew = sum(pair.label for pair in test) / len(test)
+        assert test_skew == pytest.approx(skew, abs=0.1)
+
+    def test_deterministic_given_seed(self, toy_pairs):
+        a = train_test_split_pairs(toy_pairs, seed=3)
+        b = train_test_split_pairs(toy_pairs, seed=3)
+        assert [p.key for p in a[1]] == [p.key for p in b[1]]
+
+    def test_different_seeds_differ(self, tiny_prepared):
+        a = train_test_split_pairs(tiny_prepared.pairs, seed=1)
+        b = train_test_split_pairs(tiny_prepared.pairs, seed=2)
+        assert {p.key for p in a[1]} != {p.key for p in b[1]}
+
+    def test_requires_labels(self, toy_dataset):
+        from repro.datasets import CandidatePair
+
+        unlabeled = [CandidatePair(next(iter(toy_dataset.left)), next(iter(toy_dataset.right)))]
+        with pytest.raises(ConfigurationError):
+            train_test_split_pairs(unlabeled)
+
+    def test_invalid_fraction(self, toy_pairs):
+        with pytest.raises(ConfigurationError):
+            train_test_split_pairs(toy_pairs, test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_test_split_pairs(toy_pairs, test_fraction=1.0)

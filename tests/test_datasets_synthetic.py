@@ -1,0 +1,135 @@
+"""Tests for the synthetic entity generators and dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corruption import CorruptionConfig
+from repro.datasets.synthetic import (
+    BabyProductEntityGenerator,
+    BeerEntityGenerator,
+    ProductEntityGenerator,
+    PublicationEntityGenerator,
+    generate_em_dataset,
+    make_entity_generator,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestEntityGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            ProductEntityGenerator(),
+            PublicationEntityGenerator(),
+            BeerEntityGenerator(),
+            BabyProductEntityGenerator(),
+        ],
+        ids=lambda g: type(g).__name__,
+    )
+    def test_family_members_cover_schema(self, generator, rng):
+        family = generator.generate_family(rng, 4)
+        assert len(family) == 4
+        for entity in family:
+            assert set(entity) == set(generator.schema)
+            assert all(isinstance(v, str) for v in entity.values())
+
+    def test_product_family_shares_brand_token(self, rng):
+        generator = ProductEntityGenerator(["name", "description", "price"])
+        family = generator.generate_family(rng, 5)
+        brands = {entity["name"].split()[0] for entity in family}
+        assert len(brands) == 1
+
+    def test_product_hardness_one_gives_variant_models(self, rng):
+        generator = ProductEntityGenerator(["name", "description", "price"], hardness=1.0)
+        family = generator.generate_family(rng, 4)
+        names = [entity["name"] for entity in family]
+        # Variant names differ only in the model token.
+        token_sets = [set(name.split()) for name in names]
+        common = set.intersection(*token_sets)
+        assert len(common) >= 4
+
+    def test_product_hardness_zero_gives_distinct_models(self, rng):
+        generator = ProductEntityGenerator(["name", "description", "price"], hardness=0.0)
+        family = generator.generate_family(rng, 6)
+        models = {entity["name"].split()[4] for entity in family}
+        assert len(models) >= 3
+
+    def test_publication_family_shares_venue(self, rng):
+        generator = PublicationEntityGenerator()
+        family = generator.generate_family(rng, 4)
+        years = [int(entity["year"]) for entity in family]
+        assert max(years) - min(years) <= 4
+
+    def test_custom_schema_subset(self, rng):
+        generator = ProductEntityGenerator(["title", "brand", "price"])
+        family = generator.generate_family(rng, 3)
+        assert set(family[0]) == {"title", "brand", "price"}
+
+
+class TestMakeEntityGenerator:
+    def test_known_domains(self):
+        for domain in ("product", "publication", "beer", "baby"):
+            assert make_entity_generator(domain) is not None
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_entity_generator("geospatial")
+
+    def test_hardness_is_forwarded(self):
+        generator = make_entity_generator("product", hardness=0.75)
+        assert generator.hardness == 0.75
+
+
+class TestGenerateEMDataset:
+    def _generate(self, duplicate_probability=1.0, n_families=3, family_size=4, seed=0):
+        return generate_em_dataset(
+            name="unit",
+            generator=ProductEntityGenerator(["name", "description", "price"]),
+            n_families=n_families,
+            family_size=family_size,
+            corruption=CorruptionConfig(),
+            seed=seed,
+            duplicate_probability=duplicate_probability,
+        )
+
+    def test_sizes(self):
+        dataset = self._generate()
+        assert len(dataset.left) == 12
+        assert len(dataset.right) == 12
+        assert len(dataset.matches) == 12
+
+    def test_every_match_links_same_entity_index(self):
+        dataset = self._generate()
+        for left_id, right_id in dataset.matches:
+            assert left_id[1:] == right_id[1:]
+
+    def test_duplicate_probability_reduces_right_table(self):
+        dataset = self._generate(duplicate_probability=0.4)
+        assert len(dataset.right) < len(dataset.left)
+        assert len(dataset.matches) == len(dataset.right)
+
+    def test_deterministic_for_seed(self):
+        a = self._generate(seed=5)
+        b = self._generate(seed=5)
+        assert [r.attributes for r in a.left] == [r.attributes for r in b.left]
+        assert a.matches == b.matches
+
+    def test_different_seeds_differ(self):
+        a = self._generate(seed=1)
+        b = self._generate(seed=2)
+        assert [r.attributes for r in a.left] != [r.attributes for r in b.left]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self._generate(n_families=0)
+        with pytest.raises(ConfigurationError):
+            self._generate(duplicate_probability=1.5)
+
+    def test_matched_columns_follow_generator_schema(self):
+        dataset = self._generate()
+        assert dataset.matched_columns == ["name", "description", "price"]

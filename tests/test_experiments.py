@@ -1,0 +1,157 @@
+"""Tests for the per-figure/table experiment drivers (tiny configurations).
+
+These tests verify the *plumbing* of every experiment driver — the structure
+of the returned data — on very small datasets and iteration budgets.  The
+scientific claims (who wins, by how much) are exercised at a larger scale by
+the integration tests and the benchmark targets.
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+
+SMALL = dict(scale=0.15, max_iterations=2)
+
+
+class TestTable1:
+    def test_rows_cover_requested_datasets(self):
+        rows = experiments.table1_dataset_statistics(scale=0.15, names=["beer", "dblp_acm"])
+        assert [row["dataset"] for row in rows] == ["beer", "dblp_acm"]
+        for row in rows:
+            assert row["post_blocking_pairs"] > 0
+            assert 0.0 < row["class_skew"] < 1.0
+            assert row["paper_post_blocking_pairs"] > 0
+            assert row["total_pairs"] > row["post_blocking_pairs"]
+
+    def test_default_covers_all_nine(self):
+        rows = experiments.table1_dataset_statistics(scale=0.1)
+        assert len(rows) == 9
+
+
+class TestSelectorComparison:
+    def test_structure(self):
+        result = experiments.selector_comparison(
+            dataset="dblp_acm",
+            groups={"tree": ["Trees(2)"], "linear": ["Linear-Margin"]},
+            **SMALL,
+        )
+        assert result["dataset"] == "dblp_acm"
+        assert set(result["groups"]) == {"tree", "linear"}
+        curve = result["groups"]["tree"]["Trees(2)"]
+        assert len(curve["labels"]) == len(curve["f1"])
+        assert curve["summary"]["dataset"] == "dblp_acm"
+
+
+class TestSelectionLatency:
+    def test_panels_present(self):
+        result = experiments.selection_latency(dataset="dblp_acm", scale=0.15, max_iterations=2)
+        assert set(result["panels"]) == {"non_linear", "linear", "tree", "linear_enhancements"}
+        linear = result["panels"]["linear"]["Linear-QBC(2)"]
+        assert len(linear["committee_creation_time"]) == len(linear["labels"])
+        assert any(t > 0 for t in linear["committee_creation_time"])
+        margin = result["panels"]["linear"]["Linear-Margin"]
+        assert all(t == 0 for t in margin["committee_creation_time"])
+
+
+class TestLinearEnhancements:
+    def test_structure(self):
+        result = experiments.linear_enhancements(datasets=["dblp_acm"], **SMALL)
+        entry = result["dblp_acm"]
+        assert set(entry) == {"Margin(1Dim)", "Margin(AllDim)", "Margin(Ensemble)", "accepted_svms"}
+        assert entry["accepted_svms"] >= 0
+
+
+class TestClassifierComparison:
+    def test_structure(self):
+        result = experiments.classifier_comparison(
+            datasets=["dblp_acm"],
+            variants={"Trees(20)": "Trees(20)", "Rules(LFP/LFN)": "Rules(LFP/LFN)"},
+            **SMALL,
+        )
+        entry = result["dblp_acm"]
+        assert set(entry) == {"Trees(20)", "Rules(LFP/LFN)"}
+        assert len(entry["Trees(20)"]["user_wait_time"]) == len(entry["Trees(20)"]["labels"])
+
+
+class TestTable2:
+    def test_structure(self):
+        rows = experiments.table2_best_f1(
+            datasets=["dblp_acm"], approaches=["Trees(20)", "Linear-Margin(1Dim)"], **SMALL
+        )
+        assert len(rows) == 2
+        for row in rows:
+            cell = row["dblp_acm"]
+            assert 0.0 <= cell["best_f1"] <= 1.0
+            assert cell["labels"] >= 20
+        trees_row = next(row for row in rows if row["approach"] == "Trees(20)")
+        assert trees_row["dblp_acm"]["paper_f1"] == pytest.approx(0.99)
+
+
+class TestNoisyOracle:
+    def test_noise_curves_structure(self):
+        result = experiments.noisy_oracle_curves(
+            dataset="dblp_acm",
+            approaches=["Trees(10)"],
+            noise_levels=(0.0, 0.3),
+            repeats=2,
+            scale=0.15,
+            max_iterations=2,
+        )
+        curves = result["approaches"]["Trees(10)"]
+        assert set(curves) == {"0%", "30%"}
+        assert len(curves["30%"]["f1"]) == len(curves["30%"]["labels"])
+        assert len(curves["30%"]["f1_std"]) == len(curves["30%"]["f1"])
+
+    def test_magellan_structure(self):
+        result = experiments.noisy_oracle_magellan(
+            datasets=["beer"], noise_levels=(0.0,), repeats=1, scale=0.3, max_iterations=2
+        )
+        assert "beer" in result
+        assert "0%" in result["beer"]
+
+
+class TestActiveVsSupervised:
+    def test_structure(self):
+        result = experiments.active_vs_supervised(
+            datasets=["beer"],
+            approaches=("Trees(10)", "SupervisedTrees(Random-20)"),
+            scale=0.3,
+            max_iterations=2,
+        )
+        entry = result["beer"]
+        assert entry["test_labels"] > 0
+        assert "Trees(10)" in entry
+        assert "SupervisedTrees(Random-20)" in entry
+
+    def test_noise_variant(self):
+        result = experiments.active_vs_supervised_noise(
+            dataset="beer", noise_levels=(0.0,), scale=0.3, max_iterations=2
+        )
+        assert "0%" in result["noise_levels"]
+
+
+class TestInterpretability:
+    def test_structure(self):
+        result = experiments.interpretability_comparison(
+            dataset="dblp_acm", tree_sizes=(2,), scale=0.15, max_iterations=2
+        )
+        trees = result["trees"]["Trees(2)"]
+        assert len(trees["dnf_atoms"]) == len(trees["labels"])
+        assert len(trees["max_depth"]) == len(trees["labels"])
+        rules = result["rules"]["Rules(LFP/LFN)"]
+        assert len(rules["dnf_atoms"]) == len(rules["labels"])
+
+
+class TestSocialMedia:
+    def test_structure(self):
+        result = experiments.social_media_comparison(
+            committee_sizes=(2,), n_employees=40, max_iterations=2
+        )
+        assert result["post_blocking_pairs"] > 0
+        assert set(result["strategies"]) == {"LFP/LFN", "QBC(2)"}
+        for stats in result["strategies"].values():
+            assert stats["iterations"] >= 1
+            assert stats["valid_rules"] >= 0
+            assert stats["coverage"] >= 0
+            assert stats["total_user_wait_time"] >= 0.0

@@ -1,0 +1,242 @@
+"""Tests for the extension features: extra learners, uncertainty selectors,
+majority-vote Oracle and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActiveLearningConfig,
+    ActiveLearningLoop,
+    MajorityVoteOracle,
+    PairPool,
+    PerfectOracle,
+)
+from repro.core.base import LearnerFamily, check_compatibility
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learners import GaussianNaiveBayes, LogisticRegression, RandomForest
+from repro.selectors import (
+    DensityWeightedSelector,
+    EntropySelector,
+    LeastConfidenceSelector,
+    MarginSelector,
+)
+from repro import cli
+
+from .conftest import make_blobs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLogisticRegression:
+    def test_family_is_linear(self):
+        assert LogisticRegression().family == LearnerFamily.LINEAR
+
+    def test_learns_blobs(self, blobs):
+        features, labels = blobs
+        model = LogisticRegression().fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.95
+
+    def test_probabilities_bounded_and_calibrated_direction(self, blobs):
+        features, labels = blobs
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+        assert probabilities[labels == 1].mean() > probabilities[labels == 0].mean()
+
+    def test_margin_selection_is_compatible(self, blobs):
+        check_compatibility(LogisticRegression(), MarginSelector())
+
+    def test_exposes_weight_vector_for_blocking(self, blobs):
+        features, labels = blobs
+        model = LogisticRegression().fit(features, labels)
+        assert model.weights.shape == (features.shape[1],)
+        assert np.argmax(np.abs(model.weights)) == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((2, 3)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(regularization=-1)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(epochs=0)
+
+    def test_clone(self):
+        model = LogisticRegression(learning_rate=0.1, epochs=50)
+        clone = model.clone()
+        assert clone.learning_rate == pytest.approx(0.1)
+        assert not clone.is_fitted
+
+
+class TestGaussianNaiveBayes:
+    def test_family(self):
+        assert GaussianNaiveBayes().family == LearnerFamily.NON_LINEAR
+
+    def test_learns_blobs(self, blobs):
+        features, labels = blobs
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.95
+
+    def test_probabilities_sum_behavior(self, blobs):
+        features, labels = blobs
+        model = GaussianNaiveBayes().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_decision_scores_are_log_odds(self, blobs):
+        features, labels = blobs
+        model = GaussianNaiveBayes().fit(features, labels)
+        scores = model.decision_scores(features)
+        predictions = model.predict(features)
+        assert np.array_equal(predictions, (scores > 0).astype(int))
+
+    def test_single_class_training(self):
+        features = np.random.default_rng(0).normal(size=(20, 3))
+        model = GaussianNaiveBayes().fit(features, np.zeros(20, dtype=int))
+        assert model.predict(features).mean() < 0.5
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNaiveBayes(variance_smoothing=0.0)
+
+    def test_clone(self):
+        assert not GaussianNaiveBayes().clone().is_fitted
+
+
+class TestUncertaintySelectors:
+    @pytest.mark.parametrize(
+        "selector",
+        [LeastConfidenceSelector(), EntropySelector(), DensityWeightedSelector()],
+        ids=lambda s: s.name,
+    )
+    def test_selects_batch_for_any_learner(self, selector, blobs, rng):
+        features, labels = blobs
+        learner = RandomForest(n_trees=5).fit(features, labels)
+        unlabeled, _ = make_blobs(seed=3)
+        result = selector.select(learner, features, labels, unlabeled, 6, rng)
+        assert len(result.indices) == 6
+        assert result.committee_creation_time == 0.0
+        assert result.scored_examples == len(unlabeled)
+
+    def test_least_confidence_prefers_probability_half(self, rng, blobs):
+        features, labels = blobs
+
+        class FixedProbabilityLearner(RandomForest):
+            def predict_proba(self, X):
+                return np.linspace(0.0, 1.0, len(X))
+
+        learner = FixedProbabilityLearner(n_trees=2).fit(features, labels)
+        unlabeled = np.zeros((11, features.shape[1]))
+        result = LeastConfidenceSelector().select(learner, features, labels, unlabeled, 1, rng)
+        assert result.indices == [5]
+
+    def test_entropy_matches_least_confidence_ranking(self, rng, blobs):
+        features, labels = blobs
+        learner = RandomForest(n_trees=7).fit(features, labels)
+        unlabeled, _ = make_blobs(seed=4)
+        lc = LeastConfidenceSelector().select(
+            learner, features, labels, unlabeled, 5, np.random.default_rng(1)
+        )
+        entropy = EntropySelector().select(
+            learner, features, labels, unlabeled, 5, np.random.default_rng(1)
+        )
+        assert set(lc.indices) == set(entropy.indices)
+
+    def test_works_in_active_learning_loop(self, blobs):
+        features, labels = blobs
+        pool = PairPool(features=features, true_labels=labels)
+        loop = ActiveLearningLoop(
+            learner=RandomForest(n_trees=3),
+            selector=EntropySelector(),
+            pool=pool,
+            oracle=PerfectOracle(pool),
+            config=ActiveLearningConfig(seed_size=10, batch_size=5, max_iterations=3, target_f1=None),
+        )
+        run = loop.run()
+        assert len(run) == 3
+
+
+class TestMajorityVoteOracle:
+    def make_pool(self):
+        features, labels = make_blobs(n_per_class=50, dim=3, seed=0)
+        return PairPool(features=features, true_labels=labels)
+
+    def test_requires_odd_votes(self):
+        pool = self.make_pool()
+        with pytest.raises(ConfigurationError):
+            MajorityVoteOracle(pool, noise_probability=0.2, votes=2)
+
+    def test_invalid_noise(self):
+        pool = self.make_pool()
+        with pytest.raises(ConfigurationError):
+            MajorityVoteOracle(pool, noise_probability=1.5)
+
+    def test_zero_noise_matches_truth(self):
+        pool = self.make_pool()
+        oracle = MajorityVoteOracle(pool, noise_probability=0.0, votes=3, rng=0)
+        answers = [oracle.label(i) for i in range(len(pool))]
+        assert answers == pool.true_labels.tolist()
+
+    def test_majority_vote_reduces_error_rate(self):
+        pool = self.make_pool()
+        single = MajorityVoteOracle(pool, noise_probability=0.3, votes=1, rng=1)
+        voted = MajorityVoteOracle(pool, noise_probability=0.3, votes=9, rng=1)
+        single_errors = sum(single.label(i) != pool.true_labels[i] for i in range(len(pool)))
+        voted_errors = sum(voted.label(i) != pool.true_labels[i] for i in range(len(pool)))
+        assert voted_errors < single_errors
+
+    def test_query_cost_counts_every_vote(self):
+        pool = self.make_pool()
+        oracle = MajorityVoteOracle(pool, noise_probability=0.1, votes=5, rng=0)
+        oracle.label(0)
+        oracle.label(1)
+        assert oracle.queries == 10
+
+    def test_answers_memoised(self):
+        pool = self.make_pool()
+        oracle = MajorityVoteOracle(pool, noise_probability=0.5, votes=3, rng=2)
+        assert len({oracle.label(4) for _ in range(5)}) == 1
+
+    def test_effective_noise_below_worker_noise(self):
+        pool = self.make_pool()
+        oracle = MajorityVoteOracle(pool, noise_probability=0.3, votes=5)
+        assert oracle.effective_noise() < 0.3
+
+    def test_effective_noise_one_vote_equals_worker_noise(self):
+        pool = self.make_pool()
+        oracle = MajorityVoteOracle(pool, noise_probability=0.3, votes=1)
+        assert oracle.effective_noise() == pytest.approx(0.3)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "abt_buy" in output
+        assert "Trees(20)" in output
+
+    def test_table1_command(self, capsys):
+        assert cli.main(["table1", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "post_blocking_pairs" in output
+        assert "babyproducts" in output
+
+    def test_run_command(self, capsys):
+        code = cli.main(
+            [
+                "run", "--dataset", "beer", "--combination", "Trees(10)",
+                "--scale", "0.3", "--max-iterations", "3", "--seed-size", "20",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "progressive F1" in output
+        assert "run summary" in output
+
+    def test_run_command_unknown_combination_raises(self):
+        with pytest.raises(ConfigurationError):
+            cli.main(["run", "--dataset", "beer", "--combination", "Nope"])

@@ -1,0 +1,184 @@
+"""Tests for the experiment harness: preparation, builders and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveLearningConfig
+from repro.exceptions import ConfigurationError
+from repro.harness import (
+    COMBINATIONS,
+    build_combination,
+    combination_names,
+    prepare_dataset,
+    prepare_rule_dataset,
+    run_active_learning,
+    run_ensemble_learning,
+)
+from repro.harness.builders import make_oracle
+from repro.harness.preparation import clear_preparation_cache, prepare_pool_from_pairs
+from repro.harness.reporting import format_curves, format_series, format_table
+from repro.core.oracle import NoisyOracle, PerfectOracle
+
+
+FAST = ActiveLearningConfig(seed_size=20, batch_size=10, max_iterations=3, target_f1=0.98, random_state=0)
+
+
+class TestPreparation:
+    def test_prepared_dataset_shape(self, tiny_prepared):
+        assert tiny_prepared.n_pairs == len(tiny_prepared.pool)
+        assert tiny_prepared.pool.features.shape == (tiny_prepared.n_pairs, tiny_prepared.pool.dim)
+        assert tiny_prepared.feature_kind == "continuous"
+        assert 0.0 < tiny_prepared.class_skew < 1.0
+
+    def test_rule_preparation_is_boolean(self, tiny_rule_prepared):
+        assert tiny_rule_prepared.feature_kind == "boolean"
+        assert set(np.unique(tiny_rule_prepared.pool.features)) <= {0.0, 1.0}
+
+    def test_preparation_is_cached(self):
+        first = prepare_dataset("beer", scale=0.2)
+        second = prepare_dataset("beer", scale=0.2)
+        assert first is second
+
+    def test_cache_can_be_cleared(self):
+        first = prepare_dataset("beer", scale=0.2)
+        clear_preparation_cache()
+        second = prepare_dataset("beer", scale=0.2)
+        assert first is not second
+
+    def test_cache_bypass(self):
+        first = prepare_dataset("beer", scale=0.2)
+        second = prepare_dataset("beer", scale=0.2, use_cache=False)
+        assert first is not second
+
+    def test_descriptors_align_with_features(self, tiny_prepared):
+        assert len(tiny_prepared.descriptors) == tiny_prepared.pool.dim
+
+    def test_prepare_pool_from_pairs(self, toy_dataset, toy_pairs):
+        prepared = prepare_pool_from_pairs(toy_dataset, toy_pairs, "continuous")
+        assert prepared.n_pairs == len(toy_pairs)
+        assert prepared.pool.dim == len(prepared.descriptors)
+
+    def test_prepare_pool_from_pairs_boolean(self, toy_dataset, toy_pairs):
+        prepared = prepare_pool_from_pairs(toy_dataset, toy_pairs, "boolean")
+        assert prepared.feature_kind == "boolean"
+
+    def test_prepare_pool_invalid_kind(self, toy_dataset, toy_pairs):
+        with pytest.raises(ValueError):
+            prepare_pool_from_pairs(toy_dataset, toy_pairs, "embedding")
+
+
+class TestCombinations:
+    def test_paper_combinations_present(self):
+        names = combination_names()
+        for expected in (
+            "Trees(2)", "Trees(10)", "Trees(20)",
+            "Linear-Margin", "Linear-Margin(1Dim)", "Linear-QBC(2)", "Linear-QBC(20)",
+            "Linear-Margin(Ensemble)", "NN-Margin", "NN-QBC(2)",
+            "Rules(LFP/LFN)", "SupervisedTrees(Random-20)", "DeepMatcher",
+        ):
+            assert expected in names
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_combination("Quantum-Annealer")
+
+    def test_rule_combinations_need_boolean_features(self):
+        assert build_combination("Rules(LFP/LFN)").feature_kind == "boolean"
+        assert build_combination("Trees(20)").feature_kind == "continuous"
+
+    def test_factories_produce_fresh_objects(self):
+        combination = build_combination("Trees(20)")
+        assert combination.learner_factory() is not combination.learner_factory()
+
+    def test_every_combination_is_internally_compatible(self):
+        from repro.core.base import check_compatibility
+
+        for combination in COMBINATIONS.values():
+            check_compatibility(combination.learner_factory(), combination.selector_factory())
+
+
+class TestMakeOracle:
+    def test_zero_noise_gives_perfect_oracle(self, tiny_prepared):
+        assert isinstance(make_oracle(tiny_prepared.pool, 0.0), PerfectOracle)
+
+    def test_positive_noise_gives_noisy_oracle(self, tiny_prepared):
+        oracle = make_oracle(tiny_prepared.pool, 0.2, seed=1)
+        assert isinstance(oracle, NoisyOracle)
+        assert oracle.noise_probability == pytest.approx(0.2)
+
+
+class TestRunActiveLearning:
+    def test_run_returns_trajectory(self, tiny_prepared):
+        run = run_active_learning(tiny_prepared, "Trees(10)", config=FAST)
+        assert len(run) >= 1
+        assert run.metadata["combination"] == "Trees(10)"
+        assert 0.0 <= run.best_f1 <= 1.0
+
+    def test_feature_kind_mismatch_raises(self, tiny_prepared):
+        with pytest.raises(ConfigurationError):
+            run_active_learning(tiny_prepared, "Rules(LFP/LFN)", config=FAST)
+
+    def test_rule_combination_on_boolean_features(self, tiny_rule_prepared):
+        run = run_active_learning(tiny_rule_prepared, "Rules(LFP/LFN)", config=FAST)
+        assert len(run) >= 1
+
+    def test_ensemble_combination_routes_to_ensemble_loop(self, tiny_prepared):
+        run = run_active_learning(tiny_prepared, "Linear-Margin(Ensemble)", config=FAST)
+        assert "ensemble" in run.learner_name
+
+    def test_run_with_heldout_evaluation(self, tiny_prepared):
+        features = tiny_prepared.pool.features[:30]
+        labels = tiny_prepared.pool.true_labels[:30]
+        run = run_active_learning(
+            tiny_prepared, "Trees(10)", config=FAST,
+            evaluation_features=features, evaluation_labels=labels,
+        )
+        assert run.records[0].evaluation.support == 30
+
+    def test_run_with_noise(self, tiny_prepared):
+        run = run_active_learning(tiny_prepared, "Trees(10)", config=FAST, noise=0.4, oracle_seed=3)
+        assert len(run) >= 1
+
+    def test_run_ensemble_learning_returns_loop(self, tiny_prepared):
+        run, loop = run_ensemble_learning(tiny_prepared, config=FAST)
+        assert run.metadata["combination"] == "Linear-Margin(Ensemble)"
+        assert len(loop.ensemble) == run.metadata["accepted_classifiers"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series_samples_points(self):
+        text = format_series(range(100), [v / 100 for v in range(100)], "f1", max_points=5)
+        assert text.startswith("f1:")
+        assert "99" in text  # last point always included
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series([], [], "f1")
+
+    def test_format_series_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1.0], "f1")
+
+    def test_format_curves(self):
+        curves = {
+            "Trees(20)": {"labels": [30, 40], "f1": [0.5, 0.9]},
+            "skipped": {"other": 1},
+        }
+        text = format_curves(curves, title="Fig")
+        assert "Trees(20)" in text
+        assert "skipped" not in text

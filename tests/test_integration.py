@@ -1,0 +1,133 @@
+"""End-to-end integration tests reproducing the paper's qualitative findings.
+
+These run the full pipeline (generation → blocking → features → active
+learning) at a moderate scale and assert the *shape* of the paper's results:
+
+* tree ensembles with learner-aware QBC reach the best progressive F1;
+* margin-based selection matches QBC quality at a fraction of the selection
+  latency for linear classifiers;
+* blocking does not hurt margin quality;
+* active tree ensembles are more label-efficient than supervised (random
+  selection) training;
+* label noise degrades quality.
+"""
+
+import pytest
+
+from repro.core import ActiveLearningConfig
+from repro.harness import (
+    prepare_dataset,
+    prepare_rule_dataset,
+    run_active_learning,
+    run_ensemble_learning,
+)
+
+SCALE = 0.3
+CONFIG = ActiveLearningConfig(
+    seed_size=30, batch_size=10, max_iterations=15, target_f1=0.98, random_state=0
+)
+
+
+@pytest.fixture(scope="module")
+def abt_buy():
+    return prepare_dataset("abt_buy", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def dblp_acm():
+    return prepare_dataset("dblp_acm", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def trees_run(abt_buy):
+    return run_active_learning(abt_buy, "Trees(20)", config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def margin_run(abt_buy):
+    return run_active_learning(abt_buy, "Linear-Margin", config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def qbc_run(abt_buy):
+    return run_active_learning(abt_buy, "Linear-QBC(2)", config=CONFIG)
+
+
+class TestTreesAreBest:
+    def test_trees_reach_high_progressive_f1(self, trees_run):
+        assert trees_run.best_f1 > 0.9
+
+    def test_trees_beat_linear_svm(self, trees_run, margin_run):
+        assert trees_run.best_f1 >= margin_run.best_f1 - 0.02
+
+    def test_trees_beat_rules(self, trees_run):
+        rules = run_active_learning(
+            prepare_rule_dataset("abt_buy", scale=SCALE), "Rules(LFP/LFN)", config=CONFIG
+        )
+        assert trees_run.best_f1 > rules.best_f1
+
+    def test_trees_converge_quickly_on_clean_data(self, dblp_acm):
+        run = run_active_learning(dblp_acm, "Trees(20)", config=CONFIG)
+        assert run.best_f1 > 0.95
+        assert run.labels_to_convergence() <= 200
+
+
+class TestMarginVsQBC:
+    def test_comparable_quality(self, margin_run, qbc_run):
+        # "There is little to choose between the two in terms of EM quality."
+        assert abs(margin_run.best_f1 - qbc_run.best_f1) < 0.15
+
+    def test_margin_has_lower_selection_latency(self, margin_run, qbc_run):
+        margin_time = sum(r.selection_time for r in margin_run.records) / len(margin_run)
+        qbc_time = sum(r.selection_time for r in qbc_run.records) / len(qbc_run)
+        assert margin_time < qbc_time
+
+    def test_qbc_latency_dominated_by_committee_creation(self, qbc_run):
+        creation = sum(r.committee_creation_time for r in qbc_run.records)
+        scoring = sum(r.scoring_time for r in qbc_run.records)
+        assert creation > scoring
+
+
+class TestLinearEnhancements:
+    def test_blocking_does_not_hurt_quality(self, abt_buy, margin_run):
+        blocked = run_active_learning(abt_buy, "Linear-Margin(1Dim)", config=CONFIG)
+        assert blocked.best_f1 >= margin_run.best_f1 - 0.1
+
+    def test_blocking_scores_fewer_examples(self, abt_buy, margin_run):
+        blocked = run_active_learning(abt_buy, "Linear-Margin(1Dim)", config=CONFIG)
+        blocked_scored = sum(r.scored_examples for r in blocked.records) / len(blocked)
+        margin_scored = sum(r.scored_examples for r in margin_run.records) / len(margin_run)
+        assert blocked_scored <= margin_scored
+
+    def test_active_ensemble_accepts_precise_classifiers(self, abt_buy, margin_run):
+        run, loop = run_ensemble_learning(abt_buy, config=CONFIG)
+        assert len(loop.ensemble) >= 1
+        assert run.best_f1 >= margin_run.best_f1 - 0.1
+
+
+class TestActiveVsSupervised:
+    def test_active_trees_more_label_efficient(self, abt_buy):
+        active = run_active_learning(abt_buy, "Trees(20)", config=CONFIG)
+        supervised = run_active_learning(abt_buy, "SupervisedTrees(Random-20)", config=CONFIG)
+        # At the label budget where active converged, supervised should not be better.
+        budget = active.labels_to_convergence()
+        assert active.f1_at_labels(budget) >= supervised.f1_at_labels(budget) - 0.02
+        assert active.labels_to_convergence() <= supervised.labels_to_convergence() + 20
+
+
+class TestNoisyOracle:
+    def test_noise_degrades_quality(self, abt_buy):
+        clean = run_active_learning(abt_buy, "Trees(20)", config=CONFIG)
+        noisy_config = ActiveLearningConfig(
+            seed_size=30, batch_size=10, max_iterations=15, target_f1=None, random_state=0
+        )
+        noisy = run_active_learning(abt_buy, "Trees(20)", config=noisy_config, noise=0.4, oracle_seed=1)
+        assert noisy.final_f1 < clean.best_f1 - 0.1
+
+
+class TestRuleLearning:
+    def test_rules_terminate_early_with_few_labels(self):
+        prepared = prepare_rule_dataset("abt_buy", scale=SCALE)
+        run = run_active_learning(prepared, "Rules(LFP/LFN)", config=CONFIG)
+        assert run.terminated_because in {"selector_exhausted", "target_f1", "max_iterations"}
+        assert run.total_labels <= CONFIG.seed_size + CONFIG.batch_size * CONFIG.max_iterations

@@ -1,0 +1,168 @@
+"""Tests for DNF representation, model conversion and the interpretability metric."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.features import BooleanFeatureExtractor, FeatureExtractor
+from repro.interpretability import (
+    Atom,
+    Conjunction,
+    DNFFormula,
+    forest_to_dnf,
+    interpretability_score,
+    rule_learner_to_dnf,
+    tree_to_dnf,
+)
+from repro.learners import DecisionTree, RandomForest, RuleLearner
+
+from .conftest import make_blobs
+
+
+class TestAtom:
+    def test_describe(self):
+        atom = Atom("name", "jaccard", 0.4)
+        assert atom.describe() == "jaccard(name) >= 0.40"
+
+    def test_negated_operator(self):
+        atom = Atom("name", "jaccard", 0.4, operator="<")
+        assert "<" in atom.describe()
+
+    def test_invalid_operator(self):
+        with pytest.raises(ConfigurationError):
+            Atom("name", "jaccard", 0.4, operator=">")
+
+
+class TestConjunctionAndFormula:
+    def test_conjunction_requires_atoms(self):
+        with pytest.raises(ConfigurationError):
+            Conjunction(())
+
+    def test_conjunction_describe(self):
+        conjunction = Conjunction((Atom("a", "jaccard", 0.5), Atom("b", "jaro_winkler", 0.7)))
+        assert " AND " in conjunction.describe()
+        assert conjunction.n_atoms == 2
+
+    def test_formula_counts_atoms_with_repetition(self):
+        formula = DNFFormula()
+        formula.add(Conjunction((Atom("a", "jaccard", 0.5),)))
+        formula.add(Conjunction((Atom("a", "jaccard", 0.5), Atom("b", "jaccard", 0.3))))
+        assert formula.n_rules == 2
+        assert formula.n_atoms == 3
+        assert " OR " in formula.describe()
+
+    def test_empty_formula(self):
+        formula = DNFFormula()
+        assert formula.n_atoms == 0
+        assert formula.describe() == "<empty DNF>"
+
+
+class TestInterpretabilityScore:
+    def test_inverse_of_atoms(self):
+        formula = DNFFormula([Conjunction((Atom("a", "jaccard", 0.5), Atom("b", "jaccard", 0.5)))])
+        assert interpretability_score(formula) == pytest.approx(0.5)
+
+    def test_empty_formula_is_maximally_interpretable(self):
+        assert interpretability_score(DNFFormula()) == 1.0
+
+    def test_none_raises(self):
+        with pytest.raises(ConfigurationError):
+            interpretability_score(None)
+
+    def test_fewer_atoms_more_interpretable(self):
+        small = DNFFormula([Conjunction((Atom("a", "jaccard", 0.5),))])
+        big = DNFFormula([Conjunction(tuple(Atom(f"a{i}", "jaccard", 0.5) for i in range(10)))])
+        assert interpretability_score(small) > interpretability_score(big)
+
+
+class TestTreeConversion:
+    def setup_method(self):
+        self.extractor = FeatureExtractor(["name"])
+        self.descriptors = self.extractor.descriptors
+
+    def make_features(self, n=120, seed=0):
+        # Random vectors in [0,1] with the label decided by one descriptor column,
+        # so the tree structure is small and predictable.
+        rng = np.random.default_rng(seed)
+        features = rng.random((n, len(self.descriptors)))
+        labels = (features[:, 3] > 0.6).astype(int)
+        return features, labels
+
+    def test_unfitted_tree_raises(self):
+        with pytest.raises(NotFittedError):
+            tree_to_dnf(DecisionTree(), self.descriptors)
+
+    def test_tree_dnf_structure(self):
+        features, labels = self.make_features()
+        tree = DecisionTree(max_features="all").fit(features, labels)
+        formula = tree_to_dnf(tree, self.descriptors)
+        assert formula.n_rules == len(tree.positive_paths())
+        assert formula.n_atoms >= formula.n_rules
+        description = formula.describe()
+        assert "(name)" in description
+
+    def test_tree_dnf_uses_descriptor_names(self):
+        features, labels = self.make_features()
+        tree = DecisionTree(max_features="all").fit(features, labels)
+        formula = tree_to_dnf(tree, self.descriptors)
+        first_atom = formula.conjunctions[0].atoms[0]
+        assert first_atom.attribute == "name"
+        assert first_atom.similarity in {d.similarity for d in self.descriptors}
+
+    def test_forest_dnf_is_union_of_trees(self):
+        features, labels = self.make_features()
+        forest = RandomForest(n_trees=4).fit(features, labels)
+        formula = forest_to_dnf(forest, self.descriptors)
+        assert formula.n_rules == sum(
+            len(tree.positive_paths()) for tree in forest.trees
+        )
+
+    def test_larger_forests_have_more_atoms(self):
+        features, labels = self.make_features()
+        small = RandomForest(n_trees=2, random_state=0).fit(features, labels)
+        large = RandomForest(n_trees=20, random_state=0).fit(features, labels)
+        assert forest_to_dnf(large, self.descriptors).n_atoms > forest_to_dnf(small, self.descriptors).n_atoms
+
+    def test_unfitted_forest_raises(self):
+        with pytest.raises(NotFittedError):
+            forest_to_dnf(RandomForest(), self.descriptors)
+
+    def test_constant_positive_tree_yields_trivial_atom(self):
+        features = np.random.default_rng(0).random((10, len(self.descriptors)))
+        tree = DecisionTree().fit(features, np.ones(10))
+        formula = tree_to_dnf(tree, self.descriptors)
+        assert formula.n_rules == 1
+        assert formula.conjunctions[0].atoms[0].threshold == 0.0
+
+
+class TestRuleLearnerConversion:
+    def test_rule_learner_dnf(self):
+        extractor = BooleanFeatureExtractor(["name"], thresholds=(0.3, 0.6, 0.9))
+        rng = np.random.default_rng(0)
+        features = (rng.random((150, extractor.dim)) > 0.5).astype(float)
+        labels = ((features[:, 0] > 0.5) & (features[:, 4] > 0.5)).astype(int)
+        learner = RuleLearner(min_precision=0.8).fit(features, labels)
+        formula = rule_learner_to_dnf(learner, extractor.descriptors)
+        assert formula.n_rules == len(learner.rules)
+        assert formula.n_atoms == learner.n_atoms
+        for conjunction in formula.conjunctions:
+            for atom in conjunction.atoms:
+                assert atom.operator == ">="
+                assert atom.attribute == "name"
+
+    def test_unfitted_rule_learner_raises(self):
+        extractor = BooleanFeatureExtractor(["name"])
+        with pytest.raises(NotFittedError):
+            rule_learner_to_dnf(RuleLearner(), extractor.descriptors)
+
+    def test_rules_far_fewer_atoms_than_forest(self, tiny_rule_prepared, tiny_prepared):
+        rule_learner = RuleLearner(min_precision=0.8).fit(
+            tiny_rule_prepared.pool.features, tiny_rule_prepared.pool.true_labels
+        )
+        forest = RandomForest(n_trees=20).fit(
+            tiny_prepared.pool.features, tiny_prepared.pool.true_labels
+        )
+        rule_atoms = rule_learner_to_dnf(rule_learner, tiny_rule_prepared.descriptors).n_atoms
+        forest_atoms = forest_to_dnf(forest, tiny_prepared.descriptors).n_atoms
+        # The Fig. 18 observation: rules are dramatically more concise.
+        assert rule_atoms * 5 < forest_atoms

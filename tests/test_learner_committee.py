@@ -1,0 +1,85 @@
+"""Tests for the bootstrap committee used by learner-agnostic QBC."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learners import BootstrapCommittee, DecisionTree, LinearSVM
+
+from .conftest import make_blobs
+
+
+class TestBootstrapCommittee:
+    def test_requires_at_least_two_members(self):
+        with pytest.raises(ConfigurationError):
+            BootstrapCommittee(LinearSVM(), size=1)
+
+    def test_fit_creates_members(self, blobs):
+        features, labels = blobs
+        committee = BootstrapCommittee(LinearSVM(epochs=30), size=4)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        assert len(committee.members) == 4
+        assert all(member.is_fitted for member in committee.members)
+        assert all(member is not committee.base_learner for member in committee.members)
+
+    def test_predictions_shape(self, blobs):
+        features, labels = blobs
+        committee = BootstrapCommittee(DecisionTree(), size=3)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        votes = committee.predictions(features[:7])
+        assert votes.shape == (3, 7)
+        assert set(np.unique(votes)) <= {0, 1}
+
+    def test_predictions_before_fit_raise(self):
+        committee = BootstrapCommittee(LinearSVM(), size=2)
+        with pytest.raises(ConfigurationError):
+            committee.predictions(np.zeros((2, 3)))
+
+    def test_variance_definition(self, blobs):
+        features, labels = blobs
+        committee = BootstrapCommittee(DecisionTree(), size=5)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        votes = committee.predictions(features[:20])
+        positive_fraction = votes.mean(axis=0)
+        expected = positive_fraction * (1.0 - positive_fraction)
+        assert np.allclose(committee.variance(features[:20]), expected)
+
+    def test_variance_bounded_by_quarter(self, blobs):
+        features, labels = blobs
+        committee = BootstrapCommittee(DecisionTree(), size=4)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        variance = committee.variance(features)
+        assert np.all((variance >= 0.0) & (variance <= 0.25))
+
+    def test_unanimous_examples_have_zero_variance(self, blobs):
+        features, labels = blobs
+        committee = BootstrapCommittee(LinearSVM(epochs=50), size=3)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        variance = committee.variance(features)
+        # The blobs are well separated, so most points get unanimous votes.
+        assert (variance == 0.0).mean() > 0.5
+
+    def test_bootstrap_keeps_both_classes_on_skewed_data(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(60, 3))
+        features[:3] += 4.0
+        labels = np.array([1] * 3 + [0] * 57)
+        committee = BootstrapCommittee(DecisionTree(), size=5)
+        committee.fit(features, labels, rng=np.random.default_rng(1))
+        # Every member must have seen at least one positive: otherwise it could
+        # never predict the positive class anywhere.
+        predictions = committee.predictions(features[:3])
+        assert predictions.sum() > 0
+
+    def test_empty_labeled_data_raises(self):
+        committee = BootstrapCommittee(LinearSVM(), size=2)
+        with pytest.raises(ConfigurationError):
+            committee.fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_deterministic_given_rng(self, blobs):
+        features, labels = blobs
+        a = BootstrapCommittee(DecisionTree(), size=3)
+        a.fit(features, labels, rng=np.random.default_rng(9))
+        b = BootstrapCommittee(DecisionTree(), size=3)
+        b.fit(features, labels, rng=np.random.default_rng(9))
+        assert np.array_equal(a.predictions(features), b.predictions(features))

@@ -1,0 +1,116 @@
+"""Tests for the Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import LearnerFamily
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learners import LinearSVM
+
+from .conftest import make_blobs
+
+
+class TestConstruction:
+    def test_family(self):
+        assert LinearSVM().family == LearnerFamily.LINEAR
+
+    def test_invalid_regularization(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM(regularization=0.0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM(epochs=0)
+
+    def test_invalid_class_weight(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM(class_weight="weird")
+
+    def test_clone_copies_hyperparameters(self):
+        svm = LinearSVM(regularization=0.01, epochs=20, class_weight=None, random_state=9)
+        clone = svm.clone()
+        assert clone is not svm
+        assert clone.regularization == 0.01
+        assert clone.epochs == 20
+        assert clone.class_weight is None
+        assert not clone.is_fitted
+
+
+class TestTraining:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((2, 3)))
+
+    def test_separable_problem_is_learned(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM(epochs=200).fit(features, labels)
+        accuracy = (svm.predict(features) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_holdout_generalization(self):
+        train_x, train_y = make_blobs(seed=0)
+        test_x, test_y = make_blobs(seed=1)
+        svm = LinearSVM().fit(train_x, train_y)
+        assert (svm.predict(test_x) == test_y).mean() > 0.9
+
+    def test_decision_scores_sign_matches_prediction(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM().fit(features, labels)
+        scores = svm.decision_scores(features)
+        predictions = svm.predict(features)
+        assert np.array_equal(predictions, (scores > 0).astype(int))
+
+    def test_predict_proba_bounded_and_monotone_in_score(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM().fit(features, labels)
+        scores = svm.decision_scores(features)
+        probabilities = svm.predict_proba(features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+        order = np.argsort(scores)
+        assert np.all(np.diff(probabilities[order]) >= -1e-12)
+
+    def test_weights_shape(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM().fit(features, labels)
+        assert svm.weights.shape == (features.shape[1],)
+        assert isinstance(svm.bias, float)
+
+    def test_single_class_training_predicts_that_class(self):
+        features = np.random.default_rng(0).normal(size=(10, 4))
+        svm = LinearSVM().fit(features, np.zeros(10, dtype=int))
+        assert np.all(svm.predict(features) == 0)
+        svm_pos = LinearSVM().fit(features, np.ones(10, dtype=int))
+        assert np.all(svm_pos.predict(features) == 1)
+
+    def test_deterministic_given_seed(self, blobs):
+        features, labels = blobs
+        a = LinearSVM(random_state=3).fit(features, labels)
+        b = LinearSVM(random_state=3).fit(features, labels)
+        assert np.allclose(a.weights, b.weights)
+        assert a.bias == pytest.approx(b.bias)
+
+    def test_refit_replaces_model(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM().fit(features, labels)
+        svm.fit(features[:20], labels[:20])
+        assert svm.is_fitted
+
+    def test_class_weighting_helps_on_skewed_data(self):
+        rng = np.random.default_rng(0)
+        negatives = rng.normal(size=(300, 4))
+        positives = rng.normal(size=(15, 4)) + 1.8
+        features = np.vstack([negatives, positives])
+        labels = np.array([0] * 300 + [1] * 15)
+        balanced = LinearSVM(class_weight="balanced").fit(features, labels)
+        recall = balanced.predict(positives).mean()
+        assert recall > 0.5
+
+    def test_misaligned_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_important_feature_gets_large_weight(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM().fit(features, labels)
+        # The blobs are separated along dimension 0 only.
+        assert np.argmax(np.abs(svm.weights)) == 0

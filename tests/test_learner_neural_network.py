@@ -1,0 +1,151 @@
+"""Tests for the feed-forward neural network and the DeepMatcher stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import LearnerFamily
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learners import DeepMatcherBaseline, NeuralNetwork
+
+from .conftest import make_blobs, make_xor
+
+
+def fast_nn(**overrides) -> NeuralNetwork:
+    """A small network that trains in well under a second.
+
+    The paper's learning rate (0.001) is tuned for similarity features in
+    [0, 1]; the synthetic blob fixtures have a larger scale, so these tests
+    use a faster rate to keep training short.
+    """
+    defaults = dict(
+        hidden_units=16, epochs=20, batch_size=16, learning_rate=0.01, random_state=0
+    )
+    defaults.update(overrides)
+    return NeuralNetwork(**defaults)
+
+
+class TestConstruction:
+    def test_family(self):
+        assert NeuralNetwork().family == LearnerFamily.NON_LINEAR
+
+    def test_invalid_hidden_units(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(hidden_units=0)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(dropout_rate=1.0)
+
+    def test_invalid_class_weight(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(class_weight="other")
+
+    def test_paper_defaults(self):
+        network = NeuralNetwork()
+        assert network.epochs == 50
+        assert network.batch_size == 8
+        assert network.learning_rate == pytest.approx(0.001)
+        assert network.momentum == pytest.approx(0.95)
+        assert network.decay == pytest.approx(0.99)
+        assert network.dropout_rate == pytest.approx(0.5)
+
+    def test_clone(self):
+        network = fast_nn(hidden_units=12, dropout_rate=0.3)
+        clone = network.clone()
+        assert clone.hidden_units == 12
+        assert clone.dropout_rate == pytest.approx(0.3)
+        assert not clone.is_fitted
+
+
+class TestTraining:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NeuralNetwork().predict(np.zeros((1, 2)))
+
+    def test_learns_separable_blobs(self, blobs):
+        features, labels = blobs
+        network = fast_nn().fit(features, labels)
+        assert (network.predict(features) == labels).mean() > 0.9
+
+    def test_learns_xor(self, xor_data):
+        features, labels = xor_data
+        network = fast_nn(hidden_units=32, epochs=60, dropout_rate=0.0, learning_rate=0.01)
+        network.fit(features, labels)
+        assert (network.predict(features) == labels).mean() > 0.85
+
+    def test_probabilities_bounded(self, blobs):
+        features, labels = blobs
+        network = fast_nn().fit(features, labels)
+        probabilities = network.predict_proba(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+    def test_margin_matches_probability_through_sigmoid(self, blobs):
+        features, labels = blobs
+        network = fast_nn().fit(features, labels)
+        margins = network.decision_scores(features[:5])
+        probabilities = network.predict_proba(features[:5])
+        assert np.allclose(probabilities, 1.0 / (1.0 + np.exp(-margins)))
+
+    def test_prediction_threshold_is_half(self, blobs):
+        features, labels = blobs
+        network = fast_nn().fit(features, labels)
+        probabilities = network.predict_proba(features)
+        assert np.array_equal(network.predict(features), (probabilities > 0.5).astype(int))
+
+    def test_deterministic_given_seed(self, blobs):
+        features, labels = blobs
+        a = fast_nn(random_state=5).fit(features, labels).predict_proba(features)
+        b = fast_nn(random_state=5).fit(features, labels).predict_proba(features)
+        assert np.allclose(a, b)
+
+    def test_generalizes_to_holdout(self):
+        train_x, train_y = make_blobs(seed=0)
+        test_x, test_y = make_blobs(seed=1)
+        network = fast_nn().fit(train_x, train_y)
+        assert (network.predict(test_x) == test_y).mean() > 0.85
+
+    def test_misaligned_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork().fit(np.zeros((4, 2)), np.zeros(3))
+
+    def test_multiple_hidden_layers(self, blobs):
+        features, labels = blobs
+        network = fast_nn(hidden_layers=2).fit(features, labels)
+        assert len(network._layers) == 2
+        assert (network.predict(features) == labels).mean() > 0.85
+
+
+class TestDeepMatcherBaseline:
+    def test_is_non_linear_learner(self):
+        assert DeepMatcherBaseline().family == LearnerFamily.NON_LINEAR
+
+    def test_default_architecture_is_deeper(self):
+        baseline = DeepMatcherBaseline()
+        assert baseline.hidden_layers >= 2
+        assert baseline.hidden_units >= 32
+
+    def test_invalid_validation_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DeepMatcherBaseline(validation_fraction=1.0)
+
+    def test_learns_blobs(self, blobs):
+        features, labels = blobs
+        baseline = DeepMatcherBaseline(
+            hidden_units=16, epochs=15, batch_size=16, learning_rate=0.01, random_state=0
+        )
+        baseline.fit(features, labels)
+        assert (baseline.predict(features) == labels).mean() > 0.85
+
+    def test_tiny_training_set_falls_back(self):
+        features = np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.1], [0.9, 0.9]])
+        labels = np.array([0, 1, 0, 1])
+        baseline = DeepMatcherBaseline(hidden_units=4, epochs=5, batch_size=2)
+        baseline.fit(features, labels)
+        assert baseline.is_fitted
+
+    def test_clone(self):
+        baseline = DeepMatcherBaseline(hidden_units=48, epochs=12)
+        clone = baseline.clone()
+        assert clone.hidden_units == 48
+        assert clone.total_epochs == 12
+        assert not clone.is_fitted

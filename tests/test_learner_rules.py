@@ -1,0 +1,154 @@
+"""Tests for the rule-based learner (monotone DNF over Boolean predicates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import LearnerFamily
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learners import ConjunctiveRule, RuleLearner
+
+
+def make_boolean_problem(n=200, seed=0):
+    """Boolean features where the target is (f0 AND f1) OR f3."""
+    rng = np.random.default_rng(seed)
+    features = (rng.random((n, 5)) > 0.5).astype(float)
+    labels = (((features[:, 0] > 0.5) & (features[:, 1] > 0.5)) | (features[:, 3] > 0.5)).astype(int)
+    return features, labels
+
+
+class TestConjunctiveRule:
+    def test_requires_predicates(self):
+        with pytest.raises(ConfigurationError):
+            ConjunctiveRule(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            ConjunctiveRule((1, 1))
+
+    def test_covers(self):
+        rule = ConjunctiveRule((0, 2))
+        features = np.array([[1, 0, 1], [1, 1, 0], [1, 1, 1]], dtype=float)
+        assert rule.covers(features).tolist() == [True, False, True]
+
+    def test_minus_drops_predicate(self):
+        rule = ConjunctiveRule((0, 2))
+        relaxed = rule.minus(0)
+        assert relaxed.predicates == (2,)
+
+    def test_minus_last_predicate_is_none(self):
+        assert ConjunctiveRule((3,)).minus(3) is None
+
+    def test_relaxations(self):
+        rule = ConjunctiveRule((0, 1, 2))
+        relaxations = rule.relaxations()
+        assert len(relaxations) == 3
+        assert all(len(r.predicates) == 2 for r in relaxations)
+
+    def test_describe(self):
+        rule = ConjunctiveRule((0, 1))
+        assert rule.describe(["A", "B"]) == "A AND B"
+
+    def test_n_atoms(self):
+        assert ConjunctiveRule((0, 1, 4)).n_atoms == 3
+
+
+class TestRuleLearner:
+    def test_family(self):
+        assert RuleLearner().family == LearnerFamily.RULE
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RuleLearner(min_precision=0.0)
+        with pytest.raises(ConfigurationError):
+            RuleLearner(max_predicates=0)
+        with pytest.raises(ConfigurationError):
+            RuleLearner(max_rules=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RuleLearner().predict(np.zeros((1, 3)))
+
+    def test_learns_dnf_structure(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        assert learner.rules
+        predictions = learner.predict(features)
+        accuracy = (predictions == labels).mean()
+        assert accuracy > 0.9
+
+    def test_learned_rules_are_high_precision(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        for rule in learner.rules:
+            covered = rule.covers(features)
+            precision = labels[covered].mean()
+            assert precision >= 0.9
+
+    def test_no_positive_examples_learns_empty_dnf(self):
+        features = (np.random.default_rng(0).random((30, 4)) > 0.5).astype(float)
+        learner = RuleLearner().fit(features, np.zeros(30, dtype=int))
+        assert learner.rules == []
+        assert np.all(learner.predict(features) == 0)
+
+    def test_predict_proba_fraction_of_rules(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        probabilities = learner.predict_proba(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+        assert np.array_equal(learner.predict(features), (probabilities > 0).astype(int))
+
+    def test_n_atoms_counts_with_repetition(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        assert learner.n_atoms == sum(rule.n_atoms for rule in learner.rules)
+
+    def test_describe_mentions_feature_names(self):
+        features, labels = make_boolean_problem()
+        names = [f"pred_{i}" for i in range(features.shape[1])]
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        description = learner.describe(names)
+        assert "pred_" in description
+
+    def test_describe_empty(self):
+        features = np.zeros((10, 3))
+        learner = RuleLearner().fit(features, np.zeros(10, dtype=int))
+        assert learner.describe(["a", "b", "c"]) == "<empty DNF>"
+
+    def test_active_rule_available_after_fit(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.9).fit(features, labels)
+        assert learner.active_rule() is not None
+
+    def test_active_rule_without_fit_raises(self):
+        learner = RuleLearner()
+        learner._fitted = True  # bypass the fit flag; there is still no rule
+        with pytest.raises(NotFittedError):
+            learner.active_rule()
+
+    def test_max_predicates_respected(self):
+        features, labels = make_boolean_problem()
+        learner = RuleLearner(min_precision=0.5, max_predicates=2).fit(features, labels)
+        for rule in learner.rules:
+            assert rule.n_atoms <= 2
+
+    def test_max_rules_respected(self):
+        features, labels = make_boolean_problem(n=400)
+        learner = RuleLearner(min_precision=0.5, max_rules=1).fit(features, labels)
+        assert len(learner.rules) <= 1
+
+    def test_clone(self):
+        learner = RuleLearner(min_precision=0.7, max_predicates=3)
+        clone = learner.clone()
+        assert clone.min_precision == pytest.approx(0.7)
+        assert clone.max_predicates == 3
+        assert not clone.is_fitted
+
+    def test_rules_on_real_boolean_features(self, tiny_rule_prepared):
+        pool = tiny_rule_prepared.pool
+        learner = RuleLearner(min_precision=0.8).fit(pool.features, pool.true_labels)
+        predictions = learner.predict(pool.features)
+        # Rules should find at least a reasonable share of the true matches.
+        recall = predictions[pool.true_labels == 1].mean()
+        precision = pool.true_labels[predictions == 1].mean() if predictions.sum() else 0.0
+        assert recall > 0.3
+        assert precision > 0.7

@@ -1,0 +1,170 @@
+"""Tests for the decision tree and random forest learners."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import LearnerFamily
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learners import DecisionTree, RandomForest
+
+from .conftest import make_blobs, make_xor
+
+
+class TestDecisionTreeConstruction:
+    def test_family(self):
+        assert DecisionTree().family == LearnerFamily.TREE
+
+    def test_invalid_max_features(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTree(max_features="sqrt")
+        with pytest.raises(ConfigurationError):
+            DecisionTree(max_features=0)
+
+    def test_invalid_min_samples_split(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTree(min_samples_split=1)
+
+    def test_invalid_max_depth(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTree(max_depth=0)
+
+    def test_clone(self):
+        tree = DecisionTree(max_features="all", max_depth=3, min_samples_split=4)
+        clone = tree.clone()
+        assert clone.max_features == "all"
+        assert clone.max_depth == 3
+        assert not clone.is_fitted
+
+
+class TestDecisionTreeLearning:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_fits_training_data_perfectly_with_all_features(self, blobs):
+        features, labels = blobs
+        tree = DecisionTree(max_features="all").fit(features, labels)
+        assert (tree.predict(features) == labels).mean() == 1.0
+
+    def test_learns_xor(self, xor_data):
+        features, labels = xor_data
+        tree = DecisionTree(max_features="all").fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.95
+
+    def test_max_depth_limits_depth(self, blobs):
+        features, labels = blobs
+        tree = DecisionTree(max_features="all", max_depth=2).fit(features, labels)
+        assert tree.depth <= 2
+
+    def test_predict_proba_bounded(self, blobs):
+        features, labels = blobs
+        tree = DecisionTree().fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+    def test_single_class_gives_constant_prediction(self):
+        features = np.random.default_rng(0).normal(size=(20, 3))
+        tree = DecisionTree().fit(features, np.ones(20))
+        assert np.all(tree.predict(features) == 1)
+        assert tree.depth == 0
+
+    def test_positive_paths_reference_valid_features(self, blobs):
+        features, labels = blobs
+        tree = DecisionTree(max_features="all").fit(features, labels)
+        paths = tree.positive_paths()
+        assert paths
+        for path in paths:
+            for feature, threshold, goes_left in path:
+                assert 0 <= feature < features.shape[1]
+                assert isinstance(goes_left, bool)
+
+    def test_misaligned_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTree().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_log2_feature_subsampling(self):
+        tree = DecisionTree(max_features="log2")
+        assert tree._n_split_features(63) == 6
+        assert tree._n_split_features(1) == 1
+
+    def test_explicit_feature_count(self):
+        tree = DecisionTree(max_features=3)
+        assert tree._n_split_features(10) == 3
+        assert tree._n_split_features(2) == 2
+
+
+class TestRandomForest:
+    def test_family_and_name(self):
+        forest = RandomForest(n_trees=5)
+        assert forest.family == LearnerFamily.TREE
+        assert "5" in forest.name
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ConfigurationError):
+            RandomForest(n_trees=0)
+
+    def test_trains_requested_number_of_trees(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=7).fit(features, labels)
+        assert len(forest.trees) == 7
+
+    def test_committee_predictions_shape(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=4).fit(features, labels)
+        votes = forest.committee_predictions(features[:10])
+        assert votes.shape == (4, 10)
+        assert set(np.unique(votes)) <= {0, 1}
+
+    def test_predict_proba_is_vote_fraction(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=4).fit(features, labels)
+        votes = forest.committee_predictions(features[:10])
+        assert np.allclose(forest.predict_proba(features[:10]), votes.mean(axis=0))
+
+    def test_learns_blobs(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=10).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.95
+
+    def test_learns_xor(self, xor_data):
+        features, labels = xor_data
+        forest = RandomForest(n_trees=10).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.9
+
+    def test_generalizes_to_holdout(self):
+        train_x, train_y = make_blobs(seed=0)
+        test_x, test_y = make_blobs(seed=1)
+        forest = RandomForest(n_trees=10).fit(train_x, train_y)
+        assert (forest.predict(test_x) == test_y).mean() > 0.9
+
+    def test_deterministic_given_seed(self, blobs):
+        features, labels = blobs
+        a = RandomForest(n_trees=5, random_state=1).fit(features, labels)
+        b = RandomForest(n_trees=5, random_state=1).fit(features, labels)
+        assert np.array_equal(a.predict(features), b.predict(features))
+
+    def test_max_tree_depth(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=3, max_depth=2).fit(features, labels)
+        assert forest.max_tree_depth <= 2
+
+    def test_positive_paths_union(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=3).fit(features, labels)
+        assert len(forest.positive_paths()) >= len(forest.trees[0].positive_paths())
+
+    def test_single_class_training(self):
+        features = np.random.default_rng(0).normal(size=(15, 3))
+        forest = RandomForest(n_trees=3).fit(features, np.zeros(15))
+        assert np.all(forest.predict(features) == 0)
+
+    def test_clone(self):
+        forest = RandomForest(n_trees=6, max_depth=4)
+        clone = forest.clone()
+        assert clone.n_trees == 6
+        assert clone.max_depth == 4
+        assert not clone.is_fitted
+
+    def test_unfitted_committee_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForest().committee_predictions(np.zeros((1, 2)))

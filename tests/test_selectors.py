@@ -1,0 +1,266 @@
+"""Tests for the example-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, IncompatibleSelectorError
+from repro.learners import LinearSVM, NeuralNetwork, RandomForest, RuleLearner
+from repro.selectors import (
+    BlockedMarginSelector,
+    LFPLFNSelector,
+    MarginSelector,
+    QBCSelector,
+    RandomSelector,
+    TreeQBCSelector,
+)
+from repro.selectors.ranking import top_k_with_random_ties
+
+from .conftest import make_blobs
+
+
+@pytest.fixture
+def labeled_blobs():
+    return make_blobs(n_per_class=40, dim=5, seed=0)
+
+
+@pytest.fixture
+def unlabeled_blobs():
+    features, _ = make_blobs(n_per_class=50, dim=5, seed=1)
+    return features
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRanking:
+    def test_top_k_largest(self, rng):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert set(top_k_with_random_ties(scores, 2, rng)) == {1, 3}
+
+    def test_top_k_smallest(self, rng):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert set(top_k_with_random_ties(scores, 2, rng, largest=False)) == {0, 2}
+
+    def test_k_larger_than_n(self, rng):
+        assert len(top_k_with_random_ties(np.array([1.0, 2.0]), 10, rng)) == 2
+
+    def test_empty(self, rng):
+        assert top_k_with_random_ties(np.array([]), 3, rng) == []
+
+    def test_zero_k(self, rng):
+        assert top_k_with_random_ties(np.array([1.0]), 0, rng) == []
+
+    def test_ties_broken_randomly(self):
+        scores = np.zeros(20)
+        first = top_k_with_random_ties(scores, 5, np.random.default_rng(1))
+        second = top_k_with_random_ties(scores, 5, np.random.default_rng(2))
+        assert first != second
+
+    def test_deterministic_given_rng(self):
+        scores = np.array([0.5, 0.5, 0.9, 0.1])
+        a = top_k_with_random_ties(scores, 2, np.random.default_rng(3))
+        b = top_k_with_random_ties(scores, 2, np.random.default_rng(3))
+        assert a == b
+
+
+class TestQBCSelector:
+    def test_requires_committee_of_two(self):
+        with pytest.raises(ConfigurationError):
+            QBCSelector(1)
+
+    def test_selects_batch(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM(epochs=30).fit(features, labels)
+        result = QBCSelector(3).select(learner, features, labels, unlabeled_blobs, 5, rng)
+        assert len(result.indices) == 5
+        assert len(set(result.indices)) == 5
+        assert all(0 <= i < len(unlabeled_blobs) for i in result.indices)
+
+    def test_records_committee_creation_time(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM(epochs=30).fit(features, labels)
+        result = QBCSelector(3).select(learner, features, labels, unlabeled_blobs, 5, rng)
+        assert result.committee_creation_time > 0.0
+        assert result.scoring_time > 0.0
+        assert result.scored_examples == len(unlabeled_blobs)
+
+    def test_larger_committee_takes_longer_to_create(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM(epochs=50).fit(features, labels)
+        small = QBCSelector(2).select(learner, features, labels, unlabeled_blobs, 5, rng)
+        large = QBCSelector(10).select(learner, features, labels, unlabeled_blobs, 5, rng)
+        assert large.committee_creation_time > small.committee_creation_time
+
+    def test_prefers_ambiguous_region(self, rng):
+        # Labeled data separable along dim 0; unlabeled points on the decision
+        # boundary (non-zero committee disagreement) must be selected before
+        # points deep inside either class (zero disagreement).
+        features, labels = make_blobs(n_per_class=50, dim=2, separation=6.0, seed=0)
+        learner = LinearSVM().fit(features, labels)
+        boundary = np.tile([3.0, 0.0], (5, 1)) + np.random.default_rng(0).normal(scale=0.2, size=(5, 2))
+        easy = np.vstack([np.tile([-3.0, 0.0], (10, 1)), np.tile([9.0, 0.0], (10, 1))])
+        unlabeled = np.vstack([easy, boundary])
+
+        from repro.learners import BootstrapCommittee
+
+        committee = BootstrapCommittee(learner, 9)
+        committee.fit(features, labels, rng=np.random.default_rng(0))
+        disagreement = committee.variance(unlabeled)
+        contested = set(np.flatnonzero(disagreement > 0).tolist())
+
+        result = QBCSelector(9).select(learner, features, labels, unlabeled, 3, rng)
+        selected = set(result.indices)
+        # Every contested example (there is at least one near the boundary,
+        # and never more than the batch) must be picked before unanimous ones.
+        assert contested
+        assert contested & selected == contested or len(contested) > 3
+
+    def test_name_mentions_committee_size(self):
+        assert "20" in QBCSelector(20).name
+
+
+class TestTreeQBCSelector:
+    def test_no_committee_creation_cost(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        forest = RandomForest(n_trees=5).fit(features, labels)
+        result = TreeQBCSelector().select(forest, features, labels, unlabeled_blobs, 5, rng)
+        assert result.committee_creation_time == 0.0
+        assert len(result.indices) == 5
+
+    def test_requires_committee_capable_learner(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM().fit(features, labels)
+        with pytest.raises(IncompatibleSelectorError):
+            TreeQBCSelector().select(learner, features, labels, unlabeled_blobs, 5, rng)
+
+    def test_selects_disagreement_region(self, rng):
+        features, labels = make_blobs(n_per_class=60, dim=2, separation=6.0, seed=0)
+        forest = RandomForest(n_trees=11).fit(features, labels)
+        boundary = np.tile([3.0, 0.0], (5, 1)) + np.random.default_rng(1).normal(scale=0.3, size=(5, 2))
+        easy = np.vstack([np.tile([-3.0, 0.0], (10, 1)), np.tile([9.0, 0.0], (10, 1))])
+        unlabeled = np.vstack([easy, boundary])
+        result = TreeQBCSelector().select(forest, features, labels, unlabeled, 3, rng)
+        boundary_hits = sum(1 for index in result.indices if index >= len(easy))
+        assert boundary_hits >= 2
+
+
+class TestMarginSelector:
+    def test_selects_smallest_margin(self, rng):
+        features, labels = make_blobs(n_per_class=50, dim=2, separation=6.0, seed=0)
+        learner = LinearSVM().fit(features, labels)
+        unlabeled = np.array([[3.0, 0.0], [-4.0, 0.0], [10.0, 0.0], [3.1, 0.2]])
+        result = MarginSelector().select(learner, features, labels, unlabeled, 2, rng)
+        assert set(result.indices) == {0, 3}
+        assert result.committee_creation_time == 0.0
+
+    def test_works_with_neural_network(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        network = NeuralNetwork(hidden_units=8, epochs=10, batch_size=16, learning_rate=0.01)
+        network.fit(features, labels)
+        result = MarginSelector().select(network, features, labels, unlabeled_blobs, 4, rng)
+        assert len(result.indices) == 4
+
+    def test_batch_capped_by_pool(self, labeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM().fit(features, labels)
+        result = MarginSelector().select(learner, features, labels, features[:3], 10, rng)
+        assert len(result.indices) == 3
+
+
+class TestBlockedMarginSelector:
+    def test_invalid_dimension_count(self):
+        with pytest.raises(ConfigurationError):
+            BlockedMarginSelector(0)
+
+    def test_requires_weight_vector(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        network = NeuralNetwork(hidden_units=8, epochs=5, batch_size=16).fit(features, labels)
+        with pytest.raises(IncompatibleSelectorError):
+            BlockedMarginSelector(1).select(network, features, labels, unlabeled_blobs, 3, rng)
+
+    def test_prunes_examples_with_zero_blocking_dimensions(self, rng):
+        features, labels = make_blobs(n_per_class=50, dim=3, separation=5.0, seed=0)
+        learner = LinearSVM().fit(features, labels)
+        # dimension 0 carries the signal; make some unlabeled rows zero there.
+        unlabeled = np.abs(np.random.default_rng(2).normal(size=(20, 3))) + 0.5
+        unlabeled[:8, 0] = 0.0
+        result = BlockedMarginSelector(1).select(learner, features, labels, unlabeled, 5, rng)
+        assert result.diagnostics["pruned_examples"] >= 8
+        assert result.scored_examples <= 12
+        assert all(index >= 8 for index in result.indices)
+
+    def test_all_dimensions_equals_plain_margin(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM().fit(features, labels)
+        blocked = BlockedMarginSelector(features.shape[1]).select(
+            learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(1)
+        )
+        plain = MarginSelector().select(
+            learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(1)
+        )
+        assert set(blocked.indices) == set(plain.indices)
+
+    def test_falls_back_when_everything_pruned(self, rng):
+        features, labels = make_blobs(n_per_class=30, dim=3, separation=5.0, seed=0)
+        learner = LinearSVM().fit(features, labels)
+        unlabeled = np.zeros((6, 3))
+        result = BlockedMarginSelector(1).select(learner, features, labels, unlabeled, 2, rng)
+        assert len(result.indices) == 2
+
+
+class TestLFPLFNSelector:
+    def make_rule_problem(self):
+        rng = np.random.default_rng(0)
+        features = (rng.random((120, 6)) > 0.45).astype(float)
+        labels = ((features[:, 0] > 0.5) & (features[:, 1] > 0.5)).astype(int)
+        return features, labels
+
+    def test_requires_rule_learner(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = LinearSVM().fit(features, labels)
+        with pytest.raises(IncompatibleSelectorError):
+            LFPLFNSelector().select(learner, features, labels, unlabeled_blobs, 3, rng)
+
+    def test_selects_lfps_and_lfns(self, rng):
+        features, labels = self.make_rule_problem()
+        learner = RuleLearner(min_precision=0.8).fit(features[:80], labels[:80])
+        result = LFPLFNSelector().select(learner, features[:80], labels[:80], features[80:], 6, rng)
+        assert result.indices
+        assert result.committee_creation_time == 0.0
+        assert result.diagnostics["lfp_candidates"] + result.diagnostics["lfn_candidates"] > 0
+
+    def test_empty_when_learner_has_no_rule(self, rng):
+        features, labels = self.make_rule_problem()
+        learner = RuleLearner().fit(features[:40], np.zeros(40, dtype=int))
+        result = LFPLFNSelector().select(learner, features[:40], np.zeros(40), features[40:], 5, rng)
+        assert result.indices == []
+
+    def test_indices_within_unlabeled_pool(self, rng):
+        features, labels = self.make_rule_problem()
+        learner = RuleLearner(min_precision=0.8).fit(features[:80], labels[:80])
+        result = LFPLFNSelector().select(learner, features[:80], labels[:80], features[80:], 4, rng)
+        assert all(0 <= index < 40 for index in result.indices)
+
+
+class TestRandomSelector:
+    def test_selects_requested_number(self, labeled_blobs, unlabeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = RandomForest(n_trees=2).fit(features, labels)
+        result = RandomSelector().select(learner, features, labels, unlabeled_blobs, 7, rng)
+        assert len(result.indices) == 7
+        assert len(set(result.indices)) == 7
+
+    def test_different_rngs_select_differently(self, labeled_blobs, unlabeled_blobs):
+        features, labels = labeled_blobs
+        learner = RandomForest(n_trees=2).fit(features, labels)
+        a = RandomSelector().select(learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(1))
+        b = RandomSelector().select(learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(2))
+        assert set(a.indices) != set(b.indices)
+
+    def test_empty_pool(self, labeled_blobs, rng):
+        features, labels = labeled_blobs
+        learner = RandomForest(n_trees=2).fit(features, labels)
+        result = RandomSelector().select(learner, features, labels, features[:0], 5, rng)
+        assert result.indices == []

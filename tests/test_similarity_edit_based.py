@@ -1,0 +1,156 @@
+"""Tests for the edit-distance based similarity measures."""
+
+import pytest
+
+from repro.similarity.edit_based import (
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    longest_common_subsequence_length,
+    longest_common_subsequence_similarity,
+    needleman_wunsch_similarity,
+    prefix_similarity,
+    smith_waterman_similarity,
+    suffix_similarity,
+)
+
+ALL_SIMILARITIES = [
+    levenshtein_similarity,
+    damerau_levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    needleman_wunsch_similarity,
+    smith_waterman_similarity,
+    longest_common_subsequence_similarity,
+    prefix_similarity,
+    suffix_similarity,
+]
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("cat", "bat") == 1
+
+    def test_insertion(self):
+        assert levenshtein_distance("cat", "cats") == 1
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_case_insensitive(self):
+        assert levenshtein_distance("Sony", "sony") == 0
+
+    def test_similarity_identical(self):
+        assert levenshtein_similarity("hello", "hello") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert levenshtein_similarity("aaa", "zzz") == 0.0
+
+    def test_similarity_partial(self):
+        assert levenshtein_similarity("cat", "bat") == pytest.approx(2 / 3)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_once(self):
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_classic_example(self):
+        assert damerau_levenshtein_distance("ca", "abc") >= 2
+
+    def test_similarity_at_most_levenshtein(self):
+        a, b = "product name", "product nmae"
+        assert damerau_levenshtein_similarity(a, b) >= levenshtein_similarity(a, b)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        assert jaro_winkler_similarity("prefixed", "prefixes") >= jaro_similarity(
+            "prefixed", "prefixes"
+        )
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_winkler_no_boost_without_prefix(self):
+        assert jaro_winkler_similarity("abcd", "xbcd") == pytest.approx(
+            jaro_similarity("abcd", "xbcd")
+        )
+
+
+class TestAlignment:
+    def test_needleman_wunsch_identical(self):
+        assert needleman_wunsch_similarity("query", "query") == 1.0
+
+    def test_needleman_wunsch_disjoint_is_low(self):
+        assert needleman_wunsch_similarity("aaaa", "zzzz") < 0.4
+
+    def test_smith_waterman_substring(self):
+        # A perfect local alignment of the shorter string scores 1.0.
+        assert smith_waterman_similarity("database", "base") == 1.0
+
+    def test_smith_waterman_identical(self):
+        assert smith_waterman_similarity("match", "match") == 1.0
+
+
+class TestLCS:
+    def test_length(self):
+        assert longest_common_subsequence_length("abcde", "ace") == 3
+
+    def test_empty(self):
+        assert longest_common_subsequence_length("", "abc") == 0
+
+    def test_similarity_substring(self):
+        assert longest_common_subsequence_similarity("abcdef", "abc") == 0.5
+
+
+class TestPrefixSuffix:
+    def test_prefix(self):
+        assert prefix_similarity("samsung tv", "samsung phone") == pytest.approx(8 / 10)
+
+    def test_suffix(self):
+        assert suffix_similarity("red camera", "blue camera") == pytest.approx(7 / 10)
+
+    def test_no_common_prefix(self):
+        assert prefix_similarity("abc", "xbc") == 0.0
+
+
+@pytest.mark.parametrize("similarity", ALL_SIMILARITIES)
+class TestCommonContracts:
+    def test_empty_both(self, similarity):
+        assert similarity("", "") == 1.0
+
+    def test_empty_one_side(self, similarity):
+        assert similarity("something", "") == 0.0
+        assert similarity("", "something") == 0.0
+
+    def test_identity(self, similarity):
+        assert similarity("entity matching", "entity matching") == pytest.approx(1.0)
+
+    def test_bounded(self, similarity):
+        for a, b in [("abc", "abd"), ("sony camera", "canon camera"), ("x", "yyyyyy")]:
+            value = similarity(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_none_handled_as_empty(self, similarity):
+        assert similarity(None, None) == 1.0
+        assert similarity(None, "text") == 0.0

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the similarity substrate."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import DEFAULT_SIMILARITY_SUITE
+from repro.similarity.edit_based import (
+    damerau_levenshtein_distance,
+    jaro_similarity,
+    levenshtein_distance,
+)
+from repro.similarity.token_based import dice_similarity, jaccard_similarity
+from repro.similarity.tokenizers import normalize, qgrams, tokenize_words
+
+# Keep the alphabet small so collisions/overlaps actually happen.
+words = st.text(alphabet=string.ascii_lowercase + " 0123456789", min_size=0, max_size=30)
+nonempty_words = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=words, b=words)
+@pytest.mark.parametrize("function", DEFAULT_SIMILARITY_SUITE, ids=lambda f: f.name)
+def test_similarity_bounded(function, a, b):
+    value = function(a, b)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=words)
+@pytest.mark.parametrize("function", DEFAULT_SIMILARITY_SUITE, ids=lambda f: f.name)
+def test_similarity_identity(function, a):
+    assert function(a, a) == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_levenshtein_bounded_by_longer_length(a, b):
+    a_n, b_n = normalize(a), normalize(b)
+    assert levenshtein_distance(a, b) <= max(len(a_n), len(b_n), 48)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words, c=words)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_damerau_never_exceeds_levenshtein(a, b):
+    assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_jaro_symmetry(a, b):
+    assert jaro_similarity(a, b) == pytest.approx(jaro_similarity(b, a))
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_jaccard_symmetry(a, b):
+    assert jaccard_similarity(a, b) == pytest.approx(jaccard_similarity(b, a))
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, b=words)
+def test_dice_at_least_jaccard(a, b):
+    # Dice = 2J / (1 + J) >= J for J in [0, 1].
+    assert dice_similarity(a, b) >= jaccard_similarity(a, b) - 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=nonempty_words)
+def test_tokenize_words_lowercase_tokens(a):
+    for token in tokenize_words(a):
+        assert token == token.lower()
+        assert token != ""
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=words, q=st.integers(min_value=2, max_value=4))
+def test_qgram_count(a, q):
+    grams = qgrams(a, q=q)
+    normalized = normalize(a)
+    if not normalized:
+        assert grams == []
+    else:
+        padded_length = len(normalized) + 2 * (q - 1)
+        assert len(grams) == padded_length - q + 1

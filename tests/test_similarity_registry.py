@@ -1,0 +1,62 @@
+"""Tests for the similarity-function registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.similarity import (
+    DEFAULT_SIMILARITY_SUITE,
+    RULE_SIMILARITY_SUITE,
+    SimilarityFunction,
+    get_similarity_function,
+    list_similarity_functions,
+)
+
+
+class TestDefaultSuite:
+    def test_has_21_functions(self):
+        # The paper applies 21 similarity functions per attribute pair.
+        assert len(DEFAULT_SIMILARITY_SUITE) == 21
+
+    def test_names_are_unique(self):
+        names = [f.name for f in DEFAULT_SIMILARITY_SUITE]
+        assert len(names) == len(set(names))
+
+    def test_includes_core_measures(self):
+        names = set(list_similarity_functions())
+        assert {"jaccard", "jaro_winkler", "exact_match", "levenshtein", "cosine"} <= names
+
+    def test_all_callable_and_bounded(self):
+        for function in DEFAULT_SIMILARITY_SUITE:
+            value = function("sony camera dsc", "sony camera dsc-w80")
+            assert 0.0 <= value <= 1.0
+
+    def test_all_return_float(self):
+        for function in DEFAULT_SIMILARITY_SUITE:
+            assert isinstance(function("a", "b"), float)
+
+
+class TestRuleSuite:
+    def test_has_three_functions(self):
+        # Rule learners only support equality, Jaro-Winkler and Jaccard.
+        assert len(RULE_SIMILARITY_SUITE) == 3
+
+    def test_names(self):
+        assert {f.name for f in RULE_SIMILARITY_SUITE} == {"exact_match", "jaro_winkler", "jaccard"}
+
+    def test_rule_suite_is_subset_of_default_names(self):
+        default_names = {f.name for f in DEFAULT_SIMILARITY_SUITE}
+        assert {f.name for f in RULE_SIMILARITY_SUITE} <= default_names
+
+
+class TestLookup:
+    def test_get_by_name(self):
+        function = get_similarity_function("jaccard")
+        assert isinstance(function, SimilarityFunction)
+        assert function.name == "jaccard"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_similarity_function("not_a_similarity")
+
+    def test_list_matches_suite(self):
+        assert len(list_similarity_functions()) == len(DEFAULT_SIMILARITY_SUITE)

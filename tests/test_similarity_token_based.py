@@ -1,0 +1,166 @@
+"""Tests for token-based, hybrid and simple similarity measures and tokenizers."""
+
+import pytest
+
+from repro.similarity.simple import exact_match_similarity, length_similarity, numeric_similarity
+from repro.similarity.token_based import (
+    block_distance_similarity,
+    cosine_similarity,
+    dice_similarity,
+    generalized_jaccard_similarity,
+    jaccard_similarity,
+    monge_elkan_similarity,
+    overlap_similarity,
+    qgram_similarity,
+    soft_tfidf_similarity,
+    tfidf_cosine_similarity,
+    token_exact_similarity,
+)
+from repro.similarity.tokenizers import normalize, qgrams, tokenize_words, tokenize_words_and_numbers
+
+TOKEN_SIMILARITIES = [
+    jaccard_similarity,
+    generalized_jaccard_similarity,
+    dice_similarity,
+    overlap_similarity,
+    cosine_similarity,
+    tfidf_cosine_similarity,
+    soft_tfidf_similarity,
+    monge_elkan_similarity,
+    qgram_similarity,
+    block_distance_similarity,
+]
+
+
+class TestTokenizers:
+    def test_normalize_lowercases_and_collapses(self):
+        assert normalize("  Sony   DSC  ") == "sony dsc"
+
+    def test_normalize_none(self):
+        assert normalize(None) == ""
+
+    def test_tokenize_words_splits_punctuation(self):
+        assert tokenize_words("Cyber-shot DSC-W80") == ["cyber", "shot", "dsc", "w80"]
+
+    def test_tokenize_words_empty(self):
+        assert tokenize_words("") == []
+
+    def test_tokenize_words_and_numbers_keeps_decimal(self):
+        assert "12.99" in tokenize_words_and_numbers("price 12.99 USD")
+
+    def test_qgrams_padding(self):
+        grams = qgrams("ab", q=3)
+        assert grams[0].startswith("##")
+        assert grams[-1].endswith("##")
+
+    def test_qgrams_no_padding(self):
+        assert qgrams("abcd", q=2, pad=False) == ["ab", "bc", "cd"]
+
+    def test_qgrams_empty(self):
+        assert qgrams("", q=3) == []
+
+
+class TestJaccardFamily:
+    def test_jaccard_known_value(self):
+        # tokens {sony, digital, camera} vs {sony, camera}: 2 / 3
+        assert jaccard_similarity("sony digital camera", "sony camera") == pytest.approx(2 / 3)
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity("alpha beta", "gamma delta") == 0.0
+
+    def test_dice_known_value(self):
+        assert dice_similarity("sony digital camera", "sony camera") == pytest.approx(4 / 5)
+
+    def test_dice_at_least_jaccard(self):
+        a, b = "query optimization for streams", "query optimization"
+        assert dice_similarity(a, b) >= jaccard_similarity(a, b)
+
+    def test_overlap_substring_tokens(self):
+        assert overlap_similarity("sony digital camera bundle", "sony camera") == 1.0
+
+    def test_cosine_known_value(self):
+        value = cosine_similarity("sony digital camera", "sony camera")
+        assert value == pytest.approx(2 / (3 * 2) ** 0.5)
+
+    def test_generalized_jaccard_counts_duplicates(self):
+        # bag {a, a, b} vs {a, b}: intersection 2, union 3
+        assert generalized_jaccard_similarity("a a b", "a b") == pytest.approx(2 / 3)
+        assert jaccard_similarity("a a b", "a b") == 1.0
+
+
+class TestHybridMeasures:
+    def test_monge_elkan_typos(self):
+        value = monge_elkan_similarity("jon smith", "john smyth")
+        assert value > 0.8
+
+    def test_monge_elkan_identical(self):
+        assert monge_elkan_similarity("alice cooper", "alice cooper") == pytest.approx(1.0)
+
+    def test_soft_tfidf_near_duplicate_tokens(self):
+        assert soft_tfidf_similarity("walmart stroller", "walmart stroler") > 0.5
+
+    def test_tf_cosine_with_repeats(self):
+        assert tfidf_cosine_similarity("data data systems", "data systems") > 0.9
+
+    def test_qgram_similarity_typo(self):
+        assert qgram_similarity("panasonic", "panasonik") > 0.6
+
+    def test_block_distance_identical(self):
+        assert block_distance_similarity("one two three", "one two three") == 1.0
+
+    def test_block_distance_disjoint(self):
+        assert block_distance_similarity("one", "two") == 0.0
+
+
+class TestSimpleMeasures:
+    def test_exact_match_true(self):
+        assert exact_match_similarity("SIGMOD", "sigmod") == 1.0
+
+    def test_exact_match_false(self):
+        assert exact_match_similarity("sigmod", "vldb") == 0.0
+
+    def test_exact_match_empty_both(self):
+        assert exact_match_similarity("", "") == 1.0
+
+    def test_numeric_equal(self):
+        assert numeric_similarity("12.99", "12.99") == 1.0
+
+    def test_numeric_close(self):
+        assert numeric_similarity("100", "90") == pytest.approx(0.9)
+
+    def test_numeric_with_currency_symbols(self):
+        assert numeric_similarity("$1,200", "1200") == 1.0
+
+    def test_numeric_far_apart_clips_to_zero(self):
+        assert numeric_similarity("1", "1000000") == pytest.approx(0.0, abs=1e-5)
+
+    def test_numeric_falls_back_to_exact_for_text(self):
+        assert numeric_similarity("ten", "ten") == 1.0
+        assert numeric_similarity("ten", "eleven") == 0.0
+
+    def test_length_similarity(self):
+        assert length_similarity("abcd", "ab") == 0.5
+
+    def test_token_exact(self):
+        assert token_exact_similarity("Sony  Camera", "sony camera") == 1.0
+        assert token_exact_similarity("sony camera", "camera sony") == 0.0
+
+
+@pytest.mark.parametrize("similarity", TOKEN_SIMILARITIES)
+class TestTokenContracts:
+    def test_empty_both(self, similarity):
+        assert similarity("", "") == 1.0
+
+    def test_empty_one(self, similarity):
+        assert similarity("some product", "") == 0.0
+
+    def test_identity(self, similarity):
+        assert similarity("active learning benchmark", "active learning benchmark") == pytest.approx(1.0)
+
+    def test_bounded(self, similarity):
+        for a, b in [
+            ("sony camera", "canon camera bundle"),
+            ("query processing", "stream processing engine"),
+            ("a b c", "d e f"),
+        ]:
+            assert 0.0 <= similarity(a, b) <= 1.0

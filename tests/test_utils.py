@@ -1,0 +1,103 @@
+"""Tests for repro.utils: RNG handling, stopwatches and batching."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils import Stopwatch, batched, ensure_rng, timed
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            ensure_rng("not a seed")
+
+    def test_float_seed_raises(self):
+        with pytest.raises(ConfigurationError):
+            ensure_rng(3.5)
+
+
+class TestStopwatch:
+    def test_accumulates_time(self):
+        watch = Stopwatch()
+        with watch.timing():
+            sum(range(1000))
+        first = watch.elapsed
+        assert first > 0.0
+        with watch.timing():
+            sum(range(1000))
+        assert watch.elapsed > first
+
+    def test_stop_returns_interval(self):
+        watch = Stopwatch()
+        watch.start()
+        interval = watch.stop()
+        assert interval >= 0.0
+        assert watch.elapsed == pytest.approx(interval)
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(ConfigurationError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ConfigurationError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.timing():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_timed_context_manager(self):
+        with timed() as watch:
+            sum(range(1000))
+        assert watch.elapsed > 0.0
+
+    def test_timing_stops_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch.timing():
+                raise ValueError("boom")
+        # The stopwatch is stopped, so it can be started again.
+        watch.start()
+        watch.stop()
+
+
+class TestBatched:
+    def test_even_batches(self):
+        assert list(batched([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_final_batch(self):
+        assert list(batched([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_batch_larger_than_input(self):
+        assert list(batched([1, 2], 10)) == [[1, 2]]
+
+    def test_empty_input(self):
+        assert list(batched([], 3)) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(batched([1], 0))
