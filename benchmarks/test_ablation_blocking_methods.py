@@ -1,0 +1,67 @@
+"""Ablation: blocking strategies — recall vs reduction vs wall-clock.
+
+The paper's pipeline blocks the Cartesian product with exact token-Jaccard
+before any learning happens.  This ablation compares that blocker against the
+two sub-quadratic strategies on a ≥ 2,000 × 2,000 synthetic table pair and
+records, per strategy: surviving candidates, reduction ratio, recall of the
+true matches, and candidate-generation wall-clock.
+
+Reproduced claim (scalability): MinHash-LSH generates candidates strictly
+faster than exhaustive Jaccard at this scale while retaining ≥ 0.95 match
+recall.
+"""
+
+from repro.core import BlockingConfig
+from repro.datasets import load_dataset
+from repro.harness import experiments, reporting
+
+#: dblp_acm has 200 records per table at scale 1; scale 10 ⇒ 2,000 × 2,000.
+BLOCKING_BENCH_SCALE = 10.0
+
+METHODS = {
+    "jaccard(exhaustive)": BlockingConfig.create("jaccard"),
+    "minhash_lsh(verify=0.2)": BlockingConfig.create("minhash_lsh", threshold=0.2),
+    "sorted_neighborhood(w=20)": BlockingConfig.create("sorted_neighborhood", window=20),
+}
+
+
+def test_ablation_blocking_methods(run_once, emit):
+    dataset = "dblp_acm"
+    table_pair = load_dataset(dataset, scale=BLOCKING_BENCH_SCALE)
+    assert len(table_pair.left) >= 2000 and len(table_pair.right) >= 2000
+
+    rows = run_once(
+        experiments.blocking_method_comparison,
+        dataset=dataset,
+        scale=BLOCKING_BENCH_SCALE,
+        methods=METHODS,
+    )
+    emit(
+        "ablation_blocking_methods",
+        reporting.format_table(
+            rows,
+            columns=[
+                "method", "total_pairs", "candidates", "reduction_ratio",
+                "match_recall", "blocking_seconds",
+            ],
+            title=(
+                f"Ablation — blocking strategies ({dataset}, "
+                f"{len(table_pair.left)}×{len(table_pair.right)} records)"
+            ),
+        ),
+    )
+
+    by_method = {row["method"]: row for row in rows}
+    lsh = by_method["minhash_lsh(verify=0.2)"]
+    jaccard = by_method["jaccard(exhaustive)"]
+    snm = by_method["sorted_neighborhood(w=20)"]
+
+    # The scalability claim: sub-quadratic candidate generation beats scoring
+    # every token-sharing pair exactly, without giving up blocking recall.
+    assert lsh["blocking_seconds"] < jaccard["blocking_seconds"]
+    assert lsh["match_recall"] >= 0.95
+    assert snm["match_recall"] >= 0.95
+    # Every strategy must still prune the overwhelming majority of the
+    # 4M-pair Cartesian product.
+    for row in rows:
+        assert row["reduction_ratio"] >= 0.9

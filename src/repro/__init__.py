@@ -6,7 +6,8 @@ Framework for Active Learning Methods in Entity Matching" (SIGMOD 2020).
 The package is organised as in the paper's architecture (Fig. 1a):
 
 * :mod:`repro.datasets` — synthetic stand-ins for the public EM datasets.
-* :mod:`repro.blocking` — offline Jaccard blocking of the Cartesian product.
+* :mod:`repro.blocking` — pluggable offline blocking of the Cartesian product
+  (exact Jaccard, MinHash-LSH, sorted-neighborhood), selectable by name.
 * :mod:`repro.similarity` / :mod:`repro.features` — the 21-function similarity
   suite and the continuous / Boolean feature extractors.
 * :mod:`repro.learners` — linear SVM, neural network, decision tree / random
@@ -35,7 +36,16 @@ from .core import (
     PerfectOracle,
     evaluate_predictions,
 )
-from .blocking import JaccardBlocker
+from .blocking import (
+    Blocker,
+    BlockingResult,
+    JaccardBlocker,
+    MinHashLSHBlocker,
+    SortedNeighborhoodBlocker,
+    list_blockers,
+    make_blocker,
+)
+from .core.config import BlockingConfig
 from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
 from .features import BooleanFeatureExtractor, FeatureExtractor
 from .learners import (
@@ -79,7 +89,14 @@ __all__ = [
     "Table",
     "dataset_names",
     "load_dataset",
+    "Blocker",
+    "BlockingConfig",
+    "BlockingResult",
     "JaccardBlocker",
+    "MinHashLSHBlocker",
+    "SortedNeighborhoodBlocker",
+    "list_blockers",
+    "make_blocker",
     "FeatureExtractor",
     "BooleanFeatureExtractor",
     # learners

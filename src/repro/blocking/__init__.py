@@ -2,11 +2,37 @@
 
 The paper applies a Jaccard-similarity blocking function over the tokenized
 attributes of each record pair as a pre-processing step (Section 3 and 6),
-retaining only pairs above a per-dataset threshold.  This package implements
-that blocker together with an inverted-index candidate generator so the
-Cartesian product never needs to be materialized for large tables.
+retaining only pairs above a per-dataset threshold.  This package grows that
+step into a pluggable subsystem of blocking strategies sharing the
+:class:`~repro.blocking.base.Blocker` protocol:
+
+* :class:`JaccardBlocker` — exact token-Jaccard over an inverted index (the
+  paper's blocker; exact but quadratic on dense vocabularies).
+* :class:`MinHashLSHBlocker` — n-gram shingles → MinHash signatures → banded
+  LSH buckets; sub-quadratic candidate generation with tunable recall.
+* :class:`SortedNeighborhoodBlocker` — multi-key sort + sliding window;
+  O(n log n) by construction.
+
+Strategies are selectable by name through :mod:`repro.blocking.registry`
+(:func:`make_blocker`, :func:`list_blockers`), mirroring the similarity
+function registry.
 """
 
-from .jaccard import JaccardBlocker, BlockingResult
+from .base import Blocker, BlockingResult, record_token_sets
+from .jaccard import JaccardBlocker
+from .minhash_lsh import MinHashLSHBlocker
+from .sorted_neighborhood import SortedNeighborhoodBlocker
+from .registry import BlockerSpec, get_blocker_spec, list_blockers, make_blocker
 
-__all__ = ["JaccardBlocker", "BlockingResult"]
+__all__ = [
+    "Blocker",
+    "BlockingResult",
+    "BlockerSpec",
+    "JaccardBlocker",
+    "MinHashLSHBlocker",
+    "SortedNeighborhoodBlocker",
+    "get_blocker_spec",
+    "list_blockers",
+    "make_blocker",
+    "record_token_sets",
+]

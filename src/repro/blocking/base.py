@@ -1,0 +1,152 @@
+"""The :class:`Blocker` protocol shared by every blocking strategy.
+
+A blocker turns the Cartesian product ``left × right`` into a (much) smaller
+list of *candidate pairs*.  Strategies differ only in how they generate the
+candidates — exact token-Jaccard with an inverted index, MinHash-LSH banding,
+sorted-neighborhood windowing — so the shared dataset plumbing (labeling,
+skew, match-retention statistics) lives here in :meth:`Blocker.block` and each
+strategy only implements :meth:`Blocker.candidate_pairs`.
+
+Blockers are selectable by name through :mod:`repro.blocking.registry`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..datasets.base import CandidatePair, EMDataset, Record, Table
+from ..similarity.tokenizers import tokenize_words
+
+
+@dataclass
+class BlockingResult:
+    """Outcome of offline blocking: surviving candidate pairs plus statistics.
+
+    Attributes
+    ----------
+    pairs:
+        The surviving candidate pairs, labeled when ``attach_labels`` was set.
+    total_pairs:
+        Size of the full Cartesian product (``len(left) * len(right)``).
+    threshold:
+        The similarity threshold the blocker enforced (0.0 when the strategy
+        has no similarity cutoff, e.g. pure sorted-neighborhood windowing).
+    class_skew:
+        Fraction of true matches among the surviving pairs (``None`` when
+        labels were not attached).
+    statistics:
+        Free-form per-strategy counters (records seen, matches retained,
+        buckets probed, ...).
+    """
+
+    pairs: list[CandidatePair]
+    total_pairs: int
+    threshold: float
+    class_skew: float | None = None
+    statistics: dict = field(default_factory=dict)
+
+    @property
+    def post_blocking_pairs(self) -> int:
+        """Number of candidate pairs surviving blocking."""
+        return len(self.pairs)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the Cartesian product removed by blocking (1 = all)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return 1.0 - len(self.pairs) / self.total_pairs
+
+    @property
+    def match_recall(self) -> float | None:
+        """Fraction of ground-truth matches retained, when that was measured."""
+        matches = self.statistics.get("ground_truth_matches")
+        retained = self.statistics.get("matches_retained")
+        if not matches or retained is None:
+            return None
+        return retained / matches
+
+
+def record_token_sets(table: Table) -> dict[str, frozenset[str]]:
+    """Tokenize every record of a table once, keyed by record id.
+
+    Centralised so each blocking pass (and any verification pass) tokenizes a
+    record exactly once; O(total text length) time and memory.
+    """
+    return {
+        record.record_id: frozenset(tokenize_words(record.text())) for record in table
+    }
+
+
+class Blocker(ABC):
+    """Abstract base class for offline blocking strategies.
+
+    Subclasses implement :meth:`candidate_pairs` returning scored
+    ``(left_record, right_record, score)`` triples, where ``score`` is the
+    strategy's similarity evidence for the pair (exact Jaccard, an LSH
+    signature estimate, ...) in ``[0, 1]``.  The shared :meth:`block` wraps
+    those triples into a :class:`BlockingResult` with labels and statistics.
+    """
+
+    #: Registry name of the strategy (mirrors ``SimilarityFunction.name``).
+    name: str = "base"
+
+    #: Similarity cutoff enforced by the strategy; 0.0 when there is none.
+    threshold: float = 0.0
+
+    @abstractmethod
+    def candidate_pairs(
+        self, left: Table, right: Table
+    ) -> list[tuple[Record, Record, float]]:
+        """Generate scored candidate pairs from two tables.
+
+        Parameters
+        ----------
+        left, right:
+            The two tables to be matched.
+
+        Returns
+        -------
+        list of ``(left_record, right_record, score)`` triples with
+        ``score`` in ``[0, 1]``; each (left, right) id pair appears at most
+        once.
+        """
+
+    def describe(self) -> dict:
+        """Strategy name and parameters, for statistics and reporting."""
+        return {"method": self.name}
+
+    def block(self, dataset: EMDataset, attach_labels: bool = True) -> BlockingResult:
+        """Run blocking on a dataset and return labeled candidate pairs.
+
+        With ``attach_labels=True`` (the default) the ground-truth label is
+        attached to every surviving pair; learners never read it directly —
+        the Oracle does.  Time is dominated by :meth:`candidate_pairs`;
+        labeling adds O(#survivors).
+        """
+        triples = self.candidate_pairs(dataset.left, dataset.right)
+        pairs = [CandidatePair(left, right) for left, right, _ in triples]
+        if attach_labels:
+            pairs = dataset.label_pairs(pairs)
+        skew = dataset.class_skew(pairs) if attach_labels else None
+
+        matches_retained = None
+        if attach_labels and dataset.matches:
+            retained_keys = {pair.key for pair in pairs}
+            matches_retained = sum(1 for match in dataset.matches if match in retained_keys)
+
+        statistics = {
+            "left_records": len(dataset.left),
+            "right_records": len(dataset.right),
+            "ground_truth_matches": len(dataset.matches),
+            "matches_retained": matches_retained,
+        }
+        statistics.update(self.describe())
+        return BlockingResult(
+            pairs=pairs,
+            total_pairs=dataset.total_pairs,
+            threshold=self.threshold,
+            class_skew=skew,
+            statistics=statistics,
+        )

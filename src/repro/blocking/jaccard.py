@@ -3,42 +3,38 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 
-from ..datasets.base import CandidatePair, EMDataset, Record, Table
+from ..datasets.base import Record, Table
 from ..exceptions import ConfigurationError
 from ..similarity.tokenizers import tokenize_words
+from .base import Blocker, BlockingResult, record_token_sets
+
+__all__ = ["JaccardBlocker", "BlockingResult"]
 
 
-@dataclass
-class BlockingResult:
-    """Outcome of offline blocking: surviving candidate pairs plus statistics."""
-
-    pairs: list[CandidatePair]
-    total_pairs: int
-    threshold: float
-    class_skew: float | None = None
-    statistics: dict = field(default_factory=dict)
-
-    @property
-    def post_blocking_pairs(self) -> int:
-        return len(self.pairs)
-
-    @property
-    def reduction_ratio(self) -> float:
-        """Fraction of the Cartesian product removed by blocking."""
-        if self.total_pairs == 0:
-            return 0.0
-        return 1.0 - len(self.pairs) / self.total_pairs
-
-
-class JaccardBlocker:
+class JaccardBlocker(Blocker):
     """Prunes record pairs whose token-set Jaccard falls below a threshold.
 
     An inverted index from token → right-record ids is used so that only pairs
     sharing at least one token are ever scored; everything else trivially has
-    Jaccard 0 and is pruned, which keeps blocking linear in practice.
+    Jaccard 0 and is pruned.  This keeps blocking linear on sparse-vocabulary
+    tables, but the *exact* Jaccard of every token-sharing pair is still
+    computed, so dense vocabularies (every record sharing brand/venue tokens)
+    degrade towards the O(|left| × |right|) worst case — the regime
+    :class:`~repro.blocking.minhash_lsh.MinHashLSHBlocker` is built for.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum token-set Jaccard in ``(0, 1]`` for a pair to survive.
+
+    Complexity
+    ----------
+    O(T) index construction for T total tokens, plus O(|candidates| × t̄) exact
+    Jaccard evaluations where t̄ is the mean token-set size.
     """
+
+    name = "jaccard"
 
     def __init__(self, threshold: float = 0.1875):
         if not 0.0 < threshold <= 1.0:
@@ -47,11 +43,20 @@ class JaccardBlocker:
 
     @staticmethod
     def _record_tokens(record: Record) -> frozenset[str]:
+        """Token set of a record's concatenated attribute values."""
         return frozenset(tokenize_words(record.text()))
 
+    def describe(self) -> dict:
+        return {"method": self.name, "threshold": self.threshold}
+
     def candidate_pairs(self, left: Table, right: Table) -> list[tuple[Record, Record, float]]:
-        """All (left, right, jaccard) triples with Jaccard ≥ threshold."""
-        right_tokens = {record.record_id: self._record_tokens(record) for record in right}
+        """All ``(left, right, jaccard)`` triples with Jaccard ≥ threshold.
+
+        Each record is tokenized exactly once (via :func:`record_token_sets`);
+        candidate generation walks the inverted index, and each surviving pair
+        carries its exact token-set Jaccard as the score.
+        """
+        right_tokens = record_token_sets(right)
         inverted: dict[str, set[str]] = defaultdict(set)
         for record_id, tokens in right_tokens.items():
             for token in tokens:
@@ -65,7 +70,10 @@ class JaccardBlocker:
             candidates: set[str] = set()
             for token in left_toks:
                 candidates.update(inverted.get(token, ()))
-            for right_id in candidates:
+            # Sorted probe order keeps candidate-pair order independent of
+            # string-hash randomization, so downstream active-learning runs
+            # are reproducible across processes.
+            for right_id in sorted(candidates):
                 right_toks = right_tokens[right_id]
                 union = len(left_toks | right_toks)
                 if union == 0:
@@ -74,34 +82,3 @@ class JaccardBlocker:
                 if jaccard >= self.threshold:
                     survivors.append((left_record, right[right_id], jaccard))
         return survivors
-
-    def block(self, dataset: EMDataset, attach_labels: bool = True) -> BlockingResult:
-        """Run blocking on a dataset and return labeled candidate pairs.
-
-        With ``attach_labels=True`` (the default) the ground-truth label is
-        attached to every surviving pair; learners never read it directly —
-        the Oracle does.
-        """
-        triples = self.candidate_pairs(dataset.left, dataset.right)
-        pairs = [CandidatePair(left, right) for left, right, _ in triples]
-        if attach_labels:
-            pairs = dataset.label_pairs(pairs)
-        skew = dataset.class_skew(pairs) if attach_labels else None
-
-        matches_retained = None
-        if attach_labels and dataset.matches:
-            retained_keys = {pair.key for pair in pairs}
-            matches_retained = sum(1 for match in dataset.matches if match in retained_keys)
-
-        return BlockingResult(
-            pairs=pairs,
-            total_pairs=dataset.total_pairs,
-            threshold=self.threshold,
-            class_skew=skew,
-            statistics={
-                "left_records": len(dataset.left),
-                "right_records": len(dataset.right),
-                "ground_truth_matches": len(dataset.matches),
-                "matches_retained": matches_retained,
-            },
-        )

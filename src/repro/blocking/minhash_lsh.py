@@ -1,0 +1,308 @@
+"""Sub-quadratic blocking with MinHash signatures and banded LSH.
+
+The blocker approximates shingle-set Jaccard without ever scoring the full
+set of token-sharing pairs:
+
+1. Every record's concatenated text is shingled into character n-grams and
+   each shingle is hashed to a 32-bit integer (CRC32 — stable across
+   processes, unlike Python's salted ``hash``).
+2. MinHash signatures of ``num_perm`` components are computed for the whole
+   table at once with universal hashing ``h_i(x) = (a_i · x + b_i) mod p``
+   over the Mersenne prime ``p = 2^61 − 1``: all records' shingle hashes are
+   concatenated into one flat array and each permutation is a single
+   vectorized multiply-add-mod followed by a segmented
+   ``np.minimum.reduceat`` — no per-record Python loop in the hot path.
+3. Signatures are split into ``bands`` bands of ``r = num_perm / bands`` rows
+   and each band is mixed into one 64-bit bucket key.  Records agreeing on
+   *any* complete band land in the same bucket; only bucket collisions become
+   candidate pairs, so candidate generation is O(records × bands) plus the
+   (small) collision volume instead of O(|left| × |right|).
+
+Two records with shingle Jaccard ``s`` collide with probability
+``1 − (1 − s^r)^bands`` — the classic LSH S-curve.  Lower ``r`` (more bands)
+shifts the curve left: higher recall, more candidates.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..datasets.base import Record, Table
+from ..exceptions import ConfigurationError
+from ..similarity.tokenizers import normalize
+from .base import Blocker
+
+__all__ = ["MinHashLSHBlocker"]
+
+#: Modulus of the universal hash family: the Mersenne prime 2^61 − 1.  With
+#: 31-bit coefficients and 32-bit shingle hashes, a·x + b < 2^63 never
+#: overflows uint64 arithmetic.
+_MERSENNE_PRIME = np.uint64((1 << 61) - 1)
+_COEFF_BOUND = 1 << 31
+#: FNV-1a 64-bit prime, used to mix a band's signature rows into one bucket key.
+_MIX_PRIME = np.uint64(1099511628211)
+
+
+class MinHashLSHBlocker(Blocker):
+    """Locality-sensitive blocking over MinHash signatures of n-gram shingles.
+
+    Parameters
+    ----------
+    num_perm:
+        Number of MinHash permutations (signature length).  128 follows the
+        common MinHash default; must be divisible by ``bands``.
+    bands:
+        Number of LSH bands.  ``rows_per_band = num_perm // bands``; the
+        default (64 bands × 2 rows) catches pairs down to shingle Jaccard
+        ≈ 0.25 with near-certainty, which is the recall-first setting blocking
+        needs.
+    shingle_size:
+        Character n-gram length used to shingle the normalized record text.
+    verify_threshold:
+        When set, a verification pass drops bucket collisions whose estimated
+        Jaccard (fraction of agreeing signature components — unbiased, with
+        std ≈ ``sqrt(s(1-s)/num_perm)``) falls below this value.  With
+        ``exact_verify=True`` the survivors are additionally re-scored by
+        *exact* shingle-set Jaccard and re-thresholded.  When ``None``
+        (default) every bucket collision survives.
+    exact_verify:
+        Upgrade the verification pass to exact shingle-Jaccard scoring.  Only
+        estimate-survivors are intersected, so the exact pass costs
+        O(survivors × s̄) set operations rather than O(collisions × s̄).
+    seed:
+        Seed of the permutation coefficients; fixed by default so signatures
+        are reproducible across runs.
+
+    Complexity
+    ----------
+    Signature construction is O(num_perm × S) vectorized numpy work for S
+    total shingles across the table; banding is O(records × bands); candidate
+    generation is proportional to bucket collisions, not to |left| × |right|.
+    """
+
+    name = "minhash_lsh"
+
+    def __init__(
+        self,
+        num_perm: int = 128,
+        bands: int = 64,
+        shingle_size: int = 3,
+        verify_threshold: float | None = None,
+        exact_verify: bool = False,
+        seed: int = 0,
+    ):
+        if num_perm < 2:
+            raise ConfigurationError("num_perm must be at least 2")
+        if bands < 1 or num_perm % bands != 0:
+            raise ConfigurationError(
+                f"bands must divide num_perm ({num_perm}); got bands={bands}"
+            )
+        if shingle_size < 1:
+            raise ConfigurationError("shingle_size must be positive")
+        if verify_threshold is not None and not 0.0 < verify_threshold <= 1.0:
+            raise ConfigurationError("verify_threshold must be in (0, 1] or None")
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows_per_band = num_perm // bands
+        self.shingle_size = shingle_size
+        self.verify_threshold = verify_threshold
+        self.exact_verify = bool(exact_verify)
+        self.threshold = verify_threshold if verify_threshold is not None else 0.0
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _COEFF_BOUND, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _COEFF_BOUND, size=num_perm, dtype=np.uint64)
+
+    def describe(self) -> dict:
+        return {
+            "method": self.name,
+            "num_perm": self.num_perm,
+            "bands": self.bands,
+            "rows_per_band": self.rows_per_band,
+            "shingle_size": self.shingle_size,
+            "verify_threshold": self.verify_threshold,
+            "exact_verify": self.exact_verify,
+        }
+
+    def _shingle_hashes(self, record: Record) -> np.ndarray | None:
+        """32-bit hashes of the distinct character shingles of a record.
+
+        Returns ``None`` for records whose normalized text is empty (they can
+        never block with anything, matching the Jaccard blocker's behavior).
+        """
+        text = normalize(record.text())
+        if not text:
+            return None
+        k = self.shingle_size
+        if len(text) <= k:
+            shingles = {text}
+        else:
+            shingles = {text[i : i + k] for i in range(len(text) - k + 1)}
+        return np.fromiter(
+            (zlib.crc32(s.encode("utf-8")) for s in shingles),
+            dtype=np.uint64,
+            count=len(shingles),
+        )
+
+    def _table_signatures(
+        self, table: Table
+    ) -> tuple[list[Record], np.ndarray, list[np.ndarray]]:
+        """Records with non-empty text, their signature matrix, and shingles.
+
+        Returns ``(records, signatures, shingle_hashes)`` where ``signatures``
+        has shape ``(len(records), num_perm)``.  All records are hashed in one
+        flat array; each permutation is one vectorized multiply-add-mod plus a
+        segmented min (``np.minimum.reduceat``), so the Python-level loop is
+        O(num_perm), not O(records).
+        """
+        records: list[Record] = []
+        hash_arrays: list[np.ndarray] = []
+        for record in table:
+            hashes = self._shingle_hashes(record)
+            if hashes is None:
+                continue
+            records.append(record)
+            hash_arrays.append(hashes)
+        if not records:
+            return [], np.empty((0, self.num_perm), dtype=np.uint64), []
+
+        flat = np.concatenate(hash_arrays)
+        lengths = np.fromiter((len(h) for h in hash_arrays), dtype=np.intp, count=len(hash_arrays))
+        offsets = np.zeros(len(hash_arrays), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+
+        signatures = np.empty((len(records), self.num_perm), dtype=np.uint64)
+        for i in range(self.num_perm):
+            values = (self._a[i] * flat + self._b[i]) % _MERSENNE_PRIME
+            signatures[:, i] = np.minimum.reduceat(values, offsets)
+        return records, signatures, hash_arrays
+
+    def _band_hashes(self, signatures: np.ndarray) -> np.ndarray:
+        """Mix each band's signature rows into one 64-bit bucket key.
+
+        Shape ``(records, num_perm)`` → ``(records, bands)``.  FNV-style
+        mixing (wrapping uint64 arithmetic) — spurious key collisions are
+        ~records²/2⁶⁴ and only ever *add* candidates, never drop them.
+        """
+        r = self.rows_per_band
+        mixed = np.empty((signatures.shape[0], self.bands), dtype=np.uint64)
+        for band in range(self.bands):
+            accumulator = np.full(signatures.shape[0], np.uint64(band + 1), dtype=np.uint64)
+            for column in range(band * r, (band + 1) * r):
+                accumulator = accumulator * _MIX_PRIME + signatures[:, column]
+            mixed[:, band] = accumulator
+        return mixed
+
+    @staticmethod
+    def _band_join(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-index pairs of all key collisions between two band columns.
+
+        A vectorized hash join: right rows are grouped by key, left rows are
+        matched against the groups with ``np.searchsorted``, and each hit is
+        expanded into its full group via cumsum arithmetic — no Python loop
+        over rows or buckets.
+        """
+        unique_right, right_counts = np.unique(right_keys, return_counts=True)
+        order = np.argsort(right_keys, kind="stable")
+        group_starts = np.concatenate(([0], np.cumsum(right_counts[:-1])))
+
+        positions = np.searchsorted(unique_right, left_keys)
+        positions_clipped = np.minimum(positions, len(unique_right) - 1)
+        hits = unique_right[positions_clipped] == left_keys
+        left_rows = np.nonzero(hits)[0]
+        if len(left_rows) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        group_ids = positions[hits]
+        counts = right_counts[group_ids]
+
+        expanded_left = np.repeat(left_rows, counts)
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within_group = np.arange(counts.sum()) - offsets
+        expanded_right = order[np.repeat(group_starts[group_ids], counts) + within_group]
+        return expanded_left.astype(np.int64), expanded_right.astype(np.int64)
+
+    def candidate_pairs(self, left: Table, right: Table) -> list[tuple[Record, Record, float]]:
+        """Scored candidate pairs from LSH bucket collisions.
+
+        Both tables' signatures are banded; per band, a vectorized hash join
+        yields every bucket collision, and the union over bands (deduplicated
+        with ``np.unique``, which also makes pair order deterministic) is the
+        candidate set.  With ``verify_threshold`` set, candidates whose
+        estimated Jaccard falls below it are dropped — vectorized over all
+        pairs at once — and with ``exact_verify`` the survivors are re-scored
+        by exact shingle-set Jaccard.
+        """
+        right_records, right_sigs, right_hashes = self._table_signatures(right)
+        left_records, left_sigs, left_hashes = self._table_signatures(left)
+        if not right_records or not left_records:
+            return []
+
+        left_bands = self._band_hashes(left_sigs)
+        right_bands = self._band_hashes(right_sigs)
+
+        n_right = len(right_records)
+        collision_chunks = []
+        for band in range(self.bands):
+            left_rows, right_rows = self._band_join(
+                left_bands[:, band], right_bands[:, band]
+            )
+            if len(left_rows):
+                collision_chunks.append(left_rows * n_right + right_rows)
+        if not collision_chunks:
+            return []
+        pair_ids = np.unique(np.concatenate(collision_chunks))
+        left_rows = (pair_ids // n_right).astype(np.intp)
+        right_rows = (pair_ids % n_right).astype(np.intp)
+
+        # Signature-agreement estimate for every pair, chunked to bound the
+        # (pairs × num_perm) comparison matrix to a few MB at a time.  The
+        # comparison uses 16-bit truncated signatures: memory traffic drops
+        # 4× and spurious component agreements add only ~(1-s)/2¹⁶ bias.
+        left16 = left_sigs.astype(np.uint16)
+        right16 = right_sigs.astype(np.uint16)
+        estimates = np.empty(len(pair_ids))
+        chunk = 1 << 17
+        for start in range(0, len(pair_ids), chunk):
+            stop = min(start + chunk, len(pair_ids))
+            estimates[start:stop] = (
+                left16[left_rows[start:stop]] == right16[right_rows[start:stop]]
+            ).mean(axis=1)
+
+        verify = self.verify_threshold
+        if verify is not None:
+            # Filter with a 2σ recall slack: a pair whose true Jaccard sits
+            # exactly at the threshold would otherwise be dropped ~50% of the
+            # time by estimate noise.  The exact pass (when enabled) re-applies
+            # the threshold precisely.
+            sigma = float(np.sqrt(verify * (1.0 - verify) / self.num_perm))
+            keep = estimates >= verify - 2.0 * sigma
+            left_rows, right_rows = left_rows[keep], right_rows[keep]
+            estimates = estimates[keep]
+
+        survivors: list[tuple[Record, Record, float]] = []
+        if verify is not None and self.exact_verify:
+            # Exact pass over estimate-survivors only: re-score by exact
+            # shingle-set Jaccard and re-apply the threshold.  Shingle sets
+            # are materialized lazily, once per participating record.
+            left_sets: dict[int, set[int]] = {}
+            right_sets: dict[int, set[int]] = {}
+            for l_row, r_row in zip(left_rows.tolist(), right_rows.tolist()):
+                left_set = left_sets.get(l_row)
+                if left_set is None:
+                    left_set = left_sets[l_row] = set(left_hashes[l_row].tolist())
+                right_set = right_sets.get(r_row)
+                if right_set is None:
+                    right_set = right_sets[r_row] = set(right_hashes[r_row].tolist())
+                union = len(left_set | right_set)
+                score = len(left_set & right_set) / union if union else 0.0
+                if score >= verify:
+                    survivors.append((left_records[l_row], right_records[r_row], score))
+            return survivors
+
+        for l_row, r_row, score in zip(
+            left_rows.tolist(), right_rows.tolist(), estimates.tolist()
+        ):
+            survivors.append((left_records[l_row], right_records[r_row], score))
+        return survivors

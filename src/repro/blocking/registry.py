@@ -1,0 +1,92 @@
+"""Registry of named blocking strategies (mirrors ``similarity.registry``).
+
+Blockers are selectable by name from configuration and the CLI::
+
+    from repro.blocking.registry import make_blocker
+    blocker = make_blocker("minhash_lsh", bands=32)
+
+Unknown names and invalid constructor arguments raise
+:class:`~repro.exceptions.ConfigurationError` with the known alternatives,
+exactly like :func:`repro.similarity.registry.get_similarity_function`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from .base import Blocker
+from .jaccard import JaccardBlocker
+from .minhash_lsh import MinHashLSHBlocker
+from .sorted_neighborhood import SortedNeighborhoodBlocker
+
+
+@dataclass(frozen=True)
+class BlockerSpec:
+    """A named blocking strategy: factory plus human-readable description."""
+
+    name: str
+    factory: Callable[..., Blocker]
+    description: str = ""
+
+
+_BLOCKERS: dict[str, BlockerSpec] = {
+    spec.name: spec
+    for spec in [
+        BlockerSpec(
+            "jaccard",
+            JaccardBlocker,
+            "exact token-set Jaccard over an inverted index (the paper's blocker)",
+        ),
+        BlockerSpec(
+            "minhash_lsh",
+            MinHashLSHBlocker,
+            "MinHash signatures over character shingles, banded LSH buckets",
+        ),
+        BlockerSpec(
+            "sorted_neighborhood",
+            SortedNeighborhoodBlocker,
+            "multi-key sorted-neighborhood sliding window",
+        ),
+    ]
+}
+
+
+def list_blockers() -> list[str]:
+    """Names of all registered blocking strategies."""
+    return list(_BLOCKERS)
+
+
+def get_blocker_spec(name: str) -> BlockerSpec:
+    """Look up a blocker spec by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not registered; the message lists the known names.
+    """
+    try:
+        return _BLOCKERS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown blocker {name!r}; known: {sorted(_BLOCKERS)}"
+        ) from exc
+
+
+def make_blocker(name: str, **params) -> Blocker:
+    """Instantiate a registered blocker with keyword parameters.
+
+    Raises
+    ------
+    ConfigurationError
+        On unknown names or constructor arguments the strategy does not
+        accept.
+    """
+    spec = get_blocker_spec(name)
+    try:
+        return spec.factory(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"invalid parameters for blocker {name!r}: {exc}"
+        ) from exc

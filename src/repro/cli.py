@@ -17,6 +17,15 @@ Run one active-learning combination end to end::
 Run a combination against a noisy Oracle::
 
     python -m repro run --dataset walmart_amazon --combination "Trees(20)" --noise 0.2
+
+Compare blocking strategies (recall / reduction ratio / wall-clock)::
+
+    python -m repro block --dataset dblp_acm --scale 2.0
+
+Run with a sub-quadratic blocker instead of exhaustive Jaccard::
+
+    python -m repro run --dataset dblp_acm --combination "Trees(20)" \
+        --blocker minhash_lsh --blocking-threshold 0.2
 """
 
 from __future__ import annotations
@@ -24,11 +33,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import ActiveLearningConfig
+from .blocking import get_blocker_spec, list_blockers
+from .core import ActiveLearningConfig, BlockingConfig
 from .datasets import dataset_names, get_dataset_spec
 from .harness import experiments, reporting
-from .harness.builders import build_combination, combination_names, run_active_learning
-from .harness.preparation import prepare_dataset, prepare_rule_dataset
+from .harness.builders import (
+    build_combination,
+    combination_names,
+    prepare_for_combination,
+    run_active_learning,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +67,31 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--target-f1", type=float, default=0.98)
     run.add_argument("--noise", type=float, default=0.0, help="Oracle label-flip probability")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--blocker",
+        choices=list_blockers(),
+        default="jaccard",
+        help="blocking strategy used before feature extraction",
+    )
+    run.add_argument(
+        "--blocking-threshold",
+        type=float,
+        default=None,
+        help="similarity cutoff for the blocker (default: the dataset spec threshold)",
+    )
+
+    block = subparsers.add_parser(
+        "block", help="compare blocking strategies on one dataset (no learning)"
+    )
+    block.add_argument("--dataset", required=True, choices=dataset_names())
+    block.add_argument("--scale", type=float, default=1.0)
+    block.add_argument(
+        "--blocker",
+        choices=list_blockers(),
+        default=None,
+        help="run a single strategy instead of all registered ones",
+    )
+    block.add_argument("--blocking-threshold", type=float, default=None)
     return parser
 
 
@@ -65,6 +104,10 @@ def _command_list() -> int:
     for name in combination_names():
         combination = build_combination(name)
         print(f"  {name:28s} features={combination.feature_kind}")
+    print("\nblockers:")
+    for name in list_blockers():
+        spec = get_blocker_spec(name)
+        print(f"  {name:20s} {spec.description}")
     return 0
 
 
@@ -83,12 +126,34 @@ def _command_table1(scale: float) -> int:
     return 0
 
 
+def _command_block(args: argparse.Namespace) -> int:
+    selected = [args.blocker] if args.blocker is not None else list_blockers()
+    methods = {
+        name: BlockingConfig(method=name, threshold=args.blocking_threshold)
+        for name in selected
+    }
+    rows = experiments.blocking_method_comparison(
+        dataset=args.dataset, scale=args.scale, methods=methods
+    )
+    print(
+        reporting.format_table(
+            rows,
+            columns=[
+                "method", "total_pairs", "candidates", "reduction_ratio",
+                "match_recall", "class_skew", "blocking_seconds",
+            ],
+            title=f"blocking comparison — {args.dataset} (scale={args.scale})",
+        )
+    )
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     combination = build_combination(args.combination)
-    if combination.feature_kind == "boolean":
-        prepared = prepare_rule_dataset(args.dataset, scale=args.scale)
-    else:
-        prepared = prepare_dataset(args.dataset, scale=args.scale)
+    blocking = BlockingConfig(method=args.blocker, threshold=args.blocking_threshold)
+    prepared = prepare_for_combination(
+        args.dataset, combination, scale=args.scale, blocking=blocking
+    )
     print(
         f"{args.dataset}: {prepared.n_pairs} post-blocking pairs, "
         f"class skew {prepared.class_skew:.3f}, feature dim {prepared.pool.dim}"
@@ -124,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_table1(args.scale)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "block":
+        return _command_block(args)
     return 1
 
 

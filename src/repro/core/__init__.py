@@ -16,7 +16,7 @@ from .base import (
     SelectionResult,
     check_compatibility,
 )
-from .config import ActiveLearningConfig
+from .config import ActiveLearningConfig, BlockingConfig
 from .evaluation import EvaluationResult, evaluate_predictions
 from .pools import LabeledPool, PairPool
 from .oracle import NoisyOracle, Oracle, PerfectOracle
@@ -32,6 +32,7 @@ __all__ = [
     "SelectionResult",
     "check_compatibility",
     "ActiveLearningConfig",
+    "BlockingConfig",
     "EvaluationResult",
     "evaluate_predictions",
     "LabeledPool",

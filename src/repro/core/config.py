@@ -1,10 +1,70 @@
-"""Configuration of an active-learning run."""
+"""Configuration of an active-learning run and of the blocking step."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BlockingConfig:
+    """Which blocking strategy to run, and with which parameters.
+
+    Hashable (usable in preparation cache keys) and decoupled from the
+    blocker classes themselves: :func:`repro.harness.preparation.build_blocker`
+    resolves it against :mod:`repro.blocking.registry` at preparation time.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the strategy (``"jaccard"``, ``"minhash_lsh"``,
+        ``"sorted_neighborhood"``).
+    threshold:
+        Similarity cutoff, with method-specific meaning: token-Jaccard
+        threshold for ``jaccard``, verification threshold for
+        ``minhash_lsh``; ignored by ``sorted_neighborhood``.  ``None`` falls
+        back to the dataset spec's per-dataset blocking threshold (for
+        ``jaccard``) or the strategy default.
+    params:
+        Extra keyword arguments for the blocker constructor as a sorted
+        tuple of ``(name, value)`` items — use :meth:`create` to build from
+        plain kwargs.
+    """
+
+    method: str = "jaccard"
+    threshold: float | None = None
+    params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def create(
+        cls, method: str = "jaccard", threshold: float | None = None, **params
+    ) -> "BlockingConfig":
+        """Build a config from plain keyword arguments.
+
+        >>> BlockingConfig.create("minhash_lsh", threshold=0.2, bands=32)
+        BlockingConfig(method='minhash_lsh', threshold=0.2, params=(('bands', 32),))
+
+        Sequence-valued parameters (e.g. ``keys=[...]`` for the
+        sorted-neighborhood blocker) are canonicalized to tuples so the
+        config stays hashable for cache keys.
+        """
+        canonical = {
+            name: tuple(value) if isinstance(value, (list, set)) else value
+            for name, value in params.items()
+        }
+        return cls(method=method, threshold=threshold, params=tuple(sorted(canonical.items())))
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise ConfigurationError("blocking method must be a non-empty name")
+        if self.threshold is not None and not 0.0 < self.threshold <= 1.0:
+            raise ConfigurationError("blocking threshold must be in (0, 1] or None")
+
+    def kwargs(self) -> dict:
+        """The ``params`` tuple as a plain keyword dict."""
+        return dict(self.params)
 
 
 @dataclass(frozen=True)

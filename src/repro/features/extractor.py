@@ -1,4 +1,15 @@
-"""Continuous similarity-based feature extraction."""
+"""Continuous similarity-based feature extraction.
+
+The hot path is :meth:`FeatureExtractor.extract`: for P candidate pairs,
+A matched attributes and K similarity functions it fills a dense (P × A·K)
+matrix.  Extraction is batched column-wise — for each attribute, the P value
+pairs are deduplicated and each similarity function is applied once per
+*unique* value pair, with the resulting K-vector scattered to every row
+sharing that value pair.  Since real tables repeat attribute values heavily
+(brands, venues, years), this does far less similarity work than the naive
+pair-at-a-time loop, while producing bit-identical output (see the
+batch-vs-scalar equivalence test).
+"""
 
 from __future__ import annotations
 
@@ -26,7 +37,20 @@ class FeatureDescriptor:
 
 @dataclass
 class FeatureMatrix:
-    """A dense feature matrix aligned with a list of candidate pairs."""
+    """A dense feature matrix aligned with a list of candidate pairs.
+
+    Attributes
+    ----------
+    pairs:
+        The candidate pairs, one per matrix row (same order).
+    matrix:
+        Dense ``(len(pairs), len(descriptors))`` float array of similarities.
+    descriptors:
+        One :class:`FeatureDescriptor` per matrix column.
+    labels:
+        Ground-truth labels aligned with ``pairs`` when every pair carries
+        one, else ``None``.
+    """
 
     pairs: list[CandidatePair]
     matrix: np.ndarray
@@ -41,6 +65,7 @@ class FeatureMatrix:
 
     @property
     def dim(self) -> int:
+        """Number of feature dimensions (matrix columns)."""
         return self.matrix.shape[1]
 
     def __len__(self) -> int:
@@ -62,6 +87,18 @@ class FeatureExtractor:
     -----
     Following the paper, when one or both attribute values of a pair are
     missing the similarity evaluates to 0 regardless of the function.
+
+    Two memoization layers make repeated extraction cheap:
+
+    * a normalization cache (raw attribute string → normalized string), so
+      each distinct raw value is lower-cased/whitespace-collapsed once per
+      extractor lifetime rather than once per pair, and
+    * a value-pair cache (normalized value pair → K-vector of similarities),
+      so repeated value pairs (brands, venues, years) are scored once per
+      dataset.
+
+    Both caches persist across :meth:`extract` calls; :meth:`clear_cache`
+    drops them.
     """
 
     def __init__(
@@ -80,20 +117,35 @@ class FeatureExtractor:
             for column in self.matched_columns
             for function in self.similarity_suite
         ]
-        # Cache of attribute-value-pair → similarity vector, so repeated values
-        # (brands, venues, years) are only scored once per dataset.
+        # Cache of normalized-value-pair → similarity vector, so repeated
+        # values (brands, venues, years) are only scored once per dataset.
         self._value_cache: dict[tuple[str, str], np.ndarray] = {}
+        # Cache of raw value → normalized value, shared across attributes.
+        self._norm_cache: dict[str, str] = {}
 
     @property
     def dim(self) -> int:
+        """Total number of features: ``len(matched_columns) × len(suite)``."""
         return len(self.descriptors)
 
     def feature_names(self) -> list[str]:
+        """Column names, e.g. ``"jaccard(title)"``, in matrix column order."""
         return [descriptor.name for descriptor in self.descriptors]
 
-    def _attribute_similarities(self, left_value: str, right_value: str) -> np.ndarray:
-        left_value = normalize(left_value)
-        right_value = normalize(right_value)
+    def _normalize_cached(self, value: str) -> str:
+        """Normalized form of a raw attribute value, memoized per raw string."""
+        cached = self._norm_cache.get(value)
+        if cached is None:
+            cached = self._norm_cache[value] = normalize(value)
+        return cached
+
+    def _similarities_normalized(self, left_value: str, right_value: str) -> np.ndarray:
+        """K-vector of suite similarities for two *normalized* values.
+
+        Missing values (either side empty) score 0 everywhere, per the paper.
+        Results are memoized per value pair; O(K × similarity cost) on a cache
+        miss, O(1) on a hit.
+        """
         if not left_value or not right_value:
             return np.zeros(len(self.similarity_suite))
         key = (left_value, right_value)
@@ -104,8 +156,18 @@ class FeatureExtractor:
         self._value_cache[key] = values
         return values
 
+    def _attribute_similarities(self, left_value: str, right_value: str) -> np.ndarray:
+        """K-vector of suite similarities for two *raw* attribute values."""
+        return self._similarities_normalized(
+            self._normalize_cached(left_value), self._normalize_cached(right_value)
+        )
+
     def extract_pair(self, pair: CandidatePair) -> np.ndarray:
-        """Feature vector (length ``dim``) for a single candidate pair."""
+        """Feature vector (length ``dim``) for a single candidate pair.
+
+        The scalar reference path; :meth:`extract` produces identical rows
+        batch-wise and is the one to use for many pairs.
+        """
         blocks = [
             self._attribute_similarities(pair.left.value(column), pair.right.value(column))
             for column in self.matched_columns
@@ -113,12 +175,39 @@ class FeatureExtractor:
         return np.concatenate(blocks)
 
     def extract(self, pairs: list[CandidatePair]) -> FeatureMatrix:
-        """Feature matrix for a list of candidate pairs (rows in input order)."""
+        """Feature matrix for a list of candidate pairs (rows in input order).
+
+        Batched column-wise: per attribute, the P value pairs are grouped by
+        their (normalized) distinct values, each similarity function runs once
+        per unique value pair, and the resulting K-vector is scattered to all
+        rows sharing it.  Complexity is O(U × K) similarity evaluations for U
+        unique value pairs (U ≤ P, typically U ≪ P) plus O(P × dim) scatter —
+        identical output to calling :meth:`extract_pair` per pair.
+        """
         if not pairs:
             return FeatureMatrix(
                 pairs=[], matrix=np.zeros((0, self.dim)), descriptors=list(self.descriptors)
             )
-        matrix = np.vstack([self.extract_pair(pair) for pair in pairs])
+        n_pairs = len(pairs)
+        suite_size = len(self.similarity_suite)
+        matrix = np.empty((n_pairs, self.dim))
+        for column_index, column in enumerate(self.matched_columns):
+            groups: dict[tuple[str, str], list[int]] = {}
+            for row, pair in enumerate(pairs):
+                key = (
+                    self._normalize_cached(pair.left.value(column)),
+                    self._normalize_cached(pair.right.value(column)),
+                )
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [row]
+                else:
+                    group.append(row)
+            block = np.empty((n_pairs, suite_size))
+            for (left_value, right_value), rows in groups.items():
+                block[rows, :] = self._similarities_normalized(left_value, right_value)
+            matrix[:, column_index * suite_size : (column_index + 1) * suite_size] = block
+
         labels = None
         if all(pair.label is not None for pair in pairs):
             labels = np.array([pair.label for pair in pairs], dtype=np.int64)
@@ -127,5 +216,6 @@ class FeatureExtractor:
         )
 
     def clear_cache(self) -> None:
-        """Drop the per-value similarity cache (frees memory between datasets)."""
+        """Drop the memoization caches (frees memory between datasets)."""
         self._value_cache.clear()
+        self._norm_cache.clear()

@@ -7,11 +7,17 @@ rows or series the paper plots; the ``benchmarks/`` directory wires them into
 pytest-benchmark targets.
 """
 
-from .preparation import PreparedDataset, prepare_dataset, prepare_rule_dataset
+from .preparation import (
+    PreparedDataset,
+    build_blocker,
+    prepare_dataset,
+    prepare_rule_dataset,
+)
 from .builders import (
     COMBINATIONS,
     build_combination,
     combination_names,
+    prepare_for_combination,
     run_active_learning,
     run_ensemble_learning,
 )
@@ -19,8 +25,10 @@ from . import experiments, reporting
 
 __all__ = [
     "PreparedDataset",
+    "build_blocker",
     "prepare_dataset",
     "prepare_rule_dataset",
+    "prepare_for_combination",
     "COMBINATIONS",
     "combination_names",
     "build_combination",

@@ -17,6 +17,7 @@ from ..core import (
     ActiveLearningConfig,
     ActiveLearningLoop,
     ActiveLearningRun,
+    BlockingConfig,
     NoisyOracle,
     PerfectOracle,
 )
@@ -38,7 +39,7 @@ from ..selectors import (
     RandomSelector,
     TreeQBCSelector,
 )
-from .preparation import PreparedDataset
+from .preparation import PreparedDataset, prepare_dataset, prepare_rule_dataset
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,27 @@ def build_combination(name: str) -> Combination:
         raise ConfigurationError(
             f"unknown combination {name!r}; known: {combination_names()}"
         ) from exc
+
+
+def prepare_for_combination(
+    name: str,
+    combination: str | Combination,
+    scale: float = 1.0,
+    seed: int | None = None,
+    blocking: BlockingConfig | str | None = None,
+) -> PreparedDataset:
+    """Prepare a dataset with the feature kind a combination needs.
+
+    Rule-based combinations get Boolean (thresholded) features, everything
+    else continuous ones.  ``blocking`` selects the blocking strategy by
+    config or registry name (``None`` = the paper's Jaccard blocker at the
+    dataset's spec threshold).
+    """
+    if isinstance(combination, str):
+        combination = build_combination(combination)
+    if combination.feature_kind == "boolean":
+        return prepare_rule_dataset(name, scale=scale, seed=seed, blocking=blocking)
+    return prepare_dataset(name, scale=scale, seed=seed, blocking=blocking)
 
 
 def make_oracle(pool: PairPool, noise: float = 0.0, seed: int | None = 0):

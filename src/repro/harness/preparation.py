@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..blocking import BlockingResult, JaccardBlocker
+from ..blocking import Blocker, BlockingResult, JaccardBlocker, make_blocker
+from ..core.config import BlockingConfig
 from ..datasets import CandidatePair, EMDataset, get_dataset_spec, load_dataset
 from ..features import (
     BooleanFeatureDescriptor,
@@ -52,22 +53,48 @@ def clear_preparation_cache() -> None:
     _CACHE.clear()
 
 
+def build_blocker(
+    blocking: BlockingConfig | str | None, default_threshold: float
+) -> Blocker:
+    """Resolve a blocking config (or method name, or None) into a blocker.
+
+    ``None`` gives the paper's default: a :class:`JaccardBlocker` at the
+    dataset spec's per-dataset threshold.  A bare string selects a registered
+    method with default parameters.  For ``jaccard`` a missing threshold
+    falls back to ``default_threshold``; for ``minhash_lsh`` the config's
+    threshold (when set) becomes the verification threshold.
+    """
+    if blocking is None:
+        return JaccardBlocker(threshold=default_threshold)
+    if isinstance(blocking, str):
+        blocking = BlockingConfig(method=blocking)
+    params = blocking.kwargs()
+    if blocking.method == "jaccard":
+        params.setdefault("threshold", blocking.threshold or default_threshold)
+    elif blocking.method == "minhash_lsh" and blocking.threshold is not None:
+        params.setdefault("verify_threshold", blocking.threshold)
+    return make_blocker(blocking.method, **params)
+
+
 def prepare_dataset(
     name: str,
     scale: float = 1.0,
     seed: int | None = None,
     use_cache: bool = True,
+    blocking: BlockingConfig | str | None = None,
 ) -> PreparedDataset:
     """Generate, block and extract *continuous* features for a catalog dataset."""
-    key = (name, round(scale, 6), seed, "continuous")
+    # repr() keeps the key hashable even when a hand-built BlockingConfig
+    # carries sequence-valued params; dataclass reprs are deterministic.
+    key = (name, round(scale, 6), seed, "continuous", repr(blocking))
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     spec = get_dataset_spec(name)
     dataset = load_dataset(name, scale=scale, seed=seed)
-    blocker = JaccardBlocker(threshold=spec.blocking_threshold)
-    blocking = blocker.block(dataset)
-    pairs = blocking.pairs
+    blocker = build_blocker(blocking, spec.blocking_threshold)
+    blocking_result = blocker.block(dataset)
+    pairs = blocking_result.pairs
 
     extractor = FeatureExtractor(dataset.matched_columns)
     matrix = extractor.extract(pairs)
@@ -79,7 +106,7 @@ def prepare_dataset(
     prepared = PreparedDataset(
         name=name,
         dataset=dataset,
-        blocking=blocking,
+        blocking=blocking_result,
         pairs=pairs,
         pool=pool,
         descriptors=list(extractor.descriptors),
@@ -95,17 +122,18 @@ def prepare_rule_dataset(
     scale: float = 1.0,
     seed: int | None = None,
     use_cache: bool = True,
+    blocking: BlockingConfig | str | None = None,
 ) -> PreparedDataset:
     """Generate, block and extract *Boolean* (thresholded) features for rule learners."""
-    key = (name, round(scale, 6), seed, "boolean")
+    key = (name, round(scale, 6), seed, "boolean", repr(blocking))
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     spec = get_dataset_spec(name)
     dataset = load_dataset(name, scale=scale, seed=seed)
-    blocker = JaccardBlocker(threshold=spec.blocking_threshold)
-    blocking = blocker.block(dataset)
-    pairs = blocking.pairs
+    blocker = build_blocker(blocking, spec.blocking_threshold)
+    blocking_result = blocker.block(dataset)
+    pairs = blocking_result.pairs
 
     extractor = BooleanFeatureExtractor(dataset.matched_columns)
     matrix = extractor.extract(pairs)
@@ -117,7 +145,7 @@ def prepare_rule_dataset(
     prepared = PreparedDataset(
         name=name,
         dataset=dataset,
-        blocking=blocking,
+        blocking=blocking_result,
         pairs=pairs,
         pool=pool,
         descriptors=list(extractor.descriptors),

@@ -1,0 +1,217 @@
+"""Tests for the scalable blockers (MinHash-LSH, sorted-neighborhood) and the
+blocker registry."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import (
+    Blocker,
+    JaccardBlocker,
+    MinHashLSHBlocker,
+    SortedNeighborhoodBlocker,
+    get_blocker_spec,
+    list_blockers,
+    make_blocker,
+)
+from repro.core import BlockingConfig
+from repro.datasets import load_dataset
+from repro.exceptions import ConfigurationError
+from repro.harness.preparation import build_blocker
+
+
+@pytest.fixture(scope="module")
+def publication_dataset():
+    """A moderately corrupted synthetic dataset with known ground truth."""
+    return load_dataset("dblp_acm", scale=0.5)
+
+
+def recall_of(result, dataset) -> float:
+    retained = {pair.key for pair in result.pairs}
+    return sum(1 for match in dataset.matches if match in retained) / len(dataset.matches)
+
+
+class TestMinHashLSHBlocker:
+    def test_high_recall_vs_exhaustive(self, publication_dataset):
+        result = MinHashLSHBlocker().block(publication_dataset)
+        assert recall_of(result, publication_dataset) >= 0.95
+
+    def test_high_recall_with_verification(self, publication_dataset):
+        result = MinHashLSHBlocker(verify_threshold=0.2).block(publication_dataset)
+        assert recall_of(result, publication_dataset) >= 0.95
+
+    def test_exact_verification_scores_are_exact_jaccard(self, publication_dataset):
+        blocker = MinHashLSHBlocker(verify_threshold=0.2, exact_verify=True)
+        triples = blocker.candidate_pairs(publication_dataset.left, publication_dataset.right)
+        assert triples
+        for _, _, score in triples[:50]:
+            assert 0.2 <= score <= 1.0
+
+    def test_verification_reduces_candidates(self, publication_dataset):
+        raw = MinHashLSHBlocker().block(publication_dataset)
+        verified = MinHashLSHBlocker(verify_threshold=0.3).block(publication_dataset)
+        assert verified.post_blocking_pairs < raw.post_blocking_pairs
+
+    def test_reduction_ratio_sanity(self, publication_dataset):
+        result = MinHashLSHBlocker(verify_threshold=0.2).block(publication_dataset)
+        assert 0.0 < result.reduction_ratio < 1.0
+        assert result.post_blocking_pairs < publication_dataset.total_pairs
+
+    def test_deterministic_across_instances(self, publication_dataset):
+        first = MinHashLSHBlocker().block(publication_dataset)
+        second = MinHashLSHBlocker().block(publication_dataset)
+        assert [p.key for p in first.pairs] == [p.key for p in second.pairs]
+
+    def test_identical_records_always_collide(self):
+        dataset = load_dataset("dblp_acm", scale=0.15)
+        blocker = MinHashLSHBlocker()
+        triples = blocker.candidate_pairs(dataset.left, dataset.left)
+        keys = {(l.record_id, r.record_id) for l, r, _ in triples}
+        for record in dataset.left:
+            assert (record.record_id, record.record_id) in keys
+
+    def test_statistics_describe_method(self, publication_dataset):
+        result = MinHashLSHBlocker(bands=32).block(publication_dataset)
+        assert result.statistics["method"] == "minhash_lsh"
+        assert result.statistics["bands"] == 32
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            MinHashLSHBlocker(num_perm=1)
+        with pytest.raises(ConfigurationError):
+            MinHashLSHBlocker(num_perm=128, bands=33)  # does not divide
+        with pytest.raises(ConfigurationError):
+            MinHashLSHBlocker(shingle_size=0)
+        with pytest.raises(ConfigurationError):
+            MinHashLSHBlocker(verify_threshold=1.5)
+
+
+class TestSortedNeighborhoodBlocker:
+    def test_high_recall_vs_exhaustive(self, publication_dataset):
+        result = SortedNeighborhoodBlocker(window=14).block(publication_dataset)
+        assert recall_of(result, publication_dataset) >= 0.95
+
+    def test_window_grows_candidates_monotonically(self, publication_dataset):
+        small = SortedNeighborhoodBlocker(window=4).block(publication_dataset)
+        large = SortedNeighborhoodBlocker(window=16).block(publication_dataset)
+        assert small.post_blocking_pairs <= large.post_blocking_pairs
+
+    def test_subquadratic_candidate_bound(self, publication_dataset):
+        window = 8
+        result = SortedNeighborhoodBlocker(window=window).block(publication_dataset)
+        n = len(publication_dataset.left) + len(publication_dataset.right)
+        passes = 3  # default key count
+        assert result.post_blocking_pairs <= passes * n * window
+
+    def test_attribute_key_pass(self, publication_dataset):
+        blocker = SortedNeighborhoodBlocker(window=10, keys=["attr:title"])
+        result = blocker.block(publication_dataset)
+        assert result.post_blocking_pairs > 0
+        assert result.statistics["keys"] == ["attr:title"]
+
+    def test_custom_callable_key(self, publication_dataset):
+        blocker = SortedNeighborhoodBlocker(window=10, keys=[lambda r: r.value("year")])
+        assert blocker.block(publication_dataset).post_blocking_pairs > 0
+
+    def test_pairs_are_unique(self, publication_dataset):
+        result = SortedNeighborhoodBlocker(window=12).block(publication_dataset)
+        keys = [pair.key for pair in result.pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SortedNeighborhoodBlocker(window=1)
+        with pytest.raises(ConfigurationError):
+            SortedNeighborhoodBlocker(keys=["nonsense-key"])
+        with pytest.raises(ConfigurationError):
+            SortedNeighborhoodBlocker(keys=[])
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(list_blockers()) == {"jaccard", "minhash_lsh", "sorted_neighborhood"}
+
+    def test_make_blocker_instantiates_each(self):
+        for name in list_blockers():
+            assert isinstance(make_blocker(name), Blocker)
+
+    def test_make_blocker_forwards_params(self):
+        blocker = make_blocker("minhash_lsh", bands=16, verify_threshold=0.4)
+        assert blocker.bands == 16
+        assert blocker.verify_threshold == 0.4
+
+    def test_unknown_name_raises_with_alternatives(self):
+        with pytest.raises(ConfigurationError, match="minhash_lsh"):
+            make_blocker("no_such_blocker")
+        with pytest.raises(ConfigurationError):
+            get_blocker_spec("no_such_blocker")
+
+    def test_invalid_params_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="invalid parameters"):
+            make_blocker("jaccard", not_a_parameter=1)
+
+
+class TestBlockingConfig:
+    def test_create_sorts_params(self):
+        config = BlockingConfig.create("minhash_lsh", threshold=0.2, seed=1, bands=32)
+        assert config.params == (("bands", 32), ("seed", 1))
+        assert config.kwargs() == {"bands": 32, "seed": 1}
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(BlockingConfig.create("jaccard", threshold=0.2)) == hash(
+            BlockingConfig.create("jaccard", threshold=0.2)
+        )
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            BlockingConfig(method="jaccard", threshold=2.0)
+
+    def test_build_blocker_defaults_to_spec_jaccard(self):
+        blocker = build_blocker(None, default_threshold=0.17)
+        assert isinstance(blocker, JaccardBlocker)
+        assert blocker.threshold == 0.17
+
+    def test_build_blocker_from_name(self):
+        assert isinstance(build_blocker("sorted_neighborhood", 0.2), SortedNeighborhoodBlocker)
+
+    def test_build_blocker_threads_threshold(self):
+        jaccard = build_blocker(BlockingConfig("jaccard", threshold=0.3), 0.1)
+        assert jaccard.threshold == 0.3
+        lsh = build_blocker(BlockingConfig("minhash_lsh", threshold=0.25), 0.1)
+        assert lsh.verify_threshold == 0.25
+
+
+class TestPreparationWithBlockers:
+    def test_prepare_dataset_with_lsh(self):
+        from repro.harness.preparation import prepare_dataset
+
+        prepared = prepare_dataset(
+            "dblp_acm",
+            scale=0.15,
+            use_cache=False,
+            blocking=BlockingConfig.create("minhash_lsh", threshold=0.2),
+        )
+        assert prepared.n_pairs > 0
+        assert prepared.blocking.statistics["method"] == "minhash_lsh"
+        assert prepared.pool.features.shape[0] == prepared.n_pairs
+
+    def test_blocking_method_comparison_experiment(self):
+        from repro.harness import experiments
+
+        rows = experiments.blocking_method_comparison(dataset="dblp_acm", scale=0.3)
+        assert {row["method"] for row in rows} == set(list_blockers())
+        for row in rows:
+            assert 0.0 <= row["reduction_ratio"] <= 1.0
+            assert row["blocking_seconds"] >= 0.0
+            assert row["match_recall"] >= 0.9
+
+
+class TestJaccardDeterminism:
+    def test_candidate_order_is_sorted_per_left_record(self, publication_dataset):
+        triples = JaccardBlocker(threshold=0.19).candidate_pairs(
+            publication_dataset.left, publication_dataset.right
+        )
+        by_left: dict[str, list[str]] = {}
+        for left, right, _ in triples:
+            by_left.setdefault(left.record_id, []).append(right.record_id)
+        for right_ids in by_left.values():
+            assert right_ids == sorted(right_ids)

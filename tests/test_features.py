@@ -86,6 +86,21 @@ class TestFeatureExtractor:
         with pytest.raises(FeatureExtractionError):
             FeatureExtractor(["name"], similarity_suite=())
 
+    def test_batch_extract_equals_scalar_extract(self):
+        pairs = [
+            make_pair({"name": "sony camera dsc w80", "price": "199.99"},
+                      {"name": "sony camera dsc-w82", "price": "189.00"}),
+            make_pair({"name": "canon printer", "price": "80"},
+                      {"name": "hp laser printer", "price": "85"}),
+            make_pair({"name": "sony camera dsc w80", "price": "199.99"},
+                      {"name": "sony camera dsc-w82", "price": "189.00"}),  # repeated values
+            make_pair({"name": "", "price": "10"}, {"name": "sony", "price": "10"}),
+        ]
+        batch = FeatureExtractor(["name", "price"]).extract(pairs).matrix
+        scalar_extractor = FeatureExtractor(["name", "price"])
+        scalar = np.vstack([scalar_extractor.extract_pair(pair) for pair in pairs])
+        np.testing.assert_array_equal(batch, scalar)
+
     def test_matching_pairs_score_higher_than_nonmatching(self, tiny_prepared):
         matrix = tiny_prepared.pool.features
         labels = tiny_prepared.pool.true_labels

@@ -95,9 +95,17 @@ class TestLinearEnhancements:
 
     def test_blocking_scores_fewer_examples(self, abt_buy, margin_run):
         blocked = run_active_learning(abt_buy, "Linear-Margin(1Dim)", config=CONFIG)
-        blocked_scored = sum(r.scored_examples for r in blocked.records) / len(blocked)
-        margin_scored = sum(r.scored_examples for r in margin_run.records) / len(margin_run)
-        assert blocked_scored <= margin_scored
+        # Compare per iteration: with the same labeled count, the blocked
+        # selector scores a subset of the unlabeled pool that full margin
+        # scores entirely.  Runs may terminate at different iterations (a
+        # terminal iteration scores nothing), so whole-run aggregates are
+        # incomparable — only align iterations where margin actually scored.
+        compared = 0
+        for blocked_record, margin_record in zip(blocked.records, margin_run.records):
+            if margin_record.scored_examples:
+                assert blocked_record.scored_examples <= margin_record.scored_examples
+                compared += 1
+        assert compared >= 1
 
     def test_active_ensemble_accepts_precise_classifiers(self, abt_buy, margin_run):
         run, loop = run_ensemble_learning(abt_buy, config=CONFIG)
