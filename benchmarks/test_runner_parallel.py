@@ -1,0 +1,130 @@
+"""Runner engine benchmarks: parallel determinism, speedup, and resume.
+
+These back the execution-engine guarantees documented in
+``docs/experiments.md``:
+
+* a sweep at ``jobs=4`` produces trajectories identical to ``jobs=1``
+  (timing measurements excluded — they are wall-clock observations);
+* on a multi-core machine the parallel sweep is demonstrably faster;
+* re-running a sweep against its run store resumes instead of re-executing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.builders import prepare_for_combination
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunStore,
+    TrialSpec,
+    default_config,
+    strip_timing,
+)
+
+DATASETS = ["abt_buy", "amazon_google", "dblp_acm", "dblp_scholar"]
+VARIANTS = {"Trees(20)": "Trees(20)", "NN-Margin": "NN-Margin"}
+
+
+def test_parallel_sweep_matches_serial_and_is_faster(emit, bench_scale, bench_max_iterations):
+    # Warm the preparation cache up front (worker processes inherit it), so
+    # both timings measure trial execution rather than one-off blocking cost.
+    for dataset in DATASETS:
+        prepare_for_combination(dataset, "Trees(20)", scale=bench_scale)
+
+    settings = dict(
+        datasets=DATASETS,
+        variants=VARIANTS,
+        scale=bench_scale,
+        max_iterations=bench_max_iterations,
+    )
+    start = time.perf_counter()
+    serial = experiments.classifier_comparison(**settings, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = experiments.classifier_comparison(**settings, jobs=4)
+    parallel_seconds = time.perf_counter() - start
+
+    # Determinism: identical learning trajectories whatever the worker count.
+    assert strip_timing(parallel) == strip_timing(serial)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    emit(
+        "runner_parallel",
+        "\n".join(
+            [
+                f"trials            : {len(DATASETS) * len(VARIANTS)}",
+                f"serial (jobs=1)   : {serial_seconds:.2f}s",
+                f"parallel (jobs=4) : {parallel_seconds:.2f}s",
+                f"speedup           : {speedup:.2f}x on {os.cpu_count()} cpu(s)",
+            ]
+        ),
+    )
+
+    if (os.cpu_count() or 1) >= 2:
+        # The multi-trial sweep must be demonstrably faster than serial.
+        assert parallel_seconds < serial_seconds * 0.85, (
+            f"jobs=4 took {parallel_seconds:.2f}s vs serial {serial_seconds:.2f}s"
+        )
+
+
+def _resume_spec(bench_scale) -> ExperimentSpec:
+    config = default_config(3, seed=0)
+    return ExperimentSpec(
+        name="resume_bench",
+        trials=tuple(
+            TrialSpec(dataset=dataset, combination=combination, scale=bench_scale, config=config)
+            for dataset in ("dblp_acm", "beer")
+            for combination in ("Trees(2)", "Linear-Margin")
+        ),
+    )
+
+
+def test_store_resume_skips_completed_trials(tmp_path, emit, bench_scale):
+    spec = _resume_spec(bench_scale)
+    store_path = tmp_path / "runs.jsonl"
+
+    start = time.perf_counter()
+    first = ExperimentRunner(jobs=1, store=RunStore(store_path)).run(spec)
+    first_seconds = time.perf_counter() - start
+    assert first.executed == len(spec)
+    assert first.resumed == 0
+
+    # Simulate a sweep killed mid-write: drop the last entry and leave a
+    # truncated half-line behind.
+    lines = store_path.read_text().splitlines()
+    store_path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+
+    second = ExperimentRunner(jobs=1, store=RunStore(store_path)).run(spec)
+    assert second.resumed == len(spec) - 1
+    assert second.executed == 1
+
+    # A fully-persisted sweep re-runs without executing anything — and fast.
+    start = time.perf_counter()
+    third = ExperimentRunner(jobs=1, store=RunStore(store_path)).run(spec)
+    resume_seconds = time.perf_counter() - start
+    assert third.executed == 0
+    assert third.resumed == len(spec)
+    assert resume_seconds < first_seconds / 2
+
+    for trial in spec.trials:
+        assert strip_timing(third.run_for(trial).summary()) == strip_timing(
+            first.run_for(trial).summary()
+        )
+
+    emit(
+        "runner_resume",
+        "\n".join(
+            [
+                f"trials                 : {len(spec)}",
+                f"initial sweep          : {first_seconds:.2f}s",
+                f"resume (all persisted) : {resume_seconds:.3f}s",
+            ]
+        ),
+    )

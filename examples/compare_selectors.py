@@ -6,8 +6,11 @@ prints progressive F1 together with the latency breakdown (committee-creation
 vs example-scoring time) that explains why margin-based strategies are faster.
 
 Run:  python examples/compare_selectors.py [dataset]
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (CI smoke-runs use 0.15).
 """
 
+import os
 import sys
 
 from repro.core import ActiveLearningConfig
@@ -17,7 +20,8 @@ from repro.harness.reporting import format_series, format_table
 
 
 def main(dataset: str = "dblp_scholar") -> None:
-    prepared = prepare_dataset(dataset, scale=0.4)
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.4"))
+    prepared = prepare_dataset(dataset, scale=scale)
     print(
         f"{dataset}: {prepared.n_pairs} post-blocking pairs, "
         f"class skew {prepared.class_skew:.3f}\n"

@@ -6,7 +6,11 @@ combination — a random forest of 20 trees with learner-aware query-by-
 committee selection — against a perfect Oracle.
 
 Run:  python examples/quickstart.py
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (CI smoke-runs use 0.15).
 """
+
+import os
 
 from repro import (
     ActiveLearningConfig,
@@ -24,8 +28,10 @@ import numpy as np
 
 
 def main() -> None:
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.4"))
+
     # 1. Load a dataset: two tables plus ground-truth matches.
-    dataset = load_dataset("abt_buy", scale=0.4)
+    dataset = load_dataset("abt_buy", scale=scale)
     print(f"dataset: {dataset.name}  left={len(dataset.left)}  right={len(dataset.right)}")
 
     # 2. Offline blocking prunes obvious non-matches from the Cartesian product.

@@ -18,6 +18,8 @@ The package is organised as in the paper's architecture (Fig. 1a):
   the active ensemble of linear classifiers.
 * :mod:`repro.interpretability` — DNF conversion and atom counting.
 * :mod:`repro.harness` — experiment drivers regenerating every table/figure.
+* :mod:`repro.runner` — declarative trial/experiment specs, the parallel
+  resumable execution engine and the JSONL run store.
 """
 
 from .core import (
@@ -54,6 +56,13 @@ from .learners import (
     NeuralNetwork,
     RandomForest,
     RuleLearner,
+)
+from .runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunStore,
+    TrialSpec,
+    run_trials,
 )
 from .selectors import (
     BlockedMarginSelector,
@@ -99,6 +108,12 @@ __all__ = [
     "make_blocker",
     "FeatureExtractor",
     "BooleanFeatureExtractor",
+    # experiment execution
+    "TrialSpec",
+    "ExperimentSpec",
+    "ExperimentRunner",
+    "RunStore",
+    "run_trials",
     # learners
     "LinearSVM",
     "NeuralNetwork",

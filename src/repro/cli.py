@@ -26,15 +26,25 @@ Run with a sub-quadratic blocker instead of exhaustive Jaccard::
 
     python -m repro run --dataset dblp_acm --combination "Trees(20)" \
         --blocker minhash_lsh --blocking-threshold 0.2
+
+Sweep a whole experiment family across 4 worker processes, persisting every
+completed trial so the sweep can be killed and resumed::
+
+    python -m repro sweep --family classifier_comparison --scale 0.3 \
+        --jobs 4 --store runs.jsonl
+    python -m repro resume --family classifier_comparison --scale 0.3 \
+        --jobs 4 --store runs.jsonl
+    python -m repro report --store runs.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .blocking import get_blocker_spec, list_blockers
-from .core import ActiveLearningConfig, BlockingConfig
+from .core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig
 from .datasets import dataset_names, get_dataset_spec
 from .harness import experiments, reporting
 from .harness.builders import (
@@ -43,6 +53,7 @@ from .harness.builders import (
     prepare_for_combination,
     run_active_learning,
 )
+from .runner import RunStore, TrialSpec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,6 +103,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a single strategy instead of all registered ones",
     )
     block.add_argument("--blocking-threshold", type=float, default=None)
+
+    def add_sweep_arguments(subparser: argparse.ArgumentParser, store_required: bool) -> None:
+        subparser.add_argument(
+            "--family",
+            required=True,
+            choices=sorted(experiments.SWEEP_FAMILIES),
+            help="experiment family to expand into trials",
+        )
+        subparser.add_argument(
+            "--datasets",
+            default=None,
+            help="comma-separated dataset names (default: the family's paper datasets)",
+        )
+        subparser.add_argument("--scale", type=float, default=0.3)
+        subparser.add_argument("--max-iterations", type=int, default=12)
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+        )
+        subparser.add_argument(
+            "--store",
+            required=store_required,
+            default=None,
+            help="JSONL run store; completed trials are skipped on re-run",
+        )
+        subparser.add_argument(
+            "--json", action="store_true", help="print the full result as JSON"
+        )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run an experiment family (parallel with --jobs, resumable with --store)"
+    )
+    add_sweep_arguments(sweep, store_required=False)
+
+    resume = subparsers.add_parser(
+        "resume", help="re-run a sweep against an existing store, executing only missing trials"
+    )
+    add_sweep_arguments(resume, store_required=True)
+
+    report = subparsers.add_parser(
+        "report", help="summarize the completed trials persisted in a run store"
+    )
+    report.add_argument("--store", required=True)
     return parser
 
 
@@ -181,6 +235,80 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace, resume: bool = False) -> int:
+    datasets = (
+        [name.strip() for name in args.datasets.split(",") if name.strip()]
+        if args.datasets
+        else None
+    )
+    store = RunStore(args.store) if args.store else None
+    if resume and (store is None or not store.path.exists()):
+        print(f"error: store {args.store!r} does not exist; run 'sweep --store' first")
+        return 1
+    completed_before = store.completed_hashes() if store is not None else set()
+
+    result = experiments.run_sweep_family(
+        args.family,
+        datasets=datasets,
+        scale=args.scale,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+        jobs=args.jobs,
+        store=store,
+    )
+
+    if store is not None:
+        completed_after = store.completed_hashes()
+        executed = len(completed_after - completed_before)
+        print(
+            f"sweep {args.family!r}: {executed} trial(s) executed, "
+            f"{len(completed_before)} already in store -> {store.path}"
+        )
+    else:
+        print(f"sweep {args.family!r}: complete (jobs={args.jobs})")
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    if not store.path.exists():
+        print(f"error: store {args.store!r} does not exist")
+        return 1
+    rows = []
+    for trial_hash, entry in sorted(store.load().items()):
+        trial = TrialSpec.from_dict(entry["trial"])
+        run = ActiveLearningRun.from_dict(entry["run"])
+        rows.append(
+            {
+                "trial": trial_hash,
+                "dataset": trial.dataset,
+                "combination": trial.combination,
+                "noise": trial.noise,
+                "seed": trial.config.random_state,
+                "iterations": len(run),
+                "labels": run.total_labels,
+                "best_f1": round(run.best_f1, 4),
+                "terminated_because": run.terminated_because,
+            }
+        )
+    if not rows:
+        print(f"store {args.store!r} holds no completed trials")
+        return 0
+    print(
+        reporting.format_table(
+            rows,
+            columns=[
+                "trial", "dataset", "combination", "noise", "seed",
+                "iterations", "labels", "best_f1", "terminated_because",
+            ],
+            title=f"run store — {args.store} ({len(rows)} trials)",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -191,6 +319,12 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "block":
         return _command_block(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "resume":
+        return _command_sweep(args, resume=True)
+    if args.command == "report":
+        return _command_report(args)
     return 1
 
 

@@ -66,6 +66,23 @@ class BlockingConfig:
         """The ``params`` tuple as a plain keyword dict."""
         return dict(self.params)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "method": self.method,
+            "threshold": self.threshold,
+            "params": [[name, list(value) if isinstance(value, tuple) else value]
+                       for name, value in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockingConfig":
+        params = tuple(
+            (name, tuple(value) if isinstance(value, list) else value)
+            for name, value in data.get("params", [])
+        )
+        return cls(method=data["method"], threshold=data.get("threshold"), params=params)
+
 
 @dataclass(frozen=True)
 class ActiveLearningConfig:
@@ -114,3 +131,19 @@ class ActiveLearningConfig:
             raise ConfigurationError("convergence_window must be non-negative")
         if self.convergence_tolerance < 0:
             raise ConfigurationError("convergence_tolerance must be non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "seed_size": self.seed_size,
+            "batch_size": self.batch_size,
+            "max_iterations": self.max_iterations,
+            "target_f1": self.target_f1,
+            "convergence_window": self.convergence_window,
+            "convergence_tolerance": self.convergence_tolerance,
+            "random_state": self.random_state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ActiveLearningConfig":
+        return cls(**data)

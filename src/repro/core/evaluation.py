@@ -34,6 +34,23 @@ class EvaluationResult:
             self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "precision": float(self.precision),
+            "recall": float(self.recall),
+            "f1": float(self.f1),
+            "accuracy": float(self.accuracy),
+            "true_positives": int(self.true_positives),
+            "false_positives": int(self.false_positives),
+            "true_negatives": int(self.true_negatives),
+            "false_negatives": int(self.false_negatives),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluationResult":
+        return cls(**data)
+
 
 def evaluate_predictions(truth: np.ndarray, predictions: np.ndarray) -> EvaluationResult:
     """Compute match-class precision, recall, F1 and accuracy.

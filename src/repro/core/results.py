@@ -10,6 +10,19 @@ from ..exceptions import ConfigurationError
 from .evaluation import EvaluationResult
 
 
+def _jsonable(value):
+    """Coerce numpy scalars/arrays (and containers of them) to plain Python."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {key: _jsonable(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
 @dataclass(frozen=True)
 class IterationRecord:
     """Everything measured in one active-learning iteration.
@@ -41,6 +54,26 @@ class IterationRecord:
     @property
     def f1(self) -> float:
         return self.evaluation.f1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "iteration": int(self.iteration),
+            "n_labels": int(self.n_labels),
+            "evaluation": self.evaluation.to_dict(),
+            "train_time": float(self.train_time),
+            "committee_creation_time": float(self.committee_creation_time),
+            "scoring_time": float(self.scoring_time),
+            "scored_examples": int(self.scored_examples),
+            "selected": int(self.selected),
+            "extras": _jsonable(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationRecord":
+        data = dict(data)
+        data["evaluation"] = EvaluationResult.from_dict(data["evaluation"])
+        return cls(**data)
 
 
 @dataclass
@@ -120,6 +153,33 @@ class ActiveLearningRun:
     def _require_records(self) -> None:
         if not self.records:
             raise ConfigurationError("run has no iteration records")
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the whole trajectory.
+
+        Round-trips through :meth:`from_dict`: curves, metadata and summary of
+        the reconstructed run are identical to the original's.
+        """
+        return {
+            "learner_name": self.learner_name,
+            "selector_name": self.selector_name,
+            "dataset_name": self.dataset_name,
+            "terminated_because": self.terminated_because,
+            "metadata": _jsonable(self.metadata),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ActiveLearningRun":
+        return cls(
+            learner_name=data["learner_name"],
+            selector_name=data["selector_name"],
+            dataset_name=data["dataset_name"],
+            terminated_because=data.get("terminated_because", "unknown"),
+            metadata=dict(data.get("metadata", {})),
+            records=[IterationRecord.from_dict(record) for record in data.get("records", [])],
+        )
 
     def summary(self) -> dict:
         """A flat dictionary used by the benchmark reporting code."""

@@ -10,8 +10,11 @@ pytest-benchmark targets.
 from .preparation import (
     PreparedDataset,
     build_blocker,
+    clear_preparation_cache,
     prepare_dataset,
     prepare_rule_dataset,
+    preparation_cache_key,
+    set_disk_cache_dir,
 )
 from .builders import (
     COMBINATIONS,
@@ -26,8 +29,11 @@ from . import experiments, reporting
 __all__ = [
     "PreparedDataset",
     "build_blocker",
+    "clear_preparation_cache",
     "prepare_dataset",
     "prepare_rule_dataset",
+    "preparation_cache_key",
+    "set_disk_cache_dir",
     "prepare_for_combination",
     "COMBINATIONS",
     "combination_names",

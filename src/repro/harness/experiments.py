@@ -5,6 +5,15 @@ section and returns plain Python data structures (dicts and lists) that
 :mod:`repro.harness.reporting` renders as text tables or series.  All
 functions accept ``scale`` (dataset size multiplier) and loop-budget
 parameters so benchmarks can trade fidelity for runtime.
+
+Each driver is a thin declarative layer over :mod:`repro.runner`: it expands
+its parameters into a grid of :class:`~repro.runner.TrialSpec` values,
+executes them through :func:`~repro.runner.run_trials` (serially or, with
+``jobs=N``, across worker processes; with ``store=...``, resumably), and
+assembles the paper's output shape from the returned runs.  The experiments
+that need bespoke loops (interpretability callbacks, the social-media rule
+validation, blocking ablations) keep their custom drivers but share the
+centralized Section 6 defaults (:func:`repro.runner.default_config`).
 """
 
 from __future__ import annotations
@@ -14,20 +23,14 @@ import time
 import numpy as np
 
 from ..blocking import list_blockers
-from ..core import ActiveLearningConfig, ActiveLearningLoop, ActiveLearningRun, BlockingConfig
-from ..core.evaluation import evaluate_predictions
+from ..core import ActiveLearningLoop, ActiveLearningRun, BlockingConfig
 from ..datasets import dataset_names, get_dataset_spec, generate_social_media_dataset, load_dataset
 from ..interpretability import forest_to_dnf, rule_learner_to_dnf
 from ..learners import RandomForest, RuleLearner
+from ..runner import TrialSpec, curve_dict, default_config, run_trials
 from ..selectors import LFPLFNSelector, QBCSelector, TreeQBCSelector
-from .builders import (
-    make_oracle,
-    prepare_for_combination,
-    run_active_learning,
-    run_ensemble_learning,
-)
+from .builders import make_oracle
 from .preparation import (
-    PreparedDataset,
     build_blocker,
     prepare_dataset,
     prepare_pool_from_pairs,
@@ -51,38 +54,6 @@ TABLE2_PAPER_F1 = {
     "NN-QBC(2)": {"abt_buy": 0.63, "amazon_google": 0.725, "dblp_acm": 0.97, "dblp_scholar": 0.949, "cora": 0.95},
     "Rules(LFP/LFN)": {"abt_buy": 0.17, "amazon_google": 0.51, "dblp_acm": 0.962, "dblp_scholar": 0.586, "cora": 0.18},
 }
-
-
-def _default_config(max_iterations: int, target_f1: float | None = 0.98, seed: int = 0) -> ActiveLearningConfig:
-    return ActiveLearningConfig(
-        seed_size=30,
-        batch_size=10,
-        max_iterations=max_iterations,
-        target_f1=target_f1,
-        random_state=seed,
-    )
-
-
-def _prepare(
-    name: str,
-    combination_name: str,
-    scale: float,
-    seed: int | None = None,
-    blocking: BlockingConfig | str | None = None,
-) -> PreparedDataset:
-    return prepare_for_combination(name, combination_name, scale=scale, seed=seed, blocking=blocking)
-
-
-def _curve(run: ActiveLearningRun) -> dict:
-    return {
-        "labels": [int(v) for v in run.labels_curve()],
-        "f1": [round(float(v), 4) for v in run.f1_curve()],
-        "selection_time": [round(float(v), 6) for v in run.selection_time_curve()],
-        "committee_creation_time": [round(float(r.committee_creation_time), 6) for r in run.records],
-        "scoring_time": [round(float(r.scoring_time), 6) for r in run.records],
-        "user_wait_time": [round(float(v), 6) for v in run.user_wait_time_curve()],
-        "summary": run.summary(),
-    }
 
 
 # --------------------------------------------------------------------- Table 1
@@ -125,27 +96,46 @@ def selector_comparison(
     max_iterations: int = 25,
     groups: dict[str, list[str]] | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 8/9: QBC vs margin progressive F1 per classifier family."""
     groups = groups or SELECTOR_COMPARISON_GROUPS
-    config = _default_config(max_iterations, seed=seed)
-    result: dict = {"dataset": dataset, "groups": {}}
-    for family, combination_names in groups.items():
-        family_result = {}
-        for combination_name in combination_names:
-            prepared = _prepare(dataset, combination_name, scale)
-            run = run_active_learning(prepared, combination_name, config=config)
-            family_result[combination_name] = _curve(run)
-        result["groups"][family] = family_result
-    return result
+    config = default_config(max_iterations, seed=seed)
+    trial_of = {
+        combination: TrialSpec(dataset=dataset, combination=combination, scale=scale, config=config)
+        for combinations in groups.values()
+        for combination in combinations
+    }
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="selector_comparison")
+    return {
+        "dataset": dataset,
+        "groups": {
+            family: {
+                combination: curve_dict(runs[trial_of[combination].trial_hash()])
+                for combination in combinations
+            }
+            for family, combinations in groups.items()
+        },
+    }
 
 
 # --------------------------------------------------------------------- Fig. 10
+SELECTION_LATENCY_PANELS = {
+    "non_linear": ["NN-QBC(2)", "NN-Margin"],
+    "linear": ["Linear-QBC(2)", "Linear-QBC(20)", "Linear-Margin"],
+    "tree": ["Trees(2)", "Trees(10)", "Trees(20)"],
+    "linear_enhancements": ["Linear-Margin(1Dim)", "Linear-Margin", "Linear-Margin(Ensemble)"],
+}
+
+
 def selection_latency(
     dataset: str = "cora",
     scale: float = 1.0,
     max_iterations: int = 20,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 10: committee-creation vs example-scoring time per strategy.
 
@@ -154,41 +144,23 @@ def selection_latency(
     pruned.  Latency is measured over a fixed number of iterations, so the
     early-stopping-on-quality criterion is disabled.
     """
-    config = _default_config(max_iterations, target_f1=None, seed=seed)
-    panels: dict[str, dict] = {
-        "non_linear": {},
-        "linear": {},
-        "tree": {},
-        "linear_enhancements": {},
+    config = default_config(max_iterations, target_f1=None, seed=seed)
+    trial_of = {
+        combination: TrialSpec(dataset=dataset, combination=combination, scale=scale, config=config)
+        for combinations in SELECTION_LATENCY_PANELS.values()
+        for combination in combinations
     }
-
-    for combination_name in ("NN-QBC(2)", "NN-Margin"):
-        prepared = _prepare(dataset, combination_name, scale)
-        panels["non_linear"][combination_name] = _curve(
-            run_active_learning(prepared, combination_name, config=config)
-        )
-    for combination_name in ("Linear-QBC(2)", "Linear-QBC(20)", "Linear-Margin"):
-        prepared = _prepare(dataset, combination_name, scale)
-        panels["linear"][combination_name] = _curve(
-            run_active_learning(prepared, combination_name, config=config)
-        )
-    for combination_name in ("Trees(2)", "Trees(10)", "Trees(20)"):
-        prepared = _prepare(dataset, combination_name, scale)
-        panels["tree"][combination_name] = _curve(
-            run_active_learning(prepared, combination_name, config=config)
-        )
-
-    prepared = prepare_dataset(dataset, scale=scale)
-    panels["linear_enhancements"]["Linear-Margin(1Dim)"] = _curve(
-        run_active_learning(prepared, "Linear-Margin(1Dim)", config=config)
-    )
-    panels["linear_enhancements"]["Linear-Margin"] = _curve(
-        run_active_learning(prepared, "Linear-Margin", config=config)
-    )
-    ensemble_run, _ = run_ensemble_learning(prepared, config=config)
-    panels["linear_enhancements"]["Linear-Margin(Ensemble)"] = _curve(ensemble_run)
-
-    return {"dataset": dataset, "panels": panels}
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="selection_latency")
+    return {
+        "dataset": dataset,
+        "panels": {
+            panel: {
+                combination: curve_dict(runs[trial_of[combination].trial_hash()])
+                for combination in combinations
+            }
+            for panel, combinations in SELECTION_LATENCY_PANELS.items()
+        },
+    }
 
 
 # --------------------------------------------------------------------- Fig. 11
@@ -197,22 +169,34 @@ def linear_enhancements(
     scale: float = 1.0,
     max_iterations: int = 25,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 11: effect of blocking and active ensembles on linear classifiers."""
     datasets = datasets or PERFECT_ORACLE_DATASETS
-    config = _default_config(max_iterations, seed=seed)
+    config = default_config(max_iterations, seed=seed)
+    variants = {
+        "Margin(1Dim)": "Linear-Margin(1Dim)",
+        "Margin(AllDim)": "Linear-Margin",
+        "Margin(Ensemble)": "Linear-Margin(Ensemble)",
+    }
+    trial_of = {
+        (dataset, label): TrialSpec(
+            dataset=dataset, combination=combination, scale=scale, config=config
+        )
+        for dataset in datasets
+        for label, combination in variants.items()
+    }
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="linear_enhancements")
     result: dict = {}
     for dataset in datasets:
-        prepared = prepare_dataset(dataset, scale=scale)
-        blocking_run = run_active_learning(prepared, "Linear-Margin(1Dim)", config=config)
-        margin_run = run_active_learning(prepared, "Linear-Margin", config=config)
-        ensemble_run, ensemble_loop = run_ensemble_learning(prepared, config=config)
-        result[dataset] = {
-            "Margin(1Dim)": _curve(blocking_run),
-            "Margin(AllDim)": _curve(margin_run),
-            "Margin(Ensemble)": _curve(ensemble_run),
-            "accepted_svms": len(ensemble_loop.ensemble),
+        entry = {
+            label: curve_dict(runs[trial_of[(dataset, label)].trial_hash()])
+            for label in variants
         }
+        ensemble_run = runs[trial_of[(dataset, "Margin(Ensemble)")].trial_hash()]
+        entry["accepted_svms"] = int(ensemble_run.metadata.get("accepted_classifiers", 0))
+        result[dataset] = entry
     return result
 
 
@@ -231,20 +215,28 @@ def classifier_comparison(
     max_iterations: int = 25,
     variants: dict[str, str] | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 12/13: best selector per classifier — progressive F1 and user wait time."""
     datasets = datasets or PERFECT_ORACLE_DATASETS
     variants = variants or BEST_VARIANTS
-    config = _default_config(max_iterations, seed=seed)
-    result: dict = {}
-    for dataset in datasets:
-        per_dataset = {}
-        for label, combination_name in variants.items():
-            prepared = _prepare(dataset, combination_name, scale)
-            run = run_active_learning(prepared, combination_name, config=config)
-            per_dataset[label] = _curve(run)
-        result[dataset] = per_dataset
-    return result
+    config = default_config(max_iterations, seed=seed)
+    trial_of = {
+        (dataset, label): TrialSpec(
+            dataset=dataset, combination=combination, scale=scale, config=config
+        )
+        for dataset in datasets
+        for label, combination in variants.items()
+    }
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="classifier_comparison")
+    return {
+        dataset: {
+            label: curve_dict(runs[trial_of[(dataset, label)].trial_hash()])
+            for label in variants
+        }
+        for dataset in datasets
+    }
 
 
 # --------------------------------------------------------------------- Table 2
@@ -266,28 +258,78 @@ def table2_best_f1(
     scale: float = 1.0,
     max_iterations: int = 25,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> list[dict]:
     """Table 2: best progressive F1 and #labels-to-convergence per approach/dataset."""
     datasets = datasets or PERFECT_ORACLE_DATASETS
     approaches = approaches or TABLE2_APPROACHES
-    config = _default_config(max_iterations, seed=seed)
+    config = default_config(max_iterations, seed=seed)
+    trial_of = {
+        (approach, dataset): TrialSpec(
+            dataset=dataset, combination=approach, scale=scale, config=config
+        )
+        for approach in approaches
+        for dataset in datasets
+    }
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="table2_best_f1")
     rows = []
     for approach in approaches:
         row: dict = {"approach": approach}
         for dataset in datasets:
-            prepared = _prepare(dataset, approach, scale)
-            run = run_active_learning(prepared, approach, config=config)
-            paper = TABLE2_PAPER_F1.get(approach, {}).get(dataset)
+            run = runs[trial_of[(approach, dataset)].trial_hash()]
             row[dataset] = {
                 "best_f1": round(run.best_f1, 3),
                 "labels": run.labels_to_convergence(),
-                "paper_f1": paper,
+                "paper_f1": TABLE2_PAPER_F1.get(approach, {}).get(dataset),
             }
         rows.append(row)
     return rows
 
 
 # ---------------------------------------------------------------- Fig. 14 / 15
+def _noise_trials(
+    dataset: str,
+    approach: str,
+    noise_levels: tuple[float, ...],
+    repeats: int,
+    scale: float,
+    max_iterations: int,
+    seed: int,
+) -> dict[tuple[float, int], TrialSpec]:
+    """The (noise level × repeat) trial grid of the noisy-Oracle experiments.
+
+    The 0% level uses a single run (it is deterministic given the seed);
+    every other level is averaged over ``repeats`` distinct seeds.
+    """
+    trials = {}
+    for noise in noise_levels:
+        n_runs = 1 if noise == 0.0 else repeats
+        for repeat in range(n_runs):
+            trials[(noise, repeat)] = TrialSpec(
+                dataset=dataset,
+                combination=approach,
+                scale=scale,
+                config=default_config(max_iterations, target_f1=None, seed=seed + repeat),
+                noise=noise,
+                oracle_seed=seed + repeat,
+            )
+    return trials
+
+
+def _average_noise_runs(runs: list[ActiveLearningRun]) -> dict:
+    """Mean/std progressive-F1 curves over same-noise repeats."""
+    min_len = min(len(run.records) for run in runs)
+    f1_matrix = np.array([run.f1_curve()[:min_len] for run in runs])
+    labels = runs[0].labels_curve()[:min_len]
+    return {
+        "labels": [int(v) for v in labels],
+        "f1": [round(float(v), 4) for v in f1_matrix.mean(axis=0)],
+        "f1_std": [round(float(v), 4) for v in f1_matrix.std(axis=0)],
+        "final_f1": round(float(f1_matrix.mean(axis=0)[-1]), 4),
+    }
+
+
 def noisy_oracle_curves(
     dataset: str = "abt_buy",
     approaches: list[str] | None = None,
@@ -296,42 +338,29 @@ def noisy_oracle_curves(
     scale: float = 1.0,
     max_iterations: int = 20,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 14/15: progressive F1 under a probabilistically noisy Oracle.
 
     Each noise level is averaged over ``repeats`` runs with distinct random
-    seeds, as in the paper.  The 0% level uses a single run (it is
-    deterministic given the seed).
+    seeds, as in the paper.
     """
     approaches = approaches or ["Trees(20)"]
     result: dict = {"dataset": dataset, "approaches": {}}
     for approach in approaches:
-        prepared = _prepare(dataset, approach, scale)
-        per_noise: dict = {}
+        trial_of = _noise_trials(
+            dataset, approach, noise_levels, repeats, scale, max_iterations, seed
+        )
+        runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="noisy_oracle")
+        per_noise = {}
         for noise in noise_levels:
-            runs = []
-            n_runs = 1 if noise == 0.0 else repeats
-            for repeat in range(n_runs):
-                config = ActiveLearningConfig(
-                    seed_size=30,
-                    batch_size=10,
-                    max_iterations=max_iterations,
-                    target_f1=None,  # noisy-Oracle runs continue until exhaustion
-                    random_state=seed + repeat,
-                )
-                run = run_active_learning(
-                    prepared, approach, config=config, noise=noise, oracle_seed=seed + repeat
-                )
-                runs.append(run)
-            min_len = min(len(run.records) for run in runs)
-            f1_matrix = np.array([run.f1_curve()[:min_len] for run in runs])
-            labels = runs[0].labels_curve()[:min_len]
-            per_noise[f"{int(noise * 100)}%"] = {
-                "labels": [int(v) for v in labels],
-                "f1": [round(float(v), 4) for v in f1_matrix.mean(axis=0)],
-                "f1_std": [round(float(v), 4) for v in f1_matrix.std(axis=0)],
-                "final_f1": round(float(f1_matrix.mean(axis=0)[-1]), 4),
-            }
+            level_runs = [
+                runs[trial.trial_hash()]
+                for (level, _), trial in trial_of.items()
+                if level == noise
+            ]
+            per_noise[f"{int(noise * 100)}%"] = _average_noise_runs(level_runs)
         result["approaches"][approach] = per_noise
     return result
 
@@ -343,6 +372,8 @@ def noisy_oracle_magellan(
     scale: float = 1.0,
     max_iterations: int = 20,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 15: Trees(20) on the Magellan/DeepMatcher datasets under label noise."""
     datasets = datasets or MAGELLAN_DATASETS
@@ -356,6 +387,8 @@ def noisy_oracle_magellan(
             scale=scale,
             max_iterations=max_iterations,
             seed=seed,
+            jobs=jobs,
+            store=store,
         )["approaches"]["Trees(20)"]
     return result
 
@@ -373,43 +406,37 @@ def active_vs_supervised(
     max_iterations: int = 25,
     test_fraction: float = 0.2,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 16/17: active vs supervised learning on a held-out 20% test split.
 
     Example selection draws from 80% of the post-blocking pairs while the
     remaining 20% (stratified) are used purely for evaluation.
     """
-    from ..datasets.splits import train_test_split_pairs
-
     datasets = datasets or MAGELLAN_DATASETS
+    config = default_config(max_iterations, target_f1=None, seed=seed)
+    trial_of = {
+        (dataset, approach): TrialSpec(
+            dataset=dataset,
+            combination=approach,
+            scale=scale,
+            config=config,
+            noise=noise,
+            oracle_seed=seed,
+            test_fraction=test_fraction,
+            split_seed=seed,
+        )
+        for dataset in datasets
+        for approach in approaches
+    }
+    runs = run_trials(trial_of.values(), jobs=jobs, store=store, name="active_vs_supervised")
     result: dict = {}
     for dataset in datasets:
-        prepared = prepare_dataset(dataset, scale=scale)
-        train_pairs, test_pairs = train_test_split_pairs(
-            prepared.pairs, test_fraction=test_fraction, seed=seed
-        )
-        train_prepared = prepare_pool_from_pairs(prepared.dataset, train_pairs, "continuous")
-        test_matrix = prepare_pool_from_pairs(prepared.dataset, test_pairs, "continuous")
-
-        per_dataset: dict = {"test_labels": len(test_pairs)}
+        first = runs[trial_of[(dataset, approaches[0])].trial_hash()]
+        per_dataset: dict = {"test_labels": int(first.metadata["test_labels"])}
         for approach in approaches:
-            config = ActiveLearningConfig(
-                seed_size=30,
-                batch_size=10,
-                max_iterations=max_iterations,
-                target_f1=None,
-                random_state=seed,
-            )
-            run = run_active_learning(
-                train_prepared,
-                approach,
-                config=config,
-                noise=noise,
-                oracle_seed=seed,
-                evaluation_features=test_matrix.pool.features,
-                evaluation_labels=test_matrix.pool.true_labels,
-            )
-            per_dataset[approach] = _curve(run)
+            per_dataset[approach] = curve_dict(runs[trial_of[(dataset, approach)].trial_hash()])
         result[dataset] = per_dataset
     return result
 
@@ -420,6 +447,8 @@ def active_vs_supervised_noise(
     scale: float = 1.0,
     max_iterations: int = 25,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> dict:
     """Fig. 17: active vs supervised tree ensembles under Oracle noise (Abt-Buy)."""
     result: dict = {"dataset": dataset, "noise_levels": {}}
@@ -431,6 +460,8 @@ def active_vs_supervised_noise(
             scale=scale,
             max_iterations=max_iterations,
             seed=seed,
+            jobs=jobs,
+            store=store,
         )
         result["noise_levels"][f"{int(noise * 100)}%"] = comparison[dataset]
     return result
@@ -444,8 +475,13 @@ def interpretability_comparison(
     max_iterations: int = 20,
     seed: int = 0,
 ) -> dict:
-    """Fig. 18: #DNF atoms and tree depth versus #labels (trees vs rules)."""
-    config = _default_config(max_iterations, seed=seed)
+    """Fig. 18: #DNF atoms and tree depth versus #labels (trees vs rules).
+
+    Needs per-iteration access to the live model (DNF conversion), so it runs
+    the loop directly with an iteration callback rather than through the
+    runner's serialized trial path.
+    """
+    config = default_config(max_iterations, seed=seed)
     result: dict = {"dataset": dataset, "trees": {}, "rules": {}}
 
     continuous = prepare_dataset(dataset, scale=scale)
@@ -519,6 +555,8 @@ def social_media_comparison(
     hidden ground truth simulates that expert: a learned rule is *valid* when
     its precision on the hidden truth reaches ``validation_precision``, and
     coverage is the number of pairs predicted as matches by the valid rules.
+    The generated dataset is not in the catalog, and validation needs the
+    live learner's rules, so this driver keeps its bespoke loop.
     """
     social = generate_social_media_dataset(n_employees=n_employees, seed=seed)
     dataset = social.dataset
@@ -530,12 +568,8 @@ def social_media_comparison(
     blocking = JaccardBlocker(threshold=0.25).block(dataset)
     prepared = prepare_pool_from_pairs(dataset, blocking.pairs, feature_kind="boolean")
 
-    config = ActiveLearningConfig(
-        seed_size=40,
-        batch_size=10,
-        max_iterations=max_iterations,
-        target_f1=None,
-        random_state=seed,
+    config = default_config(
+        max_iterations, target_f1=None, seed=seed, seed_size=40, batch_size=10
     )
 
     strategies: dict[str, object] = {"LFP/LFN": LFPLFNSelector()}
@@ -628,3 +662,62 @@ def blocking_method_comparison(
             }
         )
     return rows
+
+
+# ------------------------------------------------------------ sweep families
+def _per_dataset_family(driver, default_dataset: str):
+    """Adapt a single-dataset driver to the sweep interface.
+
+    One requested dataset keeps the driver's native output shape; several
+    run the driver once per dataset and key the results by dataset name.
+    """
+
+    def sweep(datasets, **kwargs):
+        names = datasets or [default_dataset]
+        if len(names) == 1:
+            return driver(dataset=names[0], **kwargs)
+        return {name: driver(dataset=name, **kwargs) for name in names}
+
+    return sweep
+
+
+#: Experiment families runnable by name via ``python -m repro sweep``.
+#: Every family accepts (datasets, scale, max_iterations, seed, jobs, store).
+SWEEP_FAMILIES = {
+    "selector_comparison": _per_dataset_family(selector_comparison, "abt_buy"),
+    "selection_latency": _per_dataset_family(selection_latency, "cora"),
+    "linear_enhancements": lambda datasets, **kwargs: linear_enhancements(datasets=datasets, **kwargs),
+    "classifier_comparison": lambda datasets, **kwargs: classifier_comparison(datasets=datasets, **kwargs),
+    "table2": lambda datasets, **kwargs: table2_best_f1(datasets=datasets, **kwargs),
+    "noisy_oracle": _per_dataset_family(noisy_oracle_curves, "abt_buy"),
+    "magellan_noise": lambda datasets, **kwargs: noisy_oracle_magellan(datasets=datasets, **kwargs),
+    "active_vs_supervised": lambda datasets, **kwargs: active_vs_supervised(datasets=datasets, **kwargs),
+}
+
+
+def run_sweep_family(
+    family: str,
+    datasets: list[str] | None = None,
+    scale: float = 1.0,
+    max_iterations: int = 25,
+    seed: int = 0,
+    jobs: int = 1,
+    store=None,
+) -> dict | list:
+    """Run one named experiment family (the CLI ``sweep`` entry point)."""
+    from ..exceptions import ConfigurationError
+
+    try:
+        driver = SWEEP_FAMILIES[family]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment family {family!r}; known: {sorted(SWEEP_FAMILIES)}"
+        ) from exc
+    return driver(
+        datasets,
+        scale=scale,
+        max_iterations=max_iterations,
+        seed=seed,
+        jobs=jobs,
+        store=store,
+    )

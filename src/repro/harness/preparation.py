@@ -8,7 +8,11 @@ memoised per ``(name, scale, seed)``.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -47,10 +51,70 @@ class PreparedDataset:
 
 _CACHE: dict[tuple, PreparedDataset] = {}
 
+#: Optional on-disk second-level cache, shared across processes.  Enabled via
+#: :func:`set_disk_cache_dir` or the ``REPRO_PREP_CACHE`` environment variable.
+_DISK_CACHE_DIR: Path | None = (
+    Path(os.environ["REPRO_PREP_CACHE"]) if os.environ.get("REPRO_PREP_CACHE") else None
+)
+
 
 def clear_preparation_cache() -> None:
     """Drop all memoised prepared datasets (mainly useful in tests)."""
     _CACHE.clear()
+
+
+def set_disk_cache_dir(path: str | os.PathLike | None) -> None:
+    """Enable (or, with ``None``, disable) the on-disk prepared-dataset cache.
+
+    Preparation results are pickled under a content-hash filename, so worker
+    processes of a parallel sweep — and later sweeps over the same datasets —
+    skip blocking and feature extraction entirely.
+    """
+    global _DISK_CACHE_DIR
+    _DISK_CACHE_DIR = Path(path) if path is not None else None
+
+
+def preparation_cache_key(
+    name: str,
+    scale: float,
+    seed: int | None,
+    feature_kind: str,
+    blocking: BlockingConfig | str | None,
+) -> str:
+    """Stable content hash identifying one prepared dataset.
+
+    Process-independent (plain SHA-256 over the canonical parameter repr), so
+    it doubles as the on-disk cache filename.
+    """
+    canonical = repr((name, round(scale, 6), seed, feature_kind, repr(blocking)))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+def _disk_cache_load(key: str) -> PreparedDataset | None:
+    if _DISK_CACHE_DIR is None:
+        return None
+    path = _DISK_CACHE_DIR / f"{key}.pkl"
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+
+
+def _disk_cache_store(key: str, prepared: PreparedDataset) -> None:
+    if _DISK_CACHE_DIR is None:
+        return
+    _DISK_CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    path = _DISK_CACHE_DIR / f"{key}.pkl"
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb") as handle:
+            pickle.dump(prepared, handle)
+        tmp.replace(path)  # atomic on POSIX: concurrent writers can't corrupt
+    except OSError:
+        tmp.unlink(missing_ok=True)
 
 
 def build_blocker(
@@ -89,6 +153,12 @@ def prepare_dataset(
     key = (name, round(scale, 6), seed, "continuous", repr(blocking))
     if use_cache and key in _CACHE:
         return _CACHE[key]
+    disk_key = preparation_cache_key(name, scale, seed, "continuous", blocking)
+    if use_cache:
+        cached = _disk_cache_load(disk_key)
+        if cached is not None:
+            _CACHE[key] = cached
+            return cached
 
     spec = get_dataset_spec(name)
     dataset = load_dataset(name, scale=scale, seed=seed)
@@ -114,6 +184,7 @@ def prepare_dataset(
     )
     if use_cache:
         _CACHE[key] = prepared
+        _disk_cache_store(disk_key, prepared)
     return prepared
 
 
@@ -128,6 +199,12 @@ def prepare_rule_dataset(
     key = (name, round(scale, 6), seed, "boolean", repr(blocking))
     if use_cache and key in _CACHE:
         return _CACHE[key]
+    disk_key = preparation_cache_key(name, scale, seed, "boolean", blocking)
+    if use_cache:
+        cached = _disk_cache_load(disk_key)
+        if cached is not None:
+            _CACHE[key] = cached
+            return cached
 
     spec = get_dataset_spec(name)
     dataset = load_dataset(name, scale=scale, seed=seed)
@@ -153,6 +230,7 @@ def prepare_rule_dataset(
     )
     if use_cache:
         _CACHE[key] = prepared
+        _disk_cache_store(disk_key, prepared)
     return prepared
 
 

@@ -1,0 +1,39 @@
+"""Declarative, parallel, resumable experiment execution.
+
+Three layers:
+
+* **Spec** (:mod:`repro.runner.spec`) — frozen :class:`TrialSpec` /
+  :class:`ExperimentSpec` value objects with stable content hashes; every
+  figure/table of the paper is a grid of trial specs.
+* **Execution** (:mod:`repro.runner.runner`) — :class:`ExperimentRunner`
+  deduplicates shared dataset preparation, runs trials serially or across
+  worker processes (``jobs=N``), and produces trajectories that are
+  bit-identical to serial execution.
+* **Persistence** (:mod:`repro.runner.store`) — :class:`RunStore`, an
+  append-only JSONL file keyed by trial hash that makes sweeps resumable.
+
+See ``docs/experiments.md`` for the full contract.
+"""
+
+from .spec import ExperimentSpec, TrialSpec, curve_dict, default_config
+from .store import RunStore
+from .runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    execute_trial,
+    run_trials,
+    strip_timing,
+)
+
+__all__ = [
+    "TrialSpec",
+    "ExperimentSpec",
+    "default_config",
+    "curve_dict",
+    "RunStore",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "execute_trial",
+    "run_trials",
+    "strip_timing",
+]

@@ -1,0 +1,270 @@
+"""Executes experiment specs: deduplication, parallelism, persistence, resume.
+
+The runner expands an :class:`~repro.runner.spec.ExperimentSpec` into its
+unique trials, skips trials already present in an optional
+:class:`~repro.runner.store.RunStore`, and executes the remainder either
+serially or across ``jobs`` worker processes (one task per trial, so every
+repeat of an embarrassingly-parallel sweep gets its own worker slot and every
+finished trial is persisted immediately).  Shared blocking +
+feature-extraction work is deduplicated through the preparation cache: worker
+processes are long-lived, so their in-memory memo covers repeats landing on
+the same worker, fork start methods inherit the parent's warm cache, and the
+optional on-disk cache (``prep_cache``) shares preparations across processes
+and invocations.
+
+Determinism: every trial is fully seeded (loop RNG, Oracle RNG, dataset seed),
+so the learning trajectory of each trial — labels, F1, selections, termination
+— is bit-identical whatever ``jobs`` is or in whatever order trials complete.
+Only the wall-clock *measurements* (train/selection times) vary between runs,
+exactly as they do between two serial invocations.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from ..core import ActiveLearningRun
+from ..exceptions import ConfigurationError
+from .spec import ExperimentSpec, TrialSpec
+from .store import RunStore
+
+#: Iteration-record fields that are wall-clock measurements, not part of the
+#: deterministic trajectory (used by parity tests and result comparisons).
+TIMING_FIELDS = frozenset(
+    {
+        "train_time",
+        "committee_creation_time",
+        "scoring_time",
+        "selection_time",
+        "user_wait_time",
+        "total_user_wait_time",
+        "avg_user_wait_time",
+        "avg_wait_per_valid_rule",
+        "blocking_seconds",
+    }
+)
+
+
+def strip_timing(value):
+    """Recursively drop wall-clock fields from a result structure.
+
+    Trial trajectories are deterministic; their timing measurements are not.
+    Comparing ``strip_timing(a) == strip_timing(b)`` checks exactly the
+    deterministic part.
+    """
+    if isinstance(value, dict):
+        return {
+            key: strip_timing(item)
+            for key, item in value.items()
+            if key not in TIMING_FIELDS
+        }
+    if isinstance(value, (list, tuple)):
+        return [strip_timing(item) for item in value]
+    return value
+
+
+def execute_trial(trial: TrialSpec) -> ActiveLearningRun:
+    """Execute one trial end to end and return its (metadata-stamped) run.
+
+    Preparation goes through the harness' memoized (and optionally
+    disk-backed) cache, so repeated trials on the same prepared dataset only
+    pay the blocking + feature-extraction cost once per process.
+    """
+    from ..harness.builders import build_combination, prepare_for_combination, run_active_learning
+    from ..harness.preparation import prepare_pool_from_pairs
+
+    combination = build_combination(trial.combination)
+    prepared = prepare_for_combination(
+        trial.dataset,
+        combination,
+        scale=trial.scale,
+        seed=trial.dataset_seed,
+        blocking=trial.blocking,
+    )
+
+    evaluation_features = evaluation_labels = None
+    test_labels = None
+    if trial.test_fraction is not None:
+        from ..datasets.splits import train_test_split_pairs
+
+        train_pairs, test_pairs = train_test_split_pairs(
+            prepared.pairs, test_fraction=trial.test_fraction, seed=trial.split_seed
+        )
+        train_prepared = prepare_pool_from_pairs(
+            prepared.dataset, train_pairs, combination.feature_kind
+        )
+        test_prepared = prepare_pool_from_pairs(
+            prepared.dataset, test_pairs, combination.feature_kind
+        )
+        prepared = train_prepared
+        evaluation_features = test_prepared.pool.features
+        evaluation_labels = test_prepared.pool.true_labels
+        test_labels = len(test_pairs)
+
+    run = run_active_learning(
+        prepared,
+        combination,
+        config=trial.config,
+        noise=trial.noise,
+        oracle_seed=trial.oracle_seed,
+        evaluation_features=evaluation_features,
+        evaluation_labels=evaluation_labels,
+    )
+    run.metadata["trial"] = trial.to_dict()
+    run.metadata["trial_hash"] = trial.trial_hash()
+    if test_labels is not None:
+        run.metadata["test_labels"] = test_labels
+    return run
+
+
+def _trial_worker(payload: dict) -> dict:
+    """Process-pool task: execute one trial.
+
+    Takes and returns plain dictionaries so nothing model-specific has to be
+    picklable.  Pool workers are long-lived, so their preparation memo
+    persists across tasks and repeats on the same prepared dataset only pay
+    the blocking + feature-extraction cost once per worker.
+    """
+    if payload.get("prep_cache"):
+        from ..harness.preparation import set_disk_cache_dir
+
+        set_disk_cache_dir(payload["prep_cache"])
+    trial = TrialSpec.from_dict(payload["trial"])
+    return execute_trial(trial).to_dict()
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one runner invocation over an experiment spec."""
+
+    spec: ExperimentSpec
+    runs: dict[str, ActiveLearningRun] = field(default_factory=dict)
+    executed: int = 0
+    resumed: int = 0
+
+    def run_for(self, trial: TrialSpec) -> ActiveLearningRun:
+        return self.runs[trial.trial_hash()]
+
+    def summaries(self) -> list[dict]:
+        """One flat summary row per unique trial, in spec order."""
+        rows = []
+        for trial in self.spec.unique_trials():
+            run = self.runs[trial.trial_hash()]
+            row = {
+                "trial_hash": trial.trial_hash(),
+                "dataset": trial.dataset,
+                "combination": trial.combination,
+                "noise": trial.noise,
+                "seed": trial.config.random_state,
+            }
+            row.update(run.summary())
+            rows.append(row)
+        return rows
+
+
+class ExperimentRunner:
+    """Expands experiment specs into trials and executes them.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes in-process (and is the reference
+        for determinism); ``N > 1`` spreads preparation groups over ``N``
+        processes.
+    store:
+        Optional :class:`RunStore` (or path).  Completed trials found in the
+        store are loaded instead of re-executed, and every newly executed
+        trial is appended as soon as it finishes — killing a sweep and
+        re-running it resumes where it stopped.
+    prep_cache:
+        Optional directory for the on-disk prepared-dataset cache, shared by
+        all worker processes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: RunStore | str | os.PathLike | None = None,
+        prep_cache: str | os.PathLike | None = None,
+    ):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be at least 1")
+        self.jobs = jobs
+        self.store = RunStore(store) if isinstance(store, (str, os.PathLike)) else store
+        self.prep_cache = os.fspath(prep_cache) if prep_cache is not None else None
+
+    # ------------------------------------------------------------------- run
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        result = ExperimentResult(spec=spec)
+        trials = spec.unique_trials()
+
+        pending: list[TrialSpec] = []
+        stored = self.store.load() if self.store is not None else {}
+        for trial in trials:
+            entry = stored.get(trial.trial_hash())
+            if entry is not None:
+                result.runs[trial.trial_hash()] = ActiveLearningRun.from_dict(entry["run"])
+                result.resumed += 1
+            else:
+                pending.append(trial)
+
+        if not pending:
+            return result
+
+        if self.jobs == 1:
+            self._run_serial(result, pending)
+            return result
+
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    _trial_worker,
+                    {"trial": trial.to_dict(), "prep_cache": self.prep_cache},
+                ): trial
+                for trial in pending
+            }
+            for future in as_completed(futures):
+                self._record(
+                    result, futures[future], ActiveLearningRun.from_dict(future.result())
+                )
+        return result
+
+    # -------------------------------------------------------------- internals
+    def _run_serial(self, result: ExperimentResult, pending: list[TrialSpec]) -> None:
+        from ..harness import preparation
+
+        previous_cache_dir = preparation._DISK_CACHE_DIR
+        if self.prep_cache:
+            preparation.set_disk_cache_dir(self.prep_cache)
+        try:
+            for trial in pending:
+                self._record(result, trial, execute_trial(trial))
+        finally:
+            if self.prep_cache:
+                preparation.set_disk_cache_dir(previous_cache_dir)
+
+    def _record(self, result: ExperimentResult, trial: TrialSpec, run: ActiveLearningRun) -> None:
+        result.runs[trial.trial_hash()] = run
+        result.executed += 1
+        if self.store is not None:
+            self.store.append(trial, run)
+
+
+def run_trials(
+    trials,
+    jobs: int = 1,
+    store: RunStore | str | os.PathLike | None = None,
+    name: str = "sweep",
+    prep_cache: str | os.PathLike | None = None,
+) -> dict[str, ActiveLearningRun]:
+    """Execute an iterable of trials and return ``{trial_hash: run}``.
+
+    Convenience wrapper used by the figure drivers: build trial specs, call
+    :func:`run_trials`, then assemble the figure's output shape from the
+    returned runs.
+    """
+    spec = ExperimentSpec(name=name, trials=tuple(trials))
+    runner = ExperimentRunner(jobs=jobs, store=store, prep_cache=prep_cache)
+    return runner.run(spec).runs

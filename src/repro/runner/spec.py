@@ -1,0 +1,203 @@
+"""Declarative experiment specifications.
+
+A :class:`TrialSpec` names everything that determines one active-learning
+trajectory — dataset, learner/selector combination, blocking, loop
+hyper-parameters, noise and seeds — as a frozen, hashable value object.  An
+:class:`ExperimentSpec` is a named list of trials (one figure/table of the
+paper, or any custom sweep).  Because specs are values, they can be hashed
+into stable content keys (:meth:`TrialSpec.trial_hash`), dispatched to worker
+processes, and used to skip already-persisted trials on resume.
+
+This module also centralizes the paper's Section 6 loop defaults
+(:func:`default_config`: seed of 30, batches of 10) and the curve dictionary
+shape shared by all figure drivers (:func:`curve_dict`), which used to be
+copy-pasted per experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from ..core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig
+from ..exceptions import ConfigurationError
+
+
+def default_config(
+    max_iterations: int | None,
+    target_f1: float | None = 0.98,
+    seed: int = 0,
+    seed_size: int = 30,
+    batch_size: int = 10,
+) -> ActiveLearningConfig:
+    """The paper's Section 6 loop configuration (30-example seed, batches of 10)."""
+    return ActiveLearningConfig(
+        seed_size=seed_size,
+        batch_size=batch_size,
+        max_iterations=max_iterations,
+        target_f1=target_f1,
+        random_state=seed,
+    )
+
+
+def curve_dict(run: ActiveLearningRun) -> dict:
+    """The per-run curve dictionary every figure driver returns."""
+    return {
+        "labels": [int(v) for v in run.labels_curve()],
+        "f1": [round(float(v), 4) for v in run.f1_curve()],
+        "selection_time": [round(float(v), 6) for v in run.selection_time_curve()],
+        "committee_creation_time": [round(float(r.committee_creation_time), 6) for r in run.records],
+        "scoring_time": [round(float(r.scoring_time), 6) for r in run.records],
+        "user_wait_time": [round(float(v), 6) for v in run.user_wait_time_curve()],
+        "summary": run.summary(),
+    }
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One (dataset × combination × configuration × seed) active-learning trial.
+
+    Attributes
+    ----------
+    dataset:
+        Catalog name of the dataset (``"abt_buy"``, ...).
+    combination:
+        Named learner/selector combination (``"Trees(20)"``, ...), resolved
+        by :func:`repro.harness.builders.build_combination` at execution time.
+    scale:
+        Dataset size multiplier.
+    dataset_seed:
+        Seed of the synthetic dataset generator (``None`` = the catalog
+        default).
+    config:
+        Loop hyper-parameters.
+    blocking:
+        Blocking strategy (``None`` = the paper's Jaccard blocker at the
+        dataset spec threshold).
+    noise / oracle_seed:
+        Oracle label-flip probability and its RNG seed.
+    test_fraction / split_seed:
+        When ``test_fraction`` is set, example selection draws from the
+        remaining pairs while a stratified held-out fraction is used purely
+        for evaluation (the Fig. 16/17 protocol).
+    """
+
+    dataset: str
+    combination: str
+    scale: float = 1.0
+    dataset_seed: int | None = None
+    config: ActiveLearningConfig = field(default_factory=ActiveLearningConfig)
+    blocking: BlockingConfig | None = None
+    noise: float = 0.0
+    oracle_seed: int | None = 0
+    test_fraction: float | None = None
+    split_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ConfigurationError("trial dataset must be a non-empty name")
+        if not self.combination:
+            raise ConfigurationError("trial combination must be a non-empty name")
+        if self.scale <= 0:
+            raise ConfigurationError("trial scale must be positive")
+        if not 0.0 <= self.noise < 1.0:
+            raise ConfigurationError("trial noise must be in [0, 1)")
+        if self.test_fraction is not None and not 0.0 < self.test_fraction < 1.0:
+            raise ConfigurationError("test_fraction must be in (0, 1) or None")
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "dataset": self.dataset,
+            "combination": self.combination,
+            "scale": self.scale,
+            "dataset_seed": self.dataset_seed,
+            "config": self.config.to_dict(),
+            "blocking": self.blocking.to_dict() if self.blocking is not None else None,
+            "noise": self.noise,
+            "oracle_seed": self.oracle_seed,
+            "test_fraction": self.test_fraction,
+            "split_seed": self.split_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialSpec":
+        data = dict(data)
+        data["config"] = ActiveLearningConfig.from_dict(data["config"])
+        if data.get("blocking") is not None:
+            data["blocking"] = BlockingConfig.from_dict(data["blocking"])
+        return cls(**data)
+
+    def trial_hash(self) -> str:
+        """Stable content hash of the trial.
+
+        SHA-256 over the canonical JSON form, so the key is identical across
+        processes and interpreter invocations (no ``PYTHONHASHSEED``
+        dependence) and usable as a persistent store key.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def with_config(self, **changes) -> "TrialSpec":
+        """A copy with loop-configuration fields replaced."""
+        return replace(self, config=replace(self.config, **changes))
+
+    def preparation_key(self) -> tuple:
+        """What determines the prepared dataset this trial runs on.
+
+        Trials sharing a preparation key share blocking + feature-extraction
+        work; the runner uses this to deduplicate preparation across a sweep.
+        The combination's feature kind is resolved lazily (import cycle:
+        builders imports preparation).
+        """
+        from ..harness.builders import build_combination
+
+        feature_kind = build_combination(self.combination).feature_kind
+        return (
+            self.dataset,
+            round(self.scale, 6),
+            self.dataset_seed,
+            feature_kind,
+            repr(self.blocking),
+            self.test_fraction,
+            self.split_seed if self.test_fraction is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named grid of trials — one paper artifact or any custom sweep."""
+
+    name: str
+    trials: tuple[TrialSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("experiment name must be non-empty")
+        object.__setattr__(self, "trials", tuple(self.trials))
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def unique_trials(self) -> list[TrialSpec]:
+        """Trials deduplicated by content hash, first occurrence order kept."""
+        seen: set[str] = set()
+        unique = []
+        for trial in self.trials:
+            key = trial.trial_hash()
+            if key not in seen:
+                seen.add(key)
+                unique.append(trial)
+        return unique
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "trials": [trial.to_dict() for trial in self.trials]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(
+            name=data["name"],
+            trials=tuple(TrialSpec.from_dict(trial) for trial in data.get("trials", [])),
+        )

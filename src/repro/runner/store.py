@@ -1,0 +1,96 @@
+"""Persistent run storage: an append-only JSONL file keyed by trial hash.
+
+Each line is one completed trial::
+
+    {"trial_hash": "...", "trial": {...}, "run": {...}}
+
+Append-only writes keep the store crash-safe: a killed sweep leaves at worst
+one truncated trailing line, which :meth:`RunStore.load` skips, so re-running
+the sweep resumes from every fully-persisted trial.  When the same trial hash
+appears on several lines the last complete one wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core import ActiveLearningRun
+from .spec import TrialSpec
+
+
+class RunStore:
+    """JSONL persistence for completed trials, keyed by ``TrialSpec.trial_hash``."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ read
+    def load(self) -> dict[str, dict]:
+        """All persisted entries as ``{trial_hash: entry_dict}``.
+
+        Truncated or corrupt lines (e.g. from a killed process) are skipped.
+        """
+        entries: dict[str, dict] = {}
+        if not self.path.exists():
+            return entries
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                trial_hash = entry.get("trial_hash")
+                if trial_hash and "run" in entry:
+                    entries[trial_hash] = entry
+        return entries
+
+    def completed_hashes(self) -> set[str]:
+        return set(self.load())
+
+    def __contains__(self, trial_hash: str) -> bool:
+        return trial_hash in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def get_run(self, trial_hash: str) -> ActiveLearningRun | None:
+        entry = self.load().get(trial_hash)
+        if entry is None:
+            return None
+        return ActiveLearningRun.from_dict(entry["run"])
+
+    def runs(self) -> dict[str, ActiveLearningRun]:
+        return {
+            trial_hash: ActiveLearningRun.from_dict(entry["run"])
+            for trial_hash, entry in self.load().items()
+        }
+
+    # ----------------------------------------------------------------- write
+    def append(self, trial: TrialSpec | dict, run: ActiveLearningRun | dict) -> None:
+        """Persist one completed trial (flushed immediately)."""
+        trial_dict = trial.to_dict() if isinstance(trial, TrialSpec) else trial
+        run_dict = run.to_dict() if isinstance(run, ActiveLearningRun) else run
+        trial_hash = (
+            trial.trial_hash()
+            if isinstance(trial, TrialSpec)
+            else TrialSpec.from_dict(trial_dict).trial_hash()
+        )
+        entry = {"trial_hash": trial_hash, "trial": trial_dict, "run": run_dict}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        prefix = ""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            # A killed writer may have left a truncated line without a
+            # trailing newline; start a fresh line so this entry stays valid.
+            with self.path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(prefix + json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -1,0 +1,160 @@
+"""CLI coverage: exit codes and output shape of every subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.runner import RunStore
+
+
+SWEEP_ARGS = [
+    "--family", "classifier_comparison",
+    "--datasets", "dblp_acm",
+    "--scale", "0.15",
+    "--max-iterations", "2",
+]
+
+
+class TestList:
+    def test_lists_datasets_combinations_blockers(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "datasets:" in out
+        assert "combinations:" in out
+        assert "blockers:" in out
+        assert "abt_buy" in out
+        assert "Trees(20)" in out
+        assert "minhash_lsh" in out
+
+
+class TestTable1:
+    def test_prints_statistics_table(self, capsys):
+        assert cli.main(["table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "post_blocking_pairs" in out
+        assert "dblp_acm" in out
+
+
+class TestBlock:
+    def test_single_blocker_comparison(self, capsys):
+        assert cli.main(
+            ["block", "--dataset", "dblp_acm", "--scale", "0.15", "--blocker", "jaccard"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blocking comparison" in out
+        assert "jaccard" in out
+        assert "reduction_ratio" in out
+
+    def test_unknown_dataset_is_an_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["block", "--dataset", "no_such_dataset"])
+        assert excinfo.value.code == 2
+
+
+class TestRun:
+    def test_runs_one_combination(self, capsys):
+        assert cli.main(
+            [
+                "run", "--dataset", "dblp_acm", "--combination", "Trees(2)",
+                "--scale", "0.15", "--max-iterations", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "post-blocking pairs" in out
+        assert "progressive F1" in out
+        assert "run summary" in out
+
+
+class TestSweep:
+    def test_sweep_executes_and_persists(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        assert cli.main(["sweep", *SWEEP_ARGS, "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 trial(s) executed" in out
+        assert len(RunStore(store_path)) == 4
+
+    def test_sweep_without_store(self, capsys):
+        assert cli.main(["sweep", *SWEEP_ARGS]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_sweep_json_output_shape(self, tmp_path, capsys):
+        assert cli.main(["sweep", *SWEEP_ARGS, "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"dblp_acm"}
+        assert "Trees(20)" in payload["dblp_acm"]
+        curve = payload["dblp_acm"]["Trees(20)"]
+        assert len(curve["f1"]) == len(curve["labels"])
+
+    def test_datasets_whitespace_and_multi_dataset_family(self, capsys):
+        assert cli.main(
+            [
+                "sweep", "--family", "classifier_comparison",
+                "--datasets", "dblp_acm, beer",  # space after comma must not break lookup
+                "--scale", "0.15", "--max-iterations", "2", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"dblp_acm", "beer"}
+
+    def test_single_dataset_family_loops_over_datasets(self, capsys):
+        assert cli.main(
+            [
+                "sweep", "--family", "selector_comparison",
+                "--datasets", "dblp_acm,beer",
+                "--scale", "0.15", "--max-iterations", "2", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"dblp_acm", "beer"}
+        assert set(payload["dblp_acm"]["groups"]) == {"non_linear", "linear", "tree"}
+
+    def test_unknown_family_is_an_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["sweep", "--family", "nonsense"])
+        assert excinfo.value.code == 2
+
+
+class TestResume:
+    def test_resume_skips_completed_trials(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        assert cli.main(["sweep", *SWEEP_ARGS, "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        assert cli.main(["resume", *SWEEP_ARGS, "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 trial(s) executed" in out
+        assert "4 already in store" in out
+
+    def test_resume_requires_existing_store(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert cli.main(["resume", *SWEEP_ARGS, "--store", str(missing)]) == 1
+        assert "does not exist" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_summarizes_store(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        assert cli.main(["sweep", *SWEEP_ARGS, "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        assert cli.main(["report", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run store" in out
+        assert "4 trials" in out
+        assert "Trees(20)" in out
+        assert "best_f1" in out
+
+    def test_report_missing_store_fails(self, tmp_path, capsys):
+        assert cli.main(["report", "--store", str(tmp_path / "none.jsonl")]) == 1
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert cli.main(["report", "--store", str(empty)]) == 0
+        assert "no completed trials" in capsys.readouterr().out

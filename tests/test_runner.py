@@ -1,0 +1,293 @@
+"""Tests for the experiment-execution engine: specs, runner, store, resume."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import ActiveLearningConfig, BlockingConfig
+from repro.exceptions import ConfigurationError
+from repro.harness.preparation import (
+    clear_preparation_cache,
+    preparation_cache_key,
+    prepare_dataset,
+    set_disk_cache_dir,
+)
+from repro.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunStore,
+    TrialSpec,
+    curve_dict,
+    default_config,
+    execute_trial,
+    run_trials,
+    strip_timing,
+)
+
+
+def tiny_trial(combination: str = "Trees(2)", **overrides) -> TrialSpec:
+    settings = dict(
+        dataset="dblp_acm",
+        combination=combination,
+        scale=0.15,
+        config=default_config(2),
+    )
+    settings.update(overrides)
+    return TrialSpec(**settings)
+
+
+class TestTrialSpec:
+    def test_is_frozen_and_hashable(self):
+        trial = tiny_trial()
+        assert trial == tiny_trial()
+        assert hash(trial) == hash(tiny_trial())
+        with pytest.raises(AttributeError):
+            trial.dataset = "cora"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tiny_trial(dataset="")
+        with pytest.raises(ConfigurationError):
+            tiny_trial(combination="")
+        with pytest.raises(ConfigurationError):
+            tiny_trial(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            tiny_trial(noise=1.0)
+        with pytest.raises(ConfigurationError):
+            tiny_trial(test_fraction=1.5)
+
+    def test_round_trip_through_json(self):
+        trial = tiny_trial(
+            blocking=BlockingConfig.create("minhash_lsh", threshold=0.2, bands=16),
+            noise=0.2,
+            test_fraction=0.25,
+            split_seed=7,
+        )
+        restored = TrialSpec.from_dict(json.loads(json.dumps(trial.to_dict())))
+        assert restored == trial
+        assert restored.trial_hash() == trial.trial_hash()
+
+    def test_hash_sensitivity(self):
+        base = tiny_trial()
+        assert base.trial_hash() != tiny_trial(combination="Trees(10)").trial_hash()
+        assert base.trial_hash() != tiny_trial(scale=0.2).trial_hash()
+        assert base.trial_hash() != tiny_trial(noise=0.1).trial_hash()
+        assert base.trial_hash() != base.with_config(random_state=1).trial_hash()
+
+    def test_hash_stable_across_processes(self):
+        """The content hash must not depend on PYTHONHASHSEED."""
+        trial = tiny_trial(blocking=BlockingConfig.create("jaccard", threshold=0.2))
+        script = (
+            "import json,sys;"
+            "from repro.runner import TrialSpec;"
+            "print(TrialSpec.from_dict(json.loads(sys.argv[1])).trial_hash())"
+        )
+        hashes = set()
+        for hash_seed in ("1", "271828"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [p for p in (env.get("PYTHONPATH"), "src") if p]
+            )
+            output = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(trial.to_dict())],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            ).stdout.strip()
+            hashes.add(output)
+        hashes.add(trial.trial_hash())
+        assert len(hashes) == 1
+
+    def test_with_config(self):
+        trial = tiny_trial().with_config(batch_size=5, random_state=3)
+        assert trial.config.batch_size == 5
+        assert trial.config.random_state == 3
+        assert trial.config.seed_size == tiny_trial().config.seed_size
+
+    def test_preparation_key_groups_same_prep(self):
+        assert tiny_trial("Trees(2)").preparation_key() == tiny_trial("Linear-Margin").preparation_key()
+        # Boolean-feature combinations prepare differently.
+        assert tiny_trial("Trees(2)").preparation_key() != tiny_trial("Rules(LFP/LFN)").preparation_key()
+        assert tiny_trial().preparation_key() != tiny_trial(scale=0.2).preparation_key()
+
+
+class TestExperimentSpec:
+    def test_unique_trials_deduplicates(self):
+        trial = tiny_trial()
+        other = tiny_trial("Trees(10)")
+        spec = ExperimentSpec(name="dup", trials=(trial, other, trial))
+        assert len(spec) == 3
+        assert spec.unique_trials() == [trial, other]
+
+    def test_round_trip(self):
+        spec = ExperimentSpec(name="grid", trials=(tiny_trial(), tiny_trial("Trees(10)")))
+        restored = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(name="", trials=(tiny_trial(),))
+
+
+class TestExecuteTrial:
+    def test_stamps_trial_metadata(self):
+        trial = tiny_trial()
+        run = execute_trial(trial)
+        assert run.metadata["trial_hash"] == trial.trial_hash()
+        assert run.metadata["trial"] == trial.to_dict()
+        assert len(run) >= 1
+
+    def test_deterministic_given_seeds(self):
+        first = execute_trial(tiny_trial())
+        second = execute_trial(tiny_trial())
+        assert list(first.f1_curve()) == list(second.f1_curve())
+        assert list(first.labels_curve()) == list(second.labels_curve())
+        assert first.terminated_because == second.terminated_because
+
+    def test_held_out_split(self):
+        trial = tiny_trial(
+            config=default_config(2, target_f1=None), test_fraction=0.2, split_seed=0
+        )
+        run = execute_trial(trial)
+        assert run.metadata["test_labels"] > 0
+        # Evaluation support equals the held-out set, not the whole pool.
+        assert run.records[0].evaluation.support == run.metadata["test_labels"]
+
+
+class TestExperimentRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(jobs=0)
+
+    def test_serial_run_and_result_shape(self):
+        spec = ExperimentSpec(name="s", trials=(tiny_trial(), tiny_trial("Trees(10)")))
+        result = ExperimentRunner(jobs=1).run(spec)
+        assert result.executed == 2
+        assert result.resumed == 0
+        assert set(result.runs) == {t.trial_hash() for t in spec.trials}
+        summaries = result.summaries()
+        assert [row["combination"] for row in summaries] == ["Trees(2)", "Trees(10)"]
+        assert all("best_f1" in row for row in summaries)
+
+    def test_duplicate_trials_executed_once(self):
+        trial = tiny_trial()
+        spec = ExperimentSpec(name="d", trials=(trial, trial, trial))
+        result = ExperimentRunner(jobs=1).run(spec)
+        assert result.executed == 1
+        assert result.run_for(trial) is result.runs[trial.trial_hash()]
+
+    def test_parallel_matches_serial(self):
+        trials = (tiny_trial(), tiny_trial("Linear-Margin"), tiny_trial("Trees(10)"))
+        spec = ExperimentSpec(name="p", trials=trials)
+        serial = ExperimentRunner(jobs=1).run(spec)
+        parallel = ExperimentRunner(jobs=2).run(spec)
+        for trial in trials:
+            a, b = serial.run_for(trial), parallel.run_for(trial)
+            assert strip_timing(curve_dict(a)) == strip_timing(curve_dict(b))
+
+    def test_store_resume(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        trials = (tiny_trial(), tiny_trial("Trees(10)"))
+        spec = ExperimentSpec(name="r", trials=trials)
+        first = ExperimentRunner(jobs=1, store=store).run(spec)
+        assert first.executed == 2
+        second = ExperimentRunner(jobs=1, store=store).run(spec)
+        assert second.executed == 0
+        assert second.resumed == 2
+        for trial in trials:
+            assert strip_timing(curve_dict(first.run_for(trial))) == strip_timing(
+                curve_dict(second.run_for(trial))
+            )
+
+    def test_resume_after_truncated_store(self, tmp_path):
+        """A killed sweep (half-written last line) resumes from complete entries."""
+        store_path = tmp_path / "runs.jsonl"
+        trials = (tiny_trial(), tiny_trial("Trees(10)"), tiny_trial("Linear-Margin"))
+        spec = ExperimentSpec(name="kill", trials=trials)
+        ExperimentRunner(jobs=1, store=RunStore(store_path)).run(spec)
+
+        lines = store_path.read_text().splitlines()
+        assert len(lines) == 3
+        store_path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        result = ExperimentRunner(jobs=1, store=RunStore(store_path)).run(spec)
+        assert result.resumed == 2
+        assert result.executed == 1
+        assert len(RunStore(store_path).load()) == 3
+
+    def test_store_accepts_path(self, tmp_path):
+        path = tmp_path / "byname.jsonl"
+        runs = run_trials([tiny_trial()], store=path)
+        assert len(runs) == 1
+        assert RunStore(path).completed_hashes() == set(runs)
+
+
+class TestRunStore:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = RunStore(tmp_path / "absent.jsonl")
+        assert store.load() == {}
+        assert len(store) == 0
+        assert store.get_run("deadbeef") is None
+
+    def test_last_complete_entry_wins(self, tmp_path):
+        store = RunStore(tmp_path / "dups.jsonl")
+        trial = tiny_trial()
+        run = execute_trial(trial)
+        store.append(trial, run)
+        store.append(trial, run)
+        assert len(store) == 1
+        restored = store.get_run(trial.trial_hash())
+        assert restored.summary() == run.summary()
+
+    def test_runs_reconstructs_all(self, tmp_path):
+        store = RunStore(tmp_path / "all.jsonl")
+        for combination in ("Trees(2)", "Trees(10)"):
+            trial = tiny_trial(combination)
+            store.append(trial, execute_trial(trial))
+        runs = store.runs()
+        assert len(runs) == 2
+        assert all(len(run) >= 1 for run in runs.values())
+
+
+class TestPreparationDiskCache:
+    def test_cache_key_stable_and_parameter_sensitive(self):
+        key = preparation_cache_key("dblp_acm", 0.15, None, "continuous", None)
+        assert key == preparation_cache_key("dblp_acm", 0.15, None, "continuous", None)
+        assert key != preparation_cache_key("dblp_acm", 0.15, None, "boolean", None)
+        assert key != preparation_cache_key("dblp_acm", 0.2, None, "continuous", None)
+
+    def test_disk_round_trip(self, tmp_path):
+        set_disk_cache_dir(tmp_path)
+        clear_preparation_cache()  # force a real preparation so the pickle is written
+        try:
+            first = prepare_dataset("dblp_acm", scale=0.15)
+            assert list(tmp_path.glob("*.pkl"))
+            clear_preparation_cache()
+            second = prepare_dataset("dblp_acm", scale=0.15)
+            assert second.n_pairs == first.n_pairs
+            assert (second.pool.features == first.pool.features).all()
+            assert (second.pool.true_labels == first.pool.true_labels).all()
+        finally:
+            set_disk_cache_dir(None)
+            clear_preparation_cache()
+
+
+class TestStripTiming:
+    def test_drops_only_timing_fields(self):
+        nested = {
+            "f1": [0.5],
+            "train_time": 1.0,
+            "inner": {"scoring_time": 2.0, "labels": [30]},
+            "rows": [{"user_wait_time": 0.1, "best_f1": 0.9}],
+        }
+        assert strip_timing(nested) == {
+            "f1": [0.5],
+            "inner": {"labels": [30]},
+            "rows": [{"best_f1": 0.9}],
+        }

@@ -1,0 +1,118 @@
+"""Round-trip serialization tests for configs, evaluation, records and runs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActiveLearningConfig,
+    ActiveLearningRun,
+    BlockingConfig,
+    EvaluationResult,
+    IterationRecord,
+    evaluate_predictions,
+)
+
+
+def make_record(iteration: int = 1, f1_seed: int = 0) -> IterationRecord:
+    rng = np.random.default_rng(f1_seed)
+    truth = rng.integers(0, 2, size=50)
+    predictions = rng.integers(0, 2, size=50)
+    return IterationRecord(
+        iteration=iteration,
+        n_labels=30 + 10 * iteration,
+        evaluation=evaluate_predictions(truth, predictions),
+        train_time=0.01 * iteration,
+        committee_creation_time=0.002,
+        scoring_time=0.003,
+        scored_examples=100,
+        selected=10,
+        extras={"accepted_classifiers": iteration},
+    )
+
+
+def make_run(n_records: int = 3) -> ActiveLearningRun:
+    run = ActiveLearningRun(
+        learner_name="random_forest(2)",
+        selector_name="tree_qbc",
+        dataset_name="dblp_acm",
+        terminated_because="target_f1",
+        metadata={"pool_size": 200, "pool_class_skew": np.float64(0.25), "seed_size": 30},
+    )
+    for i in range(1, n_records + 1):
+        run.append(make_record(i, f1_seed=i))
+    return run
+
+
+class TestConfigSerialization:
+    def test_active_learning_config_round_trip(self):
+        config = ActiveLearningConfig(
+            seed_size=20, batch_size=5, max_iterations=None, target_f1=None,
+            convergence_window=3, convergence_tolerance=0.01, random_state=42,
+        )
+        restored = ActiveLearningConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_blocking_config_round_trip(self):
+        config = BlockingConfig.create(
+            "sorted_neighborhood", window=7, keys=["title", "authors"]
+        )
+        restored = BlockingConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.kwargs() == config.kwargs()
+
+    def test_blocking_config_none_threshold(self):
+        config = BlockingConfig(method="jaccard")
+        assert BlockingConfig.from_dict(config.to_dict()) == config
+
+
+class TestEvaluationSerialization:
+    def test_round_trip_preserves_counts_and_metrics(self):
+        truth = np.array([1, 1, 0, 0, 1, 0])
+        predictions = np.array([1, 0, 0, 1, 1, 0])
+        evaluation = evaluate_predictions(truth, predictions)
+        restored = EvaluationResult.from_dict(json.loads(json.dumps(evaluation.to_dict())))
+        assert restored == evaluation
+        assert restored.support == evaluation.support
+
+
+class TestRecordSerialization:
+    def test_round_trip(self):
+        record = make_record()
+        restored = IterationRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert restored == record
+        assert restored.f1 == pytest.approx(record.f1)
+        assert restored.user_wait_time == pytest.approx(record.user_wait_time)
+
+
+class TestRunSerialization:
+    def test_round_trip_preserves_curves_metadata_summary(self):
+        run = make_run()
+        restored = ActiveLearningRun.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert restored.summary() == run.summary()
+        assert list(restored.f1_curve()) == list(run.f1_curve())
+        assert list(restored.labels_curve()) == list(run.labels_curve())
+        assert list(restored.selection_time_curve()) == list(run.selection_time_curve())
+        assert restored.metadata == {
+            "pool_size": 200, "pool_class_skew": 0.25, "seed_size": 30,
+        }
+        assert restored.terminated_because == run.terminated_because
+        assert [r.extras for r in restored.records] == [r.extras for r in run.records]
+
+    def test_numpy_metadata_becomes_plain_python(self):
+        run = make_run()
+        run.metadata["curve"] = np.array([1, 2, 3])
+        data = json.loads(json.dumps(run.to_dict()))
+        assert data["metadata"]["curve"] == [1, 2, 3]
+        assert isinstance(data["metadata"]["pool_class_skew"], float)
+
+    def test_empty_run_round_trips(self):
+        run = ActiveLearningRun(
+            learner_name="svm", selector_name="margin", dataset_name="cora"
+        )
+        restored = ActiveLearningRun.from_dict(run.to_dict())
+        assert len(restored) == 0
+        assert restored.learner_name == "svm"
