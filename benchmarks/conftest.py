@@ -1,10 +1,13 @@
 """Shared configuration for the benchmark targets.
 
 Every benchmark regenerates one table or figure of the paper on the synthetic
-stand-in datasets.  Two environment variables trade fidelity for runtime:
+stand-in datasets.  Environment variables trade fidelity for runtime:
 
 * ``REPRO_BENCH_SCALE``   — dataset size multiplier (default 0.3)
 * ``REPRO_BENCH_MAX_ITER`` — active-learning iterations per run (default 12)
+* ``REPRO_EXAMPLE_SCALE``  — scale for the engine-regression benchmarks
+  (``test_loop_overhead.py``), sharing the knob the CI examples-smoke and
+  perf-smoke jobs already set; falls back to ``REPRO_BENCH_SCALE``.
 
 The reproduced rows/series are printed and also written to
 ``benchmarks/results/<artifact>.txt`` so they survive pytest's output capture.
@@ -13,15 +16,24 @@ The reproduced rows/series are printed and also written to
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
+
+# Make `pytest benchmarks -q` work from a plain checkout: the package lives in
+# src/ and is not necessarily installed, so put src/ on sys.path before the
+# benchmark modules import repro.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
 BENCH_MAX_ITERATIONS = int(os.environ.get("REPRO_BENCH_MAX_ITER", "12"))
 BENCH_NOISE_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+EXAMPLE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", str(BENCH_SCALE)))
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +49,11 @@ def bench_max_iterations() -> int:
 @pytest.fixture(scope="session")
 def bench_noise_repeats() -> int:
     return BENCH_NOISE_REPEATS
+
+
+@pytest.fixture(scope="session")
+def example_scale() -> float:
+    return EXAMPLE_SCALE
 
 
 @pytest.fixture(scope="session")

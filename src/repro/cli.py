@@ -79,6 +79,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--noise", type=float, default=0.0, help="Oracle label-flip probability")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="resume each iteration's fit from the previous model (warm-start-capable learners)",
+    )
+    run.add_argument(
+        "--evaluation-interval",
+        type=int,
+        default=1,
+        help="evaluate every N iterations (the final iteration is always evaluated)",
+    )
+    run.add_argument(
+        "--committee-jobs",
+        type=int,
+        default=1,
+        help="worker threads for committee training (QBC bootstrap members, forest trees)",
+    )
+    run.add_argument(
         "--blocker",
         choices=list_blockers(),
         default="jaccard",
@@ -218,6 +235,9 @@ def _command_run(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         target_f1=args.target_f1 if args.target_f1 > 0 else None,
         random_state=args.seed,
+        warm_start=args.warm_start,
+        evaluation_interval=args.evaluation_interval,
+        committee_jobs=args.committee_jobs,
     )
     run = run_active_learning(
         prepared, combination, config=config, noise=args.noise, oracle_seed=args.seed

@@ -42,8 +42,17 @@ class Learner(ABC):
     #: Human readable name used in reports.
     name: str = "learner"
 
+    #: Whether this learner can resume :meth:`fit` from its previous
+    #: parameters.  Learners that can, honour the ``warm_start`` instance
+    #: flag: when set and the feature dimensionality is unchanged, ``fit``
+    #: continues from the current parameters instead of re-initializing.
+    supports_warm_start: bool = False
+
     def __init__(self) -> None:
         self._fitted = False
+        #: Opt-in flag read by warm-start-capable learners (see
+        #: ``supports_warm_start``); a no-op for everything else.
+        self.warm_start = False
 
     @property
     def is_fitted(self) -> bool:

@@ -108,6 +108,23 @@ class ActiveLearningConfig:
         iterations; set the window to 0 to disable.
     random_state:
         Seed for the loop's own randomness (seed sampling, tie-breaking).
+    warm_start:
+        When True, learners that support it (``supports_warm_start``) resume
+        each iteration's fit from the previous iteration's parameters instead
+        of re-initializing from scratch.  Off by default: warm starting
+        changes (typically shortens) the optimization path, so trajectories
+        differ from the paper's cold-retrain protocol.
+    evaluation_interval:
+        Evaluate the model every this-many iterations (1 = every iteration,
+        the paper's protocol).  Skipped iterations reuse the previous
+        evaluation in their records (flagged with ``extras["evaluation_reused"]``);
+        the terminating iteration is always freshly evaluated, and the
+        ``target_f1`` / convergence criteria only fire on fresh evaluations.
+    committee_jobs:
+        Worker threads for committee training (QBC bootstrap committees and
+        random-forest tree fitting).  1 = serial.  Bootstrap committees are
+        bit-identical to serial for any value; see ``docs/engine.md`` for the
+        random-forest determinism contract.
     """
 
     seed_size: int = 30
@@ -117,6 +134,9 @@ class ActiveLearningConfig:
     convergence_window: int = 0
     convergence_tolerance: float = 0.002
     random_state: int | None = 0
+    warm_start: bool = False
+    evaluation_interval: int = 1
+    committee_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.seed_size < 2:
@@ -131,10 +151,20 @@ class ActiveLearningConfig:
             raise ConfigurationError("convergence_window must be non-negative")
         if self.convergence_tolerance < 0:
             raise ConfigurationError("convergence_tolerance must be non-negative")
+        if self.evaluation_interval < 1:
+            raise ConfigurationError("evaluation_interval must be at least 1")
+        if self.committee_jobs < 1:
+            raise ConfigurationError("committee_jobs must be at least 1")
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (round-trips through :meth:`from_dict`).
+
+        The engine-option fields are emitted only when non-default: their
+        canonical JSON (and therefore every ``TrialSpec.trial_hash``) is
+        unchanged for configs that predate them, keeping old run stores
+        resumable.
+        """
+        data = {
             "seed_size": self.seed_size,
             "batch_size": self.batch_size,
             "max_iterations": self.max_iterations,
@@ -143,6 +173,13 @@ class ActiveLearningConfig:
             "convergence_tolerance": self.convergence_tolerance,
             "random_state": self.random_state,
         }
+        if self.warm_start:
+            data["warm_start"] = self.warm_start
+        if self.evaluation_interval != 1:
+            data["evaluation_interval"] = self.evaluation_interval
+        if self.committee_jobs != 1:
+            data["committee_jobs"] = self.committee_jobs
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ActiveLearningConfig":

@@ -7,6 +7,14 @@ comparison experiments), (3) ask the example selector for the next batch of
 ambiguous unlabeled examples, (4) query the Oracle for their labels and add
 them to the labeled pool.  Training, committee-creation and example-scoring
 times are recorded per iteration (the latency metric of Section 3).
+
+The labeled pool's derived views (features, labels, unlabeled indices) are
+materialized once per iteration and shared between training and selection.
+Termination reasons are checked in a fixed priority order — ``target_f1``,
+``unlabeled_exhausted``, ``converged``, ``max_iterations``, then
+``selector_exhausted`` — *before* example selection, so the loop never scores
+a batch it is about to discard (and never pays committee-creation/scoring
+latency on an iteration that cannot consume the batch).
 """
 
 from __future__ import annotations
@@ -22,6 +30,12 @@ from .oracle import Oracle
 from .pools import LabeledPool, PairPool
 from .results import ActiveLearningRun, IterationRecord
 
+#: Rows per prediction chunk during evaluation.  Chunking bounds the peak
+#: memory of learner-internal temporaries (committee vote matrices, neural
+#: activations) on large pools; predictions are row-wise deterministic, so
+#: the chunked result is bit-identical to one whole-pool call.
+EVALUATION_CHUNK_SIZE = 32_768
+
 
 class ActiveLearningLoop:
     """Runs active learning for one (learner, selector, dataset) combination.
@@ -36,7 +50,8 @@ class ActiveLearningLoop:
     oracle:
         Label source (perfect or noisy).
     config:
-        Loop hyper-parameters (seed size, batch size, termination criteria).
+        Loop hyper-parameters (seed size, batch size, termination criteria,
+        warm starting, evaluation cadence, committee parallelism).
     evaluation_features / evaluation_labels:
         Optional held-out test set.  When omitted, evaluation runs on the full
         pool, yielding the paper's progressive F1.
@@ -82,6 +97,7 @@ class ActiveLearningLoop:
         rng = ensure_rng(config.random_state)
         labeled = LabeledPool(self.pool)
         labeled.seed(config.seed_size, self.oracle, rng=rng)
+        self._apply_engine_options()
 
         run = ActiveLearningRun(
             learner_name=self.learner.name,
@@ -94,29 +110,77 @@ class ActiveLearningLoop:
                 "batch_size": config.batch_size,
             },
         )
+        # Non-default engine options are stamped into the metadata; defaults
+        # are omitted so default-config runs serialize exactly as before.
+        if config.warm_start:
+            run.metadata["warm_start"] = True
+        if config.evaluation_interval != 1:
+            run.metadata["evaluation_interval"] = config.evaluation_interval
+        if config.committee_jobs != 1:
+            # Recorded because n_jobs > 1 changes RandomForest trajectories
+            # (per-tree child RNGs) — stored runs must be distinguishable.
+            run.metadata["committee_jobs"] = config.committee_jobs
 
         iteration = 0
-        terminated_because = "max_iterations"
+        evaluation = None
+        # Convergence is judged over *fresh* evaluations only: with an
+        # evaluation cadence, reused records would pad the window with
+        # duplicated F1 values and make it fire early.
+        fresh_f1_history: list[float] = []
         while True:
             iteration += 1
 
+            # One materialization per iteration, shared by training and
+            # selection (the pool caches it; repeated accessors are free).
+            labeled_features = labeled.labeled_features()
+            labeled_labels = labeled.labeled_labels()
+
             train_watch = Stopwatch()
             with train_watch.timing():
-                self.learner.fit(labeled.labeled_features(), labeled.labeled_labels())
-
-            evaluation = self._evaluate()
+                self.learner.fit(labeled_features, labeled_labels)
 
             unlabeled_indices = labeled.unlabeled_indices
+            exhausted = len(unlabeled_indices) == 0
+            max_iterations_reached = (
+                config.max_iterations is not None and iteration >= config.max_iterations
+            )
+            # Evaluate on the cadence, and always on iterations that are known
+            # to terminate; skipped iterations reuse the previous evaluation.
+            fresh = (
+                (iteration - 1) % config.evaluation_interval == 0
+                or exhausted
+                or max_iterations_reached
+            )
+            if fresh:
+                evaluation = self._evaluate()
+
+            terminated_because = None
+            if fresh and self._quality_reached(evaluation.f1):
+                terminated_because = "target_f1"
+            elif exhausted:
+                terminated_because = "unlabeled_exhausted"
+            elif fresh and self._converged(fresh_f1_history, evaluation.f1):
+                terminated_because = "converged"
+            elif max_iterations_reached:
+                terminated_because = "max_iterations"
+            if fresh:
+                fresh_f1_history.append(evaluation.f1)
+
             selection = None
-            if len(unlabeled_indices) > 0 and not self._quality_reached(evaluation.f1):
+            if terminated_because is None:
                 selection = self.selector.select(
                     learner=self.learner,
-                    labeled_features=labeled.labeled_features(),
-                    labeled_labels=labeled.labeled_labels(),
+                    labeled_features=labeled_features,
+                    labeled_labels=labeled_labels,
                     unlabeled_features=self.pool.features[unlabeled_indices],
                     batch_size=min(config.batch_size, len(unlabeled_indices)),
                     rng=rng,
                 )
+                if not selection.indices:
+                    terminated_because = "selector_exhausted"
+                    if not fresh:  # the final iteration is always evaluated
+                        evaluation = self._evaluate()
+                        fresh = True
 
             record = IterationRecord(
                 iteration=iteration,
@@ -127,6 +191,7 @@ class ActiveLearningLoop:
                 scoring_time=selection.scoring_time if selection else 0.0,
                 scored_examples=selection.scored_examples if selection else 0,
                 selected=len(selection.indices) if selection else 0,
+                extras={} if fresh else {"evaluation_reused": True},
             )
             if self.iteration_callback is not None:
                 extras = self.iteration_callback(self.learner, record)
@@ -134,20 +199,7 @@ class ActiveLearningLoop:
                     record.extras.update(extras)
             run.append(record)
 
-            if self._quality_reached(evaluation.f1):
-                terminated_because = "target_f1"
-                break
-            if len(unlabeled_indices) == 0:
-                terminated_because = "unlabeled_exhausted"
-                break
-            if selection is None or not selection.indices:
-                terminated_because = "selector_exhausted"
-                break
-            if self._converged(run):
-                terminated_because = "converged"
-                break
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                terminated_because = "max_iterations"
+            if terminated_because is not None:
                 break
 
             chosen_pool_indices = [int(unlabeled_indices[i]) for i in selection.indices]
@@ -158,6 +210,17 @@ class ActiveLearningLoop:
         return run
 
     # -------------------------------------------------------------- internals
+    def _apply_engine_options(self) -> None:
+        """Propagate engine-level config onto the learner and selector."""
+        config = self.config
+        if config.warm_start and getattr(self.learner, "supports_warm_start", False):
+            self.learner.warm_start = True
+        if config.committee_jobs != 1:
+            if hasattr(self.selector, "n_jobs"):
+                self.selector.n_jobs = config.committee_jobs
+            if hasattr(self.learner, "n_jobs"):
+                self.learner.n_jobs = config.committee_jobs
+
     def _evaluate(self):
         if self.evaluation_features is not None:
             features = self.evaluation_features
@@ -165,15 +228,34 @@ class ActiveLearningLoop:
         else:
             features = self.pool.features
             truth = self.pool.true_labels
-        predictions = self.learner.predict(features)
+        predictions = predict_chunked(self.learner, features)
         return evaluate_predictions(truth, predictions)
 
     def _quality_reached(self, f1: float) -> bool:
         return self.config.target_f1 is not None and f1 >= self.config.target_f1
 
-    def _converged(self, run: ActiveLearningRun) -> bool:
+    def _converged(self, fresh_f1_history: list[float], current_f1: float) -> bool:
+        """Whether ``current_f1`` plus the trailing fresh-F1 window is flat."""
         window = self.config.convergence_window
-        if window <= 0 or len(run.records) < window + 1:
+        if window <= 0 or len(fresh_f1_history) < window:
             return False
-        recent = [record.f1 for record in run.records[-(window + 1):]]
+        recent = fresh_f1_history[-window:] + [current_f1]
         return max(recent) - min(recent) <= self.config.convergence_tolerance
+
+
+def predict_chunked(
+    learner: Learner, features: np.ndarray, chunk_size: int = EVALUATION_CHUNK_SIZE
+) -> np.ndarray:
+    """Predict in row chunks, bounding learner-internal temporary memory.
+
+    Bit-identical to ``learner.predict(features)``: every learner in the
+    framework predicts each row independently.
+    """
+    if len(features) <= chunk_size:
+        return learner.predict(features)
+    return np.concatenate(
+        [
+            learner.predict(features[start : start + chunk_size])
+            for start in range(0, len(features), chunk_size)
+        ]
+    )

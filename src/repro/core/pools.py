@@ -54,46 +54,98 @@ class LabeledPool:
 
     Oracle labels may differ from the pool's hidden ground truth when a noisy
     Oracle is used; learners always train on the Oracle labels.
+
+    State is a boolean labeled-mask plus a preallocated label array, so an
+    ``add_batch`` costs O(batch) instead of O(pool).  The derived views
+    (``labeled_indices``, ``labeled_features()``, ``labeled_labels()``,
+    ``unlabeled_indices``) are computed once per write generation by
+    :meth:`_refresh_cache` and served from cache afterwards; the cached arrays
+    are marked read-only because every caller shares them.  Labeled and
+    unlabeled index views are always in ascending pool order.
     """
 
     def __init__(self, pool: PairPool):
         self.pool = pool
-        self._oracle_labels: dict[int, int] = {}
+        self._mask = np.zeros(len(pool), dtype=bool)
+        self._labels = np.zeros(len(pool), dtype=np.int64)
+        self._n_labeled = 0
+        self._stale = True
+        self._labeled_indices: np.ndarray | None = None
+        self._labeled_features: np.ndarray | None = None
+        self._labeled_labels: np.ndarray | None = None
+        self._unlabeled_indices: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._oracle_labels)
+        return self._n_labeled
+
+    def _refresh_cache(self) -> None:
+        """Rebuild all derived views after a write (one gather per generation)."""
+        labeled = np.flatnonzero(self._mask)
+        features = self.pool.features[labeled]
+        labels = self._labels[labeled]
+        unlabeled = np.flatnonzero(~self._mask)
+        for array in (labeled, features, labels, unlabeled):
+            array.flags.writeable = False
+        self._labeled_indices = labeled
+        self._labeled_features = features
+        self._labeled_labels = labels
+        self._unlabeled_indices = unlabeled
+        self._stale = False
 
     def add(self, index: int, oracle_label: int) -> None:
         index = int(index)
         if index < 0 or index >= len(self.pool):
             raise ConfigurationError(f"index {index} outside the pool")
-        if index in self._oracle_labels:
+        if self._mask[index]:
             raise ConfigurationError(f"example {index} was already labeled")
-        self._oracle_labels[index] = int(oracle_label)
+        self._mask[index] = True
+        self._labels[index] = int(oracle_label)
+        self._n_labeled += 1
+        self._stale = True
 
     def add_batch(self, indices: list[int], oracle_labels: list[int]) -> None:
         if len(indices) != len(oracle_labels):
             raise ConfigurationError("indices and labels must be aligned")
-        for index, label in zip(indices, oracle_labels):
-            self.add(index, label)
+        if len(indices) == 0:
+            return
+        batch = np.asarray(indices, dtype=np.int64)
+        labels = np.asarray(oracle_labels, dtype=np.int64)
+        if batch.min() < 0 or batch.max() >= len(self.pool):
+            raise ConfigurationError("batch contains indices outside the pool")
+        unique, counts = np.unique(batch, return_counts=True)
+        if self._mask[batch].any() or len(unique) != len(batch):
+            already = batch[self._mask[batch]]
+            duplicate = int(already[0]) if len(already) else int(unique[counts > 1][0])
+            raise ConfigurationError(f"example {duplicate} was already labeled")
+        self._mask[batch] = True
+        self._labels[batch] = labels
+        self._n_labeled += len(batch)
+        self._stale = True
 
     def is_labeled(self, index: int) -> bool:
-        return int(index) in self._oracle_labels
+        return bool(self._mask[int(index)])
 
     @property
     def labeled_indices(self) -> np.ndarray:
-        return np.array(sorted(self._oracle_labels), dtype=np.int64)
+        if self._stale:
+            self._refresh_cache()
+        return self._labeled_indices
 
     @property
     def unlabeled_indices(self) -> np.ndarray:
-        labeled = self._oracle_labels
-        return np.array([i for i in range(len(self.pool)) if i not in labeled], dtype=np.int64)
+        if self._stale:
+            self._refresh_cache()
+        return self._unlabeled_indices
 
     def labeled_features(self) -> np.ndarray:
-        return self.pool.features[self.labeled_indices]
+        if self._stale:
+            self._refresh_cache()
+        return self._labeled_features
 
     def labeled_labels(self) -> np.ndarray:
-        return np.array([self._oracle_labels[i] for i in self.labeled_indices], dtype=np.int64)
+        if self._stale:
+            self._refresh_cache()
+        return self._labeled_labels
 
     def unlabeled_features(self) -> np.ndarray:
         return self.pool.features[self.unlabeled_indices]
@@ -107,10 +159,17 @@ class LabeledPool:
     ) -> None:
         """Label an initial random sample of the pool (the 30-example seed).
 
-        With ``stratified=True`` the sample is guaranteed to contain at least
-        two examples of each class whenever the pool does — without this, a
-        heavily skewed EM dataset frequently yields an all-negative seed from
-        which no classifier can be learned.
+        Guarantees of the ``stratified=True`` path, whenever the pool contains
+        both classes and ``size >= 2``:
+
+        * exactly ``min(size, len(pool))`` examples are labeled — when one
+          class is too small to supply its share, the shortfall is topped up
+          from the other class instead of silently under-filling the seed;
+        * the sample contains at least ``min(2, size // 2)`` examples of each
+          class, capped by the class's population (so even a ``size`` of 2 or
+          3 sees both classes whenever both exist) — without this, a heavily
+          skewed EM dataset frequently yields an all-negative seed from which
+          no classifier can be learned.
         """
         if len(self) > 0:
             raise ConfigurationError("seed() must be called on an empty labeled pool")
@@ -121,13 +180,16 @@ class LabeledPool:
         if stratified:
             positives = np.flatnonzero(self.pool.true_labels == 1)
             negatives = np.flatnonzero(self.pool.true_labels == 0)
-            minimum_per_class = 2
             chosen: list[int] = []
-            if len(positives) and len(negatives) and size >= 2 * minimum_per_class:
+            if len(positives) and len(negatives) and size >= 2:
+                minimum_per_class = min(2, size // 2)
                 n_pos = min(len(positives), max(minimum_per_class, int(round(size * self.pool.class_skew))))
                 n_pos = min(n_pos, size - minimum_per_class)
-                n_neg = size - n_pos
-                n_neg = min(n_neg, len(negatives))
+                n_neg = min(size - n_pos, len(negatives))
+                # n_neg was clamped by a scarce negative class: give the
+                # shortfall back to the positives (size <= len(pool), so the
+                # two classes together can always fill the seed).
+                n_pos = min(n_pos + (size - n_pos - n_neg), len(positives))
                 chosen.extend(int(i) for i in rng.choice(positives, size=n_pos, replace=False))
                 chosen.extend(int(i) for i in rng.choice(negatives, size=n_neg, replace=False))
             else:

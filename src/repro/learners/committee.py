@@ -4,9 +4,19 @@ Following Mozafari et al. (and Fig. 3 of the paper), QBC draws ``B`` bootstrap
 samples with replacement from the cumulative labeled data, trains one copy of
 the classifier on each sample, and measures disagreement among the committee
 members' label predictions on the unlabeled pool.
+
+Committee fitting parallelizes over members (``n_jobs`` worker threads) and
+is **bit-identical to serial for any** ``n_jobs``: all bootstrap index draws
+are taken from the shared RNG upfront, in the exact order the serial loop
+would take them, and each member's fit then depends only on its own pre-drawn
+sample and the base learner's own seed — so thread scheduling cannot affect
+any prediction.  Threads (not processes) are used because members train on
+shared read-only numpy arrays and the heavy lifting happens inside numpy.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -18,12 +28,33 @@ from ..utils import ensure_rng
 class BootstrapCommittee:
     """A committee of clones of a base learner trained on bootstrap resamples."""
 
-    def __init__(self, base_learner: Learner, size: int):
+    def __init__(self, base_learner: Learner, size: int, n_jobs: int = 1):
         if size < 2:
             raise ConfigurationError("a committee needs at least 2 members")
+        if n_jobs < 1:
+            raise ConfigurationError("n_jobs must be at least 1")
         self.base_learner = base_learner
         self.size = size
+        self.n_jobs = n_jobs
         self.members: list[Learner] = []
+
+    def _draw_bootstrap_indices(
+        self, labels: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """All members' bootstrap samples, drawn serially from the shared RNG."""
+        n = len(labels)
+        has_both_classes = labels.min() != labels.max()
+        samples = []
+        for _ in range(self.size):
+            indices = rng.integers(0, n, size=n)
+            if has_both_classes and labels[indices].min() == labels[indices].max():
+                # Bootstrap samples drawn from skewed EM data can easily miss
+                # the minority class; force one minority example in.
+                minority = 1 if labels[indices].max() == 0 else 0
+                minority_positions = np.flatnonzero(labels == minority)
+                indices[int(rng.integers(0, n))] = int(rng.choice(minority_positions))
+            samples.append(indices)
+        return samples
 
     def fit(
         self,
@@ -37,20 +68,18 @@ class BootstrapCommittee:
         if len(features) != len(labels) or len(labels) == 0:
             raise ConfigurationError("labeled data must be non-empty and aligned")
         rng = ensure_rng(rng)
-        n = len(labels)
-        has_both_classes = labels.min() != labels.max()
-        self.members = []
-        for _ in range(self.size):
-            indices = rng.integers(0, n, size=n)
-            if has_both_classes and labels[indices].min() == labels[indices].max():
-                # Bootstrap samples drawn from skewed EM data can easily miss
-                # the minority class; force one minority example in.
-                minority = 1 if labels[indices].max() == 0 else 0
-                minority_positions = np.flatnonzero(labels == minority)
-                indices[int(rng.integers(0, n))] = int(rng.choice(minority_positions))
-            member = self.base_learner.clone()
-            member.fit(features[indices], labels[indices])
-            self.members.append(member)
+        samples = self._draw_bootstrap_indices(labels, rng)
+        members = [self.base_learner.clone() for _ in samples]
+
+        def fit_member(member_and_indices):
+            member, indices = member_and_indices
+            return member.fit(features[indices], labels[indices])
+
+        if self.n_jobs == 1:
+            self.members = [fit_member(pair) for pair in zip(members, samples)]
+        else:
+            with ThreadPoolExecutor(max_workers=min(self.n_jobs, self.size)) as pool:
+                self.members = list(pool.map(fit_member, zip(members, samples)))
         return self
 
     def predictions(self, features: np.ndarray) -> np.ndarray:

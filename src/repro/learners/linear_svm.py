@@ -31,10 +31,16 @@ class LinearSVM(Learner):
         weights.
     random_state:
         Seed controlling the (mild) stochasticity of initialisation.
+
+    Setting the ``warm_start`` flag makes :meth:`fit` resume from the current
+    ``weights``/``bias`` (when already fitted on the same dimensionality)
+    instead of re-initializing; the Pegasos step-size schedule still restarts,
+    acting as a fine-tuning pass over the grown labeled set.
     """
 
     family = LearnerFamily.LINEAR
     name = "linear_svm"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -85,8 +91,12 @@ class LinearSVM(Learner):
         signed = np.where(labels == 1, 1.0, -1.0)
         sample_weights = self._sample_weights(labels)
 
-        weights = rng.normal(scale=1e-3, size=dim)
-        bias = 0.0
+        if self._can_resume(dim):
+            weights = self.weights.copy()
+            bias = self.bias
+        else:
+            weights = rng.normal(scale=1e-3, size=dim)
+            bias = 0.0
         lam = self.regularization
 
         if signed.min() == signed.max():
@@ -119,6 +129,9 @@ class LinearSVM(Learner):
         self.bias = float(bias)
         self._fitted = True
         return self
+
+    def _can_resume(self, dim: int) -> bool:
+        return self.warm_start and self._fitted and self.weights is not None and len(self.weights) == dim
 
     def decision_scores(self, features: np.ndarray) -> np.ndarray:
         self._require_fitted()

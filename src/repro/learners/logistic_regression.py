@@ -17,10 +17,16 @@ from ..utils import ensure_rng
 
 
 class LogisticRegression(Learner):
-    """L2-regularized logistic regression trained with full-batch gradient descent."""
+    """L2-regularized logistic regression trained with full-batch gradient descent.
+
+    Setting the ``warm_start`` flag makes :meth:`fit` resume gradient descent
+    from the current ``weights``/``bias`` (when already fitted on the same
+    dimensionality) instead of re-initializing.
+    """
 
     family = LearnerFamily.LINEAR
     name = "logistic_regression"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -69,8 +75,12 @@ class LogisticRegression(Learner):
             raise ConfigurationError("features must be 2-D and aligned with labels")
         rng = ensure_rng(self.random_state)
         n, dim = features.shape
-        weights = rng.normal(scale=1e-3, size=dim)
-        bias = 0.0
+        if self.warm_start and self._fitted and self.weights is not None and len(self.weights) == dim:
+            weights = self.weights.copy()
+            bias = self.bias
+        else:
+            weights = rng.normal(scale=1e-3, size=dim)
+            bias = 0.0
         sample_weights = self._sample_weights(labels)
 
         for _ in range(self.epochs):

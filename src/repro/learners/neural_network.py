@@ -36,10 +36,16 @@ class NeuralNetwork(Learner):
     hidden_layers:
         Number of identically-sized hidden layers; the paper's model uses 1,
         the DeepMatcher stand-in uses more.
+
+    Setting the ``warm_start`` flag makes :meth:`fit` resume SGD from the
+    current parameters (weights, batch-norm statistics and momentum
+    velocities) when the input dimensionality is unchanged, instead of
+    re-initializing the network for every fit.
     """
 
     family = LearnerFamily.NON_LINEAR
     name = "neural_network"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -126,7 +132,14 @@ class NeuralNetwork(Learner):
             raise ConfigurationError("features must be 2-D and aligned with labels")
         rng = ensure_rng(self.random_state)
         n, dim = features.shape
-        self._init_parameters(dim, rng)
+        resume = (
+            self.warm_start
+            and self._fitted
+            and self._layers
+            and self._layers[0]["W"].shape[0] == dim
+        )
+        if not resume:
+            self._init_parameters(dim, rng)
         sample_weights = self._sample_weights(labels)
 
         learning_rate = self.learning_rate

@@ -8,6 +8,8 @@ no additional committee-creation cost is paid at example-selection time.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..core.base import Learner, LearnerFamily
@@ -26,6 +28,16 @@ class RandomForest(Learner):
         uses 10, the paper's best results use 20).
     max_features, max_depth, min_samples_split:
         Passed to every tree; defaults are the Corleone settings.
+    n_jobs:
+        Worker threads for tree fitting.  ``1`` (default) trains trees
+        serially off one shared RNG stream — the historical, paper-faithful
+        path.  Any ``n_jobs > 1`` switches to per-tree child RNGs spawned
+        deterministically from ``random_state``, because tree fitting
+        interleaves data-dependent draws and cannot share one stream across
+        threads: the forest is then bit-identical for every ``n_jobs > 1``
+        (independent of thread scheduling), but is a *different* — equally
+        seeded — forest than the ``n_jobs=1`` one.  The active learning loop
+        sets ``n_jobs`` from ``ActiveLearningConfig.committee_jobs``.
     """
 
     family = LearnerFamily.TREE
@@ -38,15 +50,19 @@ class RandomForest(Learner):
         max_depth: int | None = None,
         min_samples_split: int = 2,
         random_state: int | None = 0,
+        n_jobs: int = 1,
     ):
         super().__init__()
         if n_trees <= 0:
             raise ConfigurationError("n_trees must be positive")
+        if n_jobs < 1:
+            raise ConfigurationError("n_jobs must be at least 1")
         self.n_trees = n_trees
         self.max_features = max_features
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees: list[DecisionTree] = []
         self.name = f"random_forest({n_trees})"
 
@@ -57,6 +73,7 @@ class RandomForest(Learner):
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         )
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
@@ -65,27 +82,40 @@ class RandomForest(Learner):
         if features.ndim != 2 or len(features) != len(labels):
             raise ConfigurationError("features must be 2-D and aligned with labels")
         rng = ensure_rng(self.random_state)
-        n = len(labels)
-        self.trees = []
-        for _ in range(self.n_trees):
-            indices = rng.integers(0, n, size=n)
-            # Guarantee the bootstrap sample sees both classes whenever the
-            # training data has both; otherwise trees degenerate to constants.
-            if labels.min() != labels.max():
-                if labels[indices].min() == labels[indices].max():
-                    minority = 1.0 if labels[indices].max() == 0.0 else 0.0
-                    minority_positions = np.flatnonzero(labels == minority)
-                    indices[0] = int(rng.choice(minority_positions))
-            tree = DecisionTree(
-                max_features=self.max_features,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                random_state=self.random_state,
-            )
-            tree.fit(features[indices], labels[indices], rng=rng)
-            self.trees.append(tree)
+        if self.n_jobs == 1:
+            self.trees = [self._fit_tree(features, labels, rng) for _ in range(self.n_trees)]
+        else:
+            # Tree fitting consumes data-dependent draws, so parallel trees
+            # each get their own child stream spawned from the forest RNG —
+            # deterministic for any worker count and schedule.
+            child_rngs = rng.spawn(self.n_trees)
+            with ThreadPoolExecutor(max_workers=min(self.n_jobs, self.n_trees)) as pool:
+                self.trees = list(
+                    pool.map(lambda child: self._fit_tree(features, labels, child), child_rngs)
+                )
         self._fitted = True
         return self
+
+    def _fit_tree(
+        self, features: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> DecisionTree:
+        n = len(labels)
+        indices = rng.integers(0, n, size=n)
+        # Guarantee the bootstrap sample sees both classes whenever the
+        # training data has both; otherwise trees degenerate to constants.
+        if labels.min() != labels.max():
+            if labels[indices].min() == labels[indices].max():
+                minority = 1.0 if labels[indices].max() == 0.0 else 0.0
+                minority_positions = np.flatnonzero(labels == minority)
+                indices[0] = int(rng.choice(minority_positions))
+        tree = DecisionTree(
+            max_features=self.max_features,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            random_state=self.random_state,
+        )
+        tree.fit(features[indices], labels[indices], rng=rng)
+        return tree
 
     def committee_predictions(self, features: np.ndarray) -> np.ndarray:
         """0/1 predictions of every tree: shape ``(n_trees, n_examples)``.

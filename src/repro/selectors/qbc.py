@@ -20,6 +20,12 @@ class QBCSelector(ExampleSelector):
     and the examples with the highest vote variance ``(P/C)(1 − P/C)`` are
     selected (this is the *example-scoring time*).  Ties are broken uniformly
     at random, as in the paper.
+
+    ``n_jobs`` worker threads fit the committee members in parallel; the
+    resulting committee (and therefore the selection) is bit-identical to
+    serial for any value, because all bootstrap draws happen serially upfront
+    (see :class:`~repro.learners.committee.BootstrapCommittee`).  The active
+    learning loop sets ``n_jobs`` from ``ActiveLearningConfig.committee_jobs``.
     """
 
     compatible_families = frozenset(
@@ -27,10 +33,13 @@ class QBCSelector(ExampleSelector):
     )
     learner_aware = False
 
-    def __init__(self, committee_size: int = 2):
+    def __init__(self, committee_size: int = 2, n_jobs: int = 1):
         if committee_size < 2:
             raise ConfigurationError("committee_size must be at least 2")
+        if n_jobs < 1:
+            raise ConfigurationError("n_jobs must be at least 1")
         self.committee_size = committee_size
+        self.n_jobs = n_jobs
         self.name = f"qbc({committee_size})"
 
     def select(
@@ -44,7 +53,7 @@ class QBCSelector(ExampleSelector):
     ) -> SelectionResult:
         creation_watch = Stopwatch()
         with creation_watch.timing():
-            committee = BootstrapCommittee(learner, self.committee_size)
+            committee = BootstrapCommittee(learner, self.committee_size, n_jobs=self.n_jobs)
             committee.fit(labeled_features, labeled_labels, rng=rng)
 
         scoring_watch = Stopwatch()

@@ -17,7 +17,15 @@ from .ranking import top_k_with_random_ties
 
 
 class TreeQBCSelector(ExampleSelector):
-    """QBC whose committee is the trained forest itself (zero creation cost)."""
+    """QBC whose committee is the trained forest itself (zero creation cost).
+
+    The committee this selector consumes is built during the training phase —
+    ``RandomForest.fit`` — which parallelizes tree fitting across
+    ``ActiveLearningConfig.committee_jobs`` worker threads (see
+    :class:`~repro.learners.random_forest.RandomForest` for the determinism
+    contract), so the committee-creation column of the latency figures stays
+    zero here while the training column shrinks.
+    """
 
     compatible_families = frozenset({LearnerFamily.TREE})
     learner_aware = True

@@ -12,11 +12,26 @@ from repro.core import (
     PairPool,
     PerfectOracle,
 )
+from repro.core.base import ExampleSelector, LearnerFamily, SelectionResult
+from repro.core.loop import predict_chunked
+from repro.core.pools import LabeledPool
 from repro.exceptions import ConfigurationError, IncompatibleSelectorError
 from repro.learners import LinearSVM, RandomForest, RuleLearner
 from repro.selectors import LFPLFNSelector, MarginSelector, QBCSelector, RandomSelector, TreeQBCSelector
 
 from .conftest import make_blobs
+
+
+class ExhaustedSelector(ExampleSelector):
+    """Always returns an empty batch (drives the selector_exhausted path)."""
+
+    compatible_families = frozenset(
+        {LearnerFamily.LINEAR, LearnerFamily.NON_LINEAR, LearnerFamily.TREE, LearnerFamily.RULE}
+    )
+    name = "exhausted"
+
+    def select(self, **kwargs) -> SelectionResult:
+        return SelectionResult(indices=[])
 
 
 @pytest.fixture
@@ -220,6 +235,206 @@ class TestActiveLearningLoop:
         first, second = run_once(), run_once()
         assert first.f1_curve().tolist() == second.f1_curve().tolist()
         assert first.labels_curve().tolist() == second.labels_curve().tolist()
+
+    def test_terminated_because_matrix(self, blob_pool):
+        """Every termination reason is reachable and correctly reported."""
+        small_features, small_labels = make_blobs(n_per_class=12, dim=3, seed=0)
+        small_pool = PairPool(features=small_features, true_labels=small_labels)
+        scenarios = {
+            "target_f1": (blob_pool, RandomForest(n_trees=5), TreeQBCSelector(),
+                          small_config(target_f1=0.5, max_iterations=50)),
+            "unlabeled_exhausted": (small_pool, LinearSVM(epochs=20), RandomSelector(),
+                                    ActiveLearningConfig(seed_size=10, batch_size=10,
+                                                         max_iterations=50, target_f1=None,
+                                                         random_state=0)),
+            "selector_exhausted": (blob_pool, LinearSVM(epochs=20), ExhaustedSelector(),
+                                   small_config(target_f1=None, max_iterations=10)),
+            "converged": (blob_pool, RandomForest(n_trees=3), TreeQBCSelector(),
+                          small_config(target_f1=None, max_iterations=30,
+                                       convergence_window=2, convergence_tolerance=0.5)),
+            "max_iterations": (blob_pool, LinearSVM(epochs=20), RandomSelector(),
+                               small_config(target_f1=None, max_iterations=3)),
+        }
+        for expected, (pool, learner, selector, config) in scenarios.items():
+            run = ActiveLearningLoop(
+                learner=learner, selector=selector, pool=pool,
+                oracle=PerfectOracle(pool), config=config,
+            ).run()
+            assert run.terminated_because == expected, (
+                f"expected {expected}, got {run.terminated_because}"
+            )
+
+    def test_no_batch_is_scored_then_dropped(self, blob_pool):
+        """The selector is never invoked on an iteration known to terminate."""
+        calls = 0
+        inner = RandomSelector()
+
+        class CountingSelector(ExampleSelector):
+            compatible_families = inner.compatible_families
+            name = "counting"
+
+            def select(self, **kwargs):
+                nonlocal calls
+                calls += 1
+                return inner.select(**kwargs)
+
+        run = ActiveLearningLoop(
+            learner=LinearSVM(epochs=20),
+            selector=CountingSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=4),
+        ).run()
+        assert run.terminated_because == "max_iterations"
+        assert calls == 3  # one per non-terminal iteration
+        assert run.records[-1].selected == 0
+        assert run.records[-1].scored_examples == 0
+        assert all(record.selected == 5 for record in run.records[:-1])
+
+    def test_pool_materialized_once_per_iteration(self, blob_pool, monkeypatch):
+        """The loop triggers exactly one pool materialization per iteration."""
+        refreshes = 0
+        original = LabeledPool._refresh_cache
+
+        def counting_refresh(self):
+            nonlocal refreshes
+            refreshes += 1
+            return original(self)
+
+        monkeypatch.setattr(LabeledPool, "_refresh_cache", counting_refresh)
+        run = ActiveLearningLoop(
+            learner=LinearSVM(epochs=20),
+            selector=QBCSelector(2),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=4),
+        ).run()
+        assert len(run) == 4
+        # One refresh per write generation: the seed plus each labeled batch
+        # (the final iteration labels no batch).
+        assert refreshes == 4
+
+    def test_evaluation_interval_cadence(self, blob_pool):
+        evaluations = 0
+
+        class SpiedLoop(ActiveLearningLoop):
+            def _evaluate(self):
+                nonlocal evaluations
+                evaluations += 1
+                return super()._evaluate()
+
+        run = SpiedLoop(
+            learner=LinearSVM(epochs=20),
+            selector=RandomSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=7, evaluation_interval=3),
+        ).run()
+        assert len(run) == 7
+        # Fresh evaluations at iterations 1, 4 and 7 (7 is also terminal).
+        assert evaluations == 3
+        reused = [bool(record.extras.get("evaluation_reused")) for record in run.records]
+        assert reused == [False, True, True, False, True, True, False]
+        # Reused records carry the previous fresh evaluation verbatim.
+        assert run.records[1].evaluation == run.records[0].evaluation
+        assert run.metadata["evaluation_interval"] == 3
+
+    def test_evaluation_interval_final_iteration_always_fresh(self, blob_pool):
+        """A selector drying up off-cadence still yields a fresh final evaluation."""
+        inner = RandomSelector()
+
+        class DryingSelector(ExampleSelector):
+            compatible_families = inner.compatible_families
+            name = "drying"
+            calls = 0
+
+            def select(self, **kwargs):
+                DryingSelector.calls += 1
+                if DryingSelector.calls > 2:
+                    return SelectionResult(indices=[])
+                return inner.select(**kwargs)
+
+        evaluations = 0
+
+        class SpiedLoop(ActiveLearningLoop):
+            def _evaluate(self):
+                nonlocal evaluations
+                evaluations += 1
+                return super()._evaluate()
+
+        run = SpiedLoop(
+            learner=LinearSVM(epochs=20),
+            selector=DryingSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=10, evaluation_interval=5),
+        ).run()
+        assert run.terminated_because == "selector_exhausted"
+        assert len(run) == 3  # dried up on iteration 3, off the 1-6-... cadence
+        assert "evaluation_reused" not in run.records[-1].extras
+        assert evaluations == 2  # iteration 1 (cadence) + the forced final one
+
+    def test_convergence_counts_fresh_evaluations_only(self, blob_pool):
+        """Reused evaluations must not pad the convergence window."""
+        run = ActiveLearningLoop(
+            learner=RandomForest(n_trees=3),
+            selector=TreeQBCSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(
+                target_f1=None, max_iterations=10, evaluation_interval=3,
+                convergence_window=2, convergence_tolerance=1.0,
+            ),
+        ).run()
+        # Fresh evaluations happen at iterations 1, 4 and 7; with a window of
+        # 2 the (all-inclusive, tolerance=1.0) convergence check needs three
+        # fresh F1 values, so it can only fire at iteration 7 — not at 4,
+        # where a window padded with reused records would already fire.
+        assert run.terminated_because == "converged"
+        assert len(run) == 7
+
+    def test_warm_start_loop_runs_and_flags_learner(self, blob_pool):
+        learner = LinearSVM(epochs=30)
+        run = ActiveLearningLoop(
+            learner=learner,
+            selector=MarginSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=4, warm_start=True),
+        ).run()
+        assert learner.warm_start is True
+        assert run.metadata["warm_start"] is True
+        assert run.records[-1].f1 > 0.5
+
+    def test_default_config_omits_engine_metadata(self, blob_pool):
+        run = ActiveLearningLoop(
+            learner=LinearSVM(epochs=20),
+            selector=RandomSelector(),
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=2),
+        ).run()
+        assert "warm_start" not in run.metadata
+        assert "evaluation_interval" not in run.metadata
+
+    def test_committee_jobs_propagates_to_selector_and_learner(self, blob_pool):
+        selector = QBCSelector(2)
+        learner = RandomForest(n_trees=3)
+        ActiveLearningLoop(
+            learner=learner,
+            selector=selector,
+            pool=blob_pool,
+            oracle=PerfectOracle(blob_pool),
+            config=small_config(target_f1=None, max_iterations=2, committee_jobs=3),
+        ).run()
+        assert selector.n_jobs == 3
+        assert learner.n_jobs == 3
+
+    def test_chunked_prediction_matches_whole_pool(self, blob_pool):
+        learner = LinearSVM(epochs=30).fit(blob_pool.features, blob_pool.true_labels)
+        whole = learner.predict(blob_pool.features)
+        chunked = predict_chunked(learner, blob_pool.features, chunk_size=7)
+        np.testing.assert_array_equal(whole, chunked)
 
     def test_noisy_oracle_labels_used_for_training(self, blob_pool):
         noisy = NoisyOracle(blob_pool, noise_probability=1.0, rng=0)

@@ -102,6 +102,76 @@ class TestLabeledPool:
         LabeledPool(pool).seed(12, oracle, rng=0)
         assert oracle.queries == 12
 
+    def test_seed_tops_up_when_one_class_is_scarce(self):
+        # 1 negative cannot supply its 2-example share; the shortfall must be
+        # topped up from the positives instead of under-filling the seed.
+        features = np.random.default_rng(0).random((101, 4))
+        labels = np.array([1] * 100 + [0])
+        scarce = PairPool(features=features, true_labels=labels)
+        labeled = LabeledPool(scarce)
+        labeled.seed(10, PerfectOracle(scarce), rng=0)
+        assert len(labeled) == 10
+        assert (labeled.labeled_labels() == 0).sum() == 1
+        assert (labeled.labeled_labels() == 1).sum() == 9
+
+    def test_tiny_seed_still_sees_both_classes(self, pool):
+        # A seed of 2 or 3 used to fall back to uniform sampling, which on
+        # skewed pools frequently returned a single-class seed.
+        for size in (2, 3):
+            for seed in range(10):
+                labeled = LabeledPool(pool)
+                labeled.seed(size, PerfectOracle(pool), rng=seed)
+                labels = labeled.labeled_labels()
+                assert len(labeled) == size
+                assert labels.min() == 0 and labels.max() == 1
+
+    def test_add_batch_is_vectorized_and_validates(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.add_batch([1, 3, 5], [1, 0, 1])
+        assert labeled.labeled_indices.tolist() == [1, 3, 5]
+        assert labeled.labeled_labels().tolist() == [1, 0, 1]
+        with pytest.raises(ConfigurationError):
+            labeled.add_batch([2, 3], [0, 0])  # 3 already labeled
+        with pytest.raises(ConfigurationError):
+            labeled.add_batch([7, 7], [0, 0])  # duplicate within the batch
+        with pytest.raises(ConfigurationError):
+            labeled.add_batch([10_000], [0])  # outside the pool
+        assert len(labeled) == 3
+
+    def test_views_are_cached_per_write_generation(self, pool, monkeypatch):
+        labeled = LabeledPool(pool)
+        labeled.add_batch([0, 5], [1, 0])
+        refreshes = 0
+        original = LabeledPool._refresh_cache
+
+        def counting_refresh(self):
+            nonlocal refreshes
+            refreshes += 1
+            return original(self)
+
+        monkeypatch.setattr(LabeledPool, "_refresh_cache", counting_refresh)
+        for _ in range(5):
+            labeled.labeled_features()
+            labeled.labeled_labels()
+            labeled.unlabeled_indices
+        assert refreshes == 1
+        labeled.add(7, 1)
+        labeled.labeled_features()
+        labeled.labeled_labels()
+        assert refreshes == 2
+
+    def test_cached_views_are_read_only(self, pool):
+        labeled = LabeledPool(pool)
+        labeled.add_batch([0, 5], [1, 0])
+        for array in (
+            labeled.labeled_features(),
+            labeled.labeled_labels(),
+            labeled.labeled_indices,
+            labeled.unlabeled_indices,
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
 
 class TestPerfectOracle:
     def test_returns_ground_truth(self, pool):

@@ -59,6 +59,17 @@ class TestLogisticRegression:
         with pytest.raises(NotFittedError):
             LogisticRegression().predict(np.zeros((2, 3)))
 
+    def test_warm_start_resumes_from_previous_weights(self, blobs):
+        features, labels = blobs
+        cold = LogisticRegression(epochs=5).fit(features, labels)
+        warm = LogisticRegression(epochs=5)
+        warm.warm_start = True
+        warm.fit(features, labels)
+        assert np.array_equal(cold.weights, warm.weights)
+        warm.fit(features, labels)
+        assert not np.array_equal(cold.weights, warm.weights)
+        assert LogisticRegression.supports_warm_start is True
+
     def test_invalid_parameters(self):
         with pytest.raises(ConfigurationError):
             LogisticRegression(regularization=-1)

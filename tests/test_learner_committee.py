@@ -35,6 +35,24 @@ class TestBootstrapCommittee:
         with pytest.raises(ConfigurationError):
             committee.predictions(np.zeros((2, 3)))
 
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            BootstrapCommittee(LinearSVM(), size=2, n_jobs=0)
+
+    def test_parallel_fit_bit_identical_to_serial(self, blobs):
+        """Any n_jobs yields the same committee: draws are serialized upfront."""
+        features, labels = blobs
+        probe = np.random.default_rng(5).random((50, features.shape[1]))
+        reference = None
+        for n_jobs in (1, 2, 5):
+            committee = BootstrapCommittee(LinearSVM(epochs=30), size=5, n_jobs=n_jobs)
+            committee.fit(features, labels, rng=np.random.default_rng(9))
+            votes = committee.predictions(probe)
+            if reference is None:
+                reference = votes
+            else:
+                np.testing.assert_array_equal(reference, votes)
+
     def test_variance_definition(self, blobs):
         features, labels = blobs
         committee = BootstrapCommittee(DecisionTree(), size=5)

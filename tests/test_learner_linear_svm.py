@@ -75,6 +75,33 @@ class TestTraining:
         assert svm.weights.shape == (features.shape[1],)
         assert isinstance(svm.bias, float)
 
+    def test_warm_start_resumes_from_previous_weights(self, blobs):
+        features, labels = blobs
+        cold = LinearSVM(epochs=5).fit(features, labels)
+        warm = LinearSVM(epochs=5)
+        warm.warm_start = True
+        warm.fit(features, labels)
+        # First warm fit has nothing to resume: identical to a cold fit.
+        assert np.array_equal(cold.weights, warm.weights)
+        warm.fit(features, labels)
+        # Second warm fit continues from the first fit's weights...
+        assert not np.array_equal(cold.weights, warm.weights)
+        # ...while a cold learner refits to the same point every time.
+        refit = LinearSVM(epochs=5).fit(features, labels)
+        assert np.array_equal(cold.weights, refit.weights)
+
+    def test_warm_start_reinitializes_on_dimension_change(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM(epochs=5)
+        svm.warm_start = True
+        svm.fit(features, labels)
+        svm.fit(features[:, :3], labels)  # narrower features: fresh init
+        assert svm.weights.shape == (3,)
+
+    def test_warm_start_flag_declared(self):
+        assert LinearSVM.supports_warm_start is True
+        assert LinearSVM().warm_start is False
+
     def test_single_class_training_predicts_that_class(self):
         features = np.random.default_rng(0).normal(size=(10, 4))
         svm = LinearSVM().fit(features, np.zeros(10, dtype=int))

@@ -108,6 +108,28 @@ class TestTraining:
         with pytest.raises(ConfigurationError):
             NeuralNetwork().fit(np.zeros((4, 2)), np.zeros(3))
 
+    def test_warm_start_resumes_parameters(self, blobs):
+        features, labels = blobs
+        warm = fast_nn(epochs=3)
+        warm.warm_start = True
+        warm.fit(features, labels)
+        first_weights = warm._layers[0]["W"].copy()
+        warm.fit(features, labels)
+        # The second fit continued from (did not re-draw) the first fit's
+        # parameters: a cold refit would reproduce first_weights exactly.
+        assert not np.array_equal(first_weights, warm._layers[0]["W"])
+        cold = fast_nn(epochs=3).fit(features, labels)
+        assert np.array_equal(first_weights, cold._layers[0]["W"])
+        assert NeuralNetwork.supports_warm_start is True
+
+    def test_warm_start_reinitializes_on_dimension_change(self, blobs):
+        features, labels = blobs
+        network = fast_nn(epochs=2)
+        network.warm_start = True
+        network.fit(features, labels)
+        network.fit(features[:, :3], labels)
+        assert network._layers[0]["W"].shape[0] == 3
+
     def test_multiple_hidden_layers(self, blobs):
         features, labels = blobs
         network = fast_nn(hidden_layers=2).fit(features, labels)

@@ -143,6 +143,27 @@ class TestRandomForest:
         b = RandomForest(n_trees=5, random_state=1).fit(features, labels)
         assert np.array_equal(a.predict(features), b.predict(features))
 
+    def test_parallel_fit_deterministic_across_worker_counts(self, blobs):
+        """All n_jobs > 1 use the same per-tree child streams: identical forests."""
+        features, labels = blobs
+        reference = None
+        for n_jobs in (2, 3, 5):
+            forest = RandomForest(n_trees=6, random_state=1, n_jobs=n_jobs).fit(features, labels)
+            votes = forest.committee_predictions(features)
+            if reference is None:
+                reference = votes
+            else:
+                assert np.array_equal(reference, votes)
+
+    def test_parallel_forest_still_learns(self, blobs):
+        features, labels = blobs
+        forest = RandomForest(n_trees=5, n_jobs=2).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.9
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            RandomForest(n_trees=2, n_jobs=0)
+
     def test_max_tree_depth(self, blobs):
         features, labels = blobs
         forest = RandomForest(n_trees=3, max_depth=2).fit(features, labels)

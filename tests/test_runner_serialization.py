@@ -56,6 +56,36 @@ class TestConfigSerialization:
         restored = ActiveLearningConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert restored == config
 
+    def test_engine_options_round_trip(self):
+        config = ActiveLearningConfig(
+            warm_start=True, evaluation_interval=5, committee_jobs=4,
+        )
+        restored = ActiveLearningConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.warm_start is True
+        assert restored.evaluation_interval == 5
+        assert restored.committee_jobs == 4
+
+    def test_default_config_dict_has_no_engine_keys(self):
+        """Default configs serialize exactly as before the engine options
+        existed, so pre-existing TrialSpec hashes (and store resume) hold."""
+        data = ActiveLearningConfig().to_dict()
+        for key in ("warm_start", "evaluation_interval", "committee_jobs"):
+            assert key not in data
+        assert ActiveLearningConfig.from_dict(data) == ActiveLearningConfig()
+
+    def test_trial_spec_round_trips_engine_options(self):
+        from repro.runner import TrialSpec
+
+        trial = TrialSpec(
+            dataset="dblp_acm",
+            combination="Trees(10)",
+            config=ActiveLearningConfig(warm_start=True, committee_jobs=2),
+        )
+        restored = TrialSpec.from_dict(json.loads(json.dumps(trial.to_dict())))
+        assert restored == trial
+        assert restored.trial_hash() == trial.trial_hash()
+
     def test_blocking_config_round_trip(self):
         config = BlockingConfig.create(
             "sorted_neighborhood", window=7, keys=["title", "authors"]

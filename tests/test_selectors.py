@@ -64,6 +64,41 @@ class TestRanking:
         b = top_k_with_random_ties(scores, 2, np.random.default_rng(3))
         assert a == b
 
+    def test_property_unique_k_respected_and_score_ordered(self):
+        """Property test under a fixed RNG: for random scores and k, the
+        returned indices are unique, exactly min(k, n) long, in range, and no
+        unselected score beats a selected one."""
+        rng = np.random.default_rng(42)
+        for trial in range(200):
+            n = int(rng.integers(0, 30))
+            k = int(rng.integers(0, 35))
+            # Coarse quantization forces frequent ties.
+            scores = np.round(rng.random(n), 1)
+            selected = top_k_with_random_ties(scores, k, rng)
+            expected_size = min(k, n) if k > 0 else 0
+            assert len(selected) == expected_size
+            assert len(set(selected)) == len(selected)
+            assert all(0 <= i < n for i in selected)
+            if selected and len(selected) < n:
+                worst_selected = min(scores[i] for i in selected)
+                best_unselected = max(
+                    scores[i] for i in range(n) if i not in set(selected)
+                )
+                assert worst_selected >= best_unselected
+
+    def test_property_ties_broken_uniformly(self):
+        """Among tied candidates, each is selected approximately uniformly."""
+        rng = np.random.default_rng(7)
+        scores = np.array([1.0] * 10)  # all tied, pick 3 of 10
+        counts = np.zeros(10)
+        trials = 3000
+        for _ in range(trials):
+            for index in top_k_with_random_ties(scores, 3, rng):
+                counts[index] += 1
+        expected = trials * 3 / 10
+        assert np.all(counts > expected * 0.8)
+        assert np.all(counts < expected * 1.2)
+
 
 class TestQBCSelector:
     def test_requires_committee_of_two(self):
@@ -77,6 +112,21 @@ class TestQBCSelector:
         assert len(result.indices) == 5
         assert len(set(result.indices)) == 5
         assert all(0 <= i < len(unlabeled_blobs) for i in result.indices)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            QBCSelector(2, n_jobs=0)
+
+    def test_parallel_selection_matches_serial(self, labeled_blobs, unlabeled_blobs):
+        features, labels = labeled_blobs
+        learner = LinearSVM(epochs=30).fit(features, labels)
+        serial = QBCSelector(4, n_jobs=1).select(
+            learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(11)
+        )
+        parallel = QBCSelector(4, n_jobs=3).select(
+            learner, features, labels, unlabeled_blobs, 5, np.random.default_rng(11)
+        )
+        assert serial.indices == parallel.indices
 
     def test_records_committee_creation_time(self, labeled_blobs, unlabeled_blobs, rng):
         features, labels = labeled_blobs
