@@ -20,6 +20,9 @@ The package is organised as in the paper's architecture (Fig. 1a):
 * :mod:`repro.harness` — experiment drivers regenerating every table/figure.
 * :mod:`repro.runner` — declarative trial/experiment specs, the parallel
   resumable execution engine and the JSONL run store.
+* :mod:`repro.pipeline` — end-to-end matching pipelines: train by active
+  learning, persist as a versioned artifact, score unseen record pairs in
+  chunked (optionally multi-process) batches.
 """
 
 from .core import (
@@ -47,9 +50,10 @@ from .blocking import (
     list_blockers,
     make_blocker,
 )
-from .core.config import BlockingConfig
+from .core.config import BlockingConfig, PipelineConfig
 from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
 from .features import BooleanFeatureExtractor, FeatureExtractor
+from .pipeline import MatchingPipeline, MatchScore, load_pipeline
 from .learners import (
     DeepMatcherBaseline,
     LinearSVM,
@@ -60,6 +64,7 @@ from .learners import (
 from .runner import (
     ExperimentRunner,
     ExperimentSpec,
+    FitSpec,
     RunStore,
     TrialSpec,
     run_trials,
@@ -110,10 +115,16 @@ __all__ = [
     "BooleanFeatureExtractor",
     # experiment execution
     "TrialSpec",
+    "FitSpec",
     "ExperimentSpec",
     "ExperimentRunner",
     "RunStore",
     "run_trials",
+    # matching pipeline
+    "PipelineConfig",
+    "MatchingPipeline",
+    "MatchScore",
+    "load_pipeline",
     # learners
     "LinearSVM",
     "NeuralNetwork",

@@ -35,6 +35,14 @@ completed trial so the sweep can be killed and resumed::
     python -m repro resume --family classifier_comparison --scale 0.3 \
         --jobs 4 --store runs.jsonl
     python -m repro report --store runs.jsonl
+
+Train a matching pipeline, persist it, and score record pairs with it later
+(chunked, optionally across worker processes)::
+
+    python -m repro train --dataset abt_buy --combination "Trees(20)" \
+        --scale 0.3 --model models/abt_buy
+    python -m repro match --model models/abt_buy --dataset abt_buy \
+        --scale 0.3 --jobs 4 --json
 """
 
 from __future__ import annotations
@@ -44,8 +52,9 @@ import json
 import sys
 
 from .blocking import get_blocker_spec, list_blockers
-from .core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig
-from .datasets import dataset_names, get_dataset_spec
+from .core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig, PipelineConfig
+from .datasets import dataset_names, get_dataset_spec, load_dataset
+from .exceptions import ReproError
 from .harness import experiments, reporting
 from .harness.builders import (
     build_combination,
@@ -53,7 +62,7 @@ from .harness.builders import (
     prepare_for_combination,
     run_active_learning,
 )
-from .runner import RunStore, TrialSpec
+from .runner import FitSpec, RunStore, TrialSpec, execute_fit
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,6 +116,54 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="similarity cutoff for the blocker (default: the dataset spec threshold)",
     )
+
+    train = subparsers.add_parser(
+        "train", help="train a matching pipeline by active learning and persist it"
+    )
+    train.add_argument("--dataset", required=True, choices=dataset_names())
+    train.add_argument("--combination", default="Trees(20)", help="e.g. 'Trees(20)', 'Linear-Margin'")
+    train.add_argument("--model", required=True, help="output artifact directory")
+    train.add_argument("--scale", type=float, default=0.3)
+    train.add_argument("--seed-size", type=int, default=30)
+    train.add_argument("--batch-size", type=int, default=10)
+    train.add_argument("--max-iterations", type=int, default=20)
+    train.add_argument("--target-f1", type=float, default=0.98)
+    train.add_argument("--noise", type=float, default=0.0, help="Oracle label-flip probability")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--blocker",
+        choices=list_blockers(),
+        default=None,
+        help="blocking strategy (default: the paper's Jaccard at the dataset spec threshold)",
+    )
+    train.add_argument("--blocking-threshold", type=float, default=None)
+    train.add_argument("--json", action="store_true", help="print the artifact manifest as JSON")
+
+    match = subparsers.add_parser(
+        "match", help="score record pairs with a persisted matching pipeline"
+    )
+    match.add_argument("--model", required=True, help="artifact directory written by 'train'")
+    match.add_argument(
+        "--dataset",
+        choices=dataset_names(),
+        default=None,
+        help="score a catalog dataset's two tables (alternative to --left/--right)",
+    )
+    match.add_argument("--scale", type=float, default=0.3, help="dataset size multiplier")
+    match.add_argument("--seed", type=int, default=None, help="dataset generation seed")
+    match.add_argument("--left", default=None, help="JSON file with the left records")
+    match.add_argument("--right", default=None, help="JSON file with the right records")
+    match.add_argument("--jobs", type=int, default=1, help="scoring worker processes")
+    match.add_argument(
+        "--chunk-size", type=int, default=None, help="candidate pairs per scoring chunk"
+    )
+    match.add_argument(
+        "--min-score", type=float, default=None, help="only report pairs scoring at least this"
+    )
+    match.add_argument(
+        "--limit", type=int, default=20, help="rows shown in the text table (JSON is never truncated)"
+    )
+    match.add_argument("--json", action="store_true", help="print all scored pairs as JSON")
 
     block = subparsers.add_parser(
         "block", help="compare blocking strategies on one dataset (no learning)"
@@ -255,6 +312,139 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_train(args: argparse.Namespace) -> int:
+    blocking = None
+    if args.blocker is not None or args.blocking_threshold is not None:
+        blocking = BlockingConfig(
+            method=args.blocker or "jaccard", threshold=args.blocking_threshold
+        )
+    spec = FitSpec(
+        dataset=args.dataset,
+        pipeline=PipelineConfig(
+            combination=args.combination,
+            config=ActiveLearningConfig(
+                seed_size=args.seed_size,
+                batch_size=args.batch_size,
+                max_iterations=args.max_iterations,
+                target_f1=args.target_f1 if args.target_f1 > 0 else None,
+                random_state=args.seed,
+            ),
+            blocking=blocking,
+            scale=args.scale,
+            noise=args.noise,
+            oracle_seed=args.seed,
+        ),
+        artifact=args.model,
+    )
+    try:
+        pipeline, run = execute_fit(spec)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from .pipeline import read_manifest
+
+    manifest = read_manifest(args.model)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    training = pipeline.training
+    print(
+        f"trained {args.combination!r} on {args.dataset} "
+        f"({training['n_pairs']} post-blocking pairs, skew {training['class_skew']:.3f})"
+    )
+    print(
+        reporting.format_table(
+            [run.summary()],
+            columns=["learner", "selector", "iterations", "labels", "best_f1",
+                     "final_f1", "terminated_because"],
+            title="training summary",
+        )
+    )
+    print(f"model saved to {args.model} (config hash {manifest['config_hash']})")
+    return 0
+
+
+def _load_records_file(path: str) -> list[dict]:
+    """Validate a records file: a JSON list of objects.
+
+    Interpreting each object (``record_id``/``id``/``attributes`` resolution,
+    value stringification) is the pipeline's job — ``match`` accepts plain
+    mappings — so the CLI and the Python API can never drift apart.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ValueError(f"{path!r} must hold a JSON list of record objects")
+    for index, entry in enumerate(payload):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path!r}[{index}] is not a JSON object")
+    return payload
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    from .pipeline import MatchingPipeline
+
+    has_files = args.left is not None or args.right is not None
+    if (args.dataset is not None) == has_files or (
+        has_files and (args.left is None or args.right is None)
+    ):
+        print("error: pass either --dataset or both --left and --right", file=sys.stderr)
+        return 1
+    try:
+        pipeline = MatchingPipeline.load(args.model)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.dataset is not None:
+            dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+            records_a, records_b = dataset.left, dataset.right
+        else:
+            records_a = _load_records_file(args.left)
+            records_b = _load_records_file(args.right)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        scores = pipeline.match(
+            records_a, records_b, jobs=args.jobs, chunk_size=args.chunk_size
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.min_score is not None:
+        scores = [s for s in scores if s.score >= args.min_score]
+
+    if args.json:
+        payload = {
+            "model": args.model,
+            "combination": pipeline.config.combination,
+            "candidates": len(scores),
+            "matches": sum(1 for s in scores if s.is_match),
+            "pairs": [s.to_dict() for s in scores],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    matches = sum(1 for s in scores if s.is_match)
+    print(
+        f"{len(scores)} candidate pair(s) scored with {pipeline.config.combination!r}, "
+        f"{matches} predicted match(es)"
+    )
+    shown = sorted(scores, key=lambda s: (-s.score, s.left_id, s.right_id))[: args.limit]
+    if shown:
+        print(
+            reporting.format_table(
+                [s.to_dict() for s in shown],
+                columns=["left_id", "right_id", "score", "is_match"],
+                title=f"top {len(shown)} pairs by score",
+            )
+        )
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace, resume: bool = False) -> int:
     datasets = (
         [name.strip() for name in args.datasets.split(",") if name.strip()]
@@ -337,6 +527,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_table1(args.scale)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "match":
+        return _command_match(args)
     if args.command == "block":
         return _command_block(args)
     if args.command == "sweep":

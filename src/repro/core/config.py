@@ -184,3 +184,76 @@ class ActiveLearningConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "ActiveLearningConfig":
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that determines how a :class:`~repro.pipeline.MatchingPipeline`
+    is trained and how it scores record pairs at inference time.
+
+    Serializable (``to_dict`` / ``from_dict`` round-trip through the artifact
+    manifest) and frozen, so a persisted pipeline can state exactly how it was
+    produced.
+
+    Attributes
+    ----------
+    combination:
+        Named learner/selector combination trained by active learning
+        (``"Trees(20)"``, ``"Linear-Margin(Ensemble)"``, ...), resolved by
+        :func:`repro.harness.builders.build_combination`.
+    config:
+        Active-learning loop hyper-parameters used during :meth:`fit`.
+    blocking:
+        Blocking strategy applied both at training and at inference time.
+        ``None`` resolves to the paper's Jaccard blocker at the training
+        dataset's spec threshold; the *resolved* config is persisted so a
+        reloaded pipeline blocks identically.
+    scale / dataset_seed:
+        Synthetic-generation parameters when :meth:`fit` is given a catalog
+        dataset name (ignored for a ready-made :class:`EMDataset`).
+    noise / oracle_seed:
+        Training Oracle label-flip probability and its RNG seed.
+    chunk_size:
+        Default number of candidate pairs scored per chunk during
+        :meth:`match` (bounds peak memory; chunking never changes scores).
+    """
+
+    combination: str = "Trees(20)"
+    config: ActiveLearningConfig = field(default_factory=ActiveLearningConfig)
+    blocking: BlockingConfig | None = None
+    scale: float = 1.0
+    dataset_seed: int | None = None
+    noise: float = 0.0
+    oracle_seed: int | None = 0
+    chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.combination:
+            raise ConfigurationError("pipeline combination must be a non-empty name")
+        if self.scale <= 0:
+            raise ConfigurationError("pipeline scale must be positive")
+        if not 0.0 <= self.noise < 1.0:
+            raise ConfigurationError("pipeline noise must be in [0, 1)")
+        if self.chunk_size < 1:
+            raise ConfigurationError("pipeline chunk_size must be at least 1")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "combination": self.combination,
+            "config": self.config.to_dict(),
+            "blocking": self.blocking.to_dict() if self.blocking is not None else None,
+            "scale": self.scale,
+            "dataset_seed": self.dataset_seed,
+            "noise": self.noise,
+            "oracle_seed": self.oracle_seed,
+            "chunk_size": self.chunk_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        data = dict(data)
+        data["config"] = ActiveLearningConfig.from_dict(data.get("config", {}))
+        if data.get("blocking") is not None:
+            data["blocking"] = BlockingConfig.from_dict(data["blocking"])
+        return cls(**data)

@@ -107,6 +107,11 @@ class ActiveEnsembleLoop:
         self.evaluation_labels = evaluation_labels
         self.dataset_name = dataset_name
         self.ensemble = ActiveEnsemble()
+        #: The candidate classifier at termination (``None`` until :meth:`run`
+        #: finishes, or when it never got enough two-class labels to fit).
+        #: Together with :attr:`ensemble` it is the final model: evaluation
+        #: uses ``ensemble.predict_with_candidate(..., final_candidate)``.
+        self.final_candidate: Learner | None = None
 
     def run(self) -> ActiveLearningRun:
         config = self.config
@@ -207,6 +212,7 @@ class ActiveEnsembleLoop:
 
         run.terminated_because = terminated_because
         run.metadata["accepted_classifiers"] = len(self.ensemble)
+        self.final_candidate = candidate if candidate.is_fitted else None
         return run
 
     # -------------------------------------------------------------- internals

@@ -57,14 +57,25 @@ def evaluate_predictions(truth: np.ndarray, predictions: np.ndarray) -> Evaluati
 
     Follows the usual convention for degenerate cases: precision is 0 when
     nothing was predicted positive, recall is 0 when there are no true
-    matches, and F1 is 0 whenever precision + recall is 0.
+    matches, and F1 is 0 whenever precision + recall is 0.  An empty
+    candidate set (e.g. blocking pruned everything at inference time) is a
+    degenerate case too, not an error: all metrics and counts are 0.
     """
     truth = np.asarray(truth).astype(int)
     predictions = np.asarray(predictions).astype(int)
     if truth.shape != predictions.shape:
         raise ConfigurationError("truth and predictions must have the same shape")
     if truth.size == 0:
-        raise ConfigurationError("cannot evaluate on an empty set of pairs")
+        return EvaluationResult(
+            precision=0.0,
+            recall=0.0,
+            f1=0.0,
+            accuracy=0.0,
+            true_positives=0,
+            false_positives=0,
+            true_negatives=0,
+            false_negatives=0,
+        )
 
     true_positives = int(((truth == 1) & (predictions == 1)).sum())
     false_positives = int(((truth == 0) & (predictions == 1)).sum())

@@ -42,3 +42,8 @@ class OracleError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative algorithm fails to make progress."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a persisted pipeline artifact is missing, corrupt or
+    written by an incompatible format version."""

@@ -234,6 +234,37 @@ def prepare_rule_dataset(
     return prepared
 
 
+def make_extractor(
+    matched_columns: list[str], feature_kind: str = "continuous"
+) -> FeatureExtractor | BooleanFeatureExtractor:
+    """Build the feature extractor for a feature kind.
+
+    Shared by dataset preparation and by the inference path of
+    :class:`repro.pipeline.MatchingPipeline`, so training and serving extract
+    features identically from the same persisted ``(matched_columns,
+    feature_kind)`` state.
+    """
+    if feature_kind == "continuous":
+        return FeatureExtractor(matched_columns)
+    if feature_kind == "boolean":
+        return BooleanFeatureExtractor(matched_columns)
+    raise ValueError(f"unknown feature kind {feature_kind!r}")
+
+
+def extract_feature_matrix(
+    extractor: FeatureExtractor | BooleanFeatureExtractor,
+    pairs: list[CandidatePair],
+) -> np.ndarray:
+    """Dense feature matrix for candidate pairs under either extractor kind.
+
+    The continuous extractor wraps its output in a :class:`FeatureMatrix`
+    while the Boolean one returns the array directly; this normalizes both to
+    the bare matrix.
+    """
+    result = extractor.extract(pairs)
+    return result.matrix if hasattr(result, "matrix") else result
+
+
 def prepare_pool_from_pairs(
     dataset: EMDataset,
     pairs: list[CandidatePair],
@@ -244,16 +275,9 @@ def prepare_pool_from_pairs(
     Used by the social-media experiment and by tests that construct their own
     candidate pairs.
     """
-    if feature_kind == "continuous":
-        extractor = FeatureExtractor(dataset.matched_columns)
-        matrix = extractor.extract(pairs).matrix
-        descriptors = list(extractor.descriptors)
-    elif feature_kind == "boolean":
-        extractor = BooleanFeatureExtractor(dataset.matched_columns)
-        matrix = extractor.extract(pairs)
-        descriptors = list(extractor.descriptors)
-    else:
-        raise ValueError(f"unknown feature kind {feature_kind!r}")
+    extractor = make_extractor(dataset.matched_columns, feature_kind)
+    matrix = extract_feature_matrix(extractor, pairs)
+    descriptors = list(extractor.descriptors)
 
     pool = PairPool(
         features=matrix,

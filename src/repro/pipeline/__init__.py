@@ -1,0 +1,40 @@
+"""End-to-end matching pipelines: fit → save/load → batch inference.
+
+This package turns the reproduction harness into a usable matcher: a
+:class:`MatchingPipeline` composes blocker, feature extractor and an
+AL-trained learner (or active ensemble) behind ``fit`` / ``save`` / ``load``
+/ ``match``, with a versioned on-disk artifact format
+(:mod:`repro.pipeline.artifact`) guaranteeing that a pipeline trained once
+reproduces bit-identical predictions after reload, across processes and for
+any ``jobs`` / ``chunk_size`` setting.  See ``docs/pipeline.md``.
+"""
+
+from .artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    SUPPORTED_VERSIONS,
+    read_artifact,
+    read_manifest,
+    write_artifact,
+)
+from .matching import (
+    FALLBACK_BLOCKING_THRESHOLD,
+    EnsemblePredictor,
+    MatchingPipeline,
+    MatchScore,
+    load_pipeline,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "FALLBACK_BLOCKING_THRESHOLD",
+    "EnsemblePredictor",
+    "MatchingPipeline",
+    "MatchScore",
+    "load_pipeline",
+    "read_artifact",
+    "read_manifest",
+    "write_artifact",
+]

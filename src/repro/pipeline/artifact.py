@@ -1,0 +1,130 @@
+"""Versioned on-disk persistence for matching pipelines.
+
+An artifact is a directory::
+
+    <path>/
+        manifest.json   # JSON: format/version, pipeline config, hashes, training summary
+        model.pkl       # pickle: fitted predictor (learner parameters / ensemble members)
+
+``manifest.json`` is the source of truth: it names the format version, the
+full pipeline configuration (with a content hash over it, reusing the
+``TrialSpec`` hashing scheme), and the SHA-256 of every payload file, so a
+reload can detect truncation, corruption and format drift before unpickling
+anything.  The manifest is written last, so a crashed :func:`write_artifact`
+never leaves a directory that passes :func:`read_manifest`.
+
+Compatibility policy
+--------------------
+``format_version`` is a single integer, bumped on any change a version-1
+reader cannot handle.  Readers accept exactly the versions listed in
+:data:`SUPPORTED_VERSIONS` and raise :class:`~repro.exceptions.ArtifactError`
+otherwise — failing loudly beats silently mis-scoring pairs with a
+half-understood model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from ..exceptions import ArtifactError
+
+#: Identifies the artifact family inside ``manifest.json``.
+ARTIFACT_FORMAT = "repro-pipeline"
+
+#: Current writer version; bump on any reader-incompatible change.
+ARTIFACT_VERSION = 1
+
+#: Versions this reader can load.
+SUPPORTED_VERSIONS = frozenset({1})
+
+MANIFEST_NAME = "manifest.json"
+MODEL_NAME = "model.pkl"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def write_artifact(path: str | os.PathLike, manifest: dict, model_state: object) -> dict:
+    """Persist a pipeline artifact and return the completed manifest.
+
+    ``manifest`` is the caller-provided body (pipeline section, training
+    summary); this function adds the format header and the model payload's
+    content hash, writes ``model.pkl`` first and ``manifest.json`` last.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    model_bytes = pickle.dumps(model_state, protocol=pickle.HIGHEST_PROTOCOL)
+    (directory / MODEL_NAME).write_bytes(model_bytes)
+
+    completed = {
+        "format": ARTIFACT_FORMAT,
+        "format_version": ARTIFACT_VERSION,
+        "model": {
+            "file": MODEL_NAME,
+            "sha256": _sha256(model_bytes),
+            "bytes": len(model_bytes),
+        },
+        **manifest,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    tmp = manifest_path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(completed, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    tmp.replace(manifest_path)  # atomic on POSIX
+    return completed
+
+
+def read_manifest(path: str | os.PathLike) -> dict:
+    """Load and validate ``manifest.json`` (existence, format, version)."""
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_NAME
+    if not directory.exists():
+        raise ArtifactError(f"no pipeline artifact at {str(directory)!r}")
+    if not manifest_path.exists():
+        raise ArtifactError(
+            f"{str(directory)!r} is not a pipeline artifact (missing {MANIFEST_NAME})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"corrupt manifest in {str(directory)!r}: {exc}") from exc
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"{str(directory)!r} holds format {manifest.get('format')!r}, "
+            f"expected {ARTIFACT_FORMAT!r}"
+        )
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ArtifactError(
+            f"artifact format version {version!r} is not supported "
+            f"(supported: {sorted(SUPPORTED_VERSIONS)}); "
+            f"re-train the pipeline or upgrade repro"
+        )
+    return manifest
+
+
+def read_artifact(path: str | os.PathLike) -> tuple[dict, object]:
+    """Load ``(manifest, model_state)``, verifying the model content hash."""
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    model_info = manifest.get("model") or {}
+    model_path = directory / model_info.get("file", MODEL_NAME)
+    if not model_path.exists():
+        raise ArtifactError(f"artifact {str(directory)!r} is missing {model_path.name!r}")
+    model_bytes = model_path.read_bytes()
+    expected = model_info.get("sha256")
+    if expected and _sha256(model_bytes) != expected:
+        raise ArtifactError(
+            f"artifact {str(directory)!r}: {model_path.name!r} does not match its "
+            f"manifest hash (truncated or corrupted write?)"
+        )
+    try:
+        model_state = pickle.loads(model_bytes)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise ArtifactError(f"artifact {str(directory)!r}: cannot unpickle model: {exc}") from exc
+    return manifest, model_state

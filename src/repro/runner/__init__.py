@@ -15,11 +15,12 @@ Three layers:
 See ``docs/experiments.md`` for the full contract.
 """
 
-from .spec import ExperimentSpec, TrialSpec, curve_dict, default_config
+from .spec import ExperimentSpec, FitSpec, TrialSpec, content_hash, curve_dict, default_config
 from .store import RunStore
 from .runner import (
     ExperimentResult,
     ExperimentRunner,
+    execute_fit,
     execute_trial,
     run_trials,
     strip_timing,
@@ -27,12 +28,15 @@ from .runner import (
 
 __all__ = [
     "TrialSpec",
+    "FitSpec",
     "ExperimentSpec",
+    "content_hash",
     "default_config",
     "curve_dict",
     "RunStore",
     "ExperimentRunner",
     "ExperimentResult",
+    "execute_fit",
     "execute_trial",
     "run_trials",
     "strip_timing",

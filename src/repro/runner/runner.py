@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from ..core import ActiveLearningRun
 from ..exceptions import ConfigurationError
-from .spec import ExperimentSpec, TrialSpec
+from .spec import ExperimentSpec, FitSpec, TrialSpec
 from .store import RunStore
 
 #: Iteration-record fields that are wall-clock measurements, not part of the
@@ -117,6 +117,29 @@ def execute_trial(trial: TrialSpec) -> ActiveLearningRun:
     if test_labels is not None:
         run.metadata["test_labels"] = test_labels
     return run
+
+
+def execute_fit(spec: FitSpec):
+    """Execute the ``fit`` trial-spec variant: train (and persist) a pipeline.
+
+    Returns ``(pipeline, run)`` — the fitted
+    :class:`~repro.pipeline.MatchingPipeline` and its training trajectory.
+    When ``spec.artifact`` is set the pipeline is saved there and the
+    artifact manifest is stamped into ``run.metadata["artifact"]``; the fit's
+    content hash (:meth:`FitSpec.fit_hash`) is stamped either way.
+    """
+    from ..pipeline import MatchingPipeline
+
+    pipeline = MatchingPipeline(spec.pipeline)
+    run = pipeline.fit(spec.dataset)
+    run.metadata["fit_hash"] = spec.fit_hash()
+    if spec.artifact is not None:
+        manifest = pipeline.save(spec.artifact)
+        run.metadata["artifact"] = {
+            "path": os.fspath(spec.artifact),
+            "config_hash": manifest["config_hash"],
+        }
+    return pipeline, run
 
 
 def _trial_worker(payload: dict) -> dict:

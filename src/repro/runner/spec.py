@@ -20,8 +20,21 @@ import hashlib
 import json
 from dataclasses import dataclass, field, replace
 
-from ..core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig
+from ..core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig, PipelineConfig
 from ..exceptions import ConfigurationError
+
+
+def content_hash(payload: dict, length: int = 16) -> str:
+    """Stable content hash of a JSON-serializable payload.
+
+    SHA-256 over the canonical JSON form (sorted keys, compact separators),
+    so the key is identical across processes and interpreter invocations (no
+    ``PYTHONHASHSEED`` dependence) and usable as a persistent store key.
+    Shared by :meth:`TrialSpec.trial_hash`, :meth:`FitSpec.fit_hash` and the
+    pipeline artifact manifest.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
 
 
 def default_config(
@@ -131,14 +144,8 @@ class TrialSpec:
         return cls(**data)
 
     def trial_hash(self) -> str:
-        """Stable content hash of the trial.
-
-        SHA-256 over the canonical JSON form, so the key is identical across
-        processes and interpreter invocations (no ``PYTHONHASHSEED``
-        dependence) and usable as a persistent store key.
-        """
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        """Stable content hash of the trial (see :func:`content_hash`)."""
+        return content_hash(self.to_dict())
 
     def with_config(self, **changes) -> "TrialSpec":
         """A copy with loop-configuration fields replaced."""
@@ -163,6 +170,69 @@ class TrialSpec:
             repr(self.blocking),
             self.test_fraction,
             self.split_seed if self.test_fraction is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FitSpec:
+    """The ``fit`` variant of a trial spec: train a matching pipeline.
+
+    Where a :class:`TrialSpec` produces a *trajectory* (curves for a figure),
+    a :class:`FitSpec` produces a *model*: executing it trains a
+    :class:`~repro.pipeline.MatchingPipeline` by active learning and,
+    when ``artifact`` is set, persists it as an on-disk artifact.
+
+    Attributes
+    ----------
+    dataset:
+        Catalog name of the training dataset.
+    pipeline:
+        Training/inference configuration of the pipeline.
+    artifact:
+        Optional artifact directory the fitted pipeline is saved to; not part
+        of :meth:`fit_hash` (the same training at a different path is the
+        same pipeline).
+    """
+
+    dataset: str
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    artifact: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.dataset:
+            raise ConfigurationError("fit dataset must be a non-empty name")
+
+    def trial(self) -> TrialSpec:
+        """The equivalent training trial, reusing the TrialSpec machinery
+        (hashing, preparation keys, combination resolution)."""
+        return TrialSpec(
+            dataset=self.dataset,
+            combination=self.pipeline.combination,
+            scale=self.pipeline.scale,
+            dataset_seed=self.pipeline.dataset_seed,
+            config=self.pipeline.config,
+            blocking=self.pipeline.blocking,
+            noise=self.pipeline.noise,
+            oracle_seed=self.pipeline.oracle_seed,
+        )
+
+    def fit_hash(self) -> str:
+        """Stable content hash of the training (artifact path excluded)."""
+        return content_hash({"dataset": self.dataset, "pipeline": self.pipeline.to_dict()})
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "pipeline": self.pipeline.to_dict(),
+            "artifact": self.artifact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FitSpec":
+        return cls(
+            dataset=data["dataset"],
+            pipeline=PipelineConfig.from_dict(data.get("pipeline", {})),
+            artifact=data.get("artifact"),
         )
 
 

@@ -79,6 +79,10 @@ def tfidf_cosine_similarity(a: str, b: str) -> float:
     guard = _empty_guard(a_counts, b_counts)
     if guard is not None:
         return guard
+    if a_counts == b_counts:
+        # sqrt() rounding can leave dot/(norm*norm) at 0.999...; identical
+        # count vectors are exactly parallel.
+        return 1.0
     dot = sum(count * b_counts.get(token, 0) for token, count in a_counts.items())
     norm_a = math.sqrt(sum(count * count for count in a_counts.values()))
     norm_b = math.sqrt(sum(count * count for count in b_counts.values()))
@@ -129,19 +133,8 @@ def monge_elkan_similarity(a: str, b: str, inner=jaro_winkler_similarity) -> flo
     return min(1.0, 0.5 * (directed(a_tokens, b_tokens) + directed(b_tokens, a_tokens)))
 
 
-def soft_tfidf_similarity(a: str, b: str, threshold: float = 0.9) -> float:
-    """Soft TF-IDF (corpus-free variant) with Jaro-Winkler token matching.
-
-    Tokens of ``a`` are softly matched to tokens of ``b`` whenever their
-    Jaro-Winkler similarity exceeds ``threshold``; matched token weights
-    contribute proportionally to the cosine-style score.
-    """
-    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
-    guard = _empty_guard(a_counts, b_counts)
-    if guard is not None:
-        return guard
-    norm_a = math.sqrt(sum(c * c for c in a_counts.values()))
-    norm_b = math.sqrt(sum(c * c for c in b_counts.values()))
+def _soft_tfidf_directed(a_counts: Counter, b_counts: Counter, threshold: float) -> float:
+    """One direction of soft TF-IDF: soft-match ``a``'s tokens against ``b``'s."""
     score = 0.0
     for token_a, count_a in a_counts.items():
         best_sim, best_token = 0.0, None
@@ -151,8 +144,33 @@ def soft_tfidf_similarity(a: str, b: str, threshold: float = 0.9) -> float:
                 best_sim, best_token = sim, token_b
         if best_token is not None and best_sim >= threshold:
             score += best_sim * count_a * b_counts[best_token]
+    return score
+
+
+def soft_tfidf_similarity(a: str, b: str, threshold: float = 0.9) -> float:
+    """Soft TF-IDF (corpus-free variant) with Jaro-Winkler token matching.
+
+    Tokens are softly matched whenever their Jaro-Winkler similarity exceeds
+    ``threshold``; matched token weights contribute proportionally to the
+    cosine-style score.  The directed score is asymmetric (several left tokens
+    may soft-match one right token), so both directions are averaged — the
+    same symmetrization as Monge-Elkan.
+    """
+    a_counts, b_counts = Counter(tokenize_words(a)), Counter(tokenize_words(b))
+    guard = _empty_guard(a_counts, b_counts)
+    if guard is not None:
+        return guard
+    if a_counts == b_counts:
+        # Identical count vectors are exactly parallel; skip the sqrt rounding.
+        return 1.0
+    norm_a = math.sqrt(sum(c * c for c in a_counts.values()))
+    norm_b = math.sqrt(sum(c * c for c in b_counts.values()))
     if norm_a == 0.0 or norm_b == 0.0:
         return 0.0
+    score = 0.5 * (
+        _soft_tfidf_directed(a_counts, b_counts, threshold)
+        + _soft_tfidf_directed(b_counts, a_counts, threshold)
+    )
     return min(1.0, score / (norm_a * norm_b))
 
 

@@ -69,6 +69,141 @@ class TestRun:
         assert "run summary" in out
 
 
+TRAIN_ARGS = [
+    "--dataset", "dblp_acm",
+    "--combination", "Trees(2)",
+    "--scale", "0.15",
+    "--max-iterations", "2",
+]
+
+
+class TestTrain:
+    def test_trains_and_persists_a_model(self, tmp_path, capsys):
+        model = tmp_path / "model"
+        assert cli.main(["train", *TRAIN_ARGS, "--model", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "training summary" in out
+        assert "model saved" in out
+        assert (model / "manifest.json").exists()
+        assert (model / "model.pkl").exists()
+
+    def test_json_prints_the_manifest(self, tmp_path, capsys):
+        model = tmp_path / "model"
+        assert cli.main(["train", *TRAIN_ARGS, "--model", str(model), "--json"]) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads(out[out.index("{"):])
+        assert manifest["format"] == "repro-pipeline"
+        assert manifest["pipeline"]["combination"] == "Trees(2)"
+        assert manifest["config_hash"]
+        assert manifest["training"]["dataset"] == "dblp_acm"
+
+    def test_unknown_dataset_is_an_argparse_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["train", "--dataset", "nope", "--model", str(tmp_path / "m")])
+        assert excinfo.value.code == 2
+
+
+class TestMatch:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        model = tmp_path_factory.mktemp("cli-match") / "model"
+        assert cli.main(["train", *TRAIN_ARGS, "--model", str(model)]) == 0
+        return model
+
+    def test_scores_a_catalog_dataset(self, model_path, capsys):
+        assert cli.main(
+            ["match", "--model", str(model_path), "--dataset", "dblp_acm", "--scale", "0.15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "candidate pair(s) scored" in out
+        assert "top" in out
+
+    def test_json_output_shape(self, model_path, capsys):
+        assert cli.main(
+            [
+                "match", "--model", str(model_path),
+                "--dataset", "dblp_acm", "--scale", "0.15", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"model", "combination", "candidates", "matches", "pairs"}
+        assert payload["candidates"] == len(payload["pairs"])
+        assert payload["matches"] == sum(1 for p in payload["pairs"] if p["is_match"])
+        for pair in payload["pairs"]:
+            assert set(pair) == {"left_id", "right_id", "score", "is_match"}
+            assert 0.0 <= pair["score"] <= 1.0
+
+    def test_jobs_produce_identical_json(self, model_path, capsys):
+        args = ["match", "--model", str(model_path), "--dataset", "dblp_acm",
+                "--scale", "0.15", "--json"]
+        assert cli.main(args) == 0
+        serial = capsys.readouterr().out
+        assert cli.main([*args, "--jobs", "2", "--chunk-size", "30"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_scores_record_files(self, model_path, tmp_path, capsys):
+        left = tmp_path / "left.json"
+        right = tmp_path / "right.json"
+        left.write_text(json.dumps([
+            {"record_id": "a1", "title": "active learning methods", "authors": "m s",
+             "venue": "sigmod", "year": "2020"},
+        ]))
+        right.write_text(json.dumps([
+            {"id": "b1", "attributes": {"title": "active learning methods", "authors": "m s",
+                                        "venue": "sigmod", "year": "2020"}},
+            {"record_id": "b2", "title": "unrelated cooking recipes", "authors": "x",
+             "venue": "kitchen", "year": "1990"},
+        ]))
+        assert cli.main(
+            ["match", "--model", str(model_path), "--left", str(left),
+             "--right", str(right), "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert {p["left_id"] for p in payload["pairs"]} <= {"a1"}
+
+    def test_missing_model_path_fails_cleanly(self, tmp_path, capsys):
+        assert cli.main(
+            ["match", "--model", str(tmp_path / "missing"), "--dataset", "dblp_acm"]
+        ) == 1
+        assert "no pipeline artifact" in capsys.readouterr().err
+
+    def test_corrupt_model_fails_cleanly(self, model_path, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(model_path, broken)
+        (broken / "model.pkl").write_bytes(b"not a pickle")
+        assert cli.main(["match", "--model", str(broken), "--dataset", "dblp_acm"]) == 1
+        assert "does not match" in capsys.readouterr().err
+
+    def test_requires_exactly_one_input_source(self, model_path, capsys):
+        assert cli.main(["match", "--model", str(model_path)]) == 1
+        assert "either --dataset" in capsys.readouterr().err
+        assert cli.main(
+            ["match", "--model", str(model_path), "--dataset", "dblp_acm",
+             "--left", "x.json", "--right", "y.json"]
+        ) == 1
+        capsys.readouterr()
+        # A dataset plus a single records file must not silently ignore the file.
+        assert cli.main(
+            ["match", "--model", str(model_path), "--dataset", "dblp_acm",
+             "--left", "x.json"]
+        ) == 1
+        assert "either --dataset" in capsys.readouterr().err
+        # Only one of --left/--right is incomplete too.
+        assert cli.main(["match", "--model", str(model_path), "--left", "x.json"]) == 1
+
+    def test_missing_records_file_fails_cleanly(self, model_path, tmp_path, capsys):
+        assert cli.main(
+            ["match", "--model", str(model_path),
+             "--left", str(tmp_path / "no.json"), "--right", str(tmp_path / "no.json")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_executes_and_persists(self, tmp_path, capsys):
         store_path = tmp_path / "runs.jsonl"

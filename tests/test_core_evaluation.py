@@ -59,9 +59,41 @@ class TestEvaluatePredictions:
         with pytest.raises(ConfigurationError):
             evaluate_predictions(np.zeros(3), np.zeros(4))
 
-    def test_empty_raises(self):
-        with pytest.raises(ConfigurationError):
-            evaluate_predictions(np.zeros(0), np.zeros(0))
+    def test_empty_candidate_set_is_well_defined(self):
+        """Blocking can prune everything at inference time; that is a
+        degenerate evaluation, not an error."""
+        result = evaluate_predictions(np.zeros(0), np.zeros(0))
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+        assert result.accuracy == 0.0
+        assert result.support == 0
+        for value in (result.precision, result.recall, result.f1, result.accuracy):
+            assert not np.isnan(value)
+
+    def test_all_negative_predictions_are_well_defined(self):
+        for truth in (np.array([1, 1, 0]), np.zeros(3, dtype=int), np.ones(3, dtype=int)):
+            result = evaluate_predictions(truth, np.zeros(3, dtype=int))
+            assert result.precision == 0.0
+            assert result.f1 == 0.0
+            for value in (result.precision, result.recall, result.f1, result.accuracy):
+                assert not np.isnan(value)
+
+    def test_single_class_ground_truth_is_well_defined(self):
+        # All-negative truth: recall undefined -> 0, accuracy still meaningful.
+        negatives = evaluate_predictions(np.zeros(4, dtype=int), np.array([1, 0, 0, 0]))
+        assert negatives.recall == 0.0
+        assert negatives.precision == 0.0
+        assert negatives.f1 == 0.0
+        assert negatives.accuracy == pytest.approx(3 / 4)
+        # All-positive truth: perfect predictions stay exact.
+        positives = evaluate_predictions(np.ones(4, dtype=int), np.ones(4, dtype=int))
+        assert positives.precision == 1.0
+        assert positives.recall == 1.0
+        assert positives.f1 == 1.0
+        for result in (negatives, positives):
+            for value in (result.precision, result.recall, result.f1, result.accuracy):
+                assert not np.isnan(value)
 
     def test_accepts_boolean_arrays(self):
         truth = np.array([True, False, True])

@@ -1,0 +1,283 @@
+"""The end-to-end MatchingPipeline: fit, persistence, batch inference."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import ActiveLearningConfig, BlockingConfig, PipelineConfig
+from repro.datasets import Record, Table, load_dataset
+from repro.exceptions import ArtifactError, ConfigurationError, NotFittedError
+from repro.pipeline import (
+    ARTIFACT_VERSION,
+    EnsemblePredictor,
+    MatchingPipeline,
+    MatchScore,
+    load_pipeline,
+    read_manifest,
+)
+from repro.pipeline.artifact import MANIFEST_NAME, MODEL_NAME
+from repro.runner import FitSpec, execute_fit
+
+from .conftest import make_toy_dataset
+
+
+def small_config(combination: str = "Trees(2)", **overrides) -> PipelineConfig:
+    defaults = dict(
+        combination=combination,
+        config=ActiveLearningConfig(
+            seed_size=20, batch_size=10, max_iterations=3, target_f1=None, random_state=0
+        ),
+        scale=0.15,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fitted() -> MatchingPipeline:
+    pipeline = MatchingPipeline(small_config())
+    pipeline.fit("dblp_acm")
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def match_dataset():
+    return load_dataset("dblp_acm", scale=0.15)
+
+
+class TestConfig:
+    def test_round_trips_through_json(self):
+        config = small_config(blocking=BlockingConfig("jaccard", threshold=0.2))
+        restored = PipelineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(combination="")
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(noise=1.0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(chunk_size=0)
+
+
+class TestFit:
+    def test_fit_produces_a_run_and_state(self, fitted):
+        assert fitted.is_fitted
+        assert fitted.feature_kind == "continuous"
+        assert fitted.matched_columns
+        # The blocker threshold was resolved against the dataset spec so a
+        # reloaded pipeline blocks identically without catalog access.
+        assert fitted.resolved_blocking.threshold is not None
+        assert fitted.training["dataset"] == "dblp_acm"
+        assert fitted.training["n_pairs"] > 0
+        # The persisted summary is timing-stripped.
+        assert "total_user_wait_time" not in fitted.training["summary"]
+
+    def test_fit_on_a_ready_made_dataset(self):
+        pipeline = MatchingPipeline(
+            small_config(
+                combination="Linear-Margin",
+                config=ActiveLearningConfig(
+                    seed_size=8, batch_size=4, max_iterations=2, target_f1=None, random_state=0
+                ),
+            )
+        )
+        dataset = make_toy_dataset()
+        run = pipeline.fit(dataset)
+        assert pipeline.is_fitted
+        assert run.dataset_name == "toy"
+        scores = pipeline.match(dataset.left, dataset.right)
+        assert all(isinstance(score, MatchScore) for score in scores)
+
+    def test_unfitted_pipeline_refuses_match_and_save(self, tmp_path):
+        pipeline = MatchingPipeline(small_config())
+        with pytest.raises(NotFittedError):
+            pipeline.match([], [])
+        with pytest.raises(NotFittedError):
+            pipeline.save(tmp_path / "model")
+
+
+class TestMatch:
+    def test_scores_are_bounded_and_aligned(self, fitted, match_dataset):
+        scores = fitted.match(match_dataset.left, match_dataset.right)
+        assert scores
+        for score in scores:
+            assert 0.0 <= score.score <= 1.0
+            assert score.left_id in match_dataset.left
+            assert score.right_id in match_dataset.right
+
+    def test_chunk_size_never_changes_scores(self, fitted, match_dataset):
+        reference = fitted.match(match_dataset.left, match_dataset.right)
+        for chunk_size in (1, 7, 10_000):
+            chunked = fitted.match(
+                match_dataset.left, match_dataset.right, chunk_size=chunk_size
+            )
+            assert chunked == reference
+
+    def test_jobs_never_change_scores(self, fitted, match_dataset):
+        reference = fitted.match(match_dataset.left, match_dataset.right)
+        parallel = fitted.match(
+            match_dataset.left, match_dataset.right, jobs=2, chunk_size=30
+        )
+        assert parallel == reference
+
+    def test_accepts_records_and_mappings(self, fitted):
+        records = [Record("a1", {"title": "active learning", "authors": "x", "venue": "v", "year": "2020"})]
+        mappings = [
+            {"record_id": "b1", "title": "active learning", "authors": "x", "venue": "v", "year": "2020"},
+            {"id": "b2", "attributes": {"title": "unrelated entirely", "authors": "q",
+                                        "venue": "w", "year": "1999"}},
+        ]
+        scores = fitted.match(records, mappings)
+        assert {s.left_id for s in scores} <= {"a1"}
+        assert {s.right_id for s in scores} <= {"b1", "b2"}
+
+    def test_empty_inputs_yield_no_pairs(self, fitted):
+        assert fitted.match([], []) == []
+
+    def test_rejects_bad_arguments(self, fitted, match_dataset):
+        with pytest.raises(ConfigurationError):
+            fitted.match(match_dataset.left, match_dataset.right, jobs=0)
+        with pytest.raises(ConfigurationError):
+            fitted.match(match_dataset.left, match_dataset.right, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            fitted.match(match_dataset, match_dataset.right)
+        with pytest.raises(ConfigurationError):
+            fitted.match([object()], [])
+
+
+class TestPersistence:
+    def test_save_load_round_trip_is_bit_identical(self, fitted, match_dataset, tmp_path):
+        path = tmp_path / "model"
+        fitted.save(path)
+        reloaded = load_pipeline(path)
+        assert reloaded.config == fitted.config
+        assert reloaded.matched_columns == fitted.matched_columns
+        assert reloaded.resolved_blocking == fitted.resolved_blocking
+        original = fitted.match(match_dataset.left, match_dataset.right)
+        restored = reloaded.match(match_dataset.left, match_dataset.right)
+        assert restored == original
+
+    def test_manifest_shape_and_determinism(self, fitted, tmp_path):
+        first = fitted.save(tmp_path / "a")
+        second = fitted.save(tmp_path / "b")
+        # No timestamps or wall-clock fields: saving twice is byte-identical.
+        assert first == second
+        assert (tmp_path / "a" / MANIFEST_NAME).read_bytes() == (
+            tmp_path / "b" / MANIFEST_NAME
+        ).read_bytes()
+        assert first["format_version"] == ARTIFACT_VERSION
+        assert first["pipeline"]["combination"] == "Trees(2)"
+        assert first["features"]["dim"] == len(first["features"]["names"])
+        assert first["model"]["sha256"]
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            MatchingPipeline.load(tmp_path / "nope")
+        with pytest.raises(ArtifactError):
+            read_manifest(tmp_path / "nope")
+
+    def test_corrupt_model_payload_raises(self, fitted, tmp_path):
+        path = tmp_path / "model"
+        fitted.save(path)
+        (path / MODEL_NAME).write_bytes(b"garbage")
+        with pytest.raises(ArtifactError, match="does not match"):
+            MatchingPipeline.load(path)
+
+    def test_edited_manifest_raises(self, fitted, tmp_path):
+        path = tmp_path / "model"
+        fitted.save(path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["pipeline"]["combination"] = "Trees(20)"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="config hash"):
+            MatchingPipeline.load(path)
+
+    def test_unsupported_version_raises(self, fitted, tmp_path):
+        path = tmp_path / "model"
+        fitted.save(path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format_version"] = ARTIFACT_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="not supported"):
+            MatchingPipeline.load(path)
+
+    def test_non_artifact_directory_raises(self, tmp_path):
+        (tmp_path / "something.txt").write_text("hello")
+        with pytest.raises(ArtifactError, match="missing"):
+            MatchingPipeline.load(tmp_path)
+
+
+class TestEnsemblePredictor:
+    def test_terminal_candidate_that_is_a_member_votes_once(self):
+        """When the loop ends on the iteration a candidate is accepted, the
+        terminal candidate *is* the last ensemble member; its vote must not
+        be counted twice in the score."""
+        import numpy as np
+
+        from repro.core import ActiveEnsemble
+        from repro.learners import LinearSVM
+
+        from .conftest import make_blobs
+
+        features, labels = make_blobs()
+        member = LinearSVM().fit(features, labels)
+        ensemble = ActiveEnsemble()
+        ensemble.accept(member)
+
+        aliased = EnsemblePredictor(ensemble, member)
+        distinct = EnsemblePredictor(ensemble, None)
+        probe = features[:10]
+        assert np.array_equal(aliased.predict_proba(probe), distinct.predict_proba(probe))
+        assert np.array_equal(aliased.predict(probe), distinct.predict(probe))
+
+
+class TestEnsemblePipeline:
+    def test_ensemble_round_trip(self, match_dataset, tmp_path):
+        pipeline = MatchingPipeline(small_config("Linear-Margin(Ensemble)"))
+        pipeline.fit("dblp_acm")
+        assert isinstance(pipeline._predictor, EnsemblePredictor)
+        original = pipeline.match(match_dataset.left, match_dataset.right)
+        pipeline.save(tmp_path / "model")
+        reloaded = MatchingPipeline.load(tmp_path / "model")
+        restored = reloaded.match(match_dataset.left, match_dataset.right, jobs=2, chunk_size=40)
+        assert restored == original
+        # Union prediction implies a positive vote fraction and vice versa.
+        for score in original:
+            assert score.is_match == (score.score > 0.0)
+
+
+class TestFitSpec:
+    def test_round_trips_and_hash_ignores_artifact(self, tmp_path):
+        spec = FitSpec(dataset="dblp_acm", pipeline=small_config(), artifact=str(tmp_path / "m"))
+        restored = FitSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert spec.fit_hash() == FitSpec(dataset="dblp_acm", pipeline=small_config()).fit_hash()
+        assert spec.trial().dataset == "dblp_acm"
+        assert spec.trial().combination == "Trees(2)"
+
+    def test_execute_fit_trains_and_persists(self, tmp_path):
+        path = tmp_path / "model"
+        spec = FitSpec(dataset="dblp_acm", pipeline=small_config(), artifact=str(path))
+        pipeline, run = execute_fit(spec)
+        assert pipeline.is_fitted
+        assert run.metadata["fit_hash"] == spec.fit_hash()
+        assert run.metadata["artifact"]["path"] == str(path)
+        manifest = read_manifest(path)
+        assert manifest["config_hash"] == run.metadata["artifact"]["config_hash"]
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ConfigurationError):
+            FitSpec(dataset="")
+
+
+class TestWorkerState:
+    def test_inference_state_is_picklable(self, fitted):
+        state = pickle.loads(pickle.dumps(fitted._inference_state()))
+        assert state["feature_kind"] == "continuous"
+        assert state["predictor"].is_fitted

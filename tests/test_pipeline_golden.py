@@ -1,0 +1,127 @@
+"""Golden end-to-end regression: fit → save → load → match, bit-identical.
+
+The expectation file (``tests/golden/pipeline_scores.json``) pins the exact
+match scores of a tiny fixed-seed training run.  The test retrains the
+pipeline from the committed spec, persists it, reloads it — in-process and in
+a fresh interpreter — and asserts every score is bit-identical to the golden
+file for any ``--jobs`` setting.  Wall-clock fields are stripped (the
+``strip_timing`` contract); everything else must not drift.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_pipeline_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.pipeline import MatchingPipeline
+from repro.runner import FitSpec, execute_fit, strip_timing
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "pipeline_scores.json"
+SRC_PATH = Path(__file__).resolve().parents[1] / "src"
+
+
+def golden_spec(golden: dict) -> FitSpec:
+    return FitSpec.from_dict(golden["fit"])
+
+
+def run_golden_fit(artifact: str | None = None) -> tuple[MatchingPipeline, dict]:
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    spec = FitSpec.from_dict({**golden["fit"], "artifact": artifact})
+    pipeline, run = execute_fit(spec)
+    return pipeline, golden
+
+
+def match_pairs(pipeline: MatchingPipeline, golden: dict, **kwargs) -> list[list]:
+    source = golden["match_dataset"]
+    dataset = load_dataset(source["name"], scale=source["scale"], seed=source["seed"])
+    return [
+        [s.left_id, s.right_id, s.score, s.is_match]
+        for s in pipeline.match(dataset.left, dataset.right, **kwargs)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    artifact = tmp_path_factory.mktemp("golden") / "model"
+    pipeline, golden = run_golden_fit(str(artifact))
+    return pipeline, golden, artifact
+
+
+class TestGoldenTrajectory:
+    def test_training_summary_matches_golden(self, trained):
+        pipeline, golden, _ = trained
+        assert strip_timing(pipeline.training["summary"]) == golden["training_summary"]
+
+    def test_fit_hash_matches_golden(self, trained):
+        _, golden, _ = trained
+        assert golden_spec(golden).fit_hash() == golden["fit_hash"]
+
+    def test_freshly_fitted_scores_match_golden(self, trained):
+        pipeline, golden, _ = trained
+        assert match_pairs(pipeline, golden) == golden["pairs"]
+
+    def test_reloaded_scores_match_golden(self, trained):
+        _, golden, artifact = trained
+        reloaded = MatchingPipeline.load(artifact)
+        assert match_pairs(reloaded, golden) == golden["pairs"]
+
+    def test_parallel_scores_match_golden(self, trained):
+        _, golden, artifact = trained
+        reloaded = MatchingPipeline.load(artifact)
+        assert match_pairs(reloaded, golden, jobs=2, chunk_size=25) == golden["pairs"]
+
+    def test_cross_process_scores_match_golden(self, trained):
+        """A fresh interpreter loading the artifact must score identically."""
+        _, golden, artifact = trained
+        source = golden["match_dataset"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_PATH) + os.pathsep + env.get("PYTHONPATH", "")
+        for jobs in ("1", "2"):
+            completed = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "match",
+                    "--model", str(artifact),
+                    "--dataset", source["name"],
+                    "--scale", str(source["scale"]),
+                    "--jobs", jobs,
+                    "--json",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            payload = json.loads(completed.stdout)
+            pairs = [
+                [p["left_id"], p["right_id"], p["score"], p["is_match"]]
+                for p in payload["pairs"]
+            ]
+            assert pairs == golden["pairs"], f"cross-process drift with --jobs {jobs}"
+
+
+def regenerate() -> None:
+    """Rewrite the golden file from the current code (intentional changes only)."""
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    pipeline, _ = run_golden_fit()
+    golden["training_summary"] = strip_timing(pipeline.training["summary"])
+    golden["fit_hash"] = golden_spec(golden).fit_hash()
+    golden["pairs"] = match_pairs(pipeline, golden)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"rewrote {GOLDEN_PATH} ({len(golden['pairs'])} pairs)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

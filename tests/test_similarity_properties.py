@@ -1,5 +1,18 @@
-"""Property-based tests (hypothesis) for the similarity substrate."""
+"""Property tests for the similarity substrate.
 
+Two layers:
+
+* A deterministic **seed-matrix** suite: a fixed-seed corpus of generated
+  string pairs (plus hand-picked adversarial cases) is driven through every
+  *registered* measure of the default suite, asserting the three invariants
+  the feature extractor relies on — values bounded in ``[0, 1]``, symmetry,
+  and exactly ``1.0`` on identical inputs.  No extra dependencies, and the
+  cases are identical on every run, so a violation is always reproducible.
+* Hypothesis-based structural tests for the individual algorithms
+  (distances, triangle inequality, tokenizers).
+"""
+
+import random
 import string
 
 import pytest
@@ -18,6 +31,67 @@ from repro.similarity.tokenizers import normalize, qgrams, tokenize_words
 # Keep the alphabet small so collisions/overlaps actually happen.
 words = st.text(alphabet=string.ascii_lowercase + " 0123456789", min_size=0, max_size=30)
 nonempty_words = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=30)
+
+
+def _seed_matrix() -> list[tuple[str, str]]:
+    """The deterministic string-pair corpus driven through every measure.
+
+    A seeded RNG over a small, collision-heavy alphabet (letters, digits,
+    whitespace, currency/punctuation that the normalizer strips) plus
+    hand-picked adversarial pairs: the soft-TF-IDF asymmetry trigger
+    (several left tokens soft-matching one right token), repeated tokens,
+    numerics with formatting, and empty-after-normalization strings.
+    """
+    rng = random.Random(20260727)
+    alphabet = "abcd abd1 $.,-x"
+    pairs = [
+        (
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 14))),
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 14))),
+        )
+        for _ in range(300)
+    ]
+    pairs += [
+        ("ab", "abc abd"),          # one left token, two soft-matching right tokens
+        ("abc abd", "ab"),          # ... and the mirrored direction
+        ("aa aa", "aa bb"),         # repeated tokens vs distinct tokens
+        ("data data systems", "data systems"),
+        ("walmart stroller", "walmart stroler"),
+        ("1", "-1"),
+        ("$5", "5"),
+        ("0.5", "-0.5"),
+        ("$1,000", "1000"),
+        ("", "anything"),
+        ("", ""),
+        ("...", "..."),             # normalizes to empty on both sides
+        ("a" * 80, "a" * 80 + "b"),  # beyond the DP truncation limit
+    ]
+    return pairs
+
+
+SEED_MATRIX = _seed_matrix()
+IDENTITY_INPUTS = sorted({text for pair in SEED_MATRIX for text in pair if text})
+
+
+@pytest.mark.parametrize("function", DEFAULT_SIMILARITY_SUITE, ids=lambda f: f.name)
+class TestRegisteredMeasureInvariants:
+    """Every registered measure is bounded, symmetric and exact on identity."""
+
+    def test_bounded_on_seed_matrix(self, function):
+        for a, b in SEED_MATRIX:
+            value = function(a, b)
+            assert 0.0 <= value <= 1.0, f"{function.name}({a!r}, {b!r}) = {value}"
+
+    def test_symmetric_on_seed_matrix(self, function):
+        for a, b in SEED_MATRIX:
+            forward, backward = function(a, b), function(b, a)
+            assert forward == pytest.approx(backward, abs=1e-12), (
+                f"{function.name}({a!r}, {b!r}) = {forward} but reversed = {backward}"
+            )
+
+    def test_exactly_one_on_identical_nonempty_inputs(self, function):
+        for text in IDENTITY_INPUTS:
+            assert function(text, text) == 1.0, f"{function.name}({text!r}, {text!r}) != 1.0"
 
 
 @settings(max_examples=60, deadline=None)
