@@ -1,0 +1,166 @@
+"""Index-serving regression benchmark: query latency and update correctness.
+
+Guards the :class:`~repro.index.MatchIndex` serving contract:
+
+* a single-record :meth:`~repro.index.MatchIndex.query` against an indexed
+  corpus must beat a full :meth:`~repro.pipeline.MatchingPipeline.match` of
+  that record against the same corpus by at least
+  :data:`REQUIRED_SPEEDUP` × (median over :data:`N_PROBES` probe records vs
+  one timed batch call) — the batch path pays corpus re-blocking on every
+  call, the index does not;
+* query results stay **bit-identical** to the batch reference while the
+  speedup is measured, and through an add/remove/re-add churn cycle at the
+  same corpus scale (tombstones, compaction and posting updates must never
+  change what a query returns).
+
+``REPRO_EXAMPLE_SCALE`` scales the corpus (floored so the speedup contract
+stays meaningfully testable); ``REPRO_INDEX_SPEEDUP_FLOOR`` overrides the
+required speedup for constrained environments.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveLearningConfig, IndexConfig, PipelineConfig
+from repro.datasets import load_dataset
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+
+from .conftest import EXAMPLE_SCALE
+
+#: Corpus scale: ~200 records per unit.  The floor keeps the corpus at
+#: ≥12k records even in CI smoke runs — below that, corpus re-blocking is
+#: too cheap for the 50× contract to be meaningfully measurable.
+CORPUS_SCALE = max(60.0, 300.0 * min(EXAMPLE_SCALE, 1.0))
+N_PROBES = 12
+REQUIRED_SPEEDUP = float(os.environ.get("REPRO_INDEX_SPEEDUP_FLOOR", "50"))
+
+#: Verification keeps per-query candidate sets small (the serving-shaped
+#: regime: a probe against its near-duplicates, not its whole token
+#: neighborhood).  Applied identically to the batch reference.
+INDEX_CONFIG = IndexConfig(verify_threshold=0.5, exact_verify=True)
+
+
+@pytest.fixture(scope="module")
+def pipeline() -> MatchingPipeline:
+    fitted = MatchingPipeline(
+        PipelineConfig(
+            combination="Trees(2)",
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=3,
+                target_f1=None, random_state=0,
+            ),
+            scale=0.15,
+        )
+    )
+    fitted.fit("dblp_acm")
+    return fitted
+
+
+@pytest.fixture(scope="module")
+def tables():
+    dataset = load_dataset("dblp_acm", scale=CORPUS_SCALE)
+    return dataset.right.records, dataset.left.records[:N_PROBES]
+
+
+def batch_reference(fitted: MatchingPipeline) -> MatchingPipeline:
+    reference = copy.copy(fitted)
+    reference.resolved_blocking = INDEX_CONFIG.blocking_config()
+    return reference
+
+
+def rows(scores) -> list[list]:
+    return [[s.left_id, s.right_id, s.score, s.is_match] for s in scores]
+
+
+def test_single_record_query_speedup(pipeline, tables, emit):
+    corpus, probes = tables
+    index = MatchIndex(pipeline, INDEX_CONFIG)
+
+    build_start = time.perf_counter()
+    index.add(corpus)
+    build_seconds = time.perf_counter() - build_start
+
+    reference = batch_reference(pipeline)
+    match_start = time.perf_counter()
+    batch_result = reference.match([probes[0]], corpus)
+    match_seconds = time.perf_counter() - match_start
+
+    latencies = []
+    for probe in probes:
+        query_start = time.perf_counter()
+        result = index.query(probe)
+        latencies.append(time.perf_counter() - query_start)
+        if probe is probes[0]:
+            assert rows(result) == rows(batch_result), "query drifted from batch match"
+    query_seconds = float(np.median(latencies))
+    speedup = match_seconds / query_seconds
+
+    emit(
+        "index_query_speedup",
+        "\n".join(
+            [
+                f"corpus records:        {len(corpus)}",
+                f"index build:           {build_seconds:.2f}s",
+                f"batch match (1 probe): {match_seconds * 1000:.1f}ms",
+                f"query median:          {query_seconds * 1000:.2f}ms "
+                f"(over {len(probes)} probes)",
+                f"speedup:               {speedup:.0f}x (required ≥ {REQUIRED_SPEEDUP:.0f}x)",
+            ]
+        ),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"single-record query is only {speedup:.1f}x faster than match() "
+        f"on a {len(corpus)}-record corpus (required {REQUIRED_SPEEDUP:.0f}x)"
+    )
+
+
+def test_add_remove_correctness_at_scale(pipeline, tables, emit):
+    """Churn (remove a slice, add it back, force compaction) never changes
+    what a query returns: the index stays equal to a batch match over the
+    live corpus at every step."""
+    corpus, probes = tables
+    index = MatchIndex(pipeline, INDEX_CONFIG)
+    index.add(corpus)
+    reference = batch_reference(pipeline)
+    check_probes = probes[:3]
+
+    def assert_equivalent(stage: str) -> None:
+        live = index.records()
+        for probe in check_probes:
+            assert rows(index.query(probe)) == rows(reference.match([probe], live)), (
+                f"{stage}: query != batch match for {probe.record_id}"
+            )
+
+    removed = [record.record_id for record in corpus[:: max(1, len(corpus) // 500)]]
+    removed_set = set(removed)
+    churn_start = time.perf_counter()
+    index.remove(removed)
+    assert_equivalent("after remove")
+
+    index.add([record for record in corpus if record.record_id in removed_set])
+    assert_equivalent("after re-add")
+
+    reclaimed = index.compact()
+    churn_seconds = time.perf_counter() - churn_start
+    assert reclaimed == len(removed)
+    assert len(index) == len(corpus)
+    assert_equivalent("after compaction")
+
+    emit(
+        "index_add_remove_correctness",
+        "\n".join(
+            [
+                f"corpus records:  {len(corpus)}",
+                f"churned records: {len(removed)} removed, re-added, compacted",
+                f"churn wall time: {churn_seconds:.2f}s (includes equivalence checks)",
+                "equivalence:     query == batch match after every step",
+            ]
+        ),
+    )

@@ -23,6 +23,9 @@ The package is organised as in the paper's architecture (Fig. 1a):
 * :mod:`repro.pipeline` — end-to-end matching pipelines: train by active
   learning, persist as a versioned artifact, score unseen record pairs in
   chunked (optionally multi-process) batches.
+* :mod:`repro.index` — incremental match index over a fitted pipeline:
+  low-latency single-record queries under add/remove, plus union-find
+  entity resolution (dedup) with stable clusters.
 """
 
 from .core import (
@@ -50,9 +53,10 @@ from .blocking import (
     list_blockers,
     make_blocker,
 )
-from .core.config import BlockingConfig, PipelineConfig
+from .core.config import BlockingConfig, IndexConfig, PipelineConfig
 from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
 from .features import BooleanFeatureExtractor, FeatureExtractor
+from .index import MatchIndex, UnionFind
 from .pipeline import MatchingPipeline, MatchScore, load_pipeline
 from .learners import (
     DeepMatcherBaseline,
@@ -113,6 +117,9 @@ __all__ = [
     "make_blocker",
     "FeatureExtractor",
     "BooleanFeatureExtractor",
+    "IndexConfig",
+    "MatchIndex",
+    "UnionFind",
     # experiment execution
     "TrialSpec",
     "FitSpec",

@@ -21,6 +21,7 @@ function registry.
 from .base import Blocker, BlockingResult, record_token_sets
 from .jaccard import JaccardBlocker
 from .minhash_lsh import MinHashLSHBlocker
+from .signatures import SignatureComputer
 from .sorted_neighborhood import SortedNeighborhoodBlocker
 from .registry import BlockerSpec, get_blocker_spec, list_blockers, make_blocker
 
@@ -30,6 +31,7 @@ __all__ = [
     "BlockerSpec",
     "JaccardBlocker",
     "MinHashLSHBlocker",
+    "SignatureComputer",
     "SortedNeighborhoodBlocker",
     "get_blocker_spec",
     "list_blockers",

@@ -25,24 +25,14 @@ shifts the curve left: higher recall, more candidates.
 
 from __future__ import annotations
 
-import zlib
-
 import numpy as np
 
 from ..datasets.base import Record, Table
 from ..exceptions import ConfigurationError
-from ..similarity.tokenizers import normalize
 from .base import Blocker
+from .signatures import SignatureComputer
 
 __all__ = ["MinHashLSHBlocker"]
-
-#: Modulus of the universal hash family: the Mersenne prime 2^61 − 1.  With
-#: 31-bit coefficients and 32-bit shingle hashes, a·x + b < 2^63 never
-#: overflows uint64 arithmetic.
-_MERSENNE_PRIME = np.uint64((1 << 61) - 1)
-_COEFF_BOUND = 1 << 31
-#: FNV-1a 64-bit prime, used to mix a band's signature rows into one bucket key.
-_MIX_PRIME = np.uint64(1099511628211)
 
 
 class MinHashLSHBlocker(Blocker):
@@ -93,27 +83,22 @@ class MinHashLSHBlocker(Blocker):
         exact_verify: bool = False,
         seed: int = 0,
     ):
-        if num_perm < 2:
-            raise ConfigurationError("num_perm must be at least 2")
-        if bands < 1 or num_perm % bands != 0:
-            raise ConfigurationError(
-                f"bands must divide num_perm ({num_perm}); got bands={bands}"
-            )
-        if shingle_size < 1:
-            raise ConfigurationError("shingle_size must be positive")
         if verify_threshold is not None and not 0.0 < verify_threshold <= 1.0:
             raise ConfigurationError("verify_threshold must be in (0, 1] or None")
+        # Shared with the incremental MatchIndex: parameter validation and all
+        # hashing live in the computer, so index and batch blocking cannot
+        # diverge (see repro.blocking.signatures).
+        self.signatures = SignatureComputer(
+            num_perm=num_perm, bands=bands, shingle_size=shingle_size, seed=seed
+        )
         self.num_perm = num_perm
         self.bands = bands
-        self.rows_per_band = num_perm // bands
+        self.rows_per_band = self.signatures.rows_per_band
         self.shingle_size = shingle_size
         self.verify_threshold = verify_threshold
         self.exact_verify = bool(exact_verify)
         self.threshold = verify_threshold if verify_threshold is not None else 0.0
         self.seed = seed
-        rng = np.random.default_rng(seed)
-        self._a = rng.integers(1, _COEFF_BOUND, size=num_perm, dtype=np.uint64)
-        self._b = rng.integers(0, _COEFF_BOUND, size=num_perm, dtype=np.uint64)
 
     def describe(self) -> dict:
         return {
@@ -127,73 +112,18 @@ class MinHashLSHBlocker(Blocker):
         }
 
     def _shingle_hashes(self, record: Record) -> np.ndarray | None:
-        """32-bit hashes of the distinct character shingles of a record.
-
-        Returns ``None`` for records whose normalized text is empty (they can
-        never block with anything, matching the Jaccard blocker's behavior).
-        """
-        text = normalize(record.text())
-        if not text:
-            return None
-        k = self.shingle_size
-        if len(text) <= k:
-            shingles = {text}
-        else:
-            shingles = {text[i : i + k] for i in range(len(text) - k + 1)}
-        return np.fromiter(
-            (zlib.crc32(s.encode("utf-8")) for s in shingles),
-            dtype=np.uint64,
-            count=len(shingles),
-        )
+        """32-bit hashes of the distinct character shingles of a record."""
+        return self.signatures.shingle_hashes(record)
 
     def _table_signatures(
         self, table: Table
     ) -> tuple[list[Record], np.ndarray, list[np.ndarray]]:
-        """Records with non-empty text, their signature matrix, and shingles.
-
-        Returns ``(records, signatures, shingle_hashes)`` where ``signatures``
-        has shape ``(len(records), num_perm)``.  All records are hashed in one
-        flat array; each permutation is one vectorized multiply-add-mod plus a
-        segmented min (``np.minimum.reduceat``), so the Python-level loop is
-        O(num_perm), not O(records).
-        """
-        records: list[Record] = []
-        hash_arrays: list[np.ndarray] = []
-        for record in table:
-            hashes = self._shingle_hashes(record)
-            if hashes is None:
-                continue
-            records.append(record)
-            hash_arrays.append(hashes)
-        if not records:
-            return [], np.empty((0, self.num_perm), dtype=np.uint64), []
-
-        flat = np.concatenate(hash_arrays)
-        lengths = np.fromiter((len(h) for h in hash_arrays), dtype=np.intp, count=len(hash_arrays))
-        offsets = np.zeros(len(hash_arrays), dtype=np.intp)
-        np.cumsum(lengths[:-1], out=offsets[1:])
-
-        signatures = np.empty((len(records), self.num_perm), dtype=np.uint64)
-        for i in range(self.num_perm):
-            values = (self._a[i] * flat + self._b[i]) % _MERSENNE_PRIME
-            signatures[:, i] = np.minimum.reduceat(values, offsets)
-        return records, signatures, hash_arrays
+        """Records with non-empty text, their signature matrix, and shingles."""
+        return self.signatures.table_signatures(table)
 
     def _band_hashes(self, signatures: np.ndarray) -> np.ndarray:
-        """Mix each band's signature rows into one 64-bit bucket key.
-
-        Shape ``(records, num_perm)`` → ``(records, bands)``.  FNV-style
-        mixing (wrapping uint64 arithmetic) — spurious key collisions are
-        ~records²/2⁶⁴ and only ever *add* candidates, never drop them.
-        """
-        r = self.rows_per_band
-        mixed = np.empty((signatures.shape[0], self.bands), dtype=np.uint64)
-        for band in range(self.bands):
-            accumulator = np.full(signatures.shape[0], np.uint64(band + 1), dtype=np.uint64)
-            for column in range(band * r, (band + 1) * r):
-                accumulator = accumulator * _MIX_PRIME + signatures[:, column]
-            mixed[:, band] = accumulator
-        return mixed
+        """Mix each band's signature rows into one 64-bit bucket key."""
+        return self.signatures.band_hashes(signatures)
 
     @staticmethod
     def _band_join(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -256,28 +186,20 @@ class MinHashLSHBlocker(Blocker):
         left_rows = (pair_ids // n_right).astype(np.intp)
         right_rows = (pair_ids % n_right).astype(np.intp)
 
-        # Signature-agreement estimate for every pair, chunked to bound the
-        # (pairs × num_perm) comparison matrix to a few MB at a time.  The
-        # comparison uses 16-bit truncated signatures: memory traffic drops
-        # 4× and spurious component agreements add only ~(1-s)/2¹⁶ bias.
-        left16 = left_sigs.astype(np.uint16)
-        right16 = right_sigs.astype(np.uint16)
-        estimates = np.empty(len(pair_ids))
-        chunk = 1 << 17
-        for start in range(0, len(pair_ids), chunk):
-            stop = min(start + chunk, len(pair_ids))
-            estimates[start:stop] = (
-                left16[left_rows[start:stop]] == right16[right_rows[start:stop]]
-            ).mean(axis=1)
+        # Signature-agreement estimate for every pair, via the shared
+        # (chunked, 16-bit) estimator in SignatureComputer.
+        estimates = SignatureComputer.estimate_agreement(
+            left_sigs.astype(np.uint16),
+            right_sigs.astype(np.uint16),
+            left_rows,
+            right_rows,
+        )
 
         verify = self.verify_threshold
         if verify is not None:
-            # Filter with a 2σ recall slack: a pair whose true Jaccard sits
-            # exactly at the threshold would otherwise be dropped ~50% of the
-            # time by estimate noise.  The exact pass (when enabled) re-applies
-            # the threshold precisely.
-            sigma = float(np.sqrt(verify * (1.0 - verify) / self.num_perm))
-            keep = estimates >= verify - 2.0 * sigma
+            # Shared decision rule (2σ recall slack); the exact pass (when
+            # enabled) re-applies the threshold precisely.
+            keep = SignatureComputer.verification_mask(estimates, verify, self.num_perm)
             left_rows, right_rows = left_rows[keep], right_rows[keep]
             estimates = estimates[keep]
 
@@ -295,8 +217,7 @@ class MinHashLSHBlocker(Blocker):
                 right_set = right_sets.get(r_row)
                 if right_set is None:
                     right_set = right_sets[r_row] = set(right_hashes[r_row].tolist())
-                union = len(left_set | right_set)
-                score = len(left_set & right_set) / union if union else 0.0
+                score = SignatureComputer.exact_jaccard(left_set, right_set)
                 if score >= verify:
                     survivors.append((left_records[l_row], right_records[r_row], score))
             return survivors

@@ -43,6 +43,15 @@ Train a matching pipeline, persist it, and score record pairs with it later
         --scale 0.3 --model models/abt_buy
     python -m repro match --model models/abt_buy --dataset abt_buy \
         --scale 0.3 --jobs 4 --json
+
+Index a corpus for low-latency single-record queries and dedup (incremental:
+``index add`` / ``index remove`` update the persisted artifact in place)::
+
+    python -m repro index build --model models/abt_buy --dataset abt_buy \
+        --scale 0.3 --out models/abt_buy_index
+    python -m repro index query --index models/abt_buy_index \
+        --record '{"record_id": "q1", "name": "sony bravia 40in lcd tv"}'
+    python -m repro index dedup --index models/abt_buy_index --json
 """
 
 from __future__ import annotations
@@ -164,6 +173,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="rows shown in the text table (JSON is never truncated)"
     )
     match.add_argument("--json", action="store_true", help="print all scored pairs as JSON")
+
+    index = subparsers.add_parser(
+        "index", help="build, update and query an incremental match index"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build", help="index a record corpus with a trained pipeline and persist it"
+    )
+    index_build.add_argument("--model", required=True, help="pipeline artifact written by 'train'")
+    index_build.add_argument("--out", required=True, help="output index artifact directory")
+    index_build.add_argument("--records", default=None, help="JSON file with the corpus records")
+    index_build.add_argument(
+        "--dataset",
+        choices=dataset_names(),
+        default=None,
+        help="index a catalog dataset table instead of --records",
+    )
+    index_build.add_argument(
+        "--side",
+        choices=["left", "right"],
+        default="right",
+        help="which table of --dataset to index (default: right)",
+    )
+    index_build.add_argument("--scale", type=float, default=0.3, help="dataset size multiplier")
+    index_build.add_argument("--seed", type=int, default=None, help="dataset generation seed")
+    index_build.add_argument("--num-perm", type=int, default=None, help="MinHash signature length")
+    index_build.add_argument("--bands", type=int, default=None, help="LSH band count")
+    index_build.add_argument("--shingle-size", type=int, default=None, help="character shingle length")
+    index_build.add_argument(
+        "--verify-threshold",
+        type=float,
+        default=None,
+        help="estimated-Jaccard verification cutoff for collisions",
+    )
+    index_build.add_argument("--json", action="store_true", help="print the artifact manifest as JSON")
+
+    index_add = index_sub.add_parser(
+        "add", help="add records to a persisted index (saved back in place)"
+    )
+    index_add.add_argument("--index", required=True, help="index artifact directory")
+    index_add.add_argument("--records", required=True, help="JSON file with the records to add")
+    index_add.add_argument("--json", action="store_true", help="print the updated stats as JSON")
+
+    index_remove = index_sub.add_parser(
+        "remove", help="remove records by id from a persisted index (saved back in place)"
+    )
+    index_remove.add_argument("--index", required=True, help="index artifact directory")
+    index_remove.add_argument("--ids", required=True, help="comma-separated record ids")
+    index_remove.add_argument("--json", action="store_true", help="print the updated stats as JSON")
+
+    index_query = index_sub.add_parser(
+        "query", help="match one record against a persisted index"
+    )
+    index_query.add_argument("--index", required=True, help="index artifact directory")
+    index_query.add_argument("--record", default=None, help="the record as an inline JSON object")
+    index_query.add_argument("--record-file", default=None, help="JSON file holding the record object")
+    index_query.add_argument("--top-k", type=int, default=None, help="return only the k highest scores")
+    index_query.add_argument(
+        "--min-score", type=float, default=None, help="only report pairs scoring at least this"
+    )
+    index_query.add_argument("--json", action="store_true", help="print the scored pairs as JSON")
+
+    index_dedup = index_sub.add_parser(
+        "dedup", help="resolve the indexed corpus into entity clusters"
+    )
+    index_dedup.add_argument("--index", required=True, help="index artifact directory")
+    index_dedup.add_argument(
+        "--min-score", type=float, default=None, help="minimum score for a pair to merge entities"
+    )
+    index_dedup.add_argument(
+        "--limit", type=int, default=20, help="clusters shown in text output (JSON is never truncated)"
+    )
+    index_dedup.add_argument("--json", action="store_true", help="print all clusters as JSON")
 
     block = subparsers.add_parser(
         "block", help="compare blocking strategies on one dataset (no learning)"
@@ -445,6 +528,168 @@ def _command_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_index(path: str):
+    from .index import MatchIndex
+
+    return MatchIndex.load(path)
+
+
+def _print_index_stats(index, path: str, as_json: bool) -> None:
+    stats = index.stats()
+    if as_json:
+        print(json.dumps({"index": path, "stats": stats}, indent=2, sort_keys=True))
+    else:
+        print(
+            f"index {path}: {stats['records']} record(s) "
+            f"({stats['tombstones']} tombstoned of {stats['rows']} rows), "
+            f"{stats['posting_lists']} posting lists across {stats['bands']} bands"
+        )
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    from .core import IndexConfig
+    from .index import MatchIndex
+    from .pipeline import MatchingPipeline
+
+    has_records = args.records is not None
+    if (args.dataset is not None) == has_records:
+        print("error: pass either --records or --dataset", file=sys.stderr)
+        return 1
+    pipeline = MatchingPipeline.load(args.model)
+    overrides = {
+        name: value
+        for name, value in (
+            ("num_perm", args.num_perm),
+            ("bands", args.bands),
+            ("shingle_size", args.shingle_size),
+            ("verify_threshold", args.verify_threshold),
+        )
+        if value is not None
+    }
+    config = None
+    if overrides:
+        resolved = pipeline.resolved_blocking
+        if resolved is not None and resolved.method == "minhash_lsh":
+            config = IndexConfig.from_blocking(resolved, **overrides)
+        else:
+            config = IndexConfig(**overrides)
+    if has_records:
+        records = _load_records_file(args.records)
+    else:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        records = getattr(dataset, args.side).records
+    index = MatchIndex(pipeline, config)
+    index.add(records)
+    manifest = index.save(args.out)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(f"indexed {len(index)} record(s) with model {args.model}")
+        _print_index_stats(index, args.out, as_json=False)
+    return 0
+
+
+def _command_index_add(args: argparse.Namespace) -> int:
+    index = _load_index(args.index)
+    added = index.add(_load_records_file(args.records))
+    index.save(args.index)
+    if not args.json:
+        print(f"added {len(added)} record(s)")
+    _print_index_stats(index, args.index, args.json)
+    return 0
+
+
+def _command_index_remove(args: argparse.Namespace) -> int:
+    index = _load_index(args.index)
+    ids = [record_id.strip() for record_id in args.ids.split(",") if record_id.strip()]
+    removed = index.remove(ids)
+    index.save(args.index)
+    if not args.json:
+        print(f"removed {removed} record(s)")
+    _print_index_stats(index, args.index, args.json)
+    return 0
+
+
+def _command_index_query(args: argparse.Namespace) -> int:
+    has_inline = args.record is not None
+    if has_inline == (args.record_file is not None):
+        print("error: pass either --record or --record-file", file=sys.stderr)
+        return 1
+    try:
+        if has_inline:
+            record = json.loads(args.record)
+        else:
+            with open(args.record_file, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        if not isinstance(record, dict):
+            raise ValueError("the record must be a JSON object")
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    index = _load_index(args.index)
+    scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
+    if args.json:
+        payload = {
+            "index": args.index,
+            "candidates": len(scores),
+            "matches": sum(1 for score in scores if score.is_match),
+            "pairs": [score.to_dict() for score in scores],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    matches = sum(1 for score in scores if score.is_match)
+    print(f"{len(scores)} candidate(s) scored, {matches} predicted match(es)")
+    if scores:
+        print(
+            reporting.format_table(
+                [score.to_dict() for score in scores],
+                columns=["left_id", "right_id", "score", "is_match"],
+                title="scored candidates",
+            )
+        )
+    return 0
+
+
+def _command_index_dedup(args: argparse.Namespace) -> int:
+    index = _load_index(args.index)
+    clusters = index.resolve(min_score=args.min_score)
+    entities = [cluster for cluster in clusters if len(cluster) > 1]
+    if args.json:
+        payload = {
+            "index": args.index,
+            "records": len(index),
+            "entities": len(clusters),
+            "merged_entities": len(entities),
+            "clusters": clusters,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{len(index)} record(s) resolved into {len(clusters)} entities "
+        f"({len(entities)} with more than one record)"
+    )
+    for cluster in entities[: args.limit]:
+        print(f"  {len(cluster)} records: {', '.join(cluster)}")
+    if len(entities) > args.limit:
+        print(f"  ... {len(entities) - args.limit} more (use --json for all)")
+    return 0
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    handlers = {
+        "build": _command_index_build,
+        "add": _command_index_add,
+        "remove": _command_index_remove,
+        "query": _command_index_query,
+        "dedup": _command_index_dedup,
+    }
+    try:
+        return handlers[args.index_command](args)
+    except (ReproError, OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _command_sweep(args: argparse.Namespace, resume: bool = False) -> int:
     datasets = (
         [name.strip() for name in args.datasets.split(",") if name.strip()]
@@ -531,6 +776,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_train(args)
     if args.command == "match":
         return _command_match(args)
+    if args.command == "index":
+        return _command_index(args)
     if args.command == "block":
         return _command_block(args)
     if args.command == "sweep":

@@ -16,7 +16,7 @@ from .base import (
     SelectionResult,
     check_compatibility,
 )
-from .config import ActiveLearningConfig, BlockingConfig, PipelineConfig
+from .config import ActiveLearningConfig, BlockingConfig, IndexConfig, PipelineConfig
 from .evaluation import EvaluationResult, evaluate_predictions
 from .pools import LabeledPool, PairPool
 from .oracle import NoisyOracle, Oracle, PerfectOracle
@@ -33,6 +33,7 @@ __all__ = [
     "check_compatibility",
     "ActiveLearningConfig",
     "BlockingConfig",
+    "IndexConfig",
     "PipelineConfig",
     "EvaluationResult",
     "evaluate_predictions",

@@ -85,6 +85,121 @@ class BlockingConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """LSH and maintenance parameters of a :class:`~repro.index.MatchIndex`.
+
+    The first four attributes mirror the
+    :class:`~repro.blocking.minhash_lsh.MinHashLSHBlocker` parameters — an
+    index built with an ``IndexConfig`` produces candidate sets bit-identical
+    to a batch blocking pass with :meth:`blocking_config` (the shared
+    :class:`~repro.blocking.signatures.SignatureComputer` guarantees the
+    signatures agree).
+
+    Attributes
+    ----------
+    num_perm / bands / shingle_size / seed:
+        MinHash signature length, LSH band count, character shingle length
+        and permutation seed (see the blocker docs for the S-curve trade-off).
+    verify_threshold / exact_verify:
+        Optional verification pass over bucket collisions, identical in
+        semantics to the blocker's: estimated-Jaccard filtering with a 2σ
+        recall slack, optionally upgraded to exact shingle-Jaccard.
+    compaction_threshold:
+        When the tombstoned fraction of index rows exceeds this value after a
+        ``remove``, the index compacts automatically (rebuilding its arrays
+        and posting lists without the dead rows).  1.0 disables
+        auto-compaction; ``compact()`` can always be called explicitly.
+    resolve_min_score:
+        Default ``min_score`` of :meth:`~repro.index.MatchIndex.resolve`:
+        pairs must be predicted matches scoring at least this to be merged
+        into one entity.  ``None`` accepts every predicted match.
+    """
+
+    num_perm: int = 128
+    bands: int = 64
+    shingle_size: int = 3
+    verify_threshold: float | None = None
+    exact_verify: bool = False
+    seed: int = 0
+    compaction_threshold: float = 0.5
+    resolve_min_score: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_perm < 2:
+            raise ConfigurationError("num_perm must be at least 2")
+        if self.bands < 1 or self.num_perm % self.bands != 0:
+            raise ConfigurationError(
+                f"bands must divide num_perm ({self.num_perm}); got bands={self.bands}"
+            )
+        if self.shingle_size < 1:
+            raise ConfigurationError("shingle_size must be positive")
+        if self.verify_threshold is not None and not 0.0 < self.verify_threshold <= 1.0:
+            raise ConfigurationError("verify_threshold must be in (0, 1] or None")
+        if not 0.0 < self.compaction_threshold <= 1.0:
+            raise ConfigurationError("compaction_threshold must be in (0, 1]")
+        if self.resolve_min_score is not None and not 0.0 <= self.resolve_min_score <= 1.0:
+            raise ConfigurationError("resolve_min_score must be in [0, 1] or None")
+
+    def blocking_config(self) -> BlockingConfig:
+        """The equivalent batch :class:`BlockingConfig` (``minhash_lsh``).
+
+        A :class:`~repro.pipeline.MatchingPipeline` whose resolved blocking is
+        this config blocks exactly the candidate pairs the index retrieves —
+        the equivalence contract the index test suite asserts.
+        """
+        return BlockingConfig.create(
+            "minhash_lsh",
+            num_perm=self.num_perm,
+            bands=self.bands,
+            shingle_size=self.shingle_size,
+            seed=self.seed,
+            verify_threshold=self.verify_threshold,
+            exact_verify=self.exact_verify,
+        )
+
+    @classmethod
+    def from_blocking(cls, blocking: BlockingConfig, **overrides) -> "IndexConfig":
+        """Derive an index config from a ``minhash_lsh`` blocking config.
+
+        Used when wrapping a pipeline that was trained with LSH blocking, so
+        the index inherits the exact signature parameters the pipeline blocks
+        with at inference time.
+        """
+        if blocking.method != "minhash_lsh":
+            raise ConfigurationError(
+                f"IndexConfig.from_blocking requires a 'minhash_lsh' blocking "
+                f"config, got {blocking.method!r}"
+            )
+        params = blocking.kwargs()
+        known = {
+            name: params[name]
+            for name in ("num_perm", "bands", "shingle_size", "seed", "exact_verify")
+            if name in params
+        }
+        verify = params.get("verify_threshold", blocking.threshold)
+        known.setdefault("verify_threshold", verify)
+        known.update(overrides)
+        return cls(**known)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
+        return {
+            "num_perm": self.num_perm,
+            "bands": self.bands,
+            "shingle_size": self.shingle_size,
+            "verify_threshold": self.verify_threshold,
+            "exact_verify": self.exact_verify,
+            "seed": self.seed,
+            "compaction_threshold": self.compaction_threshold,
+            "resolve_min_score": self.resolve_min_score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ActiveLearningConfig:
     """Hyper-parameters of the active-learning loop (Section 6 defaults).
 

@@ -1,0 +1,39 @@
+"""Incremental match-index subsystem: low-latency queries + entity resolution.
+
+The batch :class:`~repro.pipeline.MatchingPipeline` re-blocks two full tables
+on every :meth:`~repro.pipeline.MatchingPipeline.match` call.  This package
+adds the serving-shaped complement — answering *one new record against a
+large indexed corpus* without re-blocking it ("answering queries under
+updates", Berkholz et al., arXiv:1702.08764):
+
+* :class:`MatchIndex` — a persistable, incrementally updatable MinHash-LSH
+  index over a fitted pipeline: ``add`` / ``remove`` maintain posting lists
+  plus cached signatures, ``query`` scores only colliding candidates, and
+  results are **bit-identical** to an equivalent batch ``match()`` (the
+  incremental path is kept honest against the batch path by golden and
+  property tests, in the spirit of Wang et al., arXiv:1710.07660).
+* An entity-resolution layer — :meth:`MatchIndex.resolve` runs union-find
+  (:class:`UnionFind`) over accepted match pairs and emits stable entity
+  clusters, maintained incrementally as records are added.
+
+Persistence reuses the versioned pipeline-artifact machinery with an
+``index/`` payload; see ``docs/index.md`` for maintenance semantics
+(tombstones, compaction, incremental resolve).
+"""
+
+from .match_index import (
+    INDEX_FORMAT_VERSION,
+    INDEX_STATE_PAYLOAD,
+    INDEX_SUPPORTED_VERSIONS,
+    MatchIndex,
+)
+from .resolution import UnionFind, stable_clusters
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "INDEX_STATE_PAYLOAD",
+    "INDEX_SUPPORTED_VERSIONS",
+    "MatchIndex",
+    "UnionFind",
+    "stable_clusters",
+]

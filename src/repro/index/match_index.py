@@ -1,0 +1,694 @@
+"""Incrementally maintained match index over a trained pipeline.
+
+A :class:`MatchIndex` answers the serving-side question the batch
+:meth:`~repro.pipeline.MatchingPipeline.match` cannot: *given one new record,
+which of the N indexed records match it* — without re-blocking the whole
+corpus per call.  It maintains, under :meth:`add` / :meth:`remove`:
+
+* a MinHash-LSH band index (band-hash → posting lists of row ids) built with
+  the same :class:`~repro.blocking.signatures.SignatureComputer` the batch
+  blocker uses,
+* cached per-record shingle hash arrays and MinHash signatures (so an added
+  record is hashed exactly once, ever), and
+* a persistent feature extractor whose normalization / value-pair caches warm
+  up as the corpus is indexed.
+
+:meth:`query` therefore touches only the posting lists the probe record's
+band keys collide with and scores one small candidate batch — **bit-identical**
+to a batch ``match([record], corpus)`` under the equivalent ``minhash_lsh``
+blocking config (golden + property tested), at a small fraction of the cost.
+
+Deletes are *tombstones*: the row is masked out of every query and
+:meth:`compact` (triggered automatically past
+``IndexConfig.compaction_threshold``) rebuilds the arrays and posting lists
+without the dead rows.  Row order is insertion order and compaction preserves
+it, which is what keeps incremental results aligned with the batch reference.
+
+On top of the pairwise layer, :meth:`resolve` runs union-find over accepted
+match pairs (prediction = match, optionally ``score >= min_score``) and emits
+stable entity clusters; cluster state is maintained incrementally on
+:meth:`add` and recomputed after :meth:`remove` (union-find cannot split).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from ..blocking.signatures import SignatureComputer
+from ..core.config import IndexConfig
+from ..datasets.base import CandidatePair, Record, Table
+from ..exceptions import ArtifactError, ConfigurationError, DatasetError
+from ..harness.preparation import make_extractor
+from ..pipeline.artifact import read_manifest, read_payload, write_artifact
+from ..pipeline.matching import MatchingPipeline, MatchScore, _score_pairs, coerce_record
+from .resolution import UnionFind, stable_clusters
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "INDEX_STATE_PAYLOAD",
+    "INDEX_SUPPORTED_VERSIONS",
+    "MatchIndex",
+]
+
+#: Current index payload version; bump on any reader-incompatible change to
+#: the pickled state layout.  Gated independently of the enclosing pipeline
+#: artifact's ``format_version`` — a version-1 pipeline reader can always
+#: load the wrapped pipeline and ignore the index payload.
+INDEX_FORMAT_VERSION = 1
+
+#: Index payload versions this reader can load.
+INDEX_SUPPORTED_VERSIONS = frozenset({1})
+
+#: Artifact-relative file holding the pickled index state.
+INDEX_STATE_PAYLOAD = "index/state.pkl"
+
+#: Ceiling on the persistent extractor's value-pair cache.  Probe-side
+#: entries can never hit again (the cache key includes the probe's value),
+#: so a long-lived serving index would otherwise grow without bound; when
+#: the ceiling is crossed the caches are dropped and rebuilt lazily.
+#: Caches never affect scores, only speed.
+EXTRACTOR_CACHE_LIMIT = 1 << 20
+
+
+class MatchIndex:
+    """Low-latency single-record matching against an indexed corpus.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted (or loaded) :class:`~repro.pipeline.MatchingPipeline`; its
+        predictor and feature extraction are reused unchanged, so index
+        scores are exactly the pipeline's scores.
+    config:
+        LSH / maintenance parameters.  ``None`` inherits the pipeline's
+        resolved blocking when it is ``minhash_lsh`` (so indexed queries
+        block exactly as the pipeline's own ``match`` would), else the
+        :class:`~repro.core.config.IndexConfig` defaults.
+
+    The equivalence contract — for any add/remove history, ``query(r)``
+    returns exactly what ``match([r], live_corpus)`` returns under
+    ``config.blocking_config()`` — is asserted by the golden and hypothesis
+    suites in ``tests/test_index.py`` / ``tests/test_index_golden.py``.
+    """
+
+    def __init__(self, pipeline: MatchingPipeline, config: IndexConfig | None = None):
+        pipeline._require_fitted()
+        if config is None:
+            resolved = pipeline.resolved_blocking
+            if resolved is not None and resolved.method == "minhash_lsh":
+                config = IndexConfig.from_blocking(resolved)
+            else:
+                config = IndexConfig()
+        self.pipeline = pipeline
+        self.config = config
+        self._computer = SignatureComputer(
+            num_perm=config.num_perm,
+            bands=config.bands,
+            shingle_size=config.shingle_size,
+            seed=config.seed,
+        )
+        #: Persistent extractor: normalization and value-pair caches warm up
+        #: as records are indexed/queried instead of being rebuilt per call.
+        self._extractor = make_extractor(pipeline.matched_columns, pipeline.feature_kind)
+        self._records: list[Record] = []
+        self._shingles: list[np.ndarray | None] = []
+        # Row-aligned storage lives in geometrically grown buffers (see
+        # _ensure_capacity); the _signatures/_sig16/_band_keys/_live
+        # properties expose the filled prefix as writable views, so a
+        # trickle of single-record add() calls is O(batch) amortized rather
+        # than re-concatenating (copying) the whole corpus every time.
+        self._sig_buf = np.empty((0, config.num_perm), dtype=np.uint64)
+        self._sig16_buf = np.empty((0, config.num_perm), dtype=np.uint16)
+        self._keys_buf = np.empty((0, config.bands), dtype=np.uint64)
+        self._live_buf = np.empty(0, dtype=bool)
+        self._row_of: dict[str, int] = {}
+        self._postings: list[dict[int, list[int]]] = [dict() for _ in range(config.bands)]
+        self._n_tombstones = 0
+        self._added_total = 0
+        self._shingle_sets: dict[int, set[int]] = {}
+        self._resolution: dict | None = None
+
+    # ------------------------------------------------------------- storage
+    @property
+    def _signatures(self) -> np.ndarray:
+        return self._sig_buf[: len(self._records)]
+
+    @property
+    def _sig16(self) -> np.ndarray:
+        return self._sig16_buf[: len(self._records)]
+
+    @property
+    def _band_keys(self) -> np.ndarray:
+        return self._keys_buf[: len(self._records)]
+
+    @property
+    def _live(self) -> np.ndarray:
+        return self._live_buf[: len(self._records)]
+
+    def _ensure_capacity(self, extra: int) -> None:
+        """Grow the row buffers geometrically to hold ``extra`` more rows."""
+        size = len(self._records)
+        needed = size + extra
+        if needed <= len(self._live_buf):
+            return
+        capacity = max(needed, 2 * len(self._live_buf), 64)
+
+        def grown(buffer: np.ndarray) -> np.ndarray:
+            replacement = np.empty((capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+            replacement[:size] = buffer[:size]
+            return replacement
+
+        self._sig_buf = grown(self._sig_buf)
+        self._sig16_buf = grown(self._sig16_buf)
+        self._keys_buf = grown(self._keys_buf)
+        self._live_buf = grown(self._live_buf)
+
+    def _set_storage(
+        self,
+        signatures: np.ndarray,
+        sig16: np.ndarray,
+        band_keys: np.ndarray,
+        live: np.ndarray,
+    ) -> None:
+        """Install exact-size row storage (compaction / state reload)."""
+        self._sig_buf = signatures
+        self._sig16_buf = sig16
+        self._keys_buf = band_keys
+        self._live_buf = live
+
+    # -------------------------------------------------------------- corpus
+    def __len__(self) -> int:
+        """Number of live (queryable) records."""
+        return len(self._row_of)
+
+    def __contains__(self, record_id: str) -> bool:
+        return str(record_id) in self._row_of
+
+    @property
+    def n_rows(self) -> int:
+        """Physical rows, live plus tombstoned (shrinks on compaction)."""
+        return len(self._records)
+
+    @property
+    def n_tombstones(self) -> int:
+        return self._n_tombstones
+
+    def records(self) -> list[Record]:
+        """Live records in insertion order — the batch-equivalent corpus."""
+        return [self._records[row] for row in np.flatnonzero(self._live)]
+
+    def record_ids(self) -> list[str]:
+        return [record.record_id for record in self.records()]
+
+    def stats(self) -> dict:
+        """Deterministic (timestamp-free) corpus and structure counters."""
+        posting_lists = sum(len(band) for band in self._postings)
+        return {
+            "records": len(self),
+            "rows": self.n_rows,
+            "tombstones": self._n_tombstones,
+            "bands": self.config.bands,
+            "num_perm": self.config.num_perm,
+            "posting_lists": posting_lists,
+        }
+
+    # ----------------------------------------------------------------- add
+    def _coerce_batch(self, records) -> list[Record]:
+        if isinstance(records, Table):
+            records = records.records
+        return [
+            coerce_record(obj, self._added_total + offset)
+            for offset, obj in enumerate(records)
+        ]
+
+    def add(self, records) -> list[str]:
+        """Index a batch of records; returns their ids in insertion order.
+
+        Each record is shingled, signed and banded exactly once; signatures
+        for the whole batch are computed with the same vectorized kernel the
+        batch blocker uses.  Records whose normalized text is empty are kept
+        (they belong to the corpus and to entity resolution as singletons)
+        but never enter a posting list — they cannot collide with anything,
+        matching batch blocking semantics.
+
+        Raises :class:`~repro.exceptions.DatasetError` when an id is already
+        live in the index or duplicated within the batch.
+        """
+        batch = self._coerce_batch(records)
+        seen: set[str] = set()
+        duplicates = []
+        for record in batch:
+            if record.record_id in self._row_of or record.record_id in seen:
+                duplicates.append(record.record_id)
+            seen.add(record.record_id)
+        if duplicates:
+            raise DatasetError(f"record id(s) already indexed: {sorted(set(duplicates))}")
+        if not batch:
+            return []
+
+        hashes = [self._computer.shingle_hashes(record) for record in batch]
+        nonempty = [h for h in hashes if h is not None]
+        signatures = self._computer.signature_matrix(nonempty)
+
+        base = len(self._records)
+        full = np.zeros((len(batch), self.config.num_perm), dtype=np.uint64)
+        keys = np.zeros((len(batch), self.config.bands), dtype=np.uint64)
+        nonempty_offsets = np.fromiter(
+            (i for i, h in enumerate(hashes) if h is not None), dtype=np.intp
+        )
+        if len(nonempty_offsets):
+            full[nonempty_offsets] = signatures
+            keys[nonempty_offsets] = self._computer.band_hashes(signatures)
+
+        self._ensure_capacity(len(batch))
+        self._sig_buf[base : base + len(batch)] = full
+        self._sig16_buf[base : base + len(batch)] = full.astype(np.uint16)
+        self._keys_buf[base : base + len(batch)] = keys
+        self._live_buf[base : base + len(batch)] = True
+        self._records.extend(batch)
+        self._shingles.extend(hashes)
+        for offset, record in enumerate(batch):
+            self._row_of[record.record_id] = base + offset
+        self._added_total += len(batch)
+
+        if len(nonempty_offsets):
+            rows = (base + nonempty_offsets).astype(np.int64)
+            self._append_postings(rows, keys[nonempty_offsets])
+        self._warm_normalization(batch)
+
+        if self._resolution is not None:
+            self._extend_resolution((base + np.arange(len(batch))).tolist())
+        return [record.record_id for record in batch]
+
+    def _append_postings(self, rows: np.ndarray, keys: np.ndarray) -> None:
+        """Append rows to each band's posting lists, grouped per bucket key.
+
+        Rows within a bucket stay in ascending (insertion) order — candidate
+        generation sorts anyway, but deterministic posting order keeps
+        persisted state a pure function of the add/remove sequence.
+        """
+        for band in range(self.config.bands):
+            band_keys = keys[:, band]
+            order = np.argsort(band_keys, kind="stable")
+            sorted_keys = band_keys[order]
+            sorted_rows = rows[order]
+            boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_keys)]))
+            postings = self._postings[band]
+            for start, end in zip(starts.tolist(), ends.tolist()):
+                key = int(sorted_keys[start])
+                bucket = postings.get(key)
+                if bucket is None:
+                    postings[key] = sorted_rows[start:end].tolist()
+                else:
+                    bucket.extend(sorted_rows[start:end].tolist())
+
+    def _warm_normalization(self, batch: list[Record]) -> None:
+        """Pre-normalize indexed attribute values into the extractor cache.
+
+        Queries then only pay normalization for the probe record's values;
+        the corpus side is already cached.  The Boolean extractor keeps no
+        normalization cache, so this is a no-op for rule pipelines.
+        """
+        normalize_cached = getattr(self._extractor, "_normalize_cached", None)
+        if normalize_cached is None:
+            return
+        for record in batch:
+            for column in self._extractor.matched_columns:
+                normalize_cached(record.value(column))
+
+    # -------------------------------------------------------------- remove
+    def remove(self, record_ids) -> int:
+        """Tombstone records by id; returns the number removed.
+
+        Unknown (or already removed) ids raise
+        :class:`~repro.exceptions.DatasetError` before any state changes.
+        Tombstoned rows stay in the arrays and posting lists — masked out of
+        every query — until compaction; removal invalidates incremental
+        resolution state (union-find cannot split), so the next
+        :meth:`resolve` recomputes from the live corpus.
+        """
+        if isinstance(record_ids, str):
+            record_ids = [record_ids]
+        # Order-preserving dedup: mentioning an id twice in one call is one
+        # removal, keeping the loop below exception-safe after the precheck.
+        ids = list(dict.fromkeys(str(record_id) for record_id in record_ids))
+        missing = sorted({record_id for record_id in ids if record_id not in self._row_of})
+        if missing:
+            raise DatasetError(f"record id(s) not in index: {missing}")
+        for record_id in ids:
+            row = self._row_of.pop(record_id)
+            self._live[row] = False
+            self._n_tombstones += 1
+        self._resolution = None
+        if (
+            self.n_rows
+            and self.config.compaction_threshold < 1.0
+            and self._n_tombstones / self.n_rows > self.config.compaction_threshold
+        ):
+            self.compact()
+        return len(ids)
+
+    def compact(self) -> int:
+        """Physically drop tombstoned rows; returns the number reclaimed.
+
+        Survivor order (and therefore query output order) is unchanged:
+        compaction renumbers rows but preserves insertion order, so the index
+        stays aligned with its batch-equivalent corpus.
+        """
+        reclaimed = self._n_tombstones
+        if reclaimed == 0:
+            return 0
+        keep = np.flatnonzero(self._live)
+        self._set_storage(
+            self._signatures[keep],
+            self._sig16[keep],
+            self._band_keys[keep],
+            np.ones(len(keep), dtype=bool),
+        )
+        self._records = [self._records[row] for row in keep]
+        self._shingles = [self._shingles[row] for row in keep]
+        self._row_of = {record.record_id: row for row, record in enumerate(self._records)}
+        self._n_tombstones = 0
+        self._shingle_sets.clear()
+        self._rebuild_postings()
+        return int(reclaimed)
+
+    def _rebuild_postings(self) -> None:
+        self._postings = [dict() for _ in range(self.config.bands)]
+        rows = np.fromiter(
+            (row for row, hashes in enumerate(self._shingles) if hashes is not None),
+            dtype=np.int64,
+        )
+        if len(rows):
+            self._append_postings(rows, self._band_keys[rows])
+
+    # --------------------------------------------------------------- query
+    def _collision_rows(self, keys: np.ndarray) -> np.ndarray:
+        """Live rows colliding with the given band keys, ascending and unique."""
+        hits = []
+        for band in range(self.config.bands):
+            bucket = self._postings[band].get(int(keys[band]))
+            if bucket:
+                hits.append(np.asarray(bucket, dtype=np.int64))
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        rows = np.unique(np.concatenate(hits))
+        return rows[self._live[rows]]
+
+    def _shingle_set(self, row: int) -> set[int]:
+        cached = self._shingle_sets.get(row)
+        if cached is None:
+            cached = self._shingle_sets[row] = set(self._shingles[row].tolist())
+        return cached
+
+    def _verify_rows(
+        self, signature: np.ndarray, hashes: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Apply the configured verification pass to candidate rows.
+
+        Identical decisions to the batch blocker: signature-agreement
+        estimate with a 2σ recall slack, optionally re-scored by exact
+        shingle-set Jaccard (both sides' shingles are cached).
+        """
+        verify = self.config.verify_threshold
+        if verify is None or not len(rows):
+            return rows
+        estimates = SignatureComputer.estimate_agreement(
+            signature.astype(np.uint16),
+            self._sig16,
+            np.zeros(len(rows), dtype=np.intp),
+            rows,
+        )
+        rows = rows[SignatureComputer.verification_mask(estimates, verify, self.config.num_perm)]
+        if not self.config.exact_verify or not len(rows):
+            return rows
+        query_set = set(hashes.tolist())
+        survivors = [
+            row
+            for row in rows.tolist()
+            if SignatureComputer.exact_jaccard(query_set, self._shingle_set(row)) >= verify
+        ]
+        return np.asarray(survivors, dtype=np.int64)
+
+    def _trim_extractor_cache(self) -> None:
+        """Bound the persistent extractor's memoization against probe churn."""
+        value_cache = getattr(self._extractor, "_value_cache", None)
+        if value_cache is not None and len(value_cache) > EXTRACTOR_CACHE_LIMIT:
+            self._extractor.clear_cache()
+
+    def _score_rows(self, record: Record, rows: np.ndarray) -> list[MatchScore]:
+        """Score ``record`` against corpus rows with the pipeline's predictor.
+
+        Chunked like :meth:`MatchingPipeline.match` (chunking never changes
+        scores); one shared scoring kernel keeps the two paths bit-identical.
+        """
+        chunk_size = self.pipeline.config.chunk_size
+        row_list = rows.tolist()
+        results: list[MatchScore] = []
+        for start in range(0, len(row_list), chunk_size):
+            chunk_rows = row_list[start : start + chunk_size]
+            pairs = [CandidatePair(record, self._records[row]) for row in chunk_rows]
+            scores, predictions = _score_pairs(self.pipeline._predictor, self._extractor, pairs)
+            for row, score, prediction in zip(chunk_rows, scores, predictions):
+                results.append(
+                    MatchScore(
+                        left_id=record.record_id,
+                        right_id=self._records[row].record_id,
+                        score=float(score),
+                        is_match=bool(prediction),
+                    )
+                )
+        return results
+
+    def query(
+        self,
+        record,
+        top_k: int | None = None,
+        min_score: float | None = None,
+    ) -> list[MatchScore]:
+        """Match one record against the indexed corpus.
+
+        Returns scored pairs bit-identical to a batch
+        ``pipeline.match([record], corpus)`` under the index's blocking
+        config — same candidate set, same score floats, same order — filtered
+        to ``score >= min_score`` when given.  With ``top_k`` set, results
+        are instead returned highest-score first (ties broken by corpus
+        order), truncated to ``top_k``.
+
+        A record with no usable text (all attributes missing/empty) collides
+        with nothing and returns ``[]``.
+        """
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError("top_k must be at least 1 or None")
+        probe = coerce_record(record)
+        hashes = self._computer.shingle_hashes(probe)
+        if hashes is None or not self._row_of:
+            return []
+        signature = self._computer.signature_matrix([hashes])
+        keys = self._computer.band_hashes(signature)[0]
+        rows = self._collision_rows(keys)
+        rows = self._verify_rows(signature, hashes, rows)
+        if not len(rows):
+            return []
+        results = self._score_rows(probe, rows)
+        self._trim_extractor_cache()
+        if min_score is not None:
+            results = [result for result in results if result.score >= min_score]
+        if top_k is not None:
+            # Always sorted, not just when truncating: the ordering contract
+            # must not flip based on how many candidates survived.
+            results = sorted(results, key=lambda result: -result.score)[:top_k]
+        return results
+
+    # ------------------------------------------------------------- resolve
+    def _candidate_rows_below(self, row: int) -> np.ndarray:
+        """Verified live candidate rows ``c < row`` colliding with ``row``.
+
+        The self-join building block of :meth:`resolve`: restricting to
+        earlier rows counts each unordered pair exactly once, and makes the
+        incremental path (new rows against everything before them) provably
+        equal to a full recompute.
+        """
+        hashes = self._shingles[row]
+        if hashes is None:
+            return np.empty(0, dtype=np.int64)
+        rows = self._collision_rows(self._band_keys[row])
+        rows = rows[rows < row]
+        return self._verify_rows(self._signatures[row : row + 1], hashes, rows)
+
+    def _union_accepted(
+        self, uf: UnionFind, pairs: list[tuple[int, int]], min_score: float | None
+    ) -> None:
+        """Score row pairs in chunks and union the accepted ones.
+
+        A pair is accepted when the predictor calls it a match and (when
+        ``min_score`` is set) its score reaches the floor — the same
+        acceptance rule however the pairs were discovered, which is what
+        makes incremental and full resolution agree.
+        """
+        chunk_size = self.pipeline.config.chunk_size
+        for start in range(0, len(pairs), chunk_size):
+            chunk = pairs[start : start + chunk_size]
+            candidates = [
+                CandidatePair(self._records[first], self._records[second])
+                for first, second in chunk
+            ]
+            scores, predictions = _score_pairs(
+                self.pipeline._predictor, self._extractor, candidates
+            )
+            for (first, second), score, prediction in zip(chunk, scores, predictions):
+                if prediction and (min_score is None or float(score) >= min_score):
+                    uf.union(
+                        self._records[first].record_id, self._records[second].record_id
+                    )
+        self._trim_extractor_cache()
+
+    def _extend_resolution(self, new_rows: list[int]) -> None:
+        """Incrementally fold newly added rows into the resolution state."""
+        state = self._resolution
+        pairs = []
+        for row in new_rows:
+            state["uf"].add(self._records[row].record_id)
+            for other in self._candidate_rows_below(row).tolist():
+                pairs.append((other, row))
+        self._union_accepted(state["uf"], pairs, state["min_score"])
+
+    def resolve(self, min_score: float | None = None) -> list[list[str]]:
+        """Cluster the live corpus into entities; returns stable clusters.
+
+        Runs union-find over all accepted match pairs among live records
+        (candidates from the band index, verified and scored exactly like
+        :meth:`query`).  Output is a partition of the live record ids:
+        lexicographically sorted clusters, ordered by first member,
+        singletons included — identical whether the state was built
+        incrementally by :meth:`add` or recomputed from scratch.
+
+        ``min_score`` defaults to ``config.resolve_min_score``.  The computed
+        state is cached and maintained incrementally across :meth:`add`;
+        :meth:`remove` invalidates it (a recompute happens on the next call)
+        and calling with a different ``min_score`` recomputes too.
+        """
+        if min_score is None:
+            min_score = self.config.resolve_min_score
+        state = self._resolution
+        if state is None or state["min_score"] != min_score:
+            uf = UnionFind(self.record_ids())
+            pairs = []
+            for row in np.flatnonzero(self._live).tolist():
+                for other in self._candidate_rows_below(row).tolist():
+                    pairs.append((other, row))
+            self._union_accepted(uf, pairs, min_score)
+            self._resolution = state = {"min_score": min_score, "uf": uf}
+        return stable_clusters(state["uf"], self.record_ids())
+
+    # --------------------------------------------------------- persistence
+    def save(self, path) -> dict:
+        """Persist pipeline and index as one artifact; returns the manifest.
+
+        The directory is a superset of a pipeline artifact — a plain
+        :meth:`MatchingPipeline.load` on it ignores the index payload — with
+        the pickled index state in a content-addressed ``index/state-*.pkl``
+        file (resolved and hash-verified via the manifest's ``payloads``
+        section, so in-place updates are crash-safe) and an ``index`` manifest
+        section carrying its own format version and config.  State excludes
+        everything derivable (posting lists, band keys, resolution cache), so
+        saving the same add/remove history twice is byte-identical.
+        """
+        body = self.pipeline._manifest_body()
+        body["index"] = {
+            "format_version": INDEX_FORMAT_VERSION,
+            "config": self.config.to_dict(),
+            "stats": {
+                "records": len(self),
+                "rows": self.n_rows,
+                "tombstones": self._n_tombstones,
+            },
+        }
+        state = {
+            "records": [
+                (record.record_id, dict(record.attributes)) for record in self._records
+            ],
+            "live": np.asarray(self._live, dtype=bool),
+            "signatures": self._signatures,
+            "shingles": self._shingles,
+            "n_tombstones": self._n_tombstones,
+            "added_total": self._added_total,
+        }
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return write_artifact(
+            path,
+            body,
+            self.pipeline._inference_state(),
+            payloads={INDEX_STATE_PAYLOAD: payload},
+        )
+
+    @classmethod
+    def load(cls, path) -> "MatchIndex":
+        """Reload a persisted index (pipeline included) from an artifact.
+
+        Raises :class:`~repro.exceptions.ArtifactError` when the artifact
+        carries no index payload, the payload version is unsupported, or any
+        file fails its manifest hash check.  Derived structures (16-bit
+        signatures, band keys, posting lists) are rebuilt deterministically
+        from the persisted state, so a reloaded index answers queries
+        bit-identically to the one that was saved.
+        """
+        manifest = read_manifest(path)
+        section = manifest.get("index")
+        if section is None:
+            raise ArtifactError(
+                f"artifact {str(path)!r} holds no match index "
+                f"(a plain pipeline artifact? use MatchingPipeline.load)"
+            )
+        version = section.get("format_version")
+        if version not in INDEX_SUPPORTED_VERSIONS:
+            raise ArtifactError(
+                f"index payload version {version!r} is not supported "
+                f"(supported: {sorted(INDEX_SUPPORTED_VERSIONS)}); "
+                f"rebuild the index or upgrade repro"
+            )
+        pipeline = MatchingPipeline.load(path)
+        index = cls(pipeline, IndexConfig.from_dict(section.get("config", {})))
+        state = pickle.loads(read_payload(path, INDEX_STATE_PAYLOAD))
+        index._install_state(state)
+        return index
+
+    def _install_state(self, state: dict) -> None:
+        self._records = [
+            Record(record_id=record_id, attributes=attributes)
+            for record_id, attributes in state["records"]
+        ]
+        # Copy arrays instead of adopting the unpickled ones: rebuilt arrays
+        # carry the canonical native dtype objects, so a reloaded index
+        # re-saves byte-identically (pickle memo-shares the dtype exactly as
+        # it does for a freshly built index).
+        self._shingles = [
+            None if hashes is None else np.array(hashes, dtype=np.uint64)
+            for hashes in state["shingles"]
+        ]
+        signatures = np.array(state["signatures"], dtype=np.uint64)
+        band_keys = np.zeros((len(self._records), self.config.bands), dtype=np.uint64)
+        rows = np.fromiter(
+            (row for row, hashes in enumerate(self._shingles) if hashes is not None),
+            dtype=np.int64,
+        )
+        if len(rows):
+            band_keys[rows] = self._computer.band_hashes(signatures[rows])
+        self._set_storage(
+            signatures,
+            signatures.astype(np.uint16),
+            band_keys,
+            np.array(state["live"], dtype=bool),
+        )
+        self._n_tombstones = int(state["n_tombstones"])
+        self._added_total = int(state["added_total"])
+        self._row_of = {
+            record.record_id: row
+            for row, record in enumerate(self._records)
+            if self._live[row]
+        }
+        self._rebuild_postings()

@@ -1,0 +1,94 @@
+"""Entity resolution over accepted match pairs: union-find and clusters.
+
+The :class:`~repro.index.MatchIndex` turns pairwise match decisions into
+entities by connected components: every accepted pair ``(a, b)`` merges the
+entities containing ``a`` and ``b``.  :class:`UnionFind` implements the
+classic disjoint-set forest (union by size, path compression — effectively
+O(α(n)) per operation) with a fully deterministic representative choice, so
+cluster output never depends on iteration order of intermediate unions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["UnionFind", "stable_clusters"]
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items.
+
+    Items are added lazily (:meth:`add` / first :meth:`union` / :meth:`find`).
+    Merging is union-by-size with a deterministic tie-break on insertion
+    order, so the same union sequence always yields the same internal state —
+    a prerequisite for the index's reproducibility guarantees.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        self._order: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, item: Hashable) -> None:
+        """Register an item as its own singleton set (no-op when present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._order[item] = len(self._order)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of the set containing ``item`` (path-compressed)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``; True when they differed.
+
+        The larger set's representative wins; equal sizes keep the earlier-
+        inserted representative, so the forest shape is a pure function of
+        the (insertion, union) sequence.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if (self._size[root_b], -self._order[root_b]) > (self._size[root_a], -self._order[root_a]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def groups(self) -> dict[Hashable, list[Hashable]]:
+        """All sets, keyed by representative, members in insertion order."""
+        grouped: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            grouped.setdefault(self.find(item), []).append(item)
+        return grouped
+
+
+def stable_clusters(uf: UnionFind, items: Iterable[str]) -> list[list[str]]:
+    """Partition ``items`` into sorted clusters, deterministically ordered.
+
+    Each cluster is the subset of ``items`` sharing a union-find set
+    (singletons included), sorted lexicographically; clusters are ordered by
+    their first member.  Output therefore depends only on the partition, not
+    on union order or index insertion history.
+    """
+    grouped: dict[Hashable, list[str]] = {}
+    for item in items:
+        grouped.setdefault(uf.find(item), []).append(item)
+    clusters = [sorted(members) for members in grouped.values()]
+    clusters.sort(key=lambda cluster: cluster[0])
+    return clusters

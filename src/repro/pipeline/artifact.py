@@ -3,8 +3,9 @@
 An artifact is a directory::
 
     <path>/
-        manifest.json   # JSON: format/version, pipeline config, hashes, training summary
-        model.pkl       # pickle: fitted predictor (learner parameters / ensemble members)
+        manifest.json           # JSON: format/version, pipeline config, hashes, training summary
+        model.pkl               # pickle: fitted predictor (learner parameters / ensemble members)
+        index/state-<sha>.pkl   # optional content-addressed payload: MatchIndex state (repro.index)
 
 ``manifest.json`` is the source of truth: it names the format version, the
 full pipeline configuration (with a content hash over it, reusing the
@@ -49,33 +50,108 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def write_artifact(path: str | os.PathLike, manifest: dict, model_state: object) -> dict:
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Write bytes via a temp file + rename, so a crash mid-write can never
+    truncate an existing file (in-place artifact updates depend on this)."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_bytes(data)
+    tmp.replace(path)  # atomic on POSIX
+
+
+def write_artifact(
+    path: str | os.PathLike,
+    manifest: dict,
+    model_state: object,
+    payloads: dict[str, bytes] | None = None,
+) -> dict:
     """Persist a pipeline artifact and return the completed manifest.
 
     ``manifest`` is the caller-provided body (pipeline section, training
     summary); this function adds the format header and the model payload's
     content hash, writes ``model.pkl`` first and ``manifest.json`` last.
+
+    ``payloads`` maps logical payload names (forward-slash separated, e.g.
+    ``"index/state.pkl"``) to raw bytes.  Each payload is stored under a
+    *content-addressed* file name (``index/state-<sha12>.pkl``) recorded in
+    the manifest's ``payloads`` section together with its full SHA-256, so
+    :func:`read_payload` resolves the name through the manifest and detects
+    truncation or corruption.  New content lands in new files and the
+    manifest swap is the commit point: a crash mid-save leaves either the
+    old or the new artifact loadable, never a torn one.  Version-1 readers
+    ignore the section entirely — a payload-bearing artifact still loads as
+    a plain pipeline; sections that *interpret* a payload (e.g. ``index``)
+    carry their own format version and gate their own readers.
     """
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
 
+    # The manifest already at this path (if any): its payload files become
+    # stale after the overwrite and are removed post-commit, and an unchanged
+    # model payload is detected so in-place updates skip rewriting it.
+    previous: dict = {}
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            previous = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+    previous_payload_files = {
+        entry.get("file", name)
+        for name, entry in (previous.get("payloads") or {}).items()
+    }
+
     model_bytes = pickle.dumps(model_state, protocol=pickle.HIGHEST_PROTOCOL)
-    (directory / MODEL_NAME).write_bytes(model_bytes)
+    model_sha = _sha256(model_bytes)
+    model_path = directory / MODEL_NAME
+    # In-place updates (e.g. `repro index add`) keep the model unchanged:
+    # skip the rewrite, saving O(model) I/O and keeping the old artifact
+    # valid right up to the atomic manifest swap below.
+    if not (model_path.exists() and (previous.get("model") or {}).get("sha256") == model_sha):
+        _write_atomic(model_path, model_bytes)
+
+    payload_section = {}
+    for name, data in sorted((payloads or {}).items()):
+        relative = Path(name)
+        if relative.is_absolute() or ".." in relative.parts:
+            raise ArtifactError(f"payload name {name!r} must be a relative path inside the artifact")
+        # Content-addressed file name: new content lands in a new file, so
+        # the previous manifest keeps referencing intact bytes until the
+        # manifest swap commits the update — a crash anywhere in between
+        # leaves a loadable artifact (old or new, never torn).
+        digest = _sha256(data)
+        stored = str(relative.with_name(f"{relative.stem}-{digest[:12]}{relative.suffix}"))
+        target = directory / stored
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if not target.exists():
+            _write_atomic(target, data)
+        payload_section[name] = {
+            "file": stored,
+            "sha256": digest,
+            "bytes": len(data),
+        }
 
     completed = {
         "format": ARTIFACT_FORMAT,
         "format_version": ARTIFACT_VERSION,
         "model": {
             "file": MODEL_NAME,
-            "sha256": _sha256(model_bytes),
+            "sha256": model_sha,
             "bytes": len(model_bytes),
         },
+        **({"payloads": payload_section} if payload_section else {}),
         **manifest,
     }
-    manifest_path = directory / MANIFEST_NAME
-    tmp = manifest_path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(completed, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    tmp.replace(manifest_path)  # atomic on POSIX
+    _write_atomic(
+        manifest_path,
+        (json.dumps(completed, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+    )
+
+    written = {entry["file"] for entry in payload_section.values()}
+    for stale in sorted(previous_payload_files - written):
+        relative = Path(stale)
+        if relative.is_absolute() or ".." in relative.parts:
+            continue  # never follow a corrupt manifest outside the artifact
+        (directory / relative).unlink(missing_ok=True)
     return completed
 
 
@@ -106,6 +182,31 @@ def read_manifest(path: str | os.PathLike) -> dict:
             f"re-train the pipeline or upgrade repro"
         )
     return manifest
+
+
+def read_payload(path: str | os.PathLike, name: str) -> bytes:
+    """Load one named payload file, verifying its manifest content hash.
+
+    Raises :class:`~repro.exceptions.ArtifactError` when the artifact carries
+    no such payload, the file is missing, or its bytes do not match the
+    SHA-256 recorded in the manifest.
+    """
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    entry = (manifest.get("payloads") or {}).get(name)
+    if entry is None:
+        raise ArtifactError(f"artifact {str(directory)!r} carries no payload {name!r}")
+    payload_path = directory / entry.get("file", name)
+    if not payload_path.exists():
+        raise ArtifactError(f"artifact {str(directory)!r} is missing payload file {name!r}")
+    data = payload_path.read_bytes()
+    expected = entry.get("sha256")
+    if expected and _sha256(data) != expected:
+        raise ArtifactError(
+            f"artifact {str(directory)!r}: payload {name!r} does not match its "
+            f"manifest hash (truncated or corrupted write?)"
+        )
+    return data
 
 
 def read_artifact(path: str | os.PathLike) -> tuple[dict, object]:

@@ -40,6 +40,40 @@ from .artifact import read_artifact, write_artifact
 FALLBACK_BLOCKING_THRESHOLD = 0.1
 
 
+def coerce_record(obj, index: int = 0) -> Record:
+    """Interpret a :class:`Record` or a plain mapping as a :class:`Record`.
+
+    Mappings may carry ``record_id`` (or ``id``) and either an ``attributes``
+    sub-mapping or attribute values inline; missing/None values become empty
+    strings.  Shared by :meth:`MatchingPipeline.match` and
+    :class:`repro.index.MatchIndex`, so the batch and incremental paths
+    interpret user records identically.
+    """
+    if isinstance(obj, Record):
+        return obj
+    if isinstance(obj, Mapping):
+        data = dict(obj)
+        attributes = data.pop("attributes", None)
+        record_id = data.pop("record_id", None)
+        if record_id is None:
+            record_id = data.pop("id", None)
+        if attributes is None:
+            attributes = data
+        if record_id is None:
+            record_id = index
+        return Record(
+            record_id=str(record_id),
+            attributes={
+                str(key): "" if value is None else str(value)
+                for key, value in attributes.items()
+            },
+        )
+    raise ConfigurationError(
+        f"cannot interpret {type(obj).__name__} as a record; "
+        f"pass Record objects or mappings"
+    )
+
+
 @dataclass(frozen=True)
 class MatchScore:
     """One scored candidate pair produced by :meth:`MatchingPipeline.match`.
@@ -221,29 +255,7 @@ class MatchingPipeline:
 
     # ----------------------------------------------------------------- match
     def _coerce_record(self, obj, index: int) -> Record:
-        if isinstance(obj, Record):
-            return obj
-        if isinstance(obj, Mapping):
-            data = dict(obj)
-            attributes = data.pop("attributes", None)
-            record_id = data.pop("record_id", None)
-            if record_id is None:
-                record_id = data.pop("id", None)
-            if attributes is None:
-                attributes = data
-            if record_id is None:
-                record_id = index
-            return Record(
-                record_id=str(record_id),
-                attributes={
-                    str(key): "" if value is None else str(value)
-                    for key, value in attributes.items()
-                },
-            )
-        raise ConfigurationError(
-            f"cannot interpret {type(obj).__name__} as a record; "
-            f"pass Record objects or mappings"
-        )
+        return coerce_record(obj, index)
 
     def _as_table(self, side: str, records) -> Table:
         if isinstance(records, Table):
@@ -344,12 +356,12 @@ class MatchingPipeline:
         }
 
     # ----------------------------------------------------------- persistence
-    def save(self, path) -> dict:
-        """Persist the fitted pipeline as a versioned artifact directory.
+    def _manifest_body(self) -> dict:
+        """The artifact manifest body describing this fitted pipeline.
 
-        Returns the completed manifest.  The manifest carries no timestamps
-        or wall-clock fields, so saving the same fitted pipeline twice
-        produces byte-identical manifests.
+        Shared by :meth:`save` and by index artifacts
+        (:meth:`repro.index.MatchIndex.save`), which persist the same
+        pipeline description plus an ``index`` payload section.
         """
         self._require_fitted()
         from .. import __version__
@@ -364,7 +376,7 @@ class MatchingPipeline:
             "config": self.config.to_dict(),
         }
         extractor = make_extractor(self.matched_columns, self.feature_kind)
-        manifest = {
+        return {
             "repro_version": __version__,
             "pipeline": pipeline_section,
             "config_hash": content_hash(pipeline_section),
@@ -375,7 +387,15 @@ class MatchingPipeline:
             },
             "training": self.training,
         }
-        return write_artifact(path, manifest, self._inference_state())
+
+    def save(self, path) -> dict:
+        """Persist the fitted pipeline as a versioned artifact directory.
+
+        Returns the completed manifest.  The manifest carries no timestamps
+        or wall-clock fields, so saving the same fitted pipeline twice
+        produces byte-identical manifests.
+        """
+        return write_artifact(path, self._manifest_body(), self._inference_state())
 
     @classmethod
     def load(cls, path) -> "MatchingPipeline":

@@ -204,6 +204,139 @@ class TestMatch:
         assert "error:" in capsys.readouterr().err
 
 
+class TestIndex:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        model = tmp_path_factory.mktemp("cli-index") / "model"
+        assert cli.main(["train", *TRAIN_ARGS, "--model", str(model)]) == 0
+        return model
+
+    @pytest.fixture(scope="class")
+    def index_path(self, model_path, tmp_path_factory):
+        index = tmp_path_factory.mktemp("cli-index-artifact") / "index"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(index),
+                "--dataset", "dblp_acm", "--scale", "0.15",
+            ]
+        ) == 0
+        return index
+
+    @pytest.fixture()
+    def probe(self):
+        from repro.datasets import load_dataset
+
+        record = load_dataset("dblp_acm", scale=0.15).left.records[0]
+        return json.dumps({"record_id": record.record_id, **dict(record.attributes)})
+
+    def test_build_reports_stats(self, index_path, capsys):
+        # The class fixture already built it; building again overwrites.
+        assert (index_path / "manifest.json").exists()
+        # The state payload is content-addressed: index/state-<sha12>.pkl.
+        assert list((index_path / "index").glob("state-*.pkl"))
+
+    def test_build_json_prints_gated_manifest(self, model_path, tmp_path, capsys):
+        out_dir = tmp_path / "index-json"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(out_dir),
+                "--dataset", "dblp_acm", "--scale", "0.15", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads(out[out.index("{"):])
+        assert manifest["index"]["format_version"] == 1
+        assert manifest["index"]["stats"]["records"] > 0
+        assert "index/state.pkl" in manifest["payloads"]
+
+    def test_build_requires_exactly_one_source(self, model_path, tmp_path, capsys):
+        assert cli.main(
+            ["index", "build", "--model", str(model_path), "--out", str(tmp_path / "x")]
+        ) == 1
+        assert "either --records or --dataset" in capsys.readouterr().err
+
+    def test_build_missing_model_fails_cleanly(self, tmp_path, capsys):
+        assert cli.main(
+            [
+                "index", "build", "--model", str(tmp_path / "nope"),
+                "--out", str(tmp_path / "out"), "--dataset", "dblp_acm",
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_text_and_json(self, index_path, probe, capsys):
+        assert cli.main(["index", "query", "--index", str(index_path), "--record", probe]) == 0
+        out = capsys.readouterr().out
+        assert "candidate(s) scored" in out
+        assert cli.main(
+            ["index", "query", "--index", str(index_path), "--record", probe, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["candidates"] == len(payload["pairs"])
+        assert all(set(p) == {"left_id", "right_id", "score", "is_match"} for p in payload["pairs"])
+
+    def test_query_record_file_and_top_k(self, index_path, probe, tmp_path, capsys):
+        record_file = tmp_path / "probe.json"
+        record_file.write_text(probe)
+        assert cli.main(
+            [
+                "index", "query", "--index", str(index_path),
+                "--record-file", str(record_file), "--top-k", "1", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["candidates"] <= 1
+
+    def test_query_requires_exactly_one_record_source(self, index_path, probe, capsys):
+        assert cli.main(["index", "query", "--index", str(index_path)]) == 1
+        assert "either --record or --record-file" in capsys.readouterr().err
+
+    def test_query_rejects_non_object_record(self, index_path, capsys):
+        assert cli.main(
+            ["index", "query", "--index", str(index_path), "--record", "[1, 2]"]
+        ) == 1
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_add_remove_round_trip(self, model_path, tmp_path, capsys):
+        index_dir = tmp_path / "rt"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(index_dir),
+                "--dataset", "dblp_acm", "--scale", "0.15",
+            ]
+        ) == 0
+        capsys.readouterr()
+        records = tmp_path / "records.json"
+        records.write_text(json.dumps([{"record_id": "x1", "title": "brand new paper"}]))
+        assert cli.main(
+            ["index", "add", "--index", str(index_dir), "--records", str(records), "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)["stats"]
+        assert cli.main(
+            ["index", "remove", "--index", str(index_dir), "--ids", "x1", "--json"]
+        ) == 0
+        after = json.loads(capsys.readouterr().out)["stats"]
+        assert after["records"] == stats["records"] - 1
+
+    def test_remove_unknown_id_fails_cleanly(self, index_path, capsys):
+        assert cli.main(
+            ["index", "remove", "--index", str(index_path), "--ids", "definitely-not-there"]
+        ) == 1
+        assert "not in index" in capsys.readouterr().err
+
+    def test_dedup_text_and_json(self, index_path, capsys):
+        assert cli.main(["index", "dedup", "--index", str(index_path)]) == 0
+        assert "resolved into" in capsys.readouterr().out
+        assert cli.main(["index", "dedup", "--index", str(index_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entities"] == len(payload["clusters"])
+        assert sum(len(c) for c in payload["clusters"]) == payload["records"]
+
+    def test_dedup_on_plain_pipeline_artifact_fails_cleanly(self, model_path, capsys):
+        assert cli.main(["index", "dedup", "--index", str(model_path)]) == 1
+        assert "no match index" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_executes_and_persists(self, tmp_path, capsys):
         store_path = tmp_path / "runs.jsonl"

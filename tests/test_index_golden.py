@@ -1,0 +1,126 @@
+"""Golden regression for the match index: build → update → persist,
+bit-identical.
+
+The expectation file (``tests/golden/index_queries.json``) pins the exact
+query scores and entity clusters of a fixed-seed pipeline + index over the
+synthetic DBLP-ACM stand-in, before and after an add/remove update.  The test
+rebuilds everything from the committed spec and asserts every float — for the
+freshly built index, for a persisted-and-reloaded one, and for one rebuilt
+from scratch on the updated corpus — so incremental maintenance, persistence
+and the batch-equivalent scoring path cannot drift independently.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_index_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import IndexConfig
+from repro.datasets import load_dataset
+from repro.index import MatchIndex
+from repro.runner import FitSpec, execute_fit
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "index_queries.json"
+
+
+def load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def build_index(golden: dict) -> tuple[MatchIndex, list]:
+    spec = FitSpec.from_dict(golden["fit"])
+    pipeline, _ = execute_fit(spec)
+    source = golden["corpus_dataset"]
+    dataset = load_dataset(source["name"], scale=source["scale"], seed=source["seed"])
+    config = golden.get("index_config")
+    index = MatchIndex(pipeline, IndexConfig.from_dict(config) if config else None)
+    index.add(getattr(dataset, source["side"]).records)
+    return index, dataset.left.records
+
+
+def apply_update(index: MatchIndex, probes: list, golden: dict) -> None:
+    update = golden["update"]
+    index.add(probes[: update["add_left"]])
+    index.remove(update["remove"])
+
+
+def snapshot_queries(index: MatchIndex, probes: list, golden: dict) -> dict:
+    return {
+        probe.record_id: [
+            [s.left_id, s.right_id, s.score, s.is_match] for s in index.query(probe)
+        ]
+        for probe in probes[: golden["n_probes"]]
+    }
+
+
+@pytest.fixture(scope="module")
+def built():
+    golden = load_golden()
+    index, probes = build_index(golden)
+    return index, probes, golden
+
+
+class TestGoldenIndex:
+    def test_fit_hash_matches_golden(self, built):
+        _, _, golden = built
+        assert FitSpec.from_dict(golden["fit"]).fit_hash() == golden["fit_hash"]
+
+    def test_initial_queries_match_golden(self, built):
+        index, probes, golden = built
+        assert snapshot_queries(index, probes, golden) == golden["queries"]
+
+    def test_initial_clusters_match_golden(self, built):
+        index, _, golden = built
+        assert index.resolve() == golden["clusters"]
+
+    def test_updated_index_matches_golden(self, built, tmp_path):
+        # Build a private index instead of mutating the shared fixture, so
+        # the initial-state tests hold in any execution order.
+        _, probes, golden = built
+        index, _ = build_index(golden)
+        apply_update(index, probes, golden)
+        assert snapshot_queries(index, probes, golden) == golden["update"]["queries"]
+        assert index.resolve() == golden["update"]["clusters"]
+
+        # Save/load parity: the reloaded index reproduces the same goldens.
+        path = tmp_path / "index"
+        index.save(path)
+        reloaded = MatchIndex.load(path)
+        assert snapshot_queries(reloaded, probes, golden) == golden["update"]["queries"]
+        assert reloaded.resolve() == golden["update"]["clusters"]
+
+        # A from-scratch rebuild over the updated corpus agrees too: the
+        # incremental structures carry no history the batch path lacks.
+        rebuilt = MatchIndex(index.pipeline, index.config)
+        rebuilt.add(index.records())
+        assert snapshot_queries(rebuilt, probes, golden) == golden["update"]["queries"]
+        assert rebuilt.resolve() == golden["update"]["clusters"]
+
+
+def regenerate() -> None:
+    """Rewrite the golden file from the current code (intentional changes only)."""
+    golden = load_golden()
+    golden["fit_hash"] = FitSpec.from_dict(golden["fit"]).fit_hash()
+    index, probes = build_index(golden)
+    golden["index_config"] = index.config.to_dict()
+    golden["queries"] = snapshot_queries(index, probes, golden)
+    golden["clusters"] = index.resolve()
+    apply_update(index, probes, golden)
+    golden["update"]["queries"] = snapshot_queries(index, probes, golden)
+    golden["update"]["clusters"] = index.resolve()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"rewrote {GOLDEN_PATH} ({sum(len(v) for v in golden['queries'].values())} scored pairs)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -140,6 +140,35 @@ class TestMatch:
     def test_empty_inputs_yield_no_pairs(self, fitted):
         assert fitted.match([], []) == []
 
+    @pytest.mark.parametrize("method", ["jaccard", "minhash_lsh", "sorted_neighborhood"])
+    def test_one_sided_empty_inputs_yield_no_pairs(self, fitted, match_dataset, method):
+        """Empty tables never raise, under any registered blocker."""
+        import copy
+
+        pipeline = copy.copy(fitted)
+        pipeline.resolved_blocking = BlockingConfig(method=method, threshold=None)
+        assert pipeline.match([], []) == []
+        assert pipeline.match([], match_dataset.right) == []
+        assert pipeline.match(match_dataset.left, []) == []
+
+    def test_empty_tables_yield_no_pairs(self, fitted):
+        empty = Table("empty", schema=fitted.matched_columns, records=[])
+        assert fitted.match(empty, empty) == []
+
+    def test_all_missing_attribute_records_yield_no_pairs(self, fitted, match_dataset):
+        """Records with no usable text block with nothing instead of raising."""
+        ghosts = [
+            {"record_id": "g1"},
+            {"record_id": "g2", "title": "", "authors": None},
+            Record("g3", {}),
+        ]
+        assert fitted.match(ghosts, match_dataset.right) == []
+        assert fitted.match(match_dataset.left, ghosts) == []
+        assert fitted.match(ghosts, ghosts) == []
+
+    def test_empty_inputs_with_parallel_jobs(self, fitted):
+        assert fitted.match([], [], jobs=2) == []
+
     def test_rejects_bad_arguments(self, fitted, match_dataset):
         with pytest.raises(ConfigurationError):
             fitted.match(match_dataset.left, match_dataset.right, jobs=0)

@@ -1,0 +1,145 @@
+"""The shared MinHash SignatureComputer: validation, determinism, and the
+bit-identity contract with MinHashLSHBlocker (the anti-drift guarantee the
+incremental index relies on)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocking import MinHashLSHBlocker, SignatureComputer
+from repro.datasets import Record, Table
+from repro.exceptions import ConfigurationError
+
+
+def make_table(texts: list[str], name: str = "t") -> Table:
+    return Table(
+        name=name,
+        schema=["text"],
+        records=[Record(record_id=f"{name}{i}", attributes={"text": t}) for i, t in enumerate(texts)],
+    )
+
+
+TEXTS = [
+    "active learning for entity matching",
+    "entity matching with active learning",
+    "a completely different sentence about databases",
+    "sigmod benchmark framework",
+    "",
+    "xy",
+]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SignatureComputer(num_perm=1)
+        with pytest.raises(ConfigurationError):
+            SignatureComputer(num_perm=128, bands=7)
+        with pytest.raises(ConfigurationError):
+            SignatureComputer(bands=0)
+        with pytest.raises(ConfigurationError):
+            SignatureComputer(shingle_size=0)
+
+
+class TestShingles:
+    def test_empty_text_returns_none(self):
+        computer = SignatureComputer()
+        assert computer.shingle_hashes(Record("r", {"text": ""})) is None
+        assert computer.shingle_hashes(Record("r", {"text": "   "})) is None
+
+    def test_short_text_is_one_shingle(self):
+        computer = SignatureComputer(shingle_size=5)
+        hashes = computer.shingle_hashes(Record("r", {"text": "ab"}))
+        assert hashes is not None and len(hashes) == 1
+
+    def test_hashes_are_process_stable(self):
+        # CRC32, not Python hash(): fixed expected values must never drift.
+        computer = SignatureComputer(shingle_size=3)
+        hashes = computer.shingle_hashes(Record("r", {"text": "abc"}))
+        import zlib
+
+        assert hashes.tolist() == [zlib.crc32(b"abc")]
+
+
+class TestDeterminism:
+    def test_equal_parameters_produce_identical_output(self):
+        table = make_table(TEXTS)
+        one, two = SignatureComputer(seed=7), SignatureComputer(seed=7)
+        records_1, sigs_1, hashes_1 = one.table_signatures(table)
+        records_2, sigs_2, hashes_2 = two.table_signatures(table)
+        assert [r.record_id for r in records_1] == [r.record_id for r in records_2]
+        assert np.array_equal(sigs_1, sigs_2)
+        assert all(np.array_equal(a, b) for a, b in zip(hashes_1, hashes_2))
+        assert np.array_equal(one.band_hashes(sigs_1), two.band_hashes(sigs_2))
+
+    def test_different_seeds_differ(self):
+        table = make_table(TEXTS[:3])
+        _, sigs_a, _ = SignatureComputer(seed=0).table_signatures(table)
+        _, sigs_b, _ = SignatureComputer(seed=1).table_signatures(table)
+        assert not np.array_equal(sigs_a, sigs_b)
+
+    def test_signature_matrix_matches_per_record_computation(self):
+        # Batch (concatenate + reduceat) vs one record at a time.
+        computer = SignatureComputer()
+        table = make_table([t for t in TEXTS if t])
+        _, batch, hash_arrays = computer.table_signatures(table)
+        for row, hashes in enumerate(hash_arrays):
+            single = computer.signature_matrix([hashes])
+            assert np.array_equal(batch[row], single[0])
+
+    def test_empty_input_yields_empty_matrix(self):
+        computer = SignatureComputer()
+        assert computer.signature_matrix([]).shape == (0, computer.num_perm)
+        records, sigs, hashes = computer.table_signatures(make_table(["", "  "]))
+        assert records == [] and sigs.shape == (0, computer.num_perm) and hashes == []
+
+
+class TestBlockerEquivalence:
+    """The blocker must produce byte-for-byte the computer's output — the
+    index and the batch path share signatures by construction."""
+
+    @pytest.mark.parametrize("num_perm,bands,shingle,seed", [(128, 64, 3, 0), (64, 16, 4, 3)])
+    def test_blocker_signatures_are_bit_identical(self, num_perm, bands, shingle, seed):
+        table = make_table(TEXTS)
+        blocker = MinHashLSHBlocker(
+            num_perm=num_perm, bands=bands, shingle_size=shingle, seed=seed
+        )
+        computer = SignatureComputer(
+            num_perm=num_perm, bands=bands, shingle_size=shingle, seed=seed
+        )
+        records_b, sigs_b, hashes_b = blocker._table_signatures(table)
+        records_c, sigs_c, hashes_c = computer.table_signatures(table)
+        assert [r.record_id for r in records_b] == [r.record_id for r in records_c]
+        assert sigs_b.dtype == sigs_c.dtype == np.uint64
+        assert np.array_equal(sigs_b, sigs_c)
+        assert all(np.array_equal(a, b) for a, b in zip(hashes_b, hashes_c))
+        assert np.array_equal(blocker._band_hashes(sigs_b), computer.band_hashes(sigs_c))
+
+    def test_blocker_exposes_its_computer(self):
+        blocker = MinHashLSHBlocker(num_perm=32, bands=8, shingle_size=2, seed=5)
+        assert blocker.signatures.describe() == {
+            "num_perm": 32,
+            "bands": 8,
+            "rows_per_band": 4,
+            "shingle_size": 2,
+            "seed": 5,
+        }
+
+
+class TestEstimateAgreement:
+    def test_matches_direct_mean(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 1 << 16, size=(10, 32), dtype=np.uint16)
+        right = rng.integers(0, 1 << 16, size=(12, 32), dtype=np.uint16)
+        left_rows = np.array([0, 3, 9, 9])
+        right_rows = np.array([1, 2, 0, 11])
+        expected = np.array(
+            [(left[l] == right[r]).mean() for l, r in zip(left_rows, right_rows)]
+        )
+        got = SignatureComputer.estimate_agreement(left, right, left_rows, right_rows)
+        assert np.array_equal(got, expected)
+        chunked = SignatureComputer.estimate_agreement(
+            left, right, left_rows, right_rows, chunk=2
+        )
+        assert np.array_equal(chunked, expected)
