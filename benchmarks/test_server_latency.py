@@ -1,0 +1,195 @@
+"""Serving regression benchmark: end-to-end HTTP latency and batched QPS.
+
+Guards the :class:`~repro.server.MatchServer` serving contract over real
+sockets:
+
+* sequential ``POST /query`` latency stays under the p50/p99 gates — the
+  daemon adds protocol and locking overhead to an index query, and that
+  overhead must stay bounded;
+* a concurrent client pool sustains at least ``REPRO_SERVER_QPS_FLOOR``
+  queries/second in the better of the two serving modes, and request
+  coalescing demonstrably kicks in when batching is enabled;
+* responses stay bit-identical to a direct :meth:`MatchIndex.query` while
+  the clock runs.
+
+Environment knobs: ``REPRO_EXAMPLE_SCALE`` sizes the corpus;
+``REPRO_SERVER_P50_MS`` / ``REPRO_SERVER_P99_MS`` / ``REPRO_SERVER_QPS_FLOOR``
+override the gates for constrained environments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveLearningConfig, IndexConfig, PipelineConfig
+from repro.datasets import load_dataset
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+from repro.server import MatchServer, ServerConfig
+
+from .conftest import EXAMPLE_SCALE
+
+#: ~200 records per scale unit; floored so the corpus stays big enough for
+#: the latency numbers to mean anything even in CI smoke runs.
+CORPUS_SCALE = max(2.0, 10.0 * min(EXAMPLE_SCALE, 1.0))
+N_PROBES = 8
+N_CLIENTS = 4
+QUERIES_PER_CLIENT = 25
+
+P50_LIMIT_MS = float(os.environ.get("REPRO_SERVER_P50_MS", "250"))
+P99_LIMIT_MS = float(os.environ.get("REPRO_SERVER_P99_MS", "1000"))
+QPS_FLOOR = float(os.environ.get("REPRO_SERVER_QPS_FLOOR", "8"))
+
+#: Same serving-shaped verification regime as the index query benchmark.
+INDEX_CONFIG = IndexConfig(verify_threshold=0.5, exact_verify=True)
+
+
+@pytest.fixture(scope="module")
+def index():
+    fitted = MatchingPipeline(
+        PipelineConfig(
+            combination="Trees(2)",
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=3,
+                target_f1=None, random_state=0,
+            ),
+            scale=0.15,
+        )
+    )
+    fitted.fit("dblp_acm")
+    built = MatchIndex(fitted, INDEX_CONFIG)
+    built.add(load_dataset("dblp_acm", scale=CORPUS_SCALE).right.records)
+    return built
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return load_dataset("dblp_acm", scale=CORPUS_SCALE).left.records[:N_PROBES]
+
+
+def post_query(base_url: str, record) -> dict:
+    request = urllib.request.Request(
+        base_url + "/query",
+        data=json.dumps(
+            {"record": {
+                "record_id": record.record_id,
+                "attributes": dict(record.attributes),
+            }}
+        ).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def rows(scores) -> list[list]:
+    return [[s.left_id, s.right_id, s.score, s.is_match] for s in scores]
+
+
+def response_rows(payload: dict) -> list[list]:
+    return [
+        [p["left_id"], p["right_id"], p["score"], p["is_match"]]
+        for p in payload["pairs"]
+    ]
+
+
+def test_sequential_query_latency(index, probes, emit):
+    with MatchServer(index) as server:
+        for probe in probes:  # warm every cache the steady state would have
+            post_query(server.url, probe)
+        latencies = []
+        for i in range(60):
+            probe = probes[i % len(probes)]
+            start = time.perf_counter()
+            payload = post_query(server.url, probe)
+            latencies.append(time.perf_counter() - start)
+            if i < len(probes):
+                assert response_rows(payload) == rows(index.query(probe)), (
+                    f"HTTP response drifted from direct query for {probe.record_id}"
+                )
+    p50 = float(np.percentile(latencies, 50)) * 1000
+    p99 = float(np.percentile(latencies, 99)) * 1000
+    emit(
+        "server_query_latency",
+        "\n".join(
+            [
+                f"corpus records: {len(index)}",
+                f"requests timed: {len(latencies)} (sequential, unbatched)",
+                f"p50 latency:    {p50:.2f}ms (limit {P50_LIMIT_MS:g}ms)",
+                f"p99 latency:    {p99:.2f}ms (limit {P99_LIMIT_MS:g}ms)",
+                "parity:         HTTP response == direct index.query()",
+            ]
+        ),
+    )
+    assert p50 <= P50_LIMIT_MS, f"p50 {p50:.1f}ms exceeds {P50_LIMIT_MS:g}ms"
+    assert p99 <= P99_LIMIT_MS, f"p99 {p99:.1f}ms exceeds {P99_LIMIT_MS:g}ms"
+
+
+def run_client_pool(base_url: str, probes) -> float:
+    """Hammer ``/query`` from N_CLIENTS threads; returns achieved QPS."""
+    barrier = threading.Barrier(N_CLIENTS + 1)
+    errors: list[str] = []
+
+    def client(client_id: int) -> None:
+        barrier.wait()
+        for i in range(QUERIES_PER_CLIENT):
+            try:
+                post_query(base_url, probes[(client_id + i) % len(probes)])
+            except Exception as exc:  # noqa: BLE001 - surface in the main thread
+                errors.append(f"client {client_id}: {exc}")
+                return
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert errors == []
+    return (N_CLIENTS * QUERIES_PER_CLIENT) / elapsed
+
+
+def test_concurrent_qps_batched_vs_unbatched(index, probes, emit):
+    with MatchServer(index) as server:
+        post_query(server.url, probes[0])  # warm up before the clock starts
+        unbatched_qps = run_client_pool(server.url, probes)
+
+    config = ServerConfig(batch_window=0.005)
+    with MatchServer(index, config) as server:
+        post_query(server.url, probes[0])
+        batched_qps = run_client_pool(server.url, probes)
+        stats = server._batcher.stats()
+
+    best = max(unbatched_qps, batched_qps)
+    emit(
+        "server_query_qps",
+        "\n".join(
+            [
+                f"corpus records:  {len(index)}",
+                f"client pool:     {N_CLIENTS} threads x {QUERIES_PER_CLIENT} queries",
+                f"unbatched:       {unbatched_qps:.1f} qps",
+                f"batched (5ms):   {batched_qps:.1f} qps "
+                f"({stats['batches']} batches, largest {stats['largest_batch']})",
+                f"best:            {best:.1f} qps (floor {QPS_FLOOR:g})",
+            ]
+        ),
+    )
+    # Coalescing must actually engage under a concurrent pool...
+    assert stats["batched_requests"] == N_CLIENTS * QUERIES_PER_CLIENT + 1
+    assert stats["largest_batch"] >= 2, "batching never coalesced concurrent queries"
+    # ...and the daemon must clear the throughput floor in its better mode.
+    assert best >= QPS_FLOOR, (
+        f"served only {best:.1f} qps over a {len(index)}-record corpus "
+        f"(floor {QPS_FLOOR:g})"
+    )

@@ -25,11 +25,13 @@ from repro import (
     IndexConfig,
     JaccardBlocker,
     MatchIndex,
+    MatchServer,
     MatchingPipeline,
     PairPool,
     PerfectOracle,
     PipelineConfig,
     RandomForest,
+    ServerConfig,
     TreeQBCSelector,
     load_dataset,
 )
@@ -123,6 +125,30 @@ def main() -> None:
     merged = [c for c in clusters if len(c) > 1]
     print(f"dedup: {len(index)} records -> {len(clusters)} entities "
           f"({len(merged)} clusters with duplicates)")
+
+    # 8. The daemon: the same index behind concurrent HTTP endpoints —
+    #    coalesced queries (bit-identical to index.query), generation
+    #    counter, snapshots/hot-reload (see docs/server.md).  Ephemeral
+    #    port; POST /admin/shutdown or SIGTERM stops the CLI form.
+    import json
+    import urllib.request
+
+    with MatchServer(index, ServerConfig(batch_window=0.002)) as server:
+        url = server.url
+        request = urllib.request.Request(
+            url + "/query",
+            data=json.dumps({"record": {"record_id": probe.record_id,
+                                        "attributes": dict(probe.attributes)},
+                             "top_k": 3}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            served_hits = json.loads(response.read())
+    print(f"daemon at {url}: {served_hits['candidates']} candidates, "
+          f"{served_hits['matches']} matches at generation "
+          f"{served_hits['generation']} — "
+          + ", ".join(f"{p['right_id']} ({p['score']:.2f})"
+                      for p in served_hits["pairs"]))
 
 
 if __name__ == "__main__":

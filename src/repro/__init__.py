@@ -26,6 +26,10 @@ The package is organised as in the paper's architecture (Fig. 1a):
 * :mod:`repro.index` — incremental match index over a fitted pipeline:
   low-latency single-record queries under add/remove, plus union-find
   entity resolution (dedup) with stable clusters.
+* :mod:`repro.server` — long-lived HTTP daemon over a match index:
+  concurrent queries under a single-writer/many-reader lock, request
+  coalescing into vectorized scoring calls, periodic snapshots and atomic
+  hot-reload.
 """
 
 from .core import (
@@ -58,6 +62,7 @@ from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
 from .features import BooleanFeatureExtractor, FeatureExtractor
 from .index import MatchIndex, UnionFind
 from .pipeline import MatchingPipeline, MatchScore, load_pipeline
+from .server import MatchServer, ServerConfig
 from .learners import (
     DeepMatcherBaseline,
     LinearSVM,
@@ -132,6 +137,9 @@ __all__ = [
     "MatchingPipeline",
     "MatchScore",
     "load_pipeline",
+    # serving daemon
+    "MatchServer",
+    "ServerConfig",
     # learners
     "LinearSVM",
     "NeuralNetwork",

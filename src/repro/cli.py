@@ -52,6 +52,14 @@ Index a corpus for low-latency single-record queries and dedup (incremental:
     python -m repro index query --index models/abt_buy_index \
         --record '{"record_id": "q1", "name": "sony bravia 40in lcd tv"}'
     python -m repro index dedup --index models/abt_buy_index --json
+
+Serve an index as a long-lived concurrent HTTP daemon (query batching,
+periodic snapshots, atomic hot-reload; see docs/server.md)::
+
+    python -m repro serve --index models/abt_buy_index --port 8080 \
+        --batch-window 0.002 --snapshot-interval 300
+    curl -X POST http://127.0.0.1:8080/query \
+        -d '{"record": {"record_id": "q1", "name": "sony bravia 40in lcd tv"}}'
 """
 
 from __future__ import annotations
@@ -247,6 +255,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="clusters shown in text output (JSON is never truncated)"
     )
     index_dedup.add_argument("--json", action="store_true", help="print all clusters as JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a match index over HTTP (long-lived concurrent daemon)"
+    )
+    serve.add_argument("--index", required=True, help="index artifact directory to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds concurrent queries wait to coalesce into one scoring call (0 disables)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="queries per coalesced scoring call"
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.0,
+        help="seconds between background index snapshots (0 disables)",
+    )
+    serve.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="artifact directory snapshots write to (default: --index, updated in place)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
 
     block = subparsers.add_parser(
         "block", help="compare blocking strategies on one dataset (no learning)"
@@ -690,6 +728,58 @@ def _command_index(args: argparse.Namespace) -> int:
         return 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .server import MatchServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        snapshot_interval=args.snapshot_interval,
+        snapshot_path=args.snapshot_path,
+        quiet=not args.verbose,
+    )
+    try:
+        server = MatchServer.from_artifact(args.index, config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def _on_signal(signum, frame) -> None:
+        server.request_shutdown()
+
+    # Signal handlers only exist on the main thread (tests drive this
+    # command from a worker thread and stop it via POST /admin/shutdown).
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        previous = {
+            signum: signal.signal(signum, _on_signal)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+    try:
+        server.start()
+        stats = server.healthz()
+        print(
+            f"serving index {args.index} ({stats['records']} records) "
+            f"on http://{server.host}:{server.port} — "
+            f"batching {'off' if config.batch_window == 0 else f'{config.batch_window * 1000:g}ms window'}, "
+            f"snapshots {'off' if config.snapshot_interval == 0 else f'every {config.snapshot_interval:g}s'}; "
+            f"POST /admin/shutdown (or SIGTERM) to stop",
+            flush=True,
+        )
+        server.wait_for_shutdown()
+        server.stop()
+        print("server stopped", flush=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace, resume: bool = False) -> int:
     datasets = (
         [name.strip() for name in args.datasets.split(",") if name.strip()]
@@ -778,6 +868,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_match(args)
     if args.command == "index":
         return _command_index(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "block":
         return _command_block(args)
     if args.command == "sweep":

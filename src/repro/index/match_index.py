@@ -464,6 +464,23 @@ class MatchIndex:
                 )
         return results
 
+    @staticmethod
+    def _filter_scores(
+        results: list[MatchScore], top_k: int | None, min_score: float | None
+    ) -> list[MatchScore]:
+        """Apply the ``min_score`` / ``top_k`` post-filter of :meth:`query`.
+
+        One shared filter for the single and batched query paths, so the two
+        can never disagree on ordering or truncation semantics.
+        """
+        if min_score is not None:
+            results = [result for result in results if result.score >= min_score]
+        if top_k is not None:
+            # Always sorted, not just when truncating: the ordering contract
+            # must not flip based on how many candidates survived.
+            results = sorted(results, key=lambda result: -result.score)[:top_k]
+        return results
+
     def query(
         self,
         record,
@@ -496,13 +513,92 @@ class MatchIndex:
             return []
         results = self._score_rows(probe, rows)
         self._trim_extractor_cache()
-        if min_score is not None:
-            results = [result for result in results if result.score >= min_score]
-        if top_k is not None:
-            # Always sorted, not just when truncating: the ordering contract
-            # must not flip based on how many candidates survived.
-            results = sorted(results, key=lambda result: -result.score)[:top_k]
-        return results
+        return self._filter_scores(results, top_k, min_score)
+
+    @staticmethod
+    def _broadcast_option(name: str, value, count: int) -> list:
+        """Expand a scalar-or-sequence query option to one value per probe."""
+        if isinstance(value, (list, tuple)):
+            if len(value) != count:
+                raise ConfigurationError(
+                    f"{name} sequence has {len(value)} entries for {count} records"
+                )
+            return list(value)
+        return [value] * count
+
+    def query_batch(
+        self,
+        records,
+        top_k=None,
+        min_score=None,
+    ) -> list[list[MatchScore]]:
+        """Match several records in one coalesced pass over the index.
+
+        Semantically ``[query(r, top_k, min_score) for r in records]`` —
+        bit-identical results, probe order preserved — but the work is
+        batched: probe signatures are computed with one vectorized MinHash
+        kernel and all surviving (probe, candidate) pairs are concatenated
+        into shared scoring chunks, so N concurrent probes cost one
+        vectorized scoring call instead of N (the serving daemon's request
+        coalescing builds on exactly this method).  Chunk composition never
+        changes scores — the same guarantee batch ``match`` makes for its
+        ``chunk_size`` — which is what keeps the batched path bit-identical
+        to the one-at-a-time path.
+
+        ``top_k`` and ``min_score`` accept a scalar (applied to every probe)
+        or a sequence aligned with ``records`` (per-probe settings, as when
+        coalescing independent callers).
+        """
+        probes = [coerce_record(obj) for obj in records]
+        top_ks = self._broadcast_option("top_k", top_k, len(probes))
+        min_scores = self._broadcast_option("min_score", min_score, len(probes))
+        for k in top_ks:
+            if k is not None and k < 1:
+                raise ConfigurationError("top_k must be at least 1 or None")
+        results: list[list[MatchScore]] = [[] for _ in probes]
+        if not probes:
+            return results
+
+        hashes_list = [self._computer.shingle_hashes(probe) for probe in probes]
+        pairs: list[CandidatePair] = []
+        owners: list[int] = []
+        if self._row_of:
+            usable = [i for i, hashes in enumerate(hashes_list) if hashes is not None]
+            if usable:
+                signatures = self._computer.signature_matrix(
+                    [hashes_list[i] for i in usable]
+                )
+                keys = self._computer.band_hashes(signatures)
+                for offset, i in enumerate(usable):
+                    rows = self._collision_rows(keys[offset])
+                    rows = self._verify_rows(
+                        signatures[offset : offset + 1], hashes_list[i], rows
+                    )
+                    for row in rows.tolist():
+                        pairs.append(CandidatePair(probes[i], self._records[row]))
+                        owners.append(i)
+
+        chunk_size = self.pipeline.config.chunk_size
+        for start in range(0, len(pairs), chunk_size):
+            chunk = pairs[start : start + chunk_size]
+            scores, predictions = _score_pairs(self.pipeline._predictor, self._extractor, chunk)
+            for offset, (pair, score, prediction) in enumerate(
+                zip(chunk, scores, predictions)
+            ):
+                results[owners[start + offset]].append(
+                    MatchScore(
+                        left_id=pair.left.record_id,
+                        right_id=pair.right.record_id,
+                        score=float(score),
+                        is_match=bool(prediction),
+                    )
+                )
+        if pairs:
+            self._trim_extractor_cache()
+        return [
+            self._filter_scores(result, k, floor)
+            for result, k, floor in zip(results, top_ks, min_scores)
+        ]
 
     # ------------------------------------------------------------- resolve
     def _candidate_rows_below(self, row: int) -> np.ndarray:

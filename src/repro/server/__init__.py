@@ -1,0 +1,37 @@
+"""Long-lived match-serving daemon over an incremental MatchIndex.
+
+The serving story in three layers (see ``docs/server.md``):
+
+* :mod:`repro.server.app` — :class:`MatchServer` / :class:`ServerConfig`:
+  endpoint logic, the single-writer/many-reader concurrency model with its
+  generation counter, snapshots and atomic hot-reload.
+* :mod:`repro.server.handlers` — the HTTP edge: routing, JSON validation,
+  exception → status mapping.
+* :mod:`repro.server.batching` / :mod:`repro.server.snapshotter` /
+  :mod:`repro.server.locks` — the mechanisms: query coalescing, the
+  background persistence loop, the readers-writer lock.
+
+Start one from Python::
+
+    from repro.server import MatchServer, ServerConfig
+
+    with MatchServer.from_artifact("models/abt_buy_index",
+                                   ServerConfig(batch_window=0.002)) as server:
+        print(server.url)          # e.g. http://127.0.0.1:40913
+        ...
+
+or from the CLI: ``python -m repro serve --index models/abt_buy_index``.
+"""
+
+from .app import MatchServer, ServerConfig
+from .batching import QueryBatcher
+from .locks import RWLock
+from .snapshotter import Snapshotter
+
+__all__ = [
+    "MatchServer",
+    "QueryBatcher",
+    "RWLock",
+    "ServerConfig",
+    "Snapshotter",
+]

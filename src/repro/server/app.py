@@ -1,0 +1,373 @@
+"""The match-serving daemon: a long-lived HTTP process over a MatchIndex.
+
+Every other workload in this repository is a one-shot CLI process that pays
+the full artifact load on each invocation.  :class:`MatchServer` is the
+serving-shaped complement: it loads a :class:`~repro.index.MatchIndex` once
+and answers JSON endpoints from memory —
+
+========================  ======  ==============================================
+``POST /query``           read    match one record against the corpus
+``POST /add``             write   index new records
+``POST /remove``          write   tombstone records by id
+``POST /resolve``         write   entity clusters over the live corpus
+``GET /healthz``          read    liveness + corpus summary
+``GET /stats``            read    index + server counters
+``POST /admin/snapshot``  read    persist the index artifact now
+``POST /admin/reload``    write   atomically swap in an artifact from disk
+``POST /admin/shutdown``  —       stop serving cleanly
+========================  ======  ==============================================
+
+Concurrency model (see :mod:`repro.server.locks`): reads share a
+writer-preferring :class:`RWLock`; mutations serialize exclusively and bump
+a **generation** counter that every response reports, so clients can reason
+about which corpus version answered them.  ``/resolve`` is classified as a
+writer because it (re)builds the index's cached resolution state.
+
+Queries optionally coalesce: with ``batch_window > 0`` concurrent ``/query``
+requests are drained into one
+:meth:`~repro.index.MatchIndex.query_batch` call under a single read-lock
+acquisition (see :mod:`repro.server.batching`) — responses are bit-identical
+to unbatched queries by ``query_batch``'s equivalence contract.
+
+Snapshots and hot reloads reuse the PR-5 artifact machinery unchanged:
+snapshotting is a read-locked :meth:`~repro.index.MatchIndex.save` (crash-safe,
+content-addressed), reloading is :meth:`~repro.index.MatchIndex.load` (format-
+version gated) executed *outside* the locks with only the pointer swap
+exclusive, so queries keep flowing while the new artifact loads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+
+from ..exceptions import ArtifactError, ConfigurationError
+from ..index import MatchIndex
+from .batching import QueryBatcher
+from .handlers import MatchRequestHandler
+from .locks import RWLock
+from .snapshotter import Snapshotter
+
+__all__ = ["MatchServer", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of a :class:`MatchServer`.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  Port ``0`` binds an ephemeral port (read it back from
+        :attr:`MatchServer.port` — the test suite's default).
+    batch_window:
+        Seconds concurrent queries wait to coalesce into one vectorized
+        scoring call; ``0`` disables batching (every query scores alone).
+    max_batch:
+        Cap on queries per coalesced call.
+    snapshot_interval:
+        Seconds between background snapshots; ``0`` disables the thread
+        (``POST /admin/snapshot`` always works).
+    snapshot_path:
+        Artifact directory snapshots write to.  Defaults to the artifact the
+        server was loaded from; required for snapshots if the server was
+        built from an in-memory index.
+    quiet:
+        Suppress the per-request access log (default; benchmarks and tests
+        would otherwise drown in it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window: float = 0.0
+    max_batch: int = 64
+    snapshot_interval: float = 0.0
+    snapshot_path: str | None = None
+    quiet: bool = True
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ConfigurationError("port must be >= 0")
+        if self.batch_window < 0:
+            raise ConfigurationError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.snapshot_interval < 0:
+            raise ConfigurationError("snapshot_interval must be >= 0")
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "MatchServer"
+
+
+class MatchServer:
+    """Serve a :class:`~repro.index.MatchIndex` over HTTP, safely concurrent.
+
+    Use as a context manager (``with MatchServer(index) as server:``) or via
+    :meth:`start` / :meth:`stop`.  The server owns no process-global state;
+    several instances can serve different indexes in one process (tests do).
+    """
+
+    def __init__(
+        self,
+        index: MatchIndex,
+        config: ServerConfig | None = None,
+        artifact: str | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.artifact = str(artifact) if artifact is not None else None
+        self._index = index
+        self._lock = RWLock()
+        self._generation = 0
+        self._counters: dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+        self._snapshot_mutex = threading.Lock()
+        self._snapshotted_generation: int | None = None
+        self._shutdown_requested = threading.Event()
+        self._httpd: _HTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._batcher = (
+            QueryBatcher(
+                self._execute_query_batch,
+                window=self.config.batch_window,
+                max_batch=self.config.max_batch,
+            )
+            if self.config.batch_window > 0
+            else None
+        )
+        self._snapshotter = (
+            Snapshotter(self._background_snapshot, self.config.snapshot_interval)
+            if self.config.snapshot_interval > 0
+            else None
+        )
+
+    @classmethod
+    def from_artifact(cls, path, config: ServerConfig | None = None) -> "MatchServer":
+        """Load the index artifact once and wrap it in a server."""
+        return cls(MatchIndex.load(path), config=config, artifact=str(path))
+
+    # ---------------------------------------------------------------- state
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped by every ``add``/``remove``/``reload``."""
+        return self._generation
+
+    @property
+    def snapshot_path(self) -> str | None:
+        return self.config.snapshot_path or self.artifact
+
+    def _count(self, key: str) -> None:
+        with self._counter_lock:
+            self._counters[key] = self._counters.get(key, 0) + 1
+
+    # ------------------------------------------------------------ query path
+    def _execute_query_batch(self, requests: list[tuple]) -> list[tuple]:
+        """Score one coalesced batch under a single read-lock acquisition."""
+        with self._lock.read():
+            generation = self._generation
+            batches = self._index.query_batch(
+                [record for record, _, _ in requests],
+                top_k=[top_k for _, top_k, _ in requests],
+                min_score=[min_score for _, _, min_score in requests],
+            )
+        return [(scores, generation) for scores in batches]
+
+    def query(self, record, top_k: int | None = None, min_score: float | None = None) -> dict:
+        """Match one record; coalesced with concurrent callers when batching
+        is on.  Returns the JSON-shaped response payload."""
+        if self._batcher is not None:
+            scores, generation = self._batcher.submit((record, top_k, min_score))
+        else:
+            with self._lock.read():
+                generation = self._generation
+                scores = self._index.query(record, top_k=top_k, min_score=min_score)
+        self._count("query")
+        return {
+            "pairs": [score.to_dict() for score in scores],
+            "candidates": len(scores),
+            "matches": sum(1 for score in scores if score.is_match),
+            "generation": generation,
+        }
+
+    # -------------------------------------------------------------- mutation
+    def add(self, records) -> dict:
+        with self._lock.write():
+            added = self._index.add(records)
+            self._generation += 1
+            payload = {
+                "added": added,
+                "records": len(self._index),
+                "generation": self._generation,
+            }
+        self._count("add")
+        return payload
+
+    def remove(self, record_ids) -> dict:
+        with self._lock.write():
+            removed = self._index.remove(record_ids)
+            self._generation += 1
+            payload = {
+                "removed": removed,
+                "records": len(self._index),
+                "generation": self._generation,
+            }
+        self._count("remove")
+        return payload
+
+    def resolve(self, min_score: float | None = None) -> dict:
+        # Exclusive, not shared: resolve() (re)builds the index's cached
+        # resolution state, which must not race concurrent queries' cache
+        # fills or another resolve.
+        with self._lock.write():
+            clusters = self._index.resolve(min_score=min_score)
+            payload = {
+                "clusters": clusters,
+                "records": len(self._index),
+                "entities": len(clusters),
+                "merged_entities": sum(1 for cluster in clusters if len(cluster) > 1),
+                "generation": self._generation,
+            }
+        self._count("resolve")
+        return payload
+
+    # -------------------------------------------------------------- admin
+    def snapshot(self, path: str | None = None, force: bool = True) -> dict | None:
+        """Persist the served index; read-locked (queries keep flowing,
+        mutations wait).  With ``force=False`` the write is skipped (returns
+        ``None``) when no mutation happened since the last snapshot."""
+        target = path or self.snapshot_path
+        if target is None:
+            raise ConfigurationError(
+                "no snapshot path: serve from an artifact, configure "
+                "snapshot_path, or pass an explicit path"
+            )
+        with self._snapshot_mutex:
+            with self._lock.read():
+                generation = self._generation
+                if not force and generation == self._snapshotted_generation:
+                    return None
+                manifest = self._index.save(target)
+            self._snapshotted_generation = generation
+        self._count("snapshot")
+        return {
+            "path": str(target),
+            "config_hash": manifest.get("config_hash"),
+            "records": manifest.get("index", {}).get("stats", {}).get("records"),
+            "generation": generation,
+        }
+
+    def _background_snapshot(self) -> dict | None:
+        return self.snapshot(force=False)
+
+    def reload(self, path: str | None = None) -> dict:
+        """Atomically hot-swap the served index from an artifact on disk.
+
+        The (slow) load runs outside the locks; only the pointer swap takes
+        the write lock.  Format/version gates are
+        :meth:`~repro.index.MatchIndex.load`'s own — an unsupported or
+        corrupt artifact raises :class:`~repro.exceptions.ArtifactError` and
+        the currently served index stays untouched.
+        """
+        target = path or self.snapshot_path
+        if target is None:
+            raise ArtifactError("no artifact path to reload from")
+        replacement = MatchIndex.load(target)
+        with self._lock.write():
+            self._index = replacement
+            self._generation += 1
+            payload = {
+                "path": str(target),
+                "records": len(self._index),
+                "generation": self._generation,
+            }
+        self._count("reload")
+        return payload
+
+    # ------------------------------------------------------------ inspection
+    def healthz(self) -> dict:
+        with self._lock.read():
+            return {
+                "status": "ok",
+                "records": len(self._index),
+                "generation": self._generation,
+            }
+
+    def stats(self) -> dict:
+        with self._lock.read():
+            index_stats = self._index.stats()
+            generation = self._generation
+        with self._counter_lock:
+            counters = dict(sorted(self._counters.items()))
+        server: dict = {
+            "generation": generation,
+            "requests": counters,
+            "batching": self._batcher.stats() if self._batcher else None,
+            "snapshotter": self._snapshotter.stats() if self._snapshotter else None,
+            "artifact": self.artifact,
+            "snapshot_path": self.snapshot_path,
+        }
+        return {"index": index_stats, "server": server}
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "MatchServer":
+        """Bind the socket and serve from a daemon thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = _HTTPServer((self.config.host, self.config.port), MatchRequestHandler)
+        self._httpd.app = self
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-match-server",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if self._snapshotter is not None:
+            self._snapshotter.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, stop the snapshotter, release the socket."""
+        if self._snapshotter is not None:
+            self._snapshotter.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        self._shutdown_requested.set()
+
+    def request_shutdown(self) -> None:
+        """Ask the serving loop to stop (signal handlers, admin endpoint)."""
+        self._shutdown_requested.set()
+
+    def wait_for_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown` (polling, signal-friendly)."""
+        while not self._shutdown_requested.wait(timeout=0.2):
+            pass
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after :meth:`start`)."""
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MatchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,129 @@
+"""Request coalescing: concurrent queries become one vectorized scoring call.
+
+Per-query scoring pays fixed costs (probe signature kernel launch, predictor
+dispatch) that amortize across probes — :meth:`repro.index.MatchIndex.query_batch`
+scores all probes' surviving candidates in shared chunks.  The
+:class:`QueryBatcher` turns *concurrent HTTP requests* into such batches:
+requests arriving within ``window`` seconds of the first are drained into one
+``execute`` call and their results de-multiplexed back to the waiting caller
+threads.
+
+The design is leader-based (no dedicated thread): the first request in an
+idle batcher becomes the leader, sleeps out the window while followers
+enqueue, then executes the drained batch and wakes every waiter.  If more
+requests arrived while a batch was scoring, the leader keeps draining —
+under sustained load batches form back-to-back without idle windows.
+Leadership hands off automatically because any request that finds the
+batcher idle becomes the next leader.
+
+Exceptions from ``execute`` fan out to every request in the failed batch
+(per-request *validation* therefore belongs before :meth:`submit`, in the
+handler — by the time a request is in a batch it must be well-formed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["QueryBatcher"]
+
+
+class _Job:
+    __slots__ = ("request", "event", "result", "error")
+
+    def __init__(self, request) -> None:
+        self.request = request
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class QueryBatcher:
+    """Coalesce concurrent :meth:`submit` calls into batched executions.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(requests: list) -> list`` — results aligned with requests.
+        Called from whichever caller thread is the current leader.
+    window:
+        Seconds the leader waits for followers before executing.  The window
+        is the latency cost of batching; it only pays off under concurrency.
+    max_batch:
+        Hard cap on requests per ``execute`` call (bounds peak memory of one
+        coalesced scoring pass); excess requests form the next batch.
+    """
+
+    def __init__(self, execute, window: float, max_batch: int) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute = execute
+        self._window = window
+        self._max_batch = max_batch
+        self._lock = threading.Lock()
+        self._queue: deque[_Job] = deque()
+        self._leader_active = False
+        self._batches = 0
+        self._coalesced = 0
+        self._largest_batch = 0
+
+    def submit(self, request):
+        """Enqueue one request; blocks until its batch ran, returns its result."""
+        job = _Job(request)
+        with self._lock:
+            self._queue.append(job)
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._lead()
+        job.event.wait()
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    def _lead(self) -> None:
+        """Drain and execute batches until the queue is empty, then step down."""
+        if self._window:
+            time.sleep(self._window)
+        while True:
+            with self._lock:
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self._max_batch))
+                ]
+                if not batch:
+                    self._leader_active = False
+                    return
+            self._run(batch)
+
+    def _run(self, batch: list[_Job]) -> None:
+        try:
+            results = self._execute([job.request for job in batch])
+            for job, result in zip(batch, results):
+                job.result = result
+        except BaseException as exc:  # fan the failure out to every waiter
+            for job in batch:
+                job.error = exc
+        finally:
+            with self._lock:
+                self._batches += 1
+                self._coalesced += len(batch)
+                self._largest_batch = max(self._largest_batch, len(batch))
+            for job in batch:
+                job.event.set()
+
+    def stats(self) -> dict:
+        """Cumulative coalescing counters (deterministic fields only)."""
+        with self._lock:
+            return {
+                "window_seconds": self._window,
+                "max_batch": self._max_batch,
+                "batches": self._batches,
+                "batched_requests": self._coalesced,
+                "largest_batch": self._largest_batch,
+            }

@@ -1,0 +1,225 @@
+"""HTTP request handling for the match-serving daemon.
+
+One :class:`MatchRequestHandler` instance is created per connection by the
+threading HTTP server; all state lives on the owning
+:class:`~repro.server.app.MatchServer` (reachable as ``self.app``).  The
+handler's job is the protocol edge: route, parse and *validate* JSON bodies
+before any lock is taken, map exceptions to status codes, and always answer
+with a JSON object (``{"error": ...}`` on failure) carrying a correct
+``Content-Length`` (the server speaks keep-alive HTTP/1.1).
+
+Status mapping
+--------------
+================================  ====
+malformed JSON / wrong shapes      400
+``ConfigurationError``             400
+unknown record id / endpoint       404
+wrong method on a known endpoint   405
+duplicate record id on ``/add``    409
+``ArtifactError`` & other errors   500
+================================  ====
+
+Validation errors never reach the index, and handler bugs never kill the
+daemon: the outermost catch turns any unexpected exception into a clean 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+
+from ..exceptions import ConfigurationError, DatasetError, ReproError
+
+__all__ = ["MatchRequestHandler", "RequestError"]
+
+#: Request bodies larger than this are rejected outright (64 MiB) — a
+#: backstop against a runaway client exhausting server memory.
+MAX_BODY_BYTES = 64 << 20
+
+
+class RequestError(Exception):
+    """A client-side protocol error, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(400, message)
+
+
+def _optional_number(body: dict, key: str):
+    value = body.get(key)
+    _require(
+        value is None or isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{key!r} must be a number",
+    )
+    return value
+
+
+class MatchRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-match-server"
+
+    @property
+    def app(self):
+        return self.server.app
+
+    # --------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if not self.app.config.quiet:
+            super().log_message(format, *args)
+
+    def _read_body(self) -> dict:
+        """The request body as a JSON object; empty bodies mean ``{}``."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(400, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw.strip():
+            return {}
+        try:
+            body = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(400, f"malformed JSON body: {exc}") from exc
+        _require(isinstance(body, dict), "request body must be a JSON object")
+        return body
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    @staticmethod
+    def _error_status(exc: Exception) -> int:
+        if isinstance(exc, RequestError):
+            return exc.status
+        if isinstance(exc, ConfigurationError):
+            return 400
+        if isinstance(exc, DatasetError):
+            message = str(exc)
+            if "not in index" in message:
+                return 404
+            if "already indexed" in message:
+                return 409
+            return 400
+        if isinstance(exc, ReproError):
+            return 500  # ArtifactError and friends: a server-side fault
+        return 500
+
+    def _dispatch(self, routes: dict) -> None:
+        handler = routes.get(self.path)
+        try:
+            if handler is None:
+                known_elsewhere = self.path in (_GET_ROUTES | _POST_ROUTES)
+                raise RequestError(
+                    405 if known_elsewhere else 404,
+                    f"{'method not allowed for' if known_elsewhere else 'unknown endpoint'} "
+                    f"{self.path!r}",
+                )
+            self._send_json(200, handler(self))
+        except Exception as exc:  # every failure becomes a clean JSON response
+            status = self._error_status(exc)
+            if status == 500 and not isinstance(exc, ReproError):
+                # Unexpected bug: log it (even in quiet mode), answer generically.
+                super().log_message("unhandled %s: %s", type(exc).__name__, exc)
+                message = f"internal error: {type(exc).__name__}"
+            else:
+                message = str(exc)
+            self.app._count(f"error_{status}")
+            try:
+                self._send_json(status, {"error": message})
+            except OSError:
+                pass  # client hung up mid-response; nothing left to tell it
+
+    # --------------------------------------------------------------- endpoints
+    def _handle_healthz(self) -> dict:
+        return self.app.healthz()
+
+    def _handle_stats(self) -> dict:
+        return self.app.stats()
+
+    def _handle_query(self) -> dict:
+        body = self._read_body()
+        record = body.get("record")
+        _require(isinstance(record, dict), "'record' must be a JSON object")
+        top_k = body.get("top_k")
+        _require(
+            top_k is None or isinstance(top_k, int) and not isinstance(top_k, bool),
+            "'top_k' must be an integer",
+        )
+        if top_k is not None and top_k < 1:
+            raise RequestError(400, "'top_k' must be at least 1")
+        min_score = _optional_number(body, "min_score")
+        return self.app.query(record, top_k=top_k, min_score=min_score)
+
+    def _handle_add(self) -> dict:
+        body = self._read_body()
+        records = body.get("records")
+        _require(isinstance(records, list), "'records' must be a JSON list")
+        _require(
+            all(isinstance(entry, dict) for entry in records),
+            "'records' entries must be JSON objects",
+        )
+        return self.app.add(records)
+
+    def _handle_remove(self) -> dict:
+        body = self._read_body()
+        ids = body.get("ids")
+        if isinstance(ids, str):
+            ids = [ids]
+        _require(isinstance(ids, list) and ids, "'ids' must be a non-empty JSON list")
+        _require(
+            all(isinstance(entry, str) for entry in ids),
+            "'ids' entries must be strings",
+        )
+        return self.app.remove(ids)
+
+    def _handle_resolve(self) -> dict:
+        body = self._read_body()
+        return self.app.resolve(min_score=_optional_number(body, "min_score"))
+
+    def _handle_snapshot(self) -> dict:
+        body = self._read_body()
+        path = body.get("path")
+        _require(path is None or isinstance(path, str), "'path' must be a string")
+        return self.app.snapshot(path=path)
+
+    def _handle_reload(self) -> dict:
+        body = self._read_body()
+        path = body.get("path")
+        _require(path is None or isinstance(path, str), "'path' must be a string")
+        return self.app.reload(path=path)
+
+    def _handle_shutdown(self) -> dict:
+        self._read_body()
+        generation = self.app.generation
+        self.app.request_shutdown()
+        return {"status": "shutting down", "generation": generation}
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch(_GET_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch(_POST_ROUTES)
+
+
+_GET_ROUTES = {
+    "/healthz": MatchRequestHandler._handle_healthz,
+    "/stats": MatchRequestHandler._handle_stats,
+}
+
+_POST_ROUTES = {
+    "/query": MatchRequestHandler._handle_query,
+    "/add": MatchRequestHandler._handle_add,
+    "/remove": MatchRequestHandler._handle_remove,
+    "/resolve": MatchRequestHandler._handle_resolve,
+    "/admin/snapshot": MatchRequestHandler._handle_snapshot,
+    "/admin/reload": MatchRequestHandler._handle_reload,
+    "/admin/shutdown": MatchRequestHandler._handle_shutdown,
+}

@@ -1,0 +1,86 @@
+"""Single-writer / many-reader locking for the match-serving daemon.
+
+The serving concurrency model is deliberately simple: queries share the
+index (:class:`~repro.index.MatchIndex` reads are safe to run concurrently
+under the GIL — the only structures a query touches mutably are idempotent
+memoization caches), while mutations (``add`` / ``remove`` / hot-reload)
+take the lock exclusively and serialize.  :class:`RWLock` implements that
+discipline as a classic writer-preferring readers-writer lock: any waiting
+writer blocks *new* readers, so a steady query stream can never starve an
+update.
+
+Neither mode is reentrant — a thread must not re-acquire a lock it already
+holds (the server's handlers never do).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Writer-preferring readers-writer lock.
+
+    Any number of readers proceed concurrently; a writer is exclusive
+    against both readers and other writers.  A writer announcing itself
+    (waiting) stops new readers from entering, bounding writer wait time by
+    the currently running readers.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers < 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared acquisition for the block."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive acquisition for the block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,91 @@
+"""Periodic background snapshots of the served index.
+
+A long-lived daemon accumulates ``/add`` / ``/remove`` mutations in memory;
+the :class:`Snapshotter` persists them on a cadence so a crash loses at most
+one interval of updates.  The write itself is
+:meth:`repro.index.MatchIndex.save` — the crash-safe content-addressed
+artifact machinery (temp-file + rename, manifest-last commit point), so a
+snapshot can never tear the artifact it overwrites, and an unchanged index
+re-saves byte-identically (content-addressed payloads make that nearly
+free).
+
+Snapshots are generation-gated: the background loop skips the write when no
+mutation happened since the last snapshot.  :meth:`trigger` (the
+``POST /admin/snapshot`` path) always writes.  Both paths serialize on one
+mutex — the artifact directory is written by at most one thread at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Snapshotter"]
+
+
+class Snapshotter:
+    """Background thread calling ``snapshot()`` every ``interval`` seconds.
+
+    ``snapshot`` is a callable returning a summary dict (the server wires it
+    to a read-locked, generation-aware save); exceptions are caught, counted
+    and exposed via :meth:`stats` instead of killing the thread — a full
+    disk must not take queries down with it.
+    """
+
+    def __init__(self, snapshot, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self._snapshot = snapshot
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._completed = 0
+        self._skipped = 0
+        self._failed = 0
+        self._last_error: str | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-snapshotter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.trigger(raise_errors=False)
+
+    def trigger(self, raise_errors: bool = True) -> dict | None:
+        """Run one snapshot now.  ``None`` from the callable means "nothing
+        changed since the last snapshot, write skipped"."""
+        try:
+            result = self._snapshot()
+        except Exception as exc:
+            with self._lock:
+                self._failed += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+            if raise_errors:
+                raise
+            return None
+        with self._lock:
+            if result is None:
+                self._skipped += 1
+            else:
+                self._completed += 1
+            self._last_error = None
+        return result
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "interval_seconds": self._interval,
+                "completed": self._completed,
+                "skipped": self._skipped,
+                "failed": self._failed,
+                "last_error": self._last_error,
+            }

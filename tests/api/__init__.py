@@ -1,0 +1,7 @@
+"""HTTP API tests for the match-serving daemon (:mod:`repro.server`).
+
+Every test here talks to a *live* in-process :class:`~repro.server.MatchServer`
+over real sockets — the stdlib client in :mod:`tests.api.conftest` — so the
+full stack (routing, JSON validation, locking, batching, snapshotting) is
+exercised exactly as an external client would.
+"""

@@ -1,0 +1,100 @@
+"""Fixtures for the live-server API tests.
+
+The expensive pieces — one fitted pipeline and the tiny DBLP-ACM stand-in —
+are package-scoped and shared.  Servers are cheap by comparison, so every
+test that mutates state gets a fresh index behind a fresh server from the
+``make_server`` factory; ``client`` wraps stdlib urllib so the tests depend
+on nothing outside the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import Record, load_dataset
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+from repro.server import MatchServer, ServerConfig
+
+from ..test_index import small_config
+
+
+@pytest.fixture(scope="package")
+def fitted() -> MatchingPipeline:
+    pipeline = MatchingPipeline(small_config())
+    pipeline.fit("dblp_acm")
+    return pipeline
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    return load_dataset("dblp_acm", scale=0.15)
+
+
+@pytest.fixture(scope="package")
+def corpus(dataset) -> list[Record]:
+    return dataset.right.records
+
+
+@pytest.fixture(scope="package")
+def probes(dataset) -> list[Record]:
+    return dataset.left.records
+
+
+def as_json(record: Record) -> dict:
+    """A record in the wire shape ``/query`` and ``/add`` accept."""
+    return {"record_id": record.record_id, "attributes": dict(record.attributes)}
+
+
+class Client:
+    """Minimal JSON-over-HTTP client: every call returns ``(status, payload)``."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url
+
+    def request(self, method: str, path: str, body=None, *, raw: bytes | None = None):
+        data = raw if raw is not None else (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, body=None, *, raw: bytes | None = None):
+        return self.request("POST", path, body, raw=raw)
+
+
+@pytest.fixture
+def make_server(fitted, corpus):
+    """Factory: a started server over a fresh index of the shared corpus.
+
+    Returns ``(server, client)``; every server started through the factory is
+    stopped at teardown even if the test fails.
+    """
+    started: list[MatchServer] = []
+
+    def factory(config: ServerConfig | None = None, records=None) -> tuple[MatchServer, Client]:
+        index = MatchIndex(fitted)
+        index.add(corpus if records is None else records)
+        server = MatchServer(index, config or ServerConfig()).start()
+        started.append(server)
+        return server, Client(server.url)
+
+    yield factory
+    for server in started:
+        server.stop()

@@ -1,0 +1,139 @@
+"""Concurrency stress: readers hammer ``/query`` while a writer mutates.
+
+The determinism contract under load, in three layers:
+
+1. *No torn reads* — every response carries a generation ``g`` and its scores
+   must equal a serial replay of the first ``g`` mutations queried directly
+   (generation and scores are read under one read-lock acquisition, so a
+   response can never mix corpus versions).
+2. *Monotonicity* — a single client's sequential requests observe
+   non-decreasing generations.
+3. *Convergence* — after the writer finishes, the served state (records,
+   queries, entity clusters) equals the serial application of the same ops.
+
+Run both unbatched and with coalescing on: batching shares one read-lock
+acquisition across callers and must not weaken any of the three.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.index import MatchIndex
+from repro.server import ServerConfig
+
+from .conftest import as_json
+
+N_READERS = 4
+QUERIES_PER_READER = 25
+
+
+def rows(scores) -> list[list]:
+    return [[s.left_id, s.right_id, s.score, s.is_match] for s in scores]
+
+
+def response_rows(payload: dict) -> list[list]:
+    return [
+        [pair["left_id"], pair["right_id"], pair["score"], pair["is_match"]]
+        for pair in payload["pairs"]
+    ]
+
+
+@pytest.fixture(scope="module")
+def script(fitted, corpus, probes):
+    """The mutation script plus per-generation expected query results.
+
+    ``expected[g][probe_id]`` is the exact result of querying ``probe_id``
+    after the first ``g`` ops, computed by serial replay on a private index.
+    """
+    ops = []
+    for i in range(5):
+        ops.append(("add", probes[10 + i]))
+        ops.append(("remove", corpus[i]))
+    query_probes = probes[:8]
+
+    serial = MatchIndex(fitted)
+    serial.add(corpus)
+    expected = {0: {p.record_id: rows(serial.query(p)) for p in query_probes}}
+    for generation, (op, record) in enumerate(ops, start=1):
+        if op == "add":
+            serial.add([record])
+        else:
+            serial.remove([record.record_id])
+        expected[generation] = {
+            p.record_id: rows(serial.query(p)) for p in query_probes
+        }
+    return ops, query_probes, expected, serial
+
+
+@pytest.mark.parametrize(
+    "config",
+    [ServerConfig(), ServerConfig(batch_window=0.01)],
+    ids=["unbatched", "batched"],
+)
+def test_readers_vs_writer_stress(make_server, script, config):
+    ops, query_probes, expected, serial = script
+    server, client = make_server(config)
+    failures: list[str] = []
+    start = threading.Barrier(N_READERS + 1)
+
+    def reader(reader_id: int) -> None:
+        start.wait()
+        last_generation = -1
+        for i in range(QUERIES_PER_READER):
+            probe = query_probes[(reader_id + i) % len(query_probes)]
+            status, payload = client.post("/query", {"record": as_json(probe)})
+            if status != 200:
+                failures.append(f"reader {reader_id}: status {status}: {payload}")
+                return
+            generation = payload["generation"]
+            if not 0 <= generation <= len(ops):
+                failures.append(f"reader {reader_id}: illegal generation {generation}")
+                return
+            if generation < last_generation:
+                failures.append(
+                    f"reader {reader_id}: generation went backwards "
+                    f"({last_generation} -> {generation})"
+                )
+                return
+            last_generation = generation
+            if response_rows(payload) != expected[generation][probe.record_id]:
+                failures.append(
+                    f"reader {reader_id}: {probe.record_id} at generation "
+                    f"{generation} does not match the serial replay"
+                )
+                return
+
+    def writer() -> None:
+        start.wait()
+        for op, record in ops:
+            if op == "add":
+                status, payload = client.post("/add", {"records": [as_json(record)]})
+            else:
+                status, payload = client.post("/remove", {"ids": [record.record_id]})
+            if status != 200:
+                failures.append(f"writer: status {status}: {payload}")
+                return
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(N_READERS)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert failures == []
+
+    # Convergence: the served state equals the serial application of ops.
+    assert server.generation == len(ops)
+    _, health = client.get("/healthz")
+    assert health["records"] == len(serial)
+    assert server._index.record_ids() == serial.record_ids()
+    for probe in query_probes:
+        _, payload = client.post("/query", {"record": as_json(probe)})
+        assert payload["generation"] == len(ops)
+        assert response_rows(payload) == expected[len(ops)][probe.record_id]
+    _, resolved = client.post("/resolve")
+    assert resolved["clusters"] == serial.resolve()

@@ -1,0 +1,307 @@
+"""Per-endpoint contract tests against a live in-process server.
+
+Each test pins one observable behavior of the HTTP surface: response shapes
+on the happy path, the exact status code for each failure class (400/404/405/
+409/500), and that mutations bump the generation counter exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.index import MatchIndex
+from repro.pipeline.artifact import MANIFEST_NAME
+from repro.server import MatchServer, ServerConfig
+
+from .conftest import as_json
+
+
+# --------------------------------------------------------------------- reads
+class TestReadEndpoints:
+    def test_healthz_shape(self, make_server, corpus):
+        _, client = make_server()
+        status, payload = client.get("/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "records": len(corpus), "generation": 0}
+
+    def test_stats_shape(self, make_server, probes):
+        server, client = make_server()
+        client.post("/query", {"record": as_json(probes[0])})
+        status, payload = client.get("/stats")
+        assert status == 200
+        assert set(payload) == {"index", "server"}
+        assert payload["index"]["records"] == len(server._index)
+        assert payload["server"]["generation"] == 0
+        assert payload["server"]["requests"]["query"] == 1
+        assert payload["server"]["batching"] is None  # batching off by default
+        assert payload["server"]["snapshotter"] is None
+
+    def test_query_happy_path(self, make_server, probes):
+        server, client = make_server()
+        status, payload = client.post("/query", {"record": as_json(probes[0])})
+        assert status == 200
+        assert set(payload) == {"pairs", "candidates", "matches", "generation"}
+        assert payload["candidates"] == len(payload["pairs"])
+        assert payload["matches"] == sum(1 for p in payload["pairs"] if p["is_match"])
+        assert payload["generation"] == 0
+        for pair in payload["pairs"]:
+            assert set(pair) == {"left_id", "right_id", "score", "is_match"}
+
+    def test_query_options_forwarded(self, make_server, probes):
+        _, client = make_server()
+        _, full = client.post("/query", {"record": as_json(probes[0])})
+        assert len(full["pairs"]) > 1, "probe must hit several candidates"
+        _, top = client.post("/query", {"record": as_json(probes[0]), "top_k": 1})
+        assert len(top["pairs"]) == 1
+        assert top["pairs"][0] == full["pairs"][0]
+        floor = full["pairs"][0]["score"]
+        _, scored = client.post(
+            "/query", {"record": as_json(probes[0]), "min_score": floor}
+        )
+        assert all(pair["score"] >= floor for pair in scored["pairs"])
+
+
+# ----------------------------------------------------------------- mutations
+class TestMutationEndpoints:
+    def test_add_bumps_generation_and_serves_new_record(self, make_server, corpus, probes):
+        _, client = make_server()
+        new = probes[5]
+        status, payload = client.post("/add", {"records": [as_json(new)]})
+        assert status == 200
+        assert payload == {
+            "added": [new.record_id],
+            "records": len(corpus) + 1,
+            "generation": 1,
+        }
+        _, after = client.post("/query", {"record": as_json(new)})
+        assert after["generation"] == 1
+        assert any(pair["right_id"] == new.record_id for pair in after["pairs"])
+
+    def test_add_duplicate_is_409(self, make_server, corpus):
+        server, client = make_server()
+        status, payload = client.post("/add", {"records": [as_json(corpus[0])]})
+        assert status == 409
+        assert "already indexed" in payload["error"]
+        assert server.generation == 0  # failed mutation must not bump
+
+    def test_remove_accepts_string_and_list(self, make_server, corpus):
+        _, client = make_server()
+        status, payload = client.post("/remove", {"ids": corpus[0].record_id})
+        assert (status, payload["removed"], payload["generation"]) == (200, 1, 1)
+        status, payload = client.post(
+            "/remove", {"ids": [corpus[1].record_id, corpus[2].record_id]}
+        )
+        assert (status, payload["removed"], payload["generation"]) == (200, 2, 2)
+        assert payload["records"] == len(corpus) - 3
+
+    def test_remove_unknown_id_is_404(self, make_server):
+        server, client = make_server()
+        status, payload = client.post("/remove", {"ids": ["no-such-record"]})
+        assert status == 404
+        assert "not in index" in payload["error"]
+        assert server.generation == 0
+
+    def test_resolve_shape_matches_index(self, make_server):
+        server, client = make_server()
+        status, payload = client.post("/resolve")
+        assert status == 200
+        clusters = server._index.resolve()
+        assert payload == {
+            "clusters": clusters,
+            "records": len(server._index),
+            "entities": len(clusters),
+            "merged_entities": sum(1 for c in clusters if len(c) > 1),
+            "generation": 0,
+        }
+
+
+# ------------------------------------------------------------------- errors
+class TestErrorHandling:
+    def test_malformed_json_is_400(self, make_server):
+        _, client = make_server()
+        status, payload = client.post("/query", raw=b"{not json")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_non_object_body_is_400(self, make_server):
+        _, client = make_server()
+        status, payload = client.post("/query", raw=b"[1, 2]")
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({}, "'record'"),
+            ({"record": 5}, "'record'"),
+            ({"record": {}, "top_k": "three"}, "'top_k'"),
+            ({"record": {}, "top_k": True}, "'top_k'"),
+            ({"record": {}, "top_k": 0}, "'top_k'"),
+            ({"record": {}, "min_score": "high"}, "'min_score'"),
+        ],
+    )
+    def test_query_validation_is_400(self, make_server, body, fragment):
+        _, client = make_server()
+        status, payload = client.post("/query", body)
+        assert status == 400
+        assert fragment in payload["error"]
+
+    @pytest.mark.parametrize(
+        "path, body",
+        [
+            ("/add", {}),
+            ("/add", {"records": {"not": "a list"}}),
+            ("/add", {"records": [5]}),
+            ("/remove", {}),
+            ("/remove", {"ids": []}),
+            ("/remove", {"ids": [7]}),
+            ("/resolve", {"min_score": "most"}),
+        ],
+    )
+    def test_mutation_validation_is_400(self, make_server, path, body):
+        _, client = make_server()
+        status, payload = client.post(path, body)
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_endpoint_is_404(self, make_server):
+        _, client = make_server()
+        assert client.get("/nope")[0] == 404
+        assert client.post("/also/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, make_server):
+        _, client = make_server()
+        assert client.get("/query")[0] == 405
+        assert client.post("/healthz")[0] == 405
+
+    def test_errors_are_counted(self, make_server):
+        _, client = make_server()
+        client.post("/query", raw=b"broken")
+        client.get("/nope")
+        _, stats = client.get("/stats")
+        requests = stats["server"]["requests"]
+        assert requests["error_400"] == 1
+        assert requests["error_404"] == 1
+
+
+# -------------------------------------------------------------------- admin
+class TestAdminEndpoints:
+    def test_snapshot_writes_loadable_artifact(self, make_server, tmp_path, probes):
+        target = tmp_path / "snap"
+        server, client = make_server(ServerConfig(snapshot_path=str(target)))
+        status, payload = client.post("/admin/snapshot")
+        assert status == 200
+        assert payload["path"] == str(target)
+        assert payload["records"] == len(server._index)
+        assert payload["generation"] == 0
+        reloaded = MatchIndex.load(target)
+        probe = probes[0]
+        assert [s.to_dict() for s in reloaded.query(probe)] == [
+            s.to_dict() for s in server._index.query(probe)
+        ]
+
+    def test_snapshot_without_path_is_400(self, make_server):
+        _, client = make_server()  # in-memory index, no artifact, no snapshot_path
+        status, payload = client.post("/admin/snapshot")
+        assert status == 400
+        assert "snapshot path" in payload["error"]
+
+    def test_snapshot_explicit_path_overrides_config(self, make_server, tmp_path):
+        _, client = make_server()
+        target = tmp_path / "explicit"
+        status, payload = client.post("/admin/snapshot", {"path": str(target)})
+        assert status == 200
+        assert payload["path"] == str(target)
+        assert MatchIndex.load(target) is not None
+
+    def test_reload_swaps_index_and_bumps_generation(self, make_server, tmp_path, corpus):
+        target = tmp_path / "snap"
+        server, client = make_server(ServerConfig(snapshot_path=str(target)))
+        client.post("/admin/snapshot")
+        # Mutate the live index, then reload the pre-mutation snapshot.
+        client.post("/remove", {"ids": corpus[0].record_id})
+        _, health = client.get("/healthz")
+        assert health["records"] == len(corpus) - 1
+        status, payload = client.post("/admin/reload")
+        assert status == 200
+        assert payload == {"path": str(target), "records": len(corpus), "generation": 2}
+        _, health = client.get("/healthz")
+        assert health == {"status": "ok", "records": len(corpus), "generation": 2}
+
+    def test_reload_missing_artifact_is_clean_500(self, make_server, tmp_path):
+        server, client = make_server()
+        before = len(server._index)
+        status, payload = client.post(
+            "/admin/reload", {"path": str(tmp_path / "missing")}
+        )
+        assert status == 500
+        assert "error" in payload
+        assert len(server._index) == before  # served index untouched
+        assert server.generation == 0
+
+    def test_reload_unsupported_version_is_clean_500(self, make_server, tmp_path):
+        target = tmp_path / "snap"
+        server, client = make_server(ServerConfig(snapshot_path=str(target)))
+        client.post("/admin/snapshot")
+        manifest_path = target / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["index"]["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        status, payload = client.post("/admin/reload")
+        assert status == 500
+        assert "not supported" in payload["error"]
+        assert server.generation == 0  # failed reload must not bump or swap
+
+    def test_shutdown_endpoint_requests_stop(self, make_server):
+        server, client = make_server()
+        assert not server._shutdown_requested.is_set()
+        status, payload = client.post("/admin/shutdown")
+        assert status == 200
+        assert payload == {"status": "shutting down", "generation": 0}
+        assert server._shutdown_requested.is_set()
+        server.wait_for_shutdown()  # returns immediately once requested
+
+
+# ----------------------------------------------------------------- lifecycle
+class TestLifecycle:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": -1},
+            {"batch_window": -0.1},
+            {"max_batch": 0},
+            {"snapshot_interval": -1.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(**kwargs)
+
+    def test_double_start_rejected_and_stop_idempotent(self, make_server):
+        server, client = make_server()
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        assert client.get("/healthz")[0] == 200
+        server.stop()
+        server.stop()  # second stop is a no-op
+
+    def test_from_artifact_serves_and_defaults_snapshot_path(
+        self, fitted, corpus, probes, tmp_path
+    ):
+        from .conftest import Client
+
+        target = tmp_path / "artifact"
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        index.save(target)
+        with MatchServer.from_artifact(target) as server:
+            assert server.snapshot_path == str(target)
+            client = Client(server.url)
+            status, payload = client.post("/query", {"record": as_json(probes[0])})
+            assert status == 200
+            assert payload["pairs"] == [s.to_dict() for s in index.query(probes[0])]
+            # Default snapshot target is the source artifact: re-save in place.
+            assert client.post("/admin/snapshot")[0] == 200

@@ -1,0 +1,118 @@
+"""Golden parity: ``POST /query`` is bit-identical to ``MatchIndex.query()``.
+
+The server must be a transparent transport over the index — batching, JSON
+serialization and the HTTP round-trip may not perturb a single float.  The
+reference points are the committed golden expectations in
+``tests/golden/index_queries.json`` (every score pinned to the exact repr)
+and a live direct ``index.query()`` call, checked both with batching off and
+with concurrent requests actually coalescing into ``query_batch``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import MatchServer, ServerConfig
+
+from ..test_index_golden import build_index, load_golden
+from .conftest import Client, as_json
+
+
+@pytest.fixture(scope="module")
+def golden_built():
+    golden = load_golden()
+    index, probes = build_index(golden)
+    return index, probes[: golden["n_probes"]], golden
+
+
+def response_rows(payload: dict) -> list[list]:
+    return [
+        [pair["left_id"], pair["right_id"], pair["score"], pair["is_match"]]
+        for pair in payload["pairs"]
+    ]
+
+
+def test_unbatched_query_matches_golden_and_direct(golden_built):
+    index, probes, golden = golden_built
+    with MatchServer(index) as server:
+        client = Client(server.url)
+        for probe in probes:
+            status, payload = client.post("/query", {"record": as_json(probe)})
+            assert status == 200
+            rows = response_rows(payload)
+            assert rows == golden["queries"][probe.record_id], probe.record_id
+            direct = [
+                [s.left_id, s.right_id, s.score, s.is_match] for s in index.query(probe)
+            ]
+            assert rows == direct, probe.record_id
+
+
+def test_coalesced_queries_match_golden(golden_built):
+    """Concurrent queries that demonstrably share a batch stay bit-identical."""
+    index, probes, golden = golden_built
+    config = ServerConfig(batch_window=0.05, max_batch=len(probes))
+    with MatchServer(index, config) as server:
+        client = Client(server.url)
+        barrier = threading.Barrier(len(probes))
+        results: dict[str, tuple] = {}
+
+        def worker(probe):
+            barrier.wait()
+            results[probe.record_id] = client.post("/query", {"record": as_json(probe)})
+
+        threads = [threading.Thread(target=worker, args=(p,)) for p in probes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for probe in probes:
+            status, payload = results[probe.record_id]
+            assert status == 200
+            assert response_rows(payload) == golden["queries"][probe.record_id]
+
+        # The requests genuinely coalesced: the synchronized burst of
+        # len(probes) queries ran in fewer scoring calls than requests.
+        stats = server._batcher.stats()
+        assert stats["batched_requests"] == len(probes)
+        assert stats["largest_batch"] >= 2
+        assert stats["batches"] < len(probes)
+
+
+def test_batched_options_match_unbatched(golden_built):
+    """top_k / min_score survive coalescing with per-request fidelity."""
+    index, probes, golden = golden_built
+    options = [
+        {},
+        {"top_k": 1},
+        {"min_score": 0.5},
+        {"top_k": 2, "min_score": 0.1},
+    ]
+    requests = [
+        {"record": as_json(probe), **options[i % len(options)]}
+        for i, probe in enumerate(probes)
+    ]
+    with MatchServer(index) as server:
+        client = Client(server.url)
+        expected = [client.post("/query", body) for body in requests]
+    config = ServerConfig(batch_window=0.05, max_batch=len(requests))
+    with MatchServer(index, config) as server:
+        client = Client(server.url)
+        barrier = threading.Barrier(len(requests))
+        results: list = [None] * len(requests)
+
+        def worker(i, body):
+            barrier.wait()
+            results[i] = client.post("/query", body)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, body))
+            for i, body in enumerate(requests)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert results == expected

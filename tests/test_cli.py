@@ -337,6 +337,91 @@ class TestIndex:
         assert "no match index" in capsys.readouterr().err
 
 
+class TestServe:
+    """The ``serve`` subcommand: the full daemon lifecycle through cli.main.
+
+    The command blocks in ``wait_for_shutdown``, so the test drives it from a
+    worker thread and stops it the way an operator's tooling would — via
+    ``POST /admin/shutdown``.
+    """
+
+    @pytest.fixture(scope="class")
+    def index_path(self, tmp_path_factory):
+        model = tmp_path_factory.mktemp("cli-serve") / "model"
+        assert cli.main(["train", *TRAIN_ARGS, "--model", str(model)]) == 0
+        index = tmp_path_factory.mktemp("cli-serve-artifact") / "index"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model), "--out", str(index),
+                "--dataset", "dblp_acm", "--scale", "0.15",
+            ]
+        ) == 0
+        return index
+
+    @pytest.fixture()
+    def probe(self):
+        from repro.datasets import load_dataset
+
+        record = load_dataset("dblp_acm", scale=0.15).left.records[0]
+        return json.dumps({"record_id": record.record_id, **dict(record.attributes)})
+
+    def test_serve_lifecycle_over_http(self, index_path, probe, capsys):
+        import threading
+        import time
+        import urllib.error
+        import urllib.request
+
+        exit_codes = []
+        worker = threading.Thread(
+            target=lambda: exit_codes.append(
+                cli.main(
+                    [
+                        "serve", "--index", str(index_path), "--port", "0",
+                        "--batch-window", "0.002",
+                    ]
+                )
+            ),
+        )
+        worker.start()
+        try:
+            # Ephemeral port: scrape the bound URL from the startup line.
+            deadline = time.monotonic() + 30
+            base = None
+            while base is None and time.monotonic() < deadline:
+                out = capsys.readouterr().out
+                for token in out.split():
+                    if token.startswith("http://"):
+                        base = token.rstrip(";,—")
+                time.sleep(0.02)
+            assert base is not None, "serve never printed its URL"
+
+            def post(path, payload):
+                request = urllib.request.Request(
+                    base + path,
+                    data=json.dumps(payload).encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    return response.status, json.loads(response.read())
+
+            status, body = post("/query", {"record": json.loads(probe)})
+            assert status == 200
+            assert body["candidates"] == len(body["pairs"])
+            status, body = post("/admin/shutdown", {})
+            assert (status, body["status"]) == (200, "shutting down")
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive(), "serve did not shut down"
+        assert exit_codes == [0]
+        assert "server stopped" in capsys.readouterr().out
+
+    def test_serve_missing_artifact_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "no-artifact"
+        assert cli.main(["serve", "--index", str(missing), "--port", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_sweep_executes_and_persists(self, tmp_path, capsys):
         store_path = tmp_path / "runs.jsonl"

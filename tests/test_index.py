@@ -140,6 +140,67 @@ class TestQueryEquivalence:
             index.query(probe, top_k=0)
 
 
+class TestQueryBatch:
+    """``query_batch`` is the serving daemon's coalescing primitive: for any
+    probe set it must return exactly ``[query(p) for p in probes]`` — chunk
+    invariance of the scorer makes cross-probe chunking safe."""
+
+    def test_equals_sequential_queries(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        batch = index.query_batch(probes)
+        assert [score_rows(r) for r in batch] == [
+            score_rows(index.query(p)) for p in probes
+        ]
+
+    def test_scalar_options_broadcast(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        batch = index.query_batch(probes[:6], top_k=2, min_score=0.1)
+        assert [score_rows(r) for r in batch] == [
+            score_rows(index.query(p, top_k=2, min_score=0.1)) for p in probes[:6]
+        ]
+
+    def test_per_probe_option_lists(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        top_ks = [None, 1, 3, None]
+        min_scores = [None, None, 0.2, 0.9]
+        batch = index.query_batch(probes[:4], top_k=top_ks, min_score=min_scores)
+        assert [score_rows(r) for r in batch] == [
+            score_rows(index.query(p, top_k=k, min_score=f))
+            for p, k, f in zip(probes[:4], top_ks, min_scores)
+        ]
+
+    def test_mixed_hit_and_miss_probes(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        mixed = [probes[0], Record("empty", {"title": ""}), probes[1]]
+        batch = index.query_batch(mixed)
+        assert batch[1] == []
+        assert score_rows(batch[0]) == score_rows(index.query(probes[0]))
+        assert score_rows(batch[2]) == score_rows(index.query(probes[1]))
+
+    def test_empty_inputs(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        assert index.query_batch([]) == []
+        assert index.query_batch(probes[:2]) == [[], []]  # empty index
+        index.add(corpus)
+        assert index.query_batch([]) == []
+
+    def test_option_validation(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        with pytest.raises(ConfigurationError, match="top_k"):
+            index.query_batch(probes[:2], top_k=0)
+        with pytest.raises(ConfigurationError, match="top_k"):
+            index.query_batch(probes[:2], top_k=[1, 0])
+        with pytest.raises(ConfigurationError, match="entries"):
+            index.query_batch(probes[:2], top_k=[1])
+        with pytest.raises(ConfigurationError, match="entries"):
+            index.query_batch(probes[:2], min_score=[0.5, 0.5, 0.5])
+
+
 class TestEmptyInputs:
     def test_empty_index_returns_no_results(self, fitted, probes):
         index = MatchIndex(fitted)
@@ -277,6 +338,32 @@ class TestResolve:
         fresh.add(corpus)
         fresh.add(probes[1:10])
         assert index.resolve() == fresh.resolve()
+
+    def test_resolve_after_bridge_removal_drops_stale_merges(
+        self, fitted, corpus, probes
+    ):
+        """Removing any member of a merged cluster must invalidate the cached
+        resolution: a removed bridge record may have been the only link
+        holding a cluster together, so serving the pre-remove union-find
+        would silently report merges that no longer exist.  Every member of
+        every multi-record cluster is checked against a fresh rebuild."""
+        trial = MatchIndex(fitted)
+        trial.add(corpus)
+        trial.add(probes[:10])
+        merged = [c for c in trial.resolve() if len(c) > 1]
+        assert merged, "need multi-record clusters to exercise bridge removal"
+        # Every member of the largest cluster (the true bridge scenario) plus
+        # one member of each other cluster, capped to keep the suite fast.
+        largest = max(merged, key=len)
+        candidates = list(largest) + [c[0] for c in merged if c is not largest]
+        for record_id in candidates[:5]:
+            trial.resolve()  # prime the cache that remove() must invalidate
+            removed = next(r for r in trial.records() if r.record_id == record_id)
+            trial.remove([record_id])
+            fresh = MatchIndex(fitted)
+            fresh.add(trial.records())
+            assert trial.resolve() == fresh.resolve(), record_id
+            trial.add([removed])  # restore for the next bridge candidate
 
     def test_min_score_only_merges_high_scoring_pairs(self, fitted, corpus, probes):
         index = MatchIndex(fitted)

@@ -1,0 +1,219 @@
+"""Unit tests for the serving daemon's mechanisms, in isolation.
+
+:mod:`tests.api` drives the assembled server over real sockets; these tests
+pin the concurrency primitives underneath — the writer-preferring RWLock,
+leader-based query coalescing, and the background snapshot loop — where a
+race would be hard to attribute from an end-to-end failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.server import QueryBatcher, RWLock, Snapshotter
+
+#: Generous bound for "a thread that should proceed promptly has proceeded".
+WAIT = 5.0
+
+
+def start_thread(target, *args) -> threading.Thread:
+    thread = threading.Thread(target=target, args=args, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        both_inside = threading.Barrier(2, timeout=WAIT)
+
+        def reader():
+            with lock.read():
+                both_inside.wait()  # deadlocks unless both hold it at once
+
+        threads = [start_thread(reader), start_thread(reader)]
+        for thread in threads:
+            thread.join(WAIT)
+            assert not thread.is_alive(), "readers failed to share the lock"
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        active = []
+
+        def exclusive(tag):
+            with lock.write():
+                active.append(tag)
+                assert len(active) == 1, "two exclusive holders at once"
+                time.sleep(0.01)
+                active.remove(tag)
+
+        def shared(tag):
+            with lock.read():
+                assert tag not in [t for t in active], "reader overlapped a writer"
+                time.sleep(0.005)
+
+        threads = [start_thread(exclusive, i) for i in range(3)]
+        threads += [start_thread(shared, i) for i in range(3)]
+        for thread in threads:
+            thread.join(WAIT)
+            assert not thread.is_alive()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+        writer_done = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write():
+                writer_done.set()
+
+        start_thread(writer)
+        assert writer_waiting.wait(WAIT)
+        while not lock._writers_waiting:  # announced in the lock's state
+            time.sleep(0.001)
+        late_reader_entered = threading.Event()
+        start_thread(lambda: (lock.acquire_read(), late_reader_entered.set()))
+        # Writer preference: the late reader must queue behind the writer.
+        assert not late_reader_entered.wait(0.05)
+        assert not writer_done.is_set()
+        lock.release_read()
+        assert writer_done.wait(WAIT)
+        assert late_reader_entered.wait(WAIT)
+        lock.release_read()
+
+    def test_unmatched_releases_raise(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+        lock.acquire_read()
+        lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+
+
+class TestQueryBatcher:
+    def test_single_submit_round_trips(self):
+        batcher = QueryBatcher(lambda reqs: [r * 2 for r in reqs], window=0, max_batch=8)
+        assert batcher.submit(21) == 42
+        stats = batcher.stats()
+        assert (stats["batches"], stats["batched_requests"]) == (1, 1)
+
+    def test_concurrent_submits_coalesce_and_demultiplex(self):
+        calls = []
+
+        def execute(requests):
+            calls.append(list(requests))
+            return [r * 10 for r in requests]
+
+        batcher = QueryBatcher(execute, window=0.05, max_batch=16)
+        barrier = threading.Barrier(6, timeout=WAIT)
+        results = {}
+
+        def worker(i):
+            barrier.wait()
+            results[i] = batcher.submit(i)
+
+        threads = [start_thread(worker, i) for i in range(6)]
+        for thread in threads:
+            thread.join(WAIT)
+        assert results == {i: i * 10 for i in range(6)}  # right answer to each
+        assert batcher.stats()["largest_batch"] >= 2, "burst never coalesced"
+        assert sorted(r for call in calls for r in call) == list(range(6))
+
+    def test_max_batch_splits_bursts(self):
+        batcher = QueryBatcher(lambda reqs: list(reqs), window=0.05, max_batch=2)
+        barrier = threading.Barrier(5, timeout=WAIT)
+
+        def worker(i):
+            barrier.wait()
+            assert batcher.submit(i) == i
+
+        threads = [start_thread(worker, i) for i in range(5)]
+        for thread in threads:
+            thread.join(WAIT)
+        stats = batcher.stats()
+        assert stats["largest_batch"] <= 2
+        assert stats["batched_requests"] == 5
+        assert stats["batches"] >= 3
+
+    def test_execute_failure_fans_out_to_all_waiters(self):
+        def execute(requests):
+            raise ValueError("scoring exploded")
+
+        batcher = QueryBatcher(execute, window=0.02, max_batch=8)
+        barrier = threading.Barrier(3, timeout=WAIT)
+        errors = []
+
+        def worker(i):
+            barrier.wait()
+            try:
+                batcher.submit(i)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [start_thread(worker, i) for i in range(3)]
+        for thread in threads:
+            thread.join(WAIT)
+        assert errors == ["scoring exploded"] * 3
+        # The batcher survives a failed batch: the next submit still works.
+        batcher._execute = lambda reqs: list(reqs)
+        assert batcher.submit(7) == 7
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            QueryBatcher(lambda r: r, window=-0.1, max_batch=8)
+        with pytest.raises(ValueError):
+            QueryBatcher(lambda r: r, window=0.0, max_batch=0)
+
+
+class TestSnapshotter:
+    def test_trigger_counts_completed_skipped_failed(self):
+        outcomes = iter([{"ok": 1}, None, RuntimeError("disk full"), {"ok": 2}])
+
+        def snapshot():
+            outcome = next(outcomes)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        snapshotter = Snapshotter(snapshot, interval=60.0)
+        assert snapshotter.trigger() == {"ok": 1}
+        assert snapshotter.trigger() is None  # nothing changed: skipped
+        with pytest.raises(RuntimeError):
+            snapshotter.trigger()
+        assert snapshotter.stats()["last_error"] == "RuntimeError: disk full"
+        assert snapshotter.trigger() == {"ok": 2}  # recovery clears the error
+        stats = snapshotter.stats()
+        assert (stats["completed"], stats["skipped"], stats["failed"]) == (2, 1, 1)
+        assert stats["last_error"] is None
+
+    def test_background_loop_fires_and_swallows_errors(self):
+        fired = threading.Event()
+        calls = []
+
+        def snapshot():
+            calls.append(1)
+            if len(calls) >= 2:
+                fired.set()
+            raise OSError("no space")  # must not kill the loop
+
+        snapshotter = Snapshotter(snapshot, interval=0.01)
+        snapshotter.start()
+        assert fired.wait(WAIT), "background loop stopped after an error"
+        snapshotter.stop()
+        stats = snapshotter.stats()
+        assert stats["failed"] >= 2
+        assert "no space" in stats["last_error"]
+        # stop() joined the thread: no further snapshots happen.
+        settled = len(calls)
+        time.sleep(0.05)
+        assert len(calls) == settled
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Snapshotter(lambda: None, interval=0.0)
