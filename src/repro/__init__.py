@@ -57,7 +57,7 @@ from .blocking import (
     list_blockers,
     make_blocker,
 )
-from .core.config import BlockingConfig, IndexConfig, PipelineConfig
+from .core.config import BlockingConfig, CascadeConfig, IndexConfig, PipelineConfig
 from .datasets import EMDataset, Record, Table, dataset_names, load_dataset
 from .features import BooleanFeatureExtractor, FeatureExtractor
 from .index import MatchIndex, UnionFind
@@ -114,6 +114,7 @@ __all__ = [
     "load_dataset",
     "Blocker",
     "BlockingConfig",
+    "CascadeConfig",
     "BlockingResult",
     "JaccardBlocker",
     "MinHashLSHBlocker",

@@ -69,7 +69,13 @@ import json
 import sys
 
 from .blocking import get_blocker_spec, list_blockers
-from .core import ActiveLearningConfig, ActiveLearningRun, BlockingConfig, PipelineConfig
+from .core import (
+    ActiveLearningConfig,
+    ActiveLearningRun,
+    BlockingConfig,
+    CascadeConfig,
+    PipelineConfig,
+)
 from .datasets import dataset_names, get_dataset_spec, load_dataset
 from .exceptions import ReproError
 from .harness import experiments, reporting
@@ -178,6 +184,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-score", type=float, default=None, help="only report pairs scoring at least this"
     )
     match.add_argument(
+        "--cascade",
+        choices=["off", "on", "auto"],
+        default=None,
+        help="override the artifact's score-cascade mode (see docs/scoring.md)",
+    )
+    match.add_argument(
         "--limit", type=int, default=20, help="rows shown in the text table (JSON is never truncated)"
     )
     match.add_argument("--json", action="store_true", help="print all scored pairs as JSON")
@@ -239,6 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
     index_query.add_argument("--record", default=None, help="the record as an inline JSON object")
     index_query.add_argument("--record-file", default=None, help="JSON file holding the record object")
     index_query.add_argument("--top-k", type=int, default=None, help="return only the k highest scores")
+    index_query.add_argument(
+        "--cascade",
+        choices=["off", "on", "auto"],
+        default=None,
+        help="override the pipeline's score-cascade mode (see docs/scoring.md)",
+    )
     index_query.add_argument(
         "--min-score", type=float, default=None, help="only report pairs scoring at least this"
     )
@@ -528,9 +546,21 @@ def _command_match(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.cascade is not None:
+        import dataclasses
+
+        pipeline.config = dataclasses.replace(
+            pipeline.config, cascade=CascadeConfig(mode=args.cascade)
+        )
     try:
+        # min_score goes into match() so the cascade can prune on it; the
+        # post-filter below is a no-op safety net (match already applies it).
         scores = pipeline.match(
-            records_a, records_b, jobs=args.jobs, chunk_size=args.chunk_size
+            records_a,
+            records_b,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            min_score=args.min_score,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -544,6 +574,7 @@ def _command_match(args: argparse.Namespace) -> int:
             "combination": pipeline.config.combination,
             "candidates": len(scores),
             "matches": sum(1 for s in scores if s.is_match),
+            "cascade": pipeline.last_match_stats,
             "pairs": [s.to_dict() for s in scores],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -665,12 +696,15 @@ def _command_index_query(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     index = _load_index(args.index)
+    if args.cascade is not None:
+        index.set_cascade_mode(args.cascade)
     scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
     if args.json:
         payload = {
             "index": args.index,
             "candidates": len(scores),
             "matches": sum(1 for score in scores if score.is_match),
+            "cascade": index.stats()["cascade"],
             "pairs": [score.to_dict() for score in scores],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))

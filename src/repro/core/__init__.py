@@ -16,7 +16,13 @@ from .base import (
     SelectionResult,
     check_compatibility,
 )
-from .config import ActiveLearningConfig, BlockingConfig, IndexConfig, PipelineConfig
+from .config import (
+    ActiveLearningConfig,
+    BlockingConfig,
+    CascadeConfig,
+    IndexConfig,
+    PipelineConfig,
+)
 from .evaluation import EvaluationResult, evaluate_predictions
 from .pools import LabeledPool, PairPool
 from .oracle import NoisyOracle, Oracle, PerfectOracle
@@ -33,6 +39,7 @@ __all__ = [
     "check_compatibility",
     "ActiveLearningConfig",
     "BlockingConfig",
+    "CascadeConfig",
     "IndexConfig",
     "PipelineConfig",
     "EvaluationResult",

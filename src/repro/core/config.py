@@ -200,6 +200,46 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class CascadeConfig:
+    """Score-cascade behavior of the inference hot path (see docs/scoring.md).
+
+    Attributes
+    ----------
+    mode:
+        ``"auto"`` (default): staged extraction (cheap feature columns
+        first, expensive ones through the batched kernels) always runs;
+        provable bound-pruning additionally engages whenever the caller
+        supplies an explicit score floor (``min_score``) and the trained
+        predictor is a sign-analyzable linear model.  Output is always
+        bit-identical to ``"off"`` for the same arguments.
+
+        ``"on"``: like ``"auto"``, but the learner's own acceptance
+        threshold also acts as an implicit floor — candidates the linear
+        model provably cannot accept are dropped from the output entirely
+        (match-only serving).  Accepted pairs and survivor scores remain
+        bit-identical to the uncascaded path.
+
+        ``"off"``: the legacy scalar extraction path, no staging, no
+        counters.
+    """
+
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("off", "on", "auto"):
+            raise ConfigurationError(
+                f"cascade mode must be 'off', 'on' or 'auto'; got {self.mode!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CascadeConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ActiveLearningConfig:
     """Hyper-parameters of the active-learning loop (Section 6 defaults).
 
@@ -331,6 +371,9 @@ class PipelineConfig:
     chunk_size:
         Default number of candidate pairs scored per chunk during
         :meth:`match` (bounds peak memory; chunking never changes scores).
+    cascade:
+        Score-cascade behavior of the inference hot path (staged feature
+        extraction + provable bound pruning); see :class:`CascadeConfig`.
     """
 
     combination: str = "Trees(20)"
@@ -341,6 +384,7 @@ class PipelineConfig:
     noise: float = 0.0
     oracle_seed: int | None = 0
     chunk_size: int = 4096
+    cascade: CascadeConfig = field(default_factory=CascadeConfig)
 
     def __post_init__(self) -> None:
         if not self.combination:
@@ -353,8 +397,13 @@ class PipelineConfig:
             raise ConfigurationError("pipeline chunk_size must be at least 1")
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (round-trips through :meth:`from_dict`).
+
+        ``cascade`` is emitted only when non-default, so the canonical JSON
+        (and every derived config/artifact hash) is unchanged for configs
+        that predate the cascade.
+        """
+        data = {
             "combination": self.combination,
             "config": self.config.to_dict(),
             "blocking": self.blocking.to_dict() if self.blocking is not None else None,
@@ -364,6 +413,9 @@ class PipelineConfig:
             "oracle_seed": self.oracle_seed,
             "chunk_size": self.chunk_size,
         }
+        if self.cascade != CascadeConfig():
+            data["cascade"] = self.cascade.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineConfig":
@@ -371,4 +423,8 @@ class PipelineConfig:
         data["config"] = ActiveLearningConfig.from_dict(data.get("config", {}))
         if data.get("blocking") is not None:
             data["blocking"] = BlockingConfig.from_dict(data["blocking"])
+        if data.get("cascade") is not None:
+            data["cascade"] = CascadeConfig.from_dict(data["cascade"])
+        else:
+            data.pop("cascade", None)
         return cls(**data)

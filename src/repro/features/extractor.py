@@ -20,7 +20,35 @@ import numpy as np
 from ..datasets.base import CandidatePair
 from ..exceptions import FeatureExtractionError
 from ..similarity import DEFAULT_SIMILARITY_SUITE, SimilarityFunction
+from ..similarity.batch_kernels import batch_similarity
+from ..similarity.bounds import UPPER_BOUND_NAMES, upper_bound_matrix
 from ..similarity.tokenizers import normalize
+
+#: Similarity functions whose per-pair cost is quadratic in string length
+#: (DP edit measures) or token-pair quadratic (hybrid measures).  Everything
+#: else in a suite is "cheap": linear-time set/bag/counter arithmetic.  Every
+#: expensive function has an upper-bound companion in
+#: :mod:`repro.similarity.bounds`, which is what lets the score cascade
+#: defer them; a measure without a bound must stay in the cheap tier.
+EXPENSIVE_SIMILARITIES = frozenset(
+    {
+        "levenshtein",
+        "damerau_levenshtein",
+        "jaro",
+        "jaro_winkler",
+        "needleman_wunsch",
+        "smith_waterman",
+        "lcs",
+        "monge_elkan",
+        "soft_tfidf",
+    }
+)
+assert EXPENSIVE_SIMILARITIES <= UPPER_BOUND_NAMES
+
+
+def cost_tier(similarity_name: str) -> str:
+    """Cost tier ("cheap" or "expensive") of a similarity function name."""
+    return "expensive" if similarity_name in EXPENSIVE_SIMILARITIES else "cheap"
 
 
 @dataclass(frozen=True)
@@ -33,6 +61,11 @@ class FeatureDescriptor:
     @property
     def name(self) -> str:
         return f"{self.similarity}({self.attribute})"
+
+    @property
+    def tier(self) -> str:
+        """Cost tier of the underlying similarity ("cheap" or "expensive")."""
+        return cost_tier(self.similarity)
 
 
 @dataclass
@@ -120,8 +153,44 @@ class FeatureExtractor:
         # Cache of normalized-value-pair → similarity vector, so repeated
         # values (brands, venues, years) are only scored once per dataset.
         self._value_cache: dict[tuple[str, str], np.ndarray] = {}
+        # Partially computed vectors (NaN = not yet computed) produced by
+        # the partial-column extraction path; promoted to _value_cache once
+        # complete.  NaN is a safe sentinel: similarities live in [0, 1].
+        self._partial_cache: dict[tuple[str, str], np.ndarray] = {}
+        # Cache of normalized-value-pair → per-expensive-column upper bounds.
+        self._bound_cache: dict[tuple[str, str], np.ndarray] = {}
         # Cache of raw value → normalized value, shared across attributes.
         self._norm_cache: dict[str, str] = {}
+        self._suite_names = [function.name for function in self.similarity_suite]
+        self.cheap_suite_indices = tuple(
+            index
+            for index, name in enumerate(self._suite_names)
+            if name not in EXPENSIVE_SIMILARITIES
+        )
+        self.expensive_suite_indices = tuple(
+            index
+            for index, name in enumerate(self._suite_names)
+            if name in EXPENSIVE_SIMILARITIES
+        )
+        suite_size = len(self.similarity_suite)
+        # Full-matrix column positions per tier (attribute-major, suite order
+        # within each attribute) — the layout the cascade slices against.
+        self.cheap_column_indices = np.array(
+            [
+                attr * suite_size + index
+                for attr in range(len(self.matched_columns))
+                for index in self.cheap_suite_indices
+            ],
+            dtype=np.int64,
+        )
+        self.expensive_column_indices = np.array(
+            [
+                attr * suite_size + index
+                for attr in range(len(self.matched_columns))
+                for index in self.expensive_suite_indices
+            ],
+            dtype=np.int64,
+        )
 
     @property
     def dim(self) -> int:
@@ -152,7 +221,18 @@ class FeatureExtractor:
         cached = self._value_cache.get(key)
         if cached is not None:
             return cached
-        values = np.array([function(left_value, right_value) for function in self.similarity_suite])
+        partial = self._partial_cache.pop(key, None)
+        if partial is None:
+            values = np.array(
+                [function(left_value, right_value) for function in self.similarity_suite]
+            )
+        else:
+            # Complete a vector the partial-extraction path started.
+            values = partial
+            for index in np.flatnonzero(np.isnan(values)):
+                values[index] = float(
+                    self.similarity_suite[index](left_value, right_value)
+                )
         self._value_cache[key] = values
         return values
 
@@ -215,7 +295,180 @@ class FeatureExtractor:
             pairs=list(pairs), matrix=matrix, descriptors=list(self.descriptors), labels=labels
         )
 
+    def _partial_vector(self, key: tuple[str, str]) -> np.ndarray:
+        """Similarity vector for a normalized pair, possibly NaN-holed.
+
+        Returns the complete cached vector when available, otherwise a
+        (shared, mutable) partially-filled vector whose NaN entries mark
+        similarities not yet computed.
+        """
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            return cached
+        partial = self._partial_cache.get(key)
+        if partial is None:
+            partial = self._partial_cache[key] = np.full(
+                len(self.similarity_suite), np.nan
+            )
+        return partial
+
+    def _bounds_for_keys(self, keys: list[tuple[str, str]]) -> np.ndarray:
+        """Upper bounds of the expensive suite columns for normalized pairs.
+
+        Shape ``(len(keys), len(expensive_suite_indices))``, memoized per
+        pair.  Pairs with an empty side score 0 everywhere (the extractor's
+        missing-value rule), so their bounds are 0.
+        """
+        names = [self._suite_names[index] for index in self.expensive_suite_indices]
+        out = np.empty((len(keys), len(names)))
+        missing_rows: list[int] = []
+        for row, key in enumerate(keys):
+            cached = self._bound_cache.get(key)
+            if cached is not None:
+                out[row] = cached
+            elif not key[0] or not key[1]:
+                out[row] = 0.0
+            else:
+                missing_rows.append(row)
+        if missing_rows:
+            lefts = [keys[row][0] for row in missing_rows]
+            rights = [keys[row][1] for row in missing_rows]
+            bounds = upper_bound_matrix(names, lefts, rights)
+            for slot, row in enumerate(missing_rows):
+                self._bound_cache[keys[row]] = bounds[slot]
+                out[row] = bounds[slot]
+        return out
+
+    def begin_partial(self, pairs: list[CandidatePair]) -> "PartialExtraction":
+        """Start a column-tiered extraction over one batch of pairs.
+
+        The returned :class:`PartialExtraction` lets the score cascade fill
+        cheap columns first, derive bounds for the expensive ones, and fill
+        expensive columns only for surviving rows — reusing (and feeding)
+        this extractor's caches so mixed partial/full workloads never
+        recompute a similarity.
+        """
+        return PartialExtraction(self, pairs)
+
     def clear_cache(self) -> None:
         """Drop the memoization caches (frees memory between datasets)."""
         self._value_cache.clear()
+        self._partial_cache.clear()
+        self._bound_cache.clear()
         self._norm_cache.clear()
+
+
+class PartialExtraction:
+    """Column-tiered view over one batch of candidate pairs.
+
+    Created by :meth:`FeatureExtractor.begin_partial`.  ``matrix`` starts as
+    all-NaN; :meth:`fill` computes the requested suite columns (for all rows
+    or a subset) through the batched kernels, deduplicated per unique
+    normalized value pair and memoized in the parent extractor's caches.
+    Filled cells are bit-identical to :meth:`FeatureExtractor.extract`.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, pairs: list[CandidatePair]):
+        self.extractor = extractor
+        self.pairs = list(pairs)
+        self.matrix = np.full((len(self.pairs), extractor.dim), np.nan)
+        # Per attribute: unique normalized value pair → rows sharing it, and
+        # the reverse row → key view for subset fills.
+        self._groups: list[dict[tuple[str, str], list[int]]] = []
+        self._keys: list[list[tuple[str, str]]] = []
+        for column in extractor.matched_columns:
+            groups: dict[tuple[str, str], list[int]] = {}
+            keys: list[tuple[str, str]] = []
+            for row, pair in enumerate(self.pairs):
+                key = (
+                    extractor._normalize_cached(pair.left.value(column)),
+                    extractor._normalize_cached(pair.right.value(column)),
+                )
+                keys.append(key)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [row]
+                else:
+                    group.append(row)
+            self._groups.append(groups)
+            self._keys.append(keys)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def fill(self, suite_indices, rows=None) -> None:
+        """Compute the given suite columns, scattering into ``matrix``.
+
+        ``rows=None`` fills every pair; otherwise only the listed rows.
+        Each similarity function runs once per unique value pair still
+        missing it (across this plan and the extractor's caches).
+        """
+        wanted = sorted({int(index) for index in suite_indices})
+        if not wanted or not self.pairs:
+            return
+        extractor = self.extractor
+        suite = extractor.similarity_suite
+        suite_size = len(suite)
+        columns_within = np.asarray(wanted, dtype=np.int64)
+        for attr_index, groups in enumerate(self._groups):
+            if rows is None:
+                items = list(groups.items())
+            else:
+                subset: dict[tuple[str, str], list[int]] = {}
+                keys = self._keys[attr_index]
+                for row in rows:
+                    key = keys[int(row)]
+                    group = subset.get(key)
+                    if group is None:
+                        subset[key] = [int(row)]
+                    else:
+                        group.append(int(row))
+                items = list(subset.items())
+            resolved: list[tuple[np.ndarray, list[int]]] = []
+            missing: dict[int, list[tuple[np.ndarray, str, str]]] = {}
+            for key, group_rows in items:
+                left_value, right_value = key
+                if not left_value or not right_value:
+                    # Missing-value rule: the whole vector is 0.
+                    vector = np.zeros(suite_size)
+                else:
+                    vector = extractor._partial_vector(key)
+                    for func_index in wanted:
+                        if np.isnan(vector[func_index]):
+                            missing.setdefault(func_index, []).append(
+                                (vector, left_value, right_value)
+                            )
+                resolved.append((vector, group_rows))
+            for func_index, entries in missing.items():
+                values = batch_similarity(
+                    suite[func_index].name,
+                    [entry[1] for entry in entries],
+                    [entry[2] for entry in entries],
+                )
+                for (vector, _, _), value in zip(entries, values):
+                    vector[func_index] = value
+            columns = attr_index * suite_size + columns_within
+            for vector, group_rows in resolved:
+                self.matrix[np.ix_(group_rows, columns)] = vector[columns_within]
+
+    def fill_all(self, rows=None) -> None:
+        """Fill every suite column (cheap and expensive)."""
+        self.fill(range(len(self.extractor.similarity_suite)), rows=rows)
+
+    def upper_bounds(self) -> np.ndarray:
+        """Upper bounds for every expensive column.
+
+        Shape ``(len(pairs), len(expensive_column_indices))``, columns in
+        the same order as ``FeatureExtractor.expensive_column_indices``
+        (attribute-major, expensive suite order).  O(len) per unique value
+        pair, memoized in the extractor.
+        """
+        extractor = self.extractor
+        width = len(extractor.expensive_suite_indices)
+        out = np.empty((len(self.pairs), len(extractor.matched_columns) * width))
+        for attr_index, groups in enumerate(self._groups):
+            bounds = extractor._bounds_for_keys(list(groups))
+            block = slice(attr_index * width, (attr_index + 1) * width)
+            for slot, group_rows in enumerate(groups.values()):
+                out[group_rows, block] = bounds[slot]
+        return out

@@ -37,12 +37,13 @@ import pickle
 import numpy as np
 
 from ..blocking.signatures import SignatureComputer
-from ..core.config import IndexConfig
+from ..core.config import CascadeConfig, IndexConfig
 from ..datasets.base import CandidatePair, Record, Table
 from ..exceptions import ArtifactError, ConfigurationError, DatasetError
 from ..harness.preparation import make_extractor
 from ..pipeline.artifact import read_manifest, read_payload, write_artifact
-from ..pipeline.matching import MatchingPipeline, MatchScore, _score_pairs, coerce_record
+from ..pipeline.matching import MatchingPipeline, MatchScore, coerce_record
+from ..scoring import CascadeScorer
 from .resolution import UnionFind, stable_clusters
 
 __all__ = [
@@ -112,6 +113,12 @@ class MatchIndex:
         #: Persistent extractor: normalization and value-pair caches warm up
         #: as records are indexed/queried instead of being rebuilt per call.
         self._extractor = make_extractor(pipeline.matched_columns, pipeline.feature_kind)
+        #: Shared cascade scorer: one set of prune counters for the index's
+        #: lifetime, surfaced through :meth:`stats` (and from there the
+        #: serving daemon's ``/stats``).
+        self._cascade = CascadeScorer(
+            pipeline._predictor, self._extractor, pipeline.config.cascade
+        )
         self._records: list[Record] = []
         self._shingles: list[np.ndarray | None] = []
         # Row-aligned storage lives in geometrically grown buffers (see
@@ -212,7 +219,25 @@ class MatchIndex:
             "bands": self.config.bands,
             "num_perm": self.config.num_perm,
             "posting_lists": posting_lists,
+            "cascade": self._cascade.stats(),
         }
+
+    def set_cascade_mode(self, mode: str) -> None:
+        """Override the pipeline's cascade mode for this index (CLI hook).
+
+        Rebuilds the scorer under the new :class:`CascadeConfig`; accumulated
+        prune counters carry over so ``stats()`` stays monotone.
+        """
+        previous = self._cascade
+        self._cascade = CascadeScorer(
+            self.pipeline._predictor, self._extractor, CascadeConfig(mode=mode)
+        )
+        counts = previous.stats()
+        self._cascade.merge_counts(
+            counts["candidates_seen"],
+            counts["pruned_at_bound"],
+            counts["fully_scored"],
+        )
 
     # ----------------------------------------------------------------- add
     def _coerce_batch(self, records) -> list[Record]:
@@ -440,11 +465,16 @@ class MatchIndex:
         if value_cache is not None and len(value_cache) > EXTRACTOR_CACHE_LIMIT:
             self._extractor.clear_cache()
 
-    def _score_rows(self, record: Record, rows: np.ndarray) -> list[MatchScore]:
+    def _score_rows(
+        self, record: Record, rows: np.ndarray, min_score: float | None = None
+    ) -> list[MatchScore]:
         """Score ``record`` against corpus rows with the pipeline's predictor.
 
         Chunked like :meth:`MatchingPipeline.match` (chunking never changes
-        scores); one shared scoring kernel keeps the two paths bit-identical.
+        scores); one shared scoring cascade keeps the two paths bit-identical.
+        With ``min_score`` the cascade may drop candidates whose score is
+        provably below the floor without fully scoring them — exactly the
+        rows :meth:`_filter_scores` would discard anyway.
         """
         chunk_size = self.pipeline.config.chunk_size
         row_list = rows.tolist()
@@ -452,12 +482,14 @@ class MatchIndex:
         for start in range(0, len(row_list), chunk_size):
             chunk_rows = row_list[start : start + chunk_size]
             pairs = [CandidatePair(record, self._records[row]) for row in chunk_rows]
-            scores, predictions = _score_pairs(self.pipeline._predictor, self._extractor, pairs)
-            for row, score, prediction in zip(chunk_rows, scores, predictions):
+            kept, scores, predictions = self._cascade.score_chunk(
+                pairs, floors=min_score
+            )
+            for offset, score, prediction in zip(kept.tolist(), scores, predictions):
                 results.append(
                     MatchScore(
                         left_id=record.record_id,
-                        right_id=self._records[row].record_id,
+                        right_id=self._records[chunk_rows[offset]].record_id,
                         score=float(score),
                         is_match=bool(prediction),
                     )
@@ -511,7 +543,7 @@ class MatchIndex:
         rows = self._verify_rows(signature, hashes, rows)
         if not len(rows):
             return []
-        results = self._score_rows(probe, rows)
+        results = self._score_rows(probe, rows, min_score)
         self._trim_extractor_cache()
         return self._filter_scores(results, top_k, min_score)
 
@@ -581,10 +613,13 @@ class MatchIndex:
         chunk_size = self.pipeline.config.chunk_size
         for start in range(0, len(pairs), chunk_size):
             chunk = pairs[start : start + chunk_size]
-            scores, predictions = _score_pairs(self.pipeline._predictor, self._extractor, chunk)
-            for offset, (pair, score, prediction) in enumerate(
-                zip(chunk, scores, predictions)
-            ):
+            # Per-pair floors: each pair inherits its owning probe's
+            # min_score, so coalesced chunks prune exactly as the equivalent
+            # one-at-a-time queries would.
+            floors = [min_scores[owners[start + offset]] for offset in range(len(chunk))]
+            kept, scores, predictions = self._cascade.score_chunk(chunk, floors=floors)
+            for offset, score, prediction in zip(kept.tolist(), scores, predictions):
+                pair = chunk[offset]
                 results[owners[start + offset]].append(
                     MatchScore(
                         left_id=pair.left.record_id,
@@ -633,11 +668,15 @@ class MatchIndex:
                 CandidatePair(self._records[first], self._records[second])
                 for first, second in chunk
             ]
-            scores, predictions = _score_pairs(
-                self.pipeline._predictor, self._extractor, candidates
+            # accept_only: resolution only ever unions accepted pairs, so
+            # candidates provably below the acceptance threshold (or the
+            # score floor) can be pruned without changing the clustering.
+            kept, scores, predictions = self._cascade.score_chunk(
+                candidates, floors=min_score, accept_only=True
             )
-            for (first, second), score, prediction in zip(chunk, scores, predictions):
+            for offset, score, prediction in zip(kept.tolist(), scores, predictions):
                 if prediction and (min_score is None or float(score) >= min_score):
+                    first, second = chunk[offset]
                     uf.union(
                         self._records[first].record_id, self._records[second].record_id
                     )

@@ -155,6 +155,9 @@ class MatchingPipeline:
         self._predictor: Learner | EnsemblePredictor | None = None
         self.feature_kind: str | None = None
         self.matched_columns: list[str] | None = None
+        #: Cascade counters of the most recent :meth:`match` call
+        #: (``None`` before any call); see docs/scoring.md.
+        self.last_match_stats: dict | None = None
         #: The blocking config actually applied (thresholds resolved against
         #: the training dataset's spec), persisted so inference blocks
         #: identically after reload.
@@ -291,6 +294,7 @@ class MatchingPipeline:
         records_b,
         jobs: int = 1,
         chunk_size: int | None = None,
+        min_score: float | None = None,
     ) -> list[MatchScore]:
         """Block and score two record collections, returning scored pairs.
 
@@ -307,6 +311,18 @@ class MatchingPipeline:
         chunk_size:
             Candidate pairs per scoring chunk (default: the config's
             ``chunk_size``).  Bounds peak memory; never changes scores.
+        min_score:
+            When given, only pairs scoring at least this are returned —
+            exactly ``[m for m in match(...) if m.score >= min_score]``, but
+            the score cascade (``config.cascade``, see docs/scoring.md) may
+            use the floor to prune candidates before their expensive feature
+            columns are ever computed.  Cascade mode ``"on"`` additionally
+            drops candidates the learner provably rejects even without a
+            floor; accepted pairs and survivor scores are bit-identical to
+            the uncascaded path in every mode.
+
+        Per-candidate cascade counters for the call are available afterwards
+        via :attr:`last_match_stats`.
         """
         self._require_fitted()
         if jobs < 1:
@@ -317,26 +333,46 @@ class MatchingPipeline:
 
         pairs = self.candidates(records_a, records_b)
         if not pairs:
+            self.last_match_stats = {
+                "mode": self.config.cascade.mode,
+                "candidates_seen": 0,
+                "pruned_at_bound": 0,
+                "fully_scored": 0,
+            }
             return []
         chunks = [pairs[start : start + chunk_size] for start in range(0, len(pairs), chunk_size)]
 
         if jobs == 1 or len(chunks) == 1:
             from ..harness.preparation import make_extractor
+            from ..scoring import CascadeScorer
 
             extractor = make_extractor(self.matched_columns, self.feature_kind)
-            scored = [_score_pairs(self._predictor, extractor, chunk) for chunk in chunks]
+            scorer = CascadeScorer(self._predictor, extractor, self.config.cascade)
+            scored = [
+                scorer.score_chunk(chunk, floors=min_score) for chunk in chunks
+            ]
+            self.last_match_stats = scorer.stats()
         else:
-            state = pickle.dumps(self._inference_state(), protocol=pickle.HIGHEST_PROTOCOL)
+            state = pickle.dumps(self._inference_state(min_score), protocol=pickle.HIGHEST_PROTOCOL)
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(chunks)),
                 initializer=_init_match_worker,
                 initargs=(state,),
             ) as pool:
                 scored = list(pool.map(_match_chunk_worker, chunks))
+            self.last_match_stats = {
+                "mode": self.config.cascade.mode,
+                "candidates_seen": len(pairs),
+                "pruned_at_bound": len(pairs) - sum(len(kept) for kept, _, _ in scored),
+                "fully_scored": sum(len(kept) for kept, _, _ in scored),
+            }
 
         results: list[MatchScore] = []
-        for chunk, (scores, predictions) in zip(chunks, scored):
-            for pair, score, prediction in zip(chunk, scores, predictions):
+        for chunk, (kept, scores, predictions) in zip(chunks, scored):
+            for row, score, prediction in zip(kept, scores, predictions):
+                if min_score is not None and score < min_score:
+                    continue
+                pair = chunk[int(row)]
                 results.append(
                     MatchScore(
                         left_id=pair.left.record_id,
@@ -347,12 +383,14 @@ class MatchingPipeline:
                 )
         return results
 
-    def _inference_state(self) -> dict:
+    def _inference_state(self, min_score: float | None = None) -> dict:
         """Everything a worker process needs to score chunks identically."""
         return {
             "predictor": self._predictor,
             "matched_columns": self.matched_columns,
             "feature_kind": self.feature_kind,
+            "cascade": self.config.cascade,
+            "min_score": min_score,
         }
 
     # ----------------------------------------------------------- persistence
@@ -451,14 +489,18 @@ _WORKER: dict | None = None
 
 def _init_match_worker(state_bytes: bytes) -> None:
     from ..harness.preparation import make_extractor
+    from ..scoring import CascadeScorer
 
     global _WORKER
     state = pickle.loads(state_bytes)
+    extractor = make_extractor(state["matched_columns"], state["feature_kind"])
     _WORKER = {
-        "predictor": state["predictor"],
-        "extractor": make_extractor(state["matched_columns"], state["feature_kind"]),
+        "scorer": CascadeScorer(state["predictor"], extractor, state.get("cascade")),
+        "min_score": state.get("min_score"),
     }
 
 
-def _match_chunk_worker(chunk: list[CandidatePair]) -> tuple[np.ndarray, np.ndarray]:
-    return _score_pairs(_WORKER["predictor"], _WORKER["extractor"], chunk)
+def _match_chunk_worker(
+    chunk: list[CandidatePair],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return _WORKER["scorer"].score_chunk(chunk, floors=_WORKER["min_score"])

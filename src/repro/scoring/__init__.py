@@ -1,0 +1,10 @@
+"""Cascaded candidate scoring: cheap features first, provable pruning, batched
+expensive kernels for survivors.
+
+See ``docs/scoring.md`` for the cascade contract and bound derivations.
+"""
+
+from .cascade import CascadeScorer
+from .linear import LinearAnalysis, analyze_predictor
+
+__all__ = ["CascadeScorer", "LinearAnalysis", "analyze_predictor"]

@@ -1,0 +1,58 @@
+"""Sign analysis of linear predictors for provable score bounds.
+
+A predictor qualifies for bound-based pruning iff its acceptance decision is
+a monotone function of a single linear form ``w·x + b`` whose weights we can
+read.  Both linear-family learners qualify:
+
+* :class:`~repro.learners.linear_svm.LinearSVM` accepts iff ``w·x + b > 0``.
+* :class:`~repro.learners.logistic_regression.LogisticRegression` accepts
+  iff ``sigmoid(clip(w·x + b)) > 0.5``; sigmoid and clip are monotone
+  nondecreasing (also in float arithmetic), so an upper bound on the
+  decision yields an upper bound on the probability, and a decision bound
+  ``<= 0`` proves the probability is ``<= 0.5``.
+
+Everything else (trees, forests, neural networks, rule learners,
+committees/ensembles) returns ``None`` and takes the exact full-extraction
+fallback — correctness never depends on calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..learners.linear_svm import LinearSVM
+from ..learners.logistic_regression import LogisticRegression
+
+__all__ = ["LinearAnalysis", "analyze_predictor"]
+
+
+@dataclass
+class LinearAnalysis:
+    """Readable weights of a linear predictor plus a float-safety slack.
+
+    ``slack`` absorbs the non-associativity of the float dot product and the
+    rounding of the bound expressions: the optimistic decision is compared
+    as ``U + slack`` against the threshold.  The slack is ~1e-9 relative to
+    the weight scale — five orders of magnitude above the worst-case float64
+    dot-product error for these dimensions, and far too small to cost any
+    measurable pruning power.
+    """
+
+    weights: np.ndarray
+    bias: float
+    slack: float
+
+
+def analyze_predictor(predictor) -> LinearAnalysis | None:
+    """Extract the linear form of a predictor, or ``None`` if not provable."""
+    if not isinstance(predictor, (LinearSVM, LogisticRegression)):
+        return None
+    weights = getattr(predictor, "weights", None)
+    if weights is None:
+        return None
+    weights = np.asarray(weights, dtype=float)
+    bias = float(predictor.bias)
+    slack = 1e-9 * (1.0 + float(np.abs(weights).sum()) + abs(bias))
+    return LinearAnalysis(weights=weights, bias=bias, slack=slack)

@@ -1,0 +1,460 @@
+"""Batched (vectorized) companions of the edit-based similarity measures.
+
+The scalar functions in :mod:`repro.similarity.edit_based` run one quadratic
+DP per string pair.  When the feature extractor scores a serving-sized
+candidate batch, those per-pair Python loops dominate the cost.  This module
+computes the same measures *across the candidate axis*: all pairs of a batch
+are encoded into padded integer matrices and the DP recurrence runs as a
+handful of numpy operations per character row, so the Python-level loop is
+O(max string length), not O(pairs × length²).
+
+Bit-identity contract
+---------------------
+``batch_similarity(name, lefts, rights)`` returns exactly
+``[get_similarity_function(name)(a, b) for a, b in zip(lefts, rights)]``,
+float for float (asserted for every measure by
+``tests/test_similarity_batch_kernels.py``).  The integer-valued DPs
+(Levenshtein, Damerau, LCS) are exact by construction; the alignment scores
+(Needleman-Wunsch, Smith-Waterman) only ever add or subtract multiples of
+0.5 with magnitudes far below 2^52, so every intermediate is exactly
+representable and the final normalization applies the scalar functions'
+own float expressions to identical values.
+
+The intra-row dependency of each DP row (``current[j-1]``) is eliminated
+with a prefix-scan identity: ``current[j] = min_k≤j (candidate[k] + g·(j-k))``
+(resp. ``max`` for alignment scores), evaluated with one
+``np.minimum.accumulate`` per row after shifting candidates by ``±g·j``.
+
+Measures without a profitable vectorization (Jaro, Jaro-Winkler,
+Monge-Elkan, soft TF-IDF) fall back to a scalar loop over deduplicated
+pairs — still one call per *unique* pair, which is the other half of the
+batching win.
+
+Pairs are length-bucketed (by the left string's truncated length) before the
+DP so short strings do not pay for the longest string's padded matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import edit_based, token_based
+from .edit_based import MAX_DP_CHARS
+from .registry import get_similarity_function
+from .tokenizers import normalize
+
+__all__ = ["BATCH_KERNELS", "batch_similarity", "has_batch_kernel"]
+
+#: Padding sentinels.  Left and right pads differ so a padded left character
+#: can never equal a padded right character; both are negative so they can
+#: never equal a real code point.
+_LEFT_PAD = -1
+_RIGHT_PAD = -2
+
+#: Length-bucket boundaries (upper bounds on the left string length).  Pairs
+#: are grouped so a bucket's DP loop runs only as many rows as its longest
+#: left string.
+_LENGTH_BUCKETS = (8, 16, 32, MAX_DP_CHARS, 1 << 30)
+
+
+def _encode(strings: list[str], width: int, pad: int) -> np.ndarray:
+    """Pack strings into a ``(len(strings), width)`` int64 code-point matrix."""
+    codes = np.full((len(strings), width), pad, dtype=np.int64)
+    for row, text in enumerate(strings):
+        if text:
+            codes[row, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype="<u4"
+            ).astype(np.int64)
+    return codes
+
+
+def _bucket_rows(lengths: np.ndarray) -> list[np.ndarray]:
+    """Split row indices into length buckets (ascending bucket order)."""
+    buckets = []
+    lower = 0
+    for upper in _LENGTH_BUCKETS:
+        rows = np.flatnonzero((lengths > lower) & (lengths <= upper))
+        if len(rows):
+            buckets.append(rows)
+        lower = upper
+    return buckets
+
+
+def _dp_prepare(lefts: list[str], rights: list[str], truncate: bool):
+    """Normalize inputs and split off the rows the empty-guard decides.
+
+    Returns ``(a_norm, b_norm, guard_values, active_rows)`` where
+    ``guard_values`` is a float array pre-filled with the guard results (NaN
+    for rows the DP must compute).
+    """
+    if truncate:
+        a_norm = [normalize(a)[:MAX_DP_CHARS] for a in lefts]
+        b_norm = [normalize(b)[:MAX_DP_CHARS] for b in rights]
+    else:
+        a_norm = [normalize(a) for a in lefts]
+        b_norm = [normalize(b) for b in rights]
+    out = np.full(len(a_norm), np.nan)
+    active = []
+    for row, (a, b) in enumerate(zip(a_norm, b_norm)):
+        if not a and not b:
+            out[row] = 1.0
+        elif not a or not b:
+            out[row] = 0.0
+        else:
+            active.append(row)
+    return a_norm, b_norm, out, np.asarray(active, dtype=np.int64)
+
+
+def _run_int_dp(
+    a_strs: list[str],
+    b_strs: list[str],
+    kernel: Callable,
+) -> np.ndarray:
+    """Run an integer row-DP kernel over length buckets; returns int64 results."""
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    results = np.zeros(len(a_strs), dtype=np.int64)
+    for rows in _bucket_rows(la):
+        sub_a = [a_strs[r] for r in rows.tolist()]
+        sub_b = [b_strs[r] for r in rows.tolist()]
+        results[rows] = kernel(sub_a, sub_b)
+    return results
+
+
+def _renormalize(strings: list[str]) -> list[str]:
+    """Second normalization pass applied by the scalar distance helpers.
+
+    ``levenshtein_distance`` / ``damerau_levenshtein_distance`` /
+    ``longest_common_subsequence_length`` each re-apply ``_dp_normalize`` to
+    their (already truncated) inputs; when truncation leaves a trailing
+    space the re-normalization strips it, so the DP can run on a *shorter*
+    string than the one whose length normalizes the final score.  Bit
+    identity requires replicating that exactly.
+    """
+    return [normalize(s) for s in strings]
+
+
+def _int_dp_with_empty_guard(
+    a_strs: list[str],
+    b_strs: list[str],
+    kernel: Callable,
+    empty_value: Callable[[int, int], int],
+) -> np.ndarray:
+    """Int DP over pairs, routing rows with an empty side to ``empty_value``."""
+    results = np.zeros(len(a_strs), dtype=np.int64)
+    dp_rows = []
+    for row, (a, b) in enumerate(zip(a_strs, b_strs)):
+        if a and b:
+            dp_rows.append(row)
+        else:
+            results[row] = empty_value(len(a), len(b))
+    if dp_rows:
+        sub_a = [a_strs[r] for r in dp_rows]
+        sub_b = [b_strs[r] for r in dp_rows]
+        results[np.asarray(dp_rows, dtype=np.int64)] = _run_int_dp(
+            sub_a, sub_b, kernel
+        )
+    return results
+
+
+# ------------------------------------------------------------- Levenshtein
+def _levenshtein_bucket(a_strs: list[str], b_strs: list[str]) -> np.ndarray:
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    lb = np.array([len(s) for s in b_strs], dtype=np.int64)
+    max_a, max_b = int(la.max()), int(lb.max())
+    codes_a = _encode(a_strs, max_a, _LEFT_PAD)
+    codes_b = _encode(b_strs, max_b, _RIGHT_PAD)
+    n = len(a_strs)
+    offs = np.arange(1, max_b + 1, dtype=np.int64)
+    previous = np.broadcast_to(np.arange(max_b + 1, dtype=np.int64), (n, max_b + 1)).copy()
+    out = np.zeros(n, dtype=np.int64)
+    scan = np.empty((n, max_b + 1), dtype=np.int64)
+    for i in range(1, max_a + 1):
+        eq = codes_b == codes_a[:, i - 1 : i]
+        candidate = np.minimum(previous[:, :-1] + (1 - eq), previous[:, 1:] + 1)
+        # current[j] = min_{k<=j}(candidate[k] + (j-k)), candidate[0] := i.
+        scan[:, 0] = i
+        scan[:, 1:] = candidate - offs
+        np.minimum.accumulate(scan, axis=1, out=scan)
+        current = scan.copy()
+        current[:, 1:] += offs
+        previous = current
+        finished = la == i
+        if finished.any():
+            out[finished] = previous[finished, lb[finished]]
+    return out
+
+
+def batch_levenshtein_similarity(lefts: list[str], rights: list[str]) -> np.ndarray:
+    a_norm, b_norm, out, active = _dp_prepare(lefts, rights, truncate=True)
+    if len(active):
+        sub_a = [a_norm[r] for r in active.tolist()]
+        sub_b = [b_norm[r] for r in active.tolist()]
+        dist = _int_dp_with_empty_guard(
+            _renormalize(sub_a),
+            _renormalize(sub_b),
+            _levenshtein_bucket,
+            lambda la, lb: max(la, lb),
+        )
+        max_len = np.maximum(
+            np.array([len(s) for s in sub_a], dtype=np.int64),
+            np.array([len(s) for s in sub_b], dtype=np.int64),
+        )
+        out[active] = 1.0 - dist / max_len
+    return out
+
+
+# ------------------------------------------------- Damerau-Levenshtein (OSA)
+def _damerau_bucket(a_strs: list[str], b_strs: list[str]) -> np.ndarray:
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    lb = np.array([len(s) for s in b_strs], dtype=np.int64)
+    max_a, max_b = int(la.max()), int(lb.max())
+    codes_a = _encode(a_strs, max_a, _LEFT_PAD)
+    codes_b = _encode(b_strs, max_b, _RIGHT_PAD)
+    n = len(a_strs)
+    offs = np.arange(1, max_b + 1, dtype=np.int64)
+    big = np.int64(1 << 40)
+    initial = np.broadcast_to(np.arange(max_b + 1, dtype=np.int64), (n, max_b + 1))
+    two_back = initial.copy()
+    previous = initial.copy()
+    out = np.zeros(n, dtype=np.int64)
+    scan = np.empty((n, max_b + 1), dtype=np.int64)
+    for i in range(1, max_a + 1):
+        eq = codes_b == codes_a[:, i - 1 : i]
+        candidate = np.minimum(previous[:, :-1] + (1 - eq), previous[:, 1:] + 1)
+        if i > 1 and max_b > 1:
+            # Transposition term for j >= 2: ca == b[j-2] and a[i-2] == cb.
+            swapped = (codes_b[:, :-1] == codes_a[:, i - 1 : i]) & (
+                codes_b[:, 1:] == codes_a[:, i - 2 : i - 1]
+            )
+            transposition = np.where(swapped, two_back[:, :-2] + 1, big)
+            candidate[:, 1:] = np.minimum(candidate[:, 1:], transposition)
+        scan[:, 0] = i
+        scan[:, 1:] = candidate - offs
+        np.minimum.accumulate(scan, axis=1, out=scan)
+        current = scan.copy()
+        current[:, 1:] += offs
+        two_back, previous = previous, current
+        finished = la == i
+        if finished.any():
+            out[finished] = previous[finished, lb[finished]]
+    return out
+
+
+def batch_damerau_levenshtein_similarity(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    a_norm, b_norm, out, active = _dp_prepare(lefts, rights, truncate=True)
+    if len(active):
+        sub_a = [a_norm[r] for r in active.tolist()]
+        sub_b = [b_norm[r] for r in active.tolist()]
+        dist = _int_dp_with_empty_guard(
+            _renormalize(sub_a),
+            _renormalize(sub_b),
+            _damerau_bucket,
+            lambda la, lb: max(la, lb),
+        )
+        max_len = np.maximum(
+            np.array([len(s) for s in sub_a], dtype=np.int64),
+            np.array([len(s) for s in sub_b], dtype=np.int64),
+        )
+        out[active] = 1.0 - dist / max_len
+    return out
+
+
+# --------------------------------------------------------------------- LCS
+def _lcs_bucket(a_strs: list[str], b_strs: list[str]) -> np.ndarray:
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    lb = np.array([len(s) for s in b_strs], dtype=np.int64)
+    max_a, max_b = int(la.max()), int(lb.max())
+    codes_a = _encode(a_strs, max_a, _LEFT_PAD)
+    codes_b = _encode(b_strs, max_b, _RIGHT_PAD)
+    n = len(a_strs)
+    previous = np.zeros((n, max_b + 1), dtype=np.int64)
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(1, max_a + 1):
+        eq = codes_b == codes_a[:, i - 1 : i]
+        candidate = np.maximum(previous[:, :-1] + eq, previous[:, 1:])
+        current = np.empty_like(previous)
+        current[:, 0] = 0
+        np.maximum.accumulate(candidate, axis=1, out=candidate)
+        current[:, 1:] = candidate
+        previous = current
+        finished = la == i
+        if finished.any():
+            out[finished] = previous[finished, lb[finished]]
+    return out
+
+
+def batch_lcs_similarity(lefts: list[str], rights: list[str]) -> np.ndarray:
+    a_norm, b_norm, out, active = _dp_prepare(lefts, rights, truncate=True)
+    if len(active):
+        sub_a = [a_norm[r] for r in active.tolist()]
+        sub_b = [b_norm[r] for r in active.tolist()]
+        length = _int_dp_with_empty_guard(
+            _renormalize(sub_a),
+            _renormalize(sub_b),
+            _lcs_bucket,
+            lambda la, lb: 0,
+        )
+        max_len = np.maximum(
+            np.array([len(s) for s in sub_a], dtype=np.int64),
+            np.array([len(s) for s in sub_b], dtype=np.int64),
+        )
+        out[active] = length / max_len
+    return out
+
+
+# --------------------------------------------------------- Needleman-Wunsch
+def _needleman_wunsch_bucket(a_strs: list[str], b_strs: list[str]) -> np.ndarray:
+    # gap_cost = 1.0 and match = ±1.0: every DP value is an integer, so the
+    # whole table runs in int64 and only the final normalization touches
+    # floats — with the exact same expression as the scalar function.
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    lb = np.array([len(s) for s in b_strs], dtype=np.int64)
+    max_a, max_b = int(la.max()), int(lb.max())
+    codes_a = _encode(a_strs, max_a, _LEFT_PAD)
+    codes_b = _encode(b_strs, max_b, _RIGHT_PAD)
+    n = len(a_strs)
+    offs = np.arange(1, max_b + 1, dtype=np.int64)
+    previous = np.broadcast_to(
+        -np.arange(max_b + 1, dtype=np.int64), (n, max_b + 1)
+    ).copy()
+    out = np.zeros(n, dtype=np.int64)
+    scan = np.empty((n, max_b + 1), dtype=np.int64)
+    for i in range(1, max_a + 1):
+        eq = codes_b == codes_a[:, i - 1 : i]
+        match = np.where(eq, 1, -1)
+        candidate = np.maximum(previous[:, :-1] + match, previous[:, 1:] - 1)
+        # current[j] = max_{k<=j}(candidate[k] - (j-k)), candidate[0] := -i.
+        scan[:, 0] = -i
+        scan[:, 1:] = candidate + offs
+        np.maximum.accumulate(scan, axis=1, out=scan)
+        current = scan.copy()
+        current[:, 1:] -= offs
+        previous = current
+        finished = la == i
+        if finished.any():
+            out[finished] = previous[finished, lb[finished]]
+    return out
+
+
+def batch_needleman_wunsch_similarity(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    a_norm, b_norm, out, active = _dp_prepare(lefts, rights, truncate=True)
+    if len(active):
+        sub_a = [a_norm[r] for r in active.tolist()]
+        sub_b = [b_norm[r] for r in active.tolist()]
+        raw = _run_int_dp(sub_a, sub_b, _needleman_wunsch_bucket).astype(float)
+        max_len = np.maximum(
+            np.array([len(s) for s in sub_a], dtype=np.int64),
+            np.array([len(s) for s in sub_b], dtype=np.int64),
+        )
+        gap_cost = 1.0
+        out[active] = (raw + gap_cost * max_len) / ((1.0 + gap_cost) * max_len)
+    return out
+
+
+# ------------------------------------------------------------ Smith-Waterman
+def _smith_waterman_bucket(a_strs: list[str], b_strs: list[str]) -> np.ndarray:
+    # gap_cost = 0.5: doubling every score (match ±2, gap 1) keeps the DP in
+    # int64; halving the best score at the end is exact (multiples of 0.5).
+    la = np.array([len(s) for s in a_strs], dtype=np.int64)
+    codes_a = _encode(a_strs, int(la.max()), _LEFT_PAD)
+    max_b = max(len(s) for s in b_strs)
+    codes_b = _encode(b_strs, max_b, _RIGHT_PAD)
+    n = len(a_strs)
+    offs = np.arange(1, max_b + 1, dtype=np.int64)
+    previous = np.zeros((n, max_b + 1), dtype=np.int64)
+    best = np.zeros(n, dtype=np.int64)
+    scan = np.empty((n, max_b + 1), dtype=np.int64)
+    for i in range(1, int(la.max()) + 1):
+        eq = codes_b == codes_a[:, i - 1 : i]
+        match = np.where(eq, 2, -2)
+        candidate = np.maximum(previous[:, :-1] + match, previous[:, 1:] - 1)
+        # current[j] = max(0, max_{k<=j}(candidate[k] - (j-k))); padded cells
+        # only ever decay (pad codes never match), so tracking the running
+        # maximum over the padded row never overshoots the true best.
+        scan[:, 0] = 0
+        scan[:, 1:] = candidate + offs
+        np.maximum.accumulate(scan, axis=1, out=scan)
+        current = scan.copy()
+        current[:, 1:] -= offs
+        np.maximum(current, 0, out=current)
+        previous = current
+        best = np.maximum(best, current[:, 1:].max(axis=1))
+    return best
+
+
+def batch_smith_waterman_similarity(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    a_norm, b_norm, out, active = _dp_prepare(lefts, rights, truncate=True)
+    if len(active):
+        sub_a = [a_norm[r] for r in active.tolist()]
+        sub_b = [b_norm[r] for r in active.tolist()]
+        doubled = _run_int_dp(sub_a, sub_b, _smith_waterman_bucket)
+        best = doubled.astype(float) * 0.5
+        min_len = np.minimum(
+            np.array([len(s) for s in sub_a], dtype=np.int64),
+            np.array([len(s) for s in sub_b], dtype=np.int64),
+        )
+        out[active] = best / min_len
+    return out
+
+
+# ----------------------------------------------------------- scalar fallbacks
+def _scalar_loop(func: Callable[[str, str], float]) -> Callable:
+    def batch(lefts: list[str], rights: list[str]) -> np.ndarray:
+        return np.array([float(func(a, b)) for a, b in zip(lefts, rights)])
+
+    return batch
+
+
+#: Batched implementations by registry name.  Vectorized row-DP kernels for
+#: the quadratic measures; scalar loops (kept for a uniform interface — the
+#: dedup in :func:`batch_similarity` still applies) for the rest of the
+#: edit-based family.
+BATCH_KERNELS: dict[str, Callable[[list[str], list[str]], np.ndarray]] = {
+    "levenshtein": batch_levenshtein_similarity,
+    "damerau_levenshtein": batch_damerau_levenshtein_similarity,
+    "lcs": batch_lcs_similarity,
+    "needleman_wunsch": batch_needleman_wunsch_similarity,
+    "smith_waterman": batch_smith_waterman_similarity,
+    "jaro": _scalar_loop(edit_based.jaro_similarity),
+    "jaro_winkler": _scalar_loop(edit_based.jaro_winkler_similarity),
+    "monge_elkan": _scalar_loop(token_based.monge_elkan_similarity),
+    "soft_tfidf": _scalar_loop(token_based.soft_tfidf_similarity),
+}
+
+
+def has_batch_kernel(name: str) -> bool:
+    return name in BATCH_KERNELS
+
+
+def batch_similarity(name: str, lefts: list[str], rights: list[str]) -> np.ndarray:
+    """Similarities of aligned string pairs, deduplicated then batched.
+
+    Bit-identical to calling the named registry function per pair.  Unknown
+    names fall back to a scalar loop over the registry function, so every
+    measure can be requested through the one entry point.
+    """
+    if len(lefts) != len(rights):
+        raise ValueError("lefts and rights must be aligned")
+    if not lefts:
+        return np.zeros(0)
+    unique: dict[tuple[str, str], int] = {}
+    index_of = np.empty(len(lefts), dtype=np.int64)
+    for row, key in enumerate(zip(lefts, rights)):
+        slot = unique.get(key)
+        if slot is None:
+            slot = unique[key] = len(unique)
+        index_of[row] = slot
+    unique_lefts = [key[0] for key in unique]
+    unique_rights = [key[1] for key in unique]
+    kernel = BATCH_KERNELS.get(name)
+    if kernel is None:
+        kernel = _scalar_loop(get_similarity_function(name).func)
+    return kernel(unique_lefts, unique_rights)[index_of]

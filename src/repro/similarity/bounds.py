@@ -1,0 +1,219 @@
+"""Cheap per-pair upper bounds for the expensive similarity measures.
+
+Each bound is computable from length, character-multiset, and prefix
+statistics in O(len) — no quadratic DP — and *provably* dominates the exact
+measure: ``measure(a, b) <= upper_bound(a, b)`` (up to float rounding of the
+bound expression itself, which callers absorb with a slack term; the
+property suite asserts dominance with a 1e-9 margin).
+
+Derivations (``la``/``lb`` = lengths after the measure's own normalization,
+``diff = |la - lb|``, ``c`` = common-character multiset count
+``sum(min(count_a[ch], count_b[ch]))``, ``m = min(c, min(la, lb))``):
+
+* **levenshtein / damerau_levenshtein**: the scalar distance helpers
+  *re-normalize* their truncated inputs (stripping a trailing space the
+  truncation can leave), so the DP runs on strings of length ``la' <= la``,
+  ``lb' <= lb`` while the score denominator keeps ``max(la, lb)``.  With
+  ``c'``/``m'`` the common count / matchable count of the re-normalized
+  strings: distance ``>= max(la', lb') - c'`` (uncovered characters of the
+  longer DP string must be edited; OSA transpositions do not change
+  character counts), so ``sim = 1 - dist/max(la, lb)
+  <= 1 - (max(la', lb') - m')/max(la, lb)``.
+* **lcs**: the LCS helper re-normalizes the same way; a common subsequence
+  is a common character sub-multiset no longer than either DP string, so
+  ``lcs_len <= m'`` and ``sim <= m'/max(la, lb)``.
+* **jaro**: matched characters pair equal characters one-to-one, so
+  ``matches <= m``; with ``matches = 0`` Jaro is 0, otherwise
+  ``(matches/la + matches/lb + (matches - t)/matches)/3
+  <= (m/la + m/lb + 1)/3``.
+* **jaro_winkler**: ``jw = jaro·(1 - 0.1·p) + 0.1·p`` with
+  ``p`` = common prefix capped at 4 and ``1 - 0.1·p >= 0.6 > 0``, so jw is
+  increasing in jaro and the bound substitutes the Jaro bound.  ``p`` itself
+  is exact (O(1) to compute).
+* **needleman_wunsch** (gap 1.0): the alignment has ``matches <= m`` unit
+  rewards and at least ``diff`` unit gap penalties, so
+  ``raw <= m - diff`` and ``sim = (raw + max)/(2·max)
+  <= (m - diff + max)/(2·max)``.
+* **smith_waterman**: the local alignment's reward is at most its match
+  count ``<= m``, so ``sim = best/min <= m/min``.
+* **monge_elkan / soft_tfidf**: bounded by 1.0 (0.0 when exactly one side
+  has word tokens — the measures' own empty guard).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .edit_based import MAX_DP_CHARS
+from .tokenizers import normalize, tokenize_words
+
+__all__ = ["UPPER_BOUND_NAMES", "upper_bound", "upper_bound_matrix"]
+
+
+@dataclass
+class _PairStats:
+    """O(len) statistics of a normalized string pair feeding every bound."""
+
+    full_a: int  # normalized lengths (jaro family)
+    full_b: int
+    trunc_a: int  # MAX_DP_CHARS-truncated lengths (DP family denominators)
+    trunc_b: int
+    dp_a: int  # re-normalized truncated lengths (what the DP actually sees)
+    dp_b: int
+    common_full: int  # common character multiset counts
+    common_trunc: int
+    common_dp: int
+    prefix: int  # common prefix length, capped at 4
+    tokens_a: bool  # word-token non-emptiness (Monge-Elkan / soft TF-IDF)
+    tokens_b: bool
+
+
+def _compute_stats(a: str, b: str) -> _PairStats:
+    a_norm, b_norm = normalize(a), normalize(b)
+    a_trunc, b_trunc = a_norm[:MAX_DP_CHARS], b_norm[:MAX_DP_CHARS]
+    counts_a, counts_b = Counter(a_norm), Counter(b_norm)
+    common_full = sum((counts_a & counts_b).values())
+    if len(a_norm) <= MAX_DP_CHARS and len(b_norm) <= MAX_DP_CHARS:
+        # No truncation: the truncated and re-normalized strings are the
+        # normalized strings themselves.
+        a_dp, b_dp = a_trunc, b_trunc
+        common_trunc = common_dp = common_full
+    else:
+        # Truncation can leave a trailing space that the scalar DP helpers'
+        # second normalization pass strips again.
+        a_dp, b_dp = normalize(a_trunc), normalize(b_trunc)
+        common_trunc = sum((Counter(a_trunc) & Counter(b_trunc)).values())
+        if a_dp == a_trunc and b_dp == b_trunc:
+            common_dp = common_trunc
+        else:
+            common_dp = sum((Counter(a_dp) & Counter(b_dp)).values())
+    prefix = 0
+    for ca, cb in zip(a_norm[:4], b_norm[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return _PairStats(
+        full_a=len(a_norm),
+        full_b=len(b_norm),
+        trunc_a=len(a_trunc),
+        trunc_b=len(b_trunc),
+        dp_a=len(a_dp),
+        dp_b=len(b_dp),
+        common_full=common_full,
+        common_trunc=common_trunc,
+        common_dp=common_dp,
+        prefix=prefix,
+        tokens_a=bool(tokenize_words(a)),
+        tokens_b=bool(tokenize_words(b)),
+    )
+
+
+def _char_guard(la: int, lb: int) -> float | None:
+    if la == 0 and lb == 0:
+        return 1.0
+    if la == 0 or lb == 0:
+        return 0.0
+    return None
+
+
+def _edit_distance_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.trunc_a, stats.trunc_b)
+    if guard is not None:
+        return guard
+    matchable = min(stats.common_dp, min(stats.dp_a, stats.dp_b))
+    # dist >= max(dp lengths) - matchable; the denominator is the truncated
+    # (pre-re-normalization) length the scalar similarity divides by.
+    shortfall = max(stats.dp_a, stats.dp_b) - matchable
+    return 1.0 - shortfall / max(stats.trunc_a, stats.trunc_b)
+
+
+def _lcs_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.trunc_a, stats.trunc_b)
+    if guard is not None:
+        return guard
+    matchable = min(stats.common_dp, min(stats.dp_a, stats.dp_b))
+    return matchable / max(stats.trunc_a, stats.trunc_b)
+
+
+def _jaro_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.full_a, stats.full_b)
+    if guard is not None:
+        return guard
+    matchable = min(stats.common_full, min(stats.full_a, stats.full_b))
+    if matchable == 0:
+        return 0.0
+    return (matchable / stats.full_a + matchable / stats.full_b + 1.0) / 3.0
+
+
+def _jaro_winkler_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.full_a, stats.full_b)
+    if guard is not None:
+        return guard
+    jaro = _jaro_bound(stats)
+    return jaro + stats.prefix * 0.1 * (1.0 - jaro)
+
+
+def _needleman_wunsch_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.trunc_a, stats.trunc_b)
+    if guard is not None:
+        return guard
+    matchable = min(stats.common_trunc, min(stats.trunc_a, stats.trunc_b))
+    max_len = max(stats.trunc_a, stats.trunc_b)
+    diff = abs(stats.trunc_a - stats.trunc_b)
+    return (matchable - diff + max_len) / (2.0 * max_len)
+
+
+def _smith_waterman_bound(stats: _PairStats) -> float:
+    guard = _char_guard(stats.trunc_a, stats.trunc_b)
+    if guard is not None:
+        return guard
+    matchable = min(stats.common_trunc, min(stats.trunc_a, stats.trunc_b))
+    return matchable / min(stats.trunc_a, stats.trunc_b)
+
+
+def _token_family_bound(stats: _PairStats) -> float:
+    if stats.tokens_a != stats.tokens_b:
+        return 0.0
+    return 1.0
+
+
+_BOUND_FROM_STATS: dict[str, Callable[[_PairStats], float]] = {
+    "levenshtein": _edit_distance_bound,
+    "damerau_levenshtein": _edit_distance_bound,
+    "lcs": _lcs_bound,
+    "jaro": _jaro_bound,
+    "jaro_winkler": _jaro_winkler_bound,
+    "needleman_wunsch": _needleman_wunsch_bound,
+    "smith_waterman": _smith_waterman_bound,
+    "monge_elkan": _token_family_bound,
+    "soft_tfidf": _token_family_bound,
+}
+
+#: Measures that have an upper-bound companion.
+UPPER_BOUND_NAMES = frozenset(_BOUND_FROM_STATS)
+
+
+def upper_bound(name: str, a: str, b: str) -> float:
+    """Upper bound on ``get_similarity_function(name)(a, b)``."""
+    return _BOUND_FROM_STATS[name](_compute_stats(a, b))
+
+
+def upper_bound_matrix(
+    names: list[str], lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    """Bounds for aligned pairs: shape ``(len(lefts), len(names))``.
+
+    Pair statistics are computed once per pair and shared by all requested
+    bounds.
+    """
+    evaluators = [_BOUND_FROM_STATS[name] for name in names]
+    out = np.empty((len(lefts), len(names)))
+    for row, (a, b) in enumerate(zip(lefts, rights)):
+        stats = _compute_stats(a, b)
+        for col, evaluate in enumerate(evaluators):
+            out[row, col] = evaluate(stats)
+    return out

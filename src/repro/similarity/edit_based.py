@@ -53,12 +53,34 @@ def levenshtein_distance(a: str, b: str) -> int:
     return previous[len(b)]
 
 
-def levenshtein_similarity(a: str, b: str) -> float:
-    """Levenshtein distance normalized by the longer string length."""
+def _length_bound(a: str, b: str) -> float:
+    """Upper bound on normalized edit similarity from the length gap alone.
+
+    Distance is at least ``|len(a) - len(b)|`` (every surplus character costs
+    one edit), so similarity is at most ``1 - diff / max_len``.  Holds for
+    plain Levenshtein and for the optimal-string-alignment variant
+    (transpositions do not change lengths).
+    """
+    return 1.0 - abs(len(a) - len(b)) / max(len(a), len(b))
+
+
+def levenshtein_similarity(a: str, b: str, floor: float | None = None) -> float:
+    """Levenshtein distance normalized by the longer string length.
+
+    When ``floor`` is given and the length-difference bound already proves
+    the similarity is below it, the bound itself (an upper bound on the true
+    value, also below ``floor``) is returned without running the quadratic
+    DP.  Callers using ``floor`` only rely on "below the floor or exact";
+    without ``floor`` the result is always exact.
+    """
     a, b = _dp_normalize(a), _dp_normalize(b)
     guard = _empty_guard(a, b)
     if guard is not None:
         return guard
+    if floor is not None:
+        bound = _length_bound(a, b)
+        if bound < floor:
+            return bound
     return 1.0 - levenshtein_distance(a, b) / max(len(a), len(b))
 
 
@@ -86,12 +108,20 @@ def damerau_levenshtein_distance(a: str, b: str) -> int:
     return previous[len(b)]
 
 
-def damerau_levenshtein_similarity(a: str, b: str) -> float:
-    """Damerau-Levenshtein distance normalized by the longer string length."""
+def damerau_levenshtein_similarity(a: str, b: str, floor: float | None = None) -> float:
+    """Damerau-Levenshtein distance normalized by the longer string length.
+
+    ``floor`` has the same early-exit semantics as in
+    :func:`levenshtein_similarity`.
+    """
     a, b = _dp_normalize(a), _dp_normalize(b)
     guard = _empty_guard(a, b)
     if guard is not None:
         return guard
+    if floor is not None:
+        bound = _length_bound(a, b)
+        if bound < floor:
+            return bound
     return 1.0 - damerau_levenshtein_distance(a, b) / max(len(a), len(b))
 
 

@@ -12,6 +12,32 @@ from collections import Counter
 from .edit_based import jaro_winkler_similarity
 from .tokenizers import normalize, qgrams, tokenize_words
 
+#: Upper bound on entries in the per-call inner-similarity memo used by
+#: :func:`monge_elkan_similarity` and :func:`soft_tfidf_similarity`.  Real
+#: attribute values have a handful of tokens, so the cap only guards against
+#: pathological inputs blowing up memory.
+_INNER_MEMO_LIMIT = 4096
+
+
+def _memoized_inner(inner, memo: dict):
+    """Wrap ``inner`` with a bounded ordered-pair memo.
+
+    Keys are the ``(left, right)`` arguments exactly as called — the memo
+    never assumes symmetry of the inner measure, so cached values are
+    bit-identical to direct calls.
+    """
+
+    def cached(left: str, right: str) -> float:
+        key = (left, right)
+        value = memo.get(key)
+        if value is None:
+            value = inner(left, right)
+            if len(memo) < _INNER_MEMO_LIMIT:
+                memo[key] = value
+        return value
+
+    return cached
+
 
 def _empty_guard(a_tokens, b_tokens) -> float | None:
     if not a_tokens and not b_tokens:
@@ -126,20 +152,35 @@ def monge_elkan_similarity(a: str, b: str, inner=jaro_winkler_similarity) -> flo
     guard = _empty_guard(a_tokens, b_tokens)
     if guard is not None:
         return guard
+    # Token lists keep duplicates, so repeated tokens would re-run the inner
+    # measure against the whole other side; memoize within this call.
+    cached_inner = _memoized_inner(inner, {})
 
     def directed(left: list[str], right: list[str]) -> float:
-        return sum(max(inner(lt, rt) for rt in right) for lt in left) / len(left)
+        return sum(max(cached_inner(lt, rt) for rt in right) for lt in left) / len(left)
 
     return min(1.0, 0.5 * (directed(a_tokens, b_tokens) + directed(b_tokens, a_tokens)))
 
 
-def _soft_tfidf_directed(a_counts: Counter, b_counts: Counter, threshold: float) -> float:
-    """One direction of soft TF-IDF: soft-match ``a``'s tokens against ``b``'s."""
+def _soft_tfidf_directed(
+    a_counts: Counter,
+    b_counts: Counter,
+    threshold: float,
+    memo: dict | None = None,
+) -> float:
+    """One direction of soft TF-IDF: soft-match ``a``'s tokens against ``b``'s.
+
+    ``memo`` (shared across both directions by the caller) caches inner
+    Jaro-Winkler calls by ordered token pair.
+    """
+    inner = jaro_winkler_similarity
+    if memo is not None:
+        inner = _memoized_inner(jaro_winkler_similarity, memo)
     score = 0.0
     for token_a, count_a in a_counts.items():
         best_sim, best_token = 0.0, None
         for token_b in b_counts:
-            sim = 1.0 if token_a == token_b else jaro_winkler_similarity(token_a, token_b)
+            sim = 1.0 if token_a == token_b else inner(token_a, token_b)
             if sim > best_sim:
                 best_sim, best_token = sim, token_b
         if best_token is not None and best_sim >= threshold:
@@ -167,9 +208,10 @@ def soft_tfidf_similarity(a: str, b: str, threshold: float = 0.9) -> float:
     norm_b = math.sqrt(sum(c * c for c in b_counts.values()))
     if norm_a == 0.0 or norm_b == 0.0:
         return 0.0
+    memo: dict = {}
     score = 0.5 * (
-        _soft_tfidf_directed(a_counts, b_counts, threshold)
-        + _soft_tfidf_directed(b_counts, a_counts, threshold)
+        _soft_tfidf_directed(a_counts, b_counts, threshold, memo)
+        + _soft_tfidf_directed(b_counts, a_counts, threshold, memo)
     )
     return min(1.0, score / (norm_a * norm_b))
 

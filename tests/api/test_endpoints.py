@@ -39,6 +39,37 @@ class TestReadEndpoints:
         assert payload["server"]["batching"] is None  # batching off by default
         assert payload["server"]["snapshotter"] is None
 
+    def test_stats_cascade_counters(self, make_server, probes):
+        """``/stats`` exposes the score-cascade counters and they advance.
+
+        Contract: the ``index.cascade`` section carries the mode plus the
+        three monotone counters, ``candidates_seen`` equals pruned + scored,
+        and a served query moves them.
+        """
+        _, client = make_server()
+        _, before = client.get("/stats")
+        cascade = before["index"]["cascade"]
+        assert set(cascade) == {
+            "mode",
+            "candidates_seen",
+            "pruned_at_bound",
+            "fully_scored",
+        }
+        assert cascade["mode"] in {"off", "on", "auto"}
+        assert cascade["candidates_seen"] == (
+            cascade["pruned_at_bound"] + cascade["fully_scored"]
+        )
+        status, payload = client.post("/query", {"record": as_json(probes[0])})
+        assert status == 200
+        _, after = client.get("/stats")
+        cascade_after = after["index"]["cascade"]
+        assert cascade_after["candidates_seen"] >= (
+            cascade["candidates_seen"] + len(payload["pairs"])
+        )
+        assert cascade_after["candidates_seen"] == (
+            cascade_after["pruned_at_bound"] + cascade_after["fully_scored"]
+        )
+
     def test_query_happy_path(self, make_server, probes):
         server, client = make_server()
         status, payload = client.post("/query", {"record": as_json(probes[0])})

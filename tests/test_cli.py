@@ -127,12 +127,30 @@ class TestMatch:
         ) == 0
         out = capsys.readouterr().out
         payload = json.loads(out[out.index("{"):])
-        assert set(payload) == {"model", "combination", "candidates", "matches", "pairs"}
+        assert set(payload) == {
+            "model", "combination", "candidates", "matches", "cascade", "pairs",
+        }
         assert payload["candidates"] == len(payload["pairs"])
         assert payload["matches"] == sum(1 for p in payload["pairs"] if p["is_match"])
+        cascade = payload["cascade"]
+        assert cascade["candidates_seen"] == (
+            cascade["pruned_at_bound"] + cascade["fully_scored"]
+        )
+        assert cascade["candidates_seen"] >= len(payload["pairs"])
         for pair in payload["pairs"]:
             assert set(pair) == {"left_id", "right_id", "score", "is_match"}
             assert 0.0 <= pair["score"] <= 1.0
+
+    def test_cascade_flag_and_min_score_json_identical(self, model_path, capsys):
+        base = ["match", "--model", str(model_path), "--dataset", "dblp_acm",
+                "--scale", "0.15", "--min-score", "0.5", "--json"]
+        pair_lists = {}
+        for mode in ("off", "auto"):
+            assert cli.main([*base, "--cascade", mode]) == 0
+            out = capsys.readouterr().out
+            pair_lists[mode] = json.loads(out[out.index("{"):])["pairs"]
+        assert pair_lists["off"] == pair_lists["auto"]
+        assert all(p["score"] >= 0.5 for p in pair_lists["off"])
 
     def test_jobs_produce_identical_json(self, model_path, capsys):
         args = ["match", "--model", str(model_path), "--dataset", "dblp_acm",
@@ -274,6 +292,23 @@ class TestIndex:
         payload = json.loads(capsys.readouterr().out)
         assert payload["candidates"] == len(payload["pairs"])
         assert all(set(p) == {"left_id", "right_id", "score", "is_match"} for p in payload["pairs"])
+        cascade = payload["cascade"]
+        assert cascade["mode"] in {"off", "on", "auto"}
+        assert cascade["candidates_seen"] == (
+            cascade["pruned_at_bound"] + cascade["fully_scored"]
+        )
+
+    def test_query_cascade_override_parity(self, index_path, probe, capsys):
+        pair_lists = {}
+        for mode in ("off", "auto"):
+            assert cli.main(
+                ["index", "query", "--index", str(index_path), "--record", probe,
+                 "--cascade", mode, "--json"]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["cascade"]["mode"] == mode
+            pair_lists[mode] = payload["pairs"]
+        assert pair_lists["off"] == pair_lists["auto"]
 
     def test_query_record_file_and_top_k(self, index_path, probe, tmp_path, capsys):
         record_file = tmp_path / "probe.json"

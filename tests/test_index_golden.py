@@ -80,6 +80,36 @@ class TestGoldenIndex:
         index, _, golden = built
         assert index.resolve() == golden["clusters"]
 
+    def test_cascade_modes_match_golden(self, built):
+        """Cascade modes reproduce the golden queries/clusters bitwise.
+
+        The golden learner is non-linear (exact-fallback path); a private
+        index per mode keeps the shared fixture's counters untouched.
+        """
+        _, probes, golden = built
+        for mode in ("off", "on"):
+            index, _ = build_index(golden)
+            index.set_cascade_mode(mode)
+            assert snapshot_queries(index, probes, golden) == golden["queries"], mode
+            assert index.resolve() == golden["clusters"], mode
+            cascade = index.stats()["cascade"]
+            assert cascade["mode"] == mode
+            assert cascade["candidates_seen"] >= cascade["fully_scored"]
+
+    def test_min_score_queries_match_filtered_golden(self, built):
+        index, probes, golden = built
+        for probe in probes[: golden["n_probes"]]:
+            expected = [
+                entry
+                for entry in golden["queries"][probe.record_id]
+                if entry[2] >= 0.5
+            ]
+            got = [
+                [s.left_id, s.right_id, s.score, s.is_match]
+                for s in index.query(probe, min_score=0.5)
+            ]
+            assert got == expected, probe.record_id
+
     def test_updated_index_matches_golden(self, built, tmp_path):
         # Build a private index instead of mutating the shared fixture, so
         # the initial-state tests hold in any execution order.

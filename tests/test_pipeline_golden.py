@@ -80,6 +80,31 @@ class TestGoldenTrajectory:
         reloaded = MatchingPipeline.load(artifact)
         assert match_pairs(reloaded, golden, jobs=2, chunk_size=25) == golden["pairs"]
 
+    def test_cascade_modes_match_golden(self, trained):
+        """Every cascade mode reproduces the golden pairs bit-identically.
+
+        The golden learner is non-linear, so even mode "on" cannot prune —
+        all three modes must emit exactly the golden floats (staged batched
+        extraction ≡ the scalar path).
+        """
+        import dataclasses
+
+        from repro.core import CascadeConfig
+
+        _, golden, artifact = trained
+        for mode in ("off", "auto", "on"):
+            reloaded = MatchingPipeline.load(artifact)
+            reloaded.config = dataclasses.replace(
+                reloaded.config, cascade=CascadeConfig(mode=mode)
+            )
+            assert match_pairs(reloaded, golden) == golden["pairs"], mode
+
+    def test_min_score_matches_filtered_golden(self, trained):
+        _, golden, artifact = trained
+        reloaded = MatchingPipeline.load(artifact)
+        expected = [p for p in golden["pairs"] if p[2] >= 0.5]
+        assert match_pairs(reloaded, golden, min_score=0.5) == expected
+
     def test_cross_process_scores_match_golden(self, trained):
         """A fresh interpreter loading the artifact must score identically."""
         _, golden, artifact = trained

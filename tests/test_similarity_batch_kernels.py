@@ -1,0 +1,129 @@
+"""Batch similarity kernels ≡ the scalar registry functions, bitwise.
+
+The cascade's Stage C computes expensive columns with the vectorized kernels
+in ``repro.similarity.batch_kernels``; the whole bit-identity contract of the
+cascade rests on these kernels returning *exactly* the scalar functions'
+floats.  Layers:
+
+* a deterministic seed-matrix sweep over every measure with a batch kernel,
+  including the >48-char truncation zone and the double-normalization edge
+  (truncation leaving a trailing space that the scalar DP helpers re-strip),
+* Hypothesis property tests for the vectorized DP family, and
+* structural tests for deduplication and unknown-name fallback.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import get_similarity_function
+from repro.similarity.batch_kernels import (
+    BATCH_KERNELS,
+    batch_similarity,
+    has_batch_kernel,
+)
+
+#: The vectorized numpy DP kernels (the rest are scalar loops, trivially
+#: equivalent, but they go through the same sweep anyway).
+VECTORIZED = [
+    "levenshtein",
+    "damerau_levenshtein",
+    "lcs",
+    "needleman_wunsch",
+    "smith_waterman",
+]
+
+texts = st.text(alphabet=string.ascii_lowercase + " 0123456789", max_size=60)
+
+
+def _seed_pairs() -> list[tuple[str, str]]:
+    """Fixed-seed pair corpus spanning every length bucket plus edge cases."""
+    rng = random.Random(20260808)
+    alphabet = "abcd abd1 $.,-x"
+    pairs = [
+        (
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, length))),
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, length))),
+        )
+        for length in (6, 14, 30, 47, 49, 80)
+        for _ in range(30)
+    ]
+    pairs += [
+        ("", ""),
+        ("", "abc"),
+        ("abc", ""),
+        ("   ", "abc"),  # empty after normalization
+        ("abc", "abc"),
+        ("ab", "ba"),  # transposition (Damerau vs Levenshtein)
+        ("abcd" * 20, "abdc" * 20),  # far past the truncation limit
+        # Truncation leaves a trailing space; the scalar DP helpers
+        # re-normalize it away while the score denominator keeps the
+        # truncated length — the kernels must replicate both.
+        ("x" * 47 + " y", "x" * 47 + " z"),
+        ("x" * 47 + " yzw", "x" * 40),
+        ("a " * 40, "a" * 30),
+    ]
+    return pairs
+
+
+@pytest.mark.parametrize("name", sorted(BATCH_KERNELS))
+def test_batch_matches_scalar_on_seed_matrix(name):
+    func = get_similarity_function(name).func
+    pairs = _seed_pairs()
+    lefts = [a for a, _ in pairs]
+    rights = [b for _, b in pairs]
+    batched = batch_similarity(name, lefts, rights)
+    scalar = np.array([func(a, b) for a, b in pairs])
+    assert batched.shape == scalar.shape
+    # Bitwise, not approximate: the cascade's contract is bit-identity.
+    assert np.array_equal(batched, scalar), name
+
+
+@pytest.mark.parametrize("name", VECTORIZED)
+@settings(max_examples=150, deadline=None)
+@given(data=st.lists(st.tuples(texts, texts), min_size=1, max_size=12))
+def test_vectorized_kernels_property(name, data):
+    func = get_similarity_function(name).func
+    lefts = [a for a, _ in data]
+    rights = [b for _, b in data]
+    batched = batch_similarity(name, lefts, rights)
+    scalar = np.array([func(a, b) for a, b in data])
+    assert np.array_equal(batched, scalar)
+
+
+def test_symmetric_pairs_agree_with_swapped_order():
+    pairs = _seed_pairs()
+    for name in VECTORIZED:
+        forward = batch_similarity(name, [a for a, _ in pairs], [b for _, b in pairs])
+        backward = batch_similarity(name, [b for _, b in pairs], [a for a, _ in pairs])
+        assert np.array_equal(forward, backward), name
+
+
+def test_duplicate_pairs_computed_once_and_scattered():
+    lefts = ["alpha beta", "gamma", "alpha beta", "alpha beta"]
+    rights = ["alpha bets", "gamm", "alpha bets", "other"]
+    out = batch_similarity("levenshtein", lefts, rights)
+    func = get_similarity_function("levenshtein").func
+    assert np.array_equal(out, np.array([func(a, b) for a, b in zip(lefts, rights)]))
+    assert out[0] == out[2]
+
+
+def test_unknown_name_falls_back_to_registry_scalar():
+    assert not has_batch_kernel("jaccard")
+    lefts = ["alpha beta", "x"]
+    rights = ["beta gamma", "y"]
+    out = batch_similarity("jaccard", lefts, rights)
+    func = get_similarity_function("jaccard").func
+    assert np.array_equal(out, np.array([func(a, b) for a, b in zip(lefts, rights)]))
+
+
+def test_empty_batch():
+    for name in sorted(BATCH_KERNELS):
+        out = batch_similarity(name, [], [])
+        assert out.shape == (0,)

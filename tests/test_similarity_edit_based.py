@@ -154,3 +154,53 @@ class TestCommonContracts:
     def test_none_handled_as_empty(self, similarity):
         assert similarity(None, None) == 1.0
         assert similarity(None, "text") == 0.0
+
+
+class TestFloorEarlyExit:
+    """The caller-supplied floor in levenshtein / damerau similarities.
+
+    Contract: without ``floor`` the functions are exact; with ``floor`` the
+    return value is either the exact similarity or a value provably below
+    the floor (the length-difference bound), never a false accept.
+    """
+
+    def test_unconditioned_path_unchanged(self):
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+        assert damerau_levenshtein_similarity("ab", "ba") == 0.5
+
+    def test_floor_exact_when_bound_cannot_prune(self):
+        # Equal lengths: the length bound is 1.0, so the DP always runs.
+        for floor in (0.0, 0.5, 0.99):
+            assert levenshtein_similarity("kitten", "sitten", floor=floor) == (
+                levenshtein_similarity("kitten", "sitten")
+            )
+            assert damerau_levenshtein_similarity("abcd", "abdc", floor=floor) == (
+                damerau_levenshtein_similarity("abcd", "abdc")
+            )
+
+    def test_floor_early_exit_returns_value_below_floor(self):
+        a, b = "ab", "abcdefghij"
+        exact = levenshtein_similarity(a, b)
+        got = levenshtein_similarity(a, b, floor=0.9)
+        assert got < 0.9
+        assert got >= exact  # the bound dominates the true similarity
+        got_d = damerau_levenshtein_similarity(a, b, floor=0.9)
+        assert got_d < 0.9
+        assert got_d >= damerau_levenshtein_similarity(a, b)
+
+    def test_floor_never_flips_an_accept(self):
+        import random
+
+        rng = random.Random(7)
+        alphabet = "abc d"
+        for _ in range(300):
+            a = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            b = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            floor = rng.random()
+            for func in (levenshtein_similarity, damerau_levenshtein_similarity):
+                exact = func(a, b)
+                floored = func(a, b, floor=floor)
+                if exact >= floor:
+                    assert floored == exact
+                else:
+                    assert floored < floor

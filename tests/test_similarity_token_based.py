@@ -164,3 +164,71 @@ class TestTokenContracts:
             ("a b c", "d e f"),
         ]:
             assert 0.0 <= similarity(a, b) <= 1.0
+
+
+class TestInnerMemoization:
+    """The bounded token-pair memo inside Monge-Elkan / soft-TF-IDF.
+
+    The memo is a per-call cache keyed on the ordered token pair; it must be
+    invisible in the output (bit-identical scores) and bounded.
+    """
+
+    def test_memo_returns_identical_values(self):
+        from repro.similarity.edit_based import jaro_winkler_similarity
+        from repro.similarity.token_based import _memoized_inner
+
+        seen = {}
+        cached = _memoized_inner(jaro_winkler_similarity, seen)
+        pairs = [("alpha", "alpja"), ("beta", "beta"), ("alpha", "alpja"), ("x", "")]
+        for a, b in pairs:
+            assert cached(a, b) == jaro_winkler_similarity(a, b)
+        # second lookup hits the cache, value still identical
+        assert cached("alpha", "alpja") == jaro_winkler_similarity("alpha", "alpja")
+        assert ("alpha", "alpja") in seen
+
+    def test_memo_is_order_sensitive(self):
+        # Never assumes symmetry of the inner measure: (a, b) and (b, a)
+        # are distinct cache keys.
+        calls = []
+
+        def asymmetric(a, b):
+            calls.append((a, b))
+            return float(len(a) > len(b))
+
+        from repro.similarity.token_based import _memoized_inner
+
+        cached = _memoized_inner(asymmetric, {})
+        assert cached("longer", "x") == 1.0
+        assert cached("x", "longer") == 0.0
+        assert len(calls) == 2
+
+    def test_memo_bounded(self):
+        from repro.similarity.token_based import _INNER_MEMO_LIMIT, _memoized_inner
+
+        memo = {}
+        cached = _memoized_inner(lambda a, b: 0.5, memo)
+        for i in range(_INNER_MEMO_LIMIT + 100):
+            cached(f"tok{i}", "other")
+        assert len(memo) <= _INNER_MEMO_LIMIT
+
+    def test_soft_tfidf_directed_memo_identity(self):
+        # The directed pass with a live memo must be bit-identical to the
+        # memo-free pass, on token-heavy inputs where the cache engages.
+        from collections import Counter
+
+        from repro.similarity.token_based import _soft_tfidf_directed
+        from repro.similarity.tokenizers import tokenize_words
+
+        a = Counter(tokenize_words("alpha beta alpha beta alpha gamma gamna"))
+        b = Counter(tokenize_words("alpha beta beta gamma gamma alpna"))
+        for threshold in (0.5, 0.9):
+            with_memo = _soft_tfidf_directed(a, b, threshold, memo={})
+            without = _soft_tfidf_directed(a, b, threshold)
+            assert with_memo == without
+
+    def test_monge_elkan_and_soft_tfidf_bounded_on_repeated_tokens(self):
+        # Heavy token repetition: the memo actually engages here.
+        a = "alpha beta alpha beta alpha gamma"
+        b = "alpha beta beta gamma gamma alpha"
+        assert 0.0 <= monge_elkan_similarity(a, b) <= 1.0
+        assert 0.0 <= soft_tfidf_similarity(a, b) <= 1.0
