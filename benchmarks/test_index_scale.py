@@ -1,0 +1,192 @@
+"""Million-record index scaling gate: streaming build, memory, mmap startup.
+
+Guards the scaling contract of the columnar index core:
+
+* a **streaming build** of :data:`BUILD_RECORDS` synthetic records (default
+  one million) completes under :data:`BUILD_SECONDS_FLOOR` with peak RSS
+  under :data:`BUILD_RSS_MB_FLOOR` — the build is executed in a *subprocess*
+  so ``ru_maxrss`` measures exactly the streaming build, not whatever pytest
+  touched before;
+* :meth:`~repro.index.MatchIndex.load` on the resulting artifact is **O(1)**
+  (memory-mapped columns; no full-corpus deserialization) — bounded by
+  :data:`LOAD_SECONDS_FLOOR` regardless of corpus size — and the loaded
+  index serves a query straight off the mapped payloads;
+* a query-latency-vs-corpus-size curve (N/100, N/10, N records) is emitted
+  to ``benchmarks/results/index_scale_curve.txt``.
+
+Overrides for constrained environments::
+
+    REPRO_INDEX_BUILD_RECORDS   corpus size           (default 1_000_000)
+    REPRO_INDEX_BUILD_SECONDS   build wall-clock gate (default 900)
+    REPRO_INDEX_BUILD_RSS_MB    build peak-RSS gate   (default 4096)
+    REPRO_INDEX_LOAD_SECONDS    mmap startup gate     (default 5)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ActiveLearningConfig, PipelineConfig
+from repro.pipeline import MatchingPipeline
+
+BUILD_RECORDS = int(os.environ.get("REPRO_INDEX_BUILD_RECORDS", "1000000"))
+BUILD_SECONDS_FLOOR = float(os.environ.get("REPRO_INDEX_BUILD_SECONDS", "900"))
+BUILD_RSS_MB_FLOOR = float(os.environ.get("REPRO_INDEX_BUILD_RSS_MB", "4096"))
+LOAD_SECONDS_FLOOR = float(os.environ.get("REPRO_INDEX_LOAD_SECONDS", "5"))
+BATCH_SIZE = 8192
+
+#: Compact LSH geometry for the scale gate: at one million records the
+#: default 128/64 geometry is dominated by posting storage, which is not
+#: what this benchmark gates.  Query bit-identity across geometries is the
+#: equivalence suites' job.
+INDEX_OVERRIDES = {"num_perm": 32, "bands": 16, "verify_threshold": 0.5}
+
+#: The streaming-build child process: fit-free (loads the parent's pipeline
+#: artifact), builds via build_stream, reports timing + ru_maxrss as JSON.
+_CHILD_SCRIPT = r"""
+import json, resource, sys, time
+
+sys.path.insert(0, sys.argv[1])
+from repro.core import IndexConfig
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+
+sys.path.insert(0, sys.argv[2])
+from test_index_scale import INDEX_OVERRIDES, BATCH_SIZE, synthetic_batches, synthetic_record
+
+model_path, out_path, n_records = sys.argv[3], sys.argv[4], int(sys.argv[5])
+sizes = sorted({max(n_records // 100, 1000), max(n_records // 10, 10000), n_records})
+sizes = [size for size in sizes if size <= n_records]
+
+pipeline = MatchingPipeline.load(model_path)
+index = MatchIndex(pipeline, IndexConfig(**INDEX_OVERRIDES))
+
+curve = []
+built = 0
+start = time.perf_counter()
+for size in sizes:
+    index.build_stream(synthetic_batches(built, size, BATCH_SIZE))
+    built = size
+    probes = [dict(synthetic_record(i), record_id=f"probe-{i}") for i in range(0, 50, 10)]
+    latencies = []
+    for probe in probes:
+        t0 = time.perf_counter()
+        index.query(probe)
+        latencies.append(time.perf_counter() - t0)
+    latencies.sort()
+    curve.append({"size": size, "median_ms": 1e3 * latencies[len(latencies) // 2]})
+build_seconds = time.perf_counter() - start
+
+index.save(out_path)
+print(json.dumps({
+    "build_seconds": build_seconds,
+    "rows": index.n_rows,
+    "curve": curve,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def synthetic_record(i: int) -> dict:
+    """Deterministic synthetic record ``i`` (no RNG state, fully indexable)."""
+    words = (
+        "entity", "match", "learning", "active", "record", "linkage",
+        "deep", "scale", "stream", "shard", "index", "probe",
+        "signature", "band", "hash", "corpus",
+    )
+    title = " ".join(words[(i >> (4 * k)) % len(words)] for k in range(4))
+    return {
+        "record_id": f"syn-{i:08d}",
+        "title": f"{title} no {i}",
+        "venue": words[i % len(words)],
+    }
+
+
+def synthetic_batches(start: int, stop: int, batch_size: int):
+    """Record batches [start, stop) — built lazily, never materialized."""
+    for base in range(start, stop, batch_size):
+        yield [synthetic_record(i) for i in range(base, min(base + batch_size, stop))]
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory) -> Path:
+    pipeline = MatchingPipeline(
+        PipelineConfig(
+            combination="Trees(2)",
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=3,
+                target_f1=None, random_state=0,
+            ),
+            scale=0.15,
+        )
+    )
+    pipeline.fit("dblp_acm")
+    path = tmp_path_factory.mktemp("index-scale") / "model"
+    pipeline.save(path)
+    return path
+
+
+def test_streaming_build_scale_gate(model_path, tmp_path, emit):
+    out_path = tmp_path / "scaled-index"
+    child = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD_SCRIPT,
+            str(Path(__file__).resolve().parent.parent / "src"),
+            str(Path(__file__).resolve().parent),
+            str(model_path), str(out_path), str(BUILD_RECORDS),
+        ],
+        capture_output=True, text=True, timeout=3 * BUILD_SECONDS_FLOOR,
+    )
+    assert child.returncode == 0, child.stderr[-2000:]
+    report = json.loads(child.stdout.splitlines()[-1])
+    assert report["rows"] == BUILD_RECORDS
+
+    rss_mb = report["ru_maxrss_kb"] / 1024.0
+    curve_lines = [
+        f"{point['size']:>9d} records   median query {point['median_ms']:8.2f} ms"
+        for point in report["curve"]
+    ]
+    emit(
+        "index_scale_curve",
+        "\n".join(
+            [
+                f"streaming build: {BUILD_RECORDS} records in "
+                f"{report['build_seconds']:.1f}s, peak RSS {rss_mb:.0f} MB",
+                *curve_lines,
+            ]
+        ),
+    )
+    # The gates: wall clock and peak memory of the streaming build.
+    assert report["build_seconds"] < BUILD_SECONDS_FLOOR, (
+        f"streaming build took {report['build_seconds']:.1f}s "
+        f"(floor {BUILD_SECONDS_FLOOR}s)"
+    )
+    assert rss_mb < BUILD_RSS_MB_FLOOR, (
+        f"streaming build peaked at {rss_mb:.0f} MB RSS (floor {BUILD_RSS_MB_FLOOR} MB)"
+    )
+
+    # O(1) startup: the mmap'd load must not scale with the corpus.
+    load_start = time.perf_counter()
+    from repro.index import MatchIndex
+
+    index = MatchIndex.load(out_path)
+    load_seconds = time.perf_counter() - load_start
+    assert load_seconds < LOAD_SECONDS_FLOOR, (
+        f"mmap load took {load_seconds:.2f}s on {BUILD_RECORDS} records "
+        f"(floor {LOAD_SECONDS_FLOOR}s) — full-corpus deserialization crept back in?"
+    )
+    stats = index.stats()
+    assert stats["rows"] == BUILD_RECORDS
+    assert stats["mapped_bytes"] > 0
+
+    # Serve one query straight off the mapped payloads.
+    probe = dict(synthetic_record(7), record_id="probe-7")
+    scores = index.query(probe)
+    assert scores, "mmap-backed index failed to match a near-duplicate probe"

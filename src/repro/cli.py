@@ -219,6 +219,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     index_build.add_argument("--scale", type=float, default=0.3, help="dataset size multiplier")
     index_build.add_argument("--seed", type=int, default=None, help="dataset generation seed")
+    index_build.add_argument(
+        "--stream",
+        action="store_true",
+        help="bulk-build in batches without materializing the corpus "
+        "(--records may be JSON Lines, one record object per line)",
+    )
+    index_build.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        help="records per streaming batch (with --stream)",
+    )
+    index_build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="hash-partitioned posting shards (query results are identical "
+        "for every value; raise for million-record corpora)",
+    )
     index_build.add_argument("--num-perm", type=int, default=None, help="MinHash signature length")
     index_build.add_argument("--bands", type=int, default=None, help="LSH band count")
     index_build.add_argument("--shingle-size", type=int, default=None, help="character shingle length")
@@ -251,6 +270,12 @@ def _build_parser() -> argparse.ArgumentParser:
     index_query.add_argument("--record", default=None, help="the record as an inline JSON object")
     index_query.add_argument("--record-file", default=None, help="JSON file holding the record object")
     index_query.add_argument("--top-k", type=int, default=None, help="return only the k highest scores")
+    index_query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes for shard fan-out on a multi-shard artifact (default: in-process)",
+    )
     index_query.add_argument(
         "--cascade",
         choices=["off", "on", "auto"],
@@ -597,10 +622,34 @@ def _command_match(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_index(path: str):
+def _load_index(path: str, query_jobs: int = 1):
     from .index import MatchIndex
 
-    return MatchIndex.load(path)
+    return MatchIndex.load(path, query_jobs=query_jobs)
+
+
+def _stream_jsonl_batches(path: str, batch_size: int):
+    """Lazily read a JSON Lines records file as batches of mappings."""
+    batch: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError(f"{path!r} line {line_number} is not a JSON object")
+            batch.append(entry)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+    if batch:
+        yield batch
+
+
+def _chunk_batches(records, batch_size: int):
+    for start in range(0, len(records), batch_size):
+        yield records[start : start + batch_size]
 
 
 def _print_index_stats(index, path: str, as_json: bool) -> None:
@@ -632,6 +681,7 @@ def _command_index_build(args: argparse.Namespace) -> int:
             ("bands", args.bands),
             ("shingle_size", args.shingle_size),
             ("verify_threshold", args.verify_threshold),
+            ("shards", args.shards),
         )
         if value is not None
     }
@@ -642,13 +692,21 @@ def _command_index_build(args: argparse.Namespace) -> int:
             config = IndexConfig.from_blocking(resolved, **overrides)
         else:
             config = IndexConfig(**overrides)
-    if has_records:
-        records = _load_records_file(args.records)
-    else:
-        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        records = getattr(dataset, args.side).records
     index = MatchIndex(pipeline, config)
-    index.add(records)
+    if args.stream and has_records and args.records.endswith(".jsonl"):
+        # True streaming: the corpus file is read lazily, one batch at a
+        # time, so peak memory is the columns plus one batch.
+        index.build_stream(_stream_jsonl_batches(args.records, args.batch_size))
+    else:
+        if has_records:
+            records = _load_records_file(args.records)
+        else:
+            dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+            records = getattr(dataset, args.side).records
+        if args.stream:
+            index.build_stream(_chunk_batches(records, args.batch_size))
+        else:
+            index.add(records)
     manifest = index.save(args.out)
     if args.json:
         print(json.dumps(manifest, indent=2, sort_keys=True))
@@ -695,10 +753,11 @@ def _command_index_query(args: argparse.Namespace) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    index = _load_index(args.index)
+    index = _load_index(args.index, query_jobs=args.jobs)
     if args.cascade is not None:
         index.set_cascade_mode(args.cascade)
     scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
+    index.close()
     if args.json:
         payload = {
             "index": args.index,

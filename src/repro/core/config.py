@@ -109,6 +109,12 @@ class IndexConfig:
         ``remove``, the index compacts automatically (rebuilding its arrays
         and posting lists without the dead rows).  1.0 disables
         auto-compaction; ``compact()`` can always be called explicitly.
+    shards:
+        Hash partitions of the band index.  Query results are bit-identical
+        for every value (candidates are a shard-order-free union); raising it
+        buys smaller per-shard posting files (in-place saves rewrite only
+        dirty shards) and parallel fan-out for very large corpora.  Keep the
+        default of 1 until the corpus approaches millions of records.
     resolve_min_score:
         Default ``min_score`` of :meth:`~repro.index.MatchIndex.resolve`:
         pairs must be predicted matches scoring at least this to be merged
@@ -123,8 +129,11 @@ class IndexConfig:
     seed: int = 0
     compaction_threshold: float = 0.5
     resolve_min_score: float | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
+        if not 1 <= self.shards <= 4096:
+            raise ConfigurationError("shards must be between 1 and 4096")
         if self.num_perm < 2:
             raise ConfigurationError("num_perm must be at least 2")
         if self.bands < 1 or self.num_perm % self.bands != 0:
@@ -182,8 +191,12 @@ class IndexConfig:
         return cls(**known)
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (round-trips through :meth:`from_dict`)."""
-        return {
+        """JSON-serializable form (round-trips through :meth:`from_dict`).
+
+        ``shards`` is emitted only when non-default, so configs (and their
+        hashes / golden pins) from before sharding are byte-stable.
+        """
+        body = {
             "num_perm": self.num_perm,
             "bands": self.bands,
             "shingle_size": self.shingle_size,
@@ -193,6 +206,9 @@ class IndexConfig:
             "compaction_threshold": self.compaction_threshold,
             "resolve_min_score": self.resolve_min_score,
         }
+        if self.shards != 1:
+            body["shards"] = self.shards
+        return body
 
     @classmethod
     def from_dict(cls, data: dict) -> "IndexConfig":

@@ -16,24 +16,37 @@ updates", Berkholz et al., arXiv:1702.08764):
   (:class:`UnionFind`) over accepted match pairs and emits stable entity
   clusters, maintained incrementally as records are added.
 
-Persistence reuses the versioned pipeline-artifact machinery with an
-``index/`` payload; see ``docs/index.md`` for maintenance semantics
-(tombstones, compaction, incremental resolve).
+State is columnar (:mod:`repro.index.storage`) and the band index is
+hash-partitioned into shards (:mod:`repro.index.shards`); persistence reuses
+the versioned pipeline-artifact machinery with one content-addressed ``.npy``
+payload per column / posting shard, memory-mapped on load.  See
+``docs/index.md`` for the artifact layout, memory model and maintenance
+semantics (tombstones, compaction, incremental resolve).
 """
 
 from .match_index import (
     INDEX_FORMAT_VERSION,
+    INDEX_SIG16_PAYLOAD,
     INDEX_STATE_PAYLOAD,
     INDEX_SUPPORTED_VERSIONS,
     MatchIndex,
+    shard_payload_names,
 )
 from .resolution import UnionFind, stable_clusters
+from .shards import ShardedPostings, ShardPostings, shard_of
+from .storage import IndexStorage
 
 __all__ = [
     "INDEX_FORMAT_VERSION",
+    "INDEX_SIG16_PAYLOAD",
     "INDEX_STATE_PAYLOAD",
     "INDEX_SUPPORTED_VERSIONS",
+    "IndexStorage",
     "MatchIndex",
+    "ShardPostings",
+    "ShardedPostings",
     "UnionFind",
+    "shard_of",
+    "shard_payload_names",
     "stable_clusters",
 ]

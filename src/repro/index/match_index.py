@@ -5,24 +5,37 @@ A :class:`MatchIndex` answers the serving-side question the batch
 which of the N indexed records match it* — without re-blocking the whole
 corpus per call.  It maintains, under :meth:`add` / :meth:`remove`:
 
-* a MinHash-LSH band index (band-hash → posting lists of row ids) built with
-  the same :class:`~repro.blocking.signatures.SignatureComputer` the batch
-  blocker uses,
-* cached per-record shingle hash arrays and MinHash signatures (so an added
-  record is hashed exactly once, ever), and
+* a MinHash-LSH band index (band-hash → posting rows) partitioned into
+  ``IndexConfig.shards`` hash-partitioned shards
+  (:mod:`repro.index.shards`), built with the same
+  :class:`~repro.blocking.signatures.SignatureComputer` the batch blocker
+  uses,
+* columnar per-record state (:mod:`repro.index.storage`): 16-bit signature
+  matrix, band keys, shingle-hash arena, and the records themselves as
+  UTF-8/JSON arenas — numpy columns, not per-record Python objects, and
 * a persistent feature extractor whose normalization / value-pair caches warm
   up as the corpus is indexed.
 
-:meth:`query` therefore touches only the posting lists the probe record's
-band keys collide with and scores one small candidate batch — **bit-identical**
-to a batch ``match([record], corpus)`` under the equivalent ``minhash_lsh``
-blocking config (golden + property tested), at a small fraction of the cost.
+:meth:`query` unions the posting hits across shards (partition-invariant, so
+results are bit-identical for every shard count) and scores one small
+candidate batch — **bit-identical** to a batch ``match([record], corpus)``
+under the equivalent ``minhash_lsh`` blocking config (golden + property
+tested), at a small fraction of the cost.
 
 Deletes are *tombstones*: the row is masked out of every query and
 :meth:`compact` (triggered automatically past
-``IndexConfig.compaction_threshold``) rebuilds the arrays and posting lists
-without the dead rows.  Row order is insertion order and compaction preserves
-it, which is what keeps incremental results aligned with the batch reference.
+``IndexConfig.compaction_threshold``) rebuilds columns and postings without
+the dead rows, reclaiming all over-allocated tail capacity.  Row order is
+insertion order and compaction preserves it, which is what keeps incremental
+results aligned with the batch reference.
+
+Persistence is columnar too: :meth:`save` writes each column and each
+posting shard as its own content-addressed ``.npy`` payload, so an in-place
+re-save only writes the files whose bytes actually changed (a remove touches
+one file, an add leaves clean shards alone), and :meth:`load` memory-maps
+the payloads read-only — O(1) startup with demand paging instead of
+unpickling the corpus.  Streaming bulk builds (:meth:`build_stream`) append
+record batches to the columns without ever materializing the full corpus.
 
 On top of the pairwise layer, :meth:`resolve` runs union-find over accepted
 match pairs (prediction = match, optionally ``score >= min_score``) and emits
@@ -32,7 +45,9 @@ stable entity clusters; cluster state is maintained incrementally on
 
 from __future__ import annotations
 
+import io
 import pickle
+from pathlib import Path
 
 import numpy as np
 
@@ -41,29 +56,89 @@ from ..core.config import CascadeConfig, IndexConfig
 from ..datasets.base import CandidatePair, Record, Table
 from ..exceptions import ArtifactError, ConfigurationError, DatasetError
 from ..harness.preparation import make_extractor
-from ..pipeline.artifact import read_manifest, read_payload, write_artifact
+from ..pipeline.artifact import (
+    PayloadRef,
+    read_manifest,
+    read_payload,
+    read_payload_path,
+    write_artifact,
+)
 from ..pipeline.matching import MatchingPipeline, MatchScore, coerce_record
 from ..scoring import CascadeScorer
 from .resolution import UnionFind, stable_clusters
+from .shards import ShardFanout, ShardPostings, ShardedPostings, shard_of
+from .storage import (
+    Arena,
+    GrowableMatrix,
+    GrowableVector,
+    IndexStorage,
+    encode_attributes,
+)
 
 __all__ = [
     "INDEX_FORMAT_VERSION",
+    "INDEX_SIG16_PAYLOAD",
     "INDEX_STATE_PAYLOAD",
     "INDEX_SUPPORTED_VERSIONS",
     "MatchIndex",
+    "shard_payload_names",
 ]
 
 #: Current index payload version; bump on any reader-incompatible change to
-#: the pickled state layout.  Gated independently of the enclosing pipeline
+#: the persisted layout.  Gated independently of the enclosing pipeline
 #: artifact's ``format_version`` — a version-1 pipeline reader can always
-#: load the wrapped pipeline and ignore the index payload.
-INDEX_FORMAT_VERSION = 1
+#: load the wrapped pipeline and ignore the index payloads.
+INDEX_FORMAT_VERSION = 2
 
-#: Index payload versions this reader can load.
-INDEX_SUPPORTED_VERSIONS = frozenset({1})
+#: Index payload versions this reader can load.  Version 1 (one pickled
+#: state blob) loads through a legacy path and upgrades to the columnar
+#: layout on the next save.
+INDEX_SUPPORTED_VERSIONS = frozenset({1, 2})
 
-#: Artifact-relative file holding the pickled index state.
+#: Artifact-relative file holding the *legacy* (version-1) pickled state.
 INDEX_STATE_PAYLOAD = "index/state.pkl"
+
+#: Version-2 columnar payloads: one ``.npy`` file per column, so an in-place
+#: save rewrites only the columns that changed.
+INDEX_SIG16_PAYLOAD = "index/sig16.npy"
+INDEX_BAND_KEYS_PAYLOAD = "index/band_keys.npy"
+INDEX_LIVE_PAYLOAD = "index/live.npy"
+INDEX_SHARD_IDS_PAYLOAD = "index/shard_ids.npy"
+INDEX_SHINGLES_PAYLOAD = "index/shingles.npy"
+INDEX_SHINGLE_OFFSETS_PAYLOAD = "index/shingle_offsets.npy"
+INDEX_IDS_PAYLOAD = "index/ids.npy"
+INDEX_ID_OFFSETS_PAYLOAD = "index/id_offsets.npy"
+INDEX_ATTRS_PAYLOAD = "index/attrs.npy"
+INDEX_ATTR_OFFSETS_PAYLOAD = "index/attr_offsets.npy"
+
+#: Every column payload an :meth:`MatchIndex.add` dirties (postings shards
+#: are tracked separately, per touched shard).
+_COLUMN_PAYLOAD_NAMES = (
+    INDEX_SIG16_PAYLOAD,
+    INDEX_BAND_KEYS_PAYLOAD,
+    INDEX_LIVE_PAYLOAD,
+    INDEX_SHARD_IDS_PAYLOAD,
+    INDEX_SHINGLES_PAYLOAD,
+    INDEX_SHINGLE_OFFSETS_PAYLOAD,
+    INDEX_IDS_PAYLOAD,
+    INDEX_ID_OFFSETS_PAYLOAD,
+    INDEX_ATTRS_PAYLOAD,
+    INDEX_ATTR_OFFSETS_PAYLOAD,
+)
+
+
+def shard_payload_names(shard: int) -> tuple[str, str, str]:
+    """The three CSR payload names of one posting shard."""
+    prefix = f"index/postings/{shard:04d}"
+    return (f"{prefix}.keys.npy", f"{prefix}.rows.npy", f"{prefix}.offsets.npy")
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    """Canonical ``.npy`` encoding (contiguous, fixed header) of an array."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array))
+    return buffer.getvalue()
+
 
 #: Ceiling on the persistent extractor's value-pair cache.  Probe-side
 #: entries can never hit again (the cache key includes the probe's value),
@@ -71,6 +146,11 @@ INDEX_STATE_PAYLOAD = "index/state.pkl"
 #: the ceiling is crossed the caches are dropped and rebuilt lazily.
 #: Caches never affect scores, only speed.
 EXTRACTOR_CACHE_LIMIT = 1 << 20
+
+#: Ceiling on the row → :class:`Record` decode cache.  Records decoded from
+#: the attribute arena (or kept from :meth:`add`) are memoized so scoring a
+#: hot corpus row never re-parses JSON; past the ceiling the cache resets.
+RECORD_CACHE_LIMIT = 1 << 16
 
 
 class MatchIndex:
@@ -91,7 +171,9 @@ class MatchIndex:
     The equivalence contract — for any add/remove history, ``query(r)``
     returns exactly what ``match([r], live_corpus)`` returns under
     ``config.blocking_config()`` — is asserted by the golden and hypothesis
-    suites in ``tests/test_index.py`` / ``tests/test_index_golden.py``.
+    suites in ``tests/test_index.py`` / ``tests/test_index_golden.py``, and
+    holds for every ``config.shards`` value
+    (``tests/test_index_stream_shards.py``).
     """
 
     def __init__(self, pipeline: MatchingPipeline, config: IndexConfig | None = None):
@@ -119,84 +201,79 @@ class MatchIndex:
         self._cascade = CascadeScorer(
             pipeline._predictor, self._extractor, pipeline.config.cascade
         )
-        self._records: list[Record] = []
-        self._shingles: list[np.ndarray | None] = []
-        # Row-aligned storage lives in geometrically grown buffers (see
-        # _ensure_capacity); the _signatures/_sig16/_band_keys/_live
-        # properties expose the filled prefix as writable views, so a
-        # trickle of single-record add() calls is O(batch) amortized rather
-        # than re-concatenating (copying) the whole corpus every time.
-        self._sig_buf = np.empty((0, config.num_perm), dtype=np.uint64)
-        self._sig16_buf = np.empty((0, config.num_perm), dtype=np.uint16)
-        self._keys_buf = np.empty((0, config.bands), dtype=np.uint64)
-        self._live_buf = np.empty(0, dtype=bool)
-        self._row_of: dict[str, int] = {}
-        self._postings: list[dict[int, list[int]]] = [dict() for _ in range(config.bands)]
+        self._storage = IndexStorage(config.num_perm, config.bands)
+        self._postings = ShardedPostings(config.bands, config.shards)
+        #: record id → row for live rows; ``None`` means "not built yet" —
+        #: a freshly loaded index defers the O(n) id decode until the first
+        #: mutation or membership check, keeping :meth:`load` O(1).
+        self._id_map: dict[str, int] | None = {}
+        self._record_cache: dict[int, Record] = {}
+        self._n_live = 0
         self._n_tombstones = 0
         self._added_total = 0
         self._shingle_sets: dict[int, set[int]] = {}
         self._resolution: dict | None = None
+        #: payload name → ref into the artifact this state was loaded from /
+        #: saved to; a clean payload's bytes are provably unchanged, so an
+        #: in-place save skips re-serializing (and rewriting) it entirely.
+        self._clean: dict[str, PayloadRef] = {}
+        self._fanout: ShardFanout | None = None
 
     # ------------------------------------------------------------- storage
     @property
-    def _signatures(self) -> np.ndarray:
-        return self._sig_buf[: len(self._records)]
-
-    @property
-    def _sig16(self) -> np.ndarray:
-        return self._sig16_buf[: len(self._records)]
-
-    @property
-    def _band_keys(self) -> np.ndarray:
-        return self._keys_buf[: len(self._records)]
-
-    @property
     def _live(self) -> np.ndarray:
-        return self._live_buf[: len(self._records)]
+        """Writable live mask over all physical rows."""
+        return self._storage.live.array
 
-    def _ensure_capacity(self, extra: int) -> None:
-        """Grow the row buffers geometrically to hold ``extra`` more rows."""
-        size = len(self._records)
-        needed = size + extra
-        if needed <= len(self._live_buf):
-            return
-        capacity = max(needed, 2 * len(self._live_buf), 64)
+    def _ensure_id_map(self) -> dict[str, int]:
+        if self._id_map is None:
+            self._id_map = {
+                self._storage.record_id(row): row
+                for row in np.flatnonzero(self._live).tolist()
+            }
+        return self._id_map
 
-        def grown(buffer: np.ndarray) -> np.ndarray:
-            replacement = np.empty((capacity,) + buffer.shape[1:], dtype=buffer.dtype)
-            replacement[:size] = buffer[:size]
-            return replacement
+    def _record_at(self, row: int) -> Record:
+        """The record at a physical row, decoded from the arenas (memoized)."""
+        record = self._record_cache.get(row)
+        if record is None:
+            record_id, attributes = self._storage.record_parts(row)
+            record = Record(record_id=record_id, attributes=attributes)
+            if len(self._record_cache) >= RECORD_CACHE_LIMIT:
+                self._record_cache.clear()
+            self._record_cache[row] = record
+        return record
 
-        self._sig_buf = grown(self._sig_buf)
-        self._sig16_buf = grown(self._sig16_buf)
-        self._keys_buf = grown(self._keys_buf)
-        self._live_buf = grown(self._live_buf)
+    def _mark_dirty(self, names, shards=()) -> None:
+        """Drop clean-payload refs for mutated columns / posting shards."""
+        for name in names:
+            self._clean.pop(name, None)
+        for shard in shards:
+            for name in shard_payload_names(shard):
+                self._clean.pop(name, None)
+        self._drop_fanout()
 
-    def _set_storage(
-        self,
-        signatures: np.ndarray,
-        sig16: np.ndarray,
-        band_keys: np.ndarray,
-        live: np.ndarray,
-    ) -> None:
-        """Install exact-size row storage (compaction / state reload)."""
-        self._sig_buf = signatures
-        self._sig16_buf = sig16
-        self._keys_buf = band_keys
-        self._live_buf = live
+    def _drop_fanout(self) -> None:
+        if self._fanout is not None:
+            self._fanout.close()
+            self._fanout = None
+
+    def close(self) -> None:
+        """Release the query fan-out pool (no-op for in-process indexes)."""
+        self._drop_fanout()
 
     # -------------------------------------------------------------- corpus
     def __len__(self) -> int:
         """Number of live (queryable) records."""
-        return len(self._row_of)
+        return self._n_live
 
     def __contains__(self, record_id: str) -> bool:
-        return str(record_id) in self._row_of
+        return str(record_id) in self._ensure_id_map()
 
     @property
     def n_rows(self) -> int:
         """Physical rows, live plus tombstoned (shrinks on compaction)."""
-        return len(self._records)
+        return self._storage.n_rows
 
     @property
     def n_tombstones(self) -> int:
@@ -204,21 +281,52 @@ class MatchIndex:
 
     def records(self) -> list[Record]:
         """Live records in insertion order — the batch-equivalent corpus."""
-        return [self._records[row] for row in np.flatnonzero(self._live)]
+        return [self._record_at(row) for row in np.flatnonzero(self._live).tolist()]
 
     def record_ids(self) -> list[str]:
-        return [record.record_id for record in self.records()]
+        return [
+            self._storage.record_id(row) for row in np.flatnonzero(self._live).tolist()
+        ]
 
     def stats(self) -> dict:
-        """Deterministic (timestamp-free) corpus and structure counters."""
-        posting_lists = sum(len(band) for band in self._postings)
+        """Deterministic (timestamp-free) corpus and structure counters.
+
+        Adds per-shard posting/tombstone counts and a resident/mapped byte
+        split: ``resident_bytes`` estimates RAM actually owned by the index
+        (columns, tails, posting deltas), ``mapped_bytes`` counts read-only
+        memory-mapped artifact payloads served from the page cache.
+        """
+        live = self._live
+        dead_shards = (
+            self._storage.shard_ids.array[~live]
+            if self._n_tombstones
+            else np.empty(0, dtype=np.uint32)
+        )
+        dead_counts = np.bincount(dead_shards, minlength=self._postings.n_shards)
+        shard_stats = []
+        for shard_index, shard in enumerate(self._postings.shards):
+            shard_stats.append(
+                {
+                    "shard": shard_index,
+                    "entries": int(shard.n_entries),
+                    "posting_lists": shard.posting_lists(),
+                    "tombstones": int(dead_counts[shard_index]),
+                }
+            )
         return {
             "records": len(self),
             "rows": self.n_rows,
             "tombstones": self._n_tombstones,
             "bands": self.config.bands,
             "num_perm": self.config.num_perm,
-            "posting_lists": posting_lists,
+            "posting_lists": sum(entry["posting_lists"] for entry in shard_stats),
+            "shards": shard_stats,
+            "resident_bytes": int(
+                self._storage.resident_bytes + self._postings.resident_bytes
+            ),
+            "mapped_bytes": int(
+                self._storage.mapped_bytes + self._postings.mapped_bytes
+            ),
             "cascade": self._cascade.stats(),
         }
 
@@ -261,11 +369,30 @@ class MatchIndex:
         Raises :class:`~repro.exceptions.DatasetError` when an id is already
         live in the index or duplicated within the batch.
         """
-        batch = self._coerce_batch(records)
+        return self._add_batch(self._coerce_batch(records), warm=True)
+
+    def build_stream(self, batches, warm: bool = False) -> int:
+        """Bulk-build from an iterable of record batches; returns rows added.
+
+        The streaming complement of :meth:`add`: batches are signed with the
+        vectorized kernel and appended to the columnar arenas one at a time,
+        so the full corpus is never materialized in memory — peak RSS is the
+        columns plus one batch.  Any partitioning of the same records into
+        batches produces **byte-identical** artifacts and query results
+        (equivalence-tested); cache warming is off by default since a bulk
+        build usually saves the artifact rather than serving queries.
+        """
+        total = 0
+        for batch in batches:
+            total += len(self._add_batch(self._coerce_batch(batch), warm=warm))
+        return total
+
+    def _add_batch(self, batch: list[Record], warm: bool) -> list[str]:
+        id_map = self._ensure_id_map()
         seen: set[str] = set()
         duplicates = []
         for record in batch:
-            if record.record_id in self._row_of or record.record_id in seen:
+            if record.record_id in id_map or record.record_id in seen:
                 duplicates.append(record.record_id)
             seen.add(record.record_id)
         if duplicates:
@@ -277,7 +404,7 @@ class MatchIndex:
         nonempty = [h for h in hashes if h is not None]
         signatures = self._computer.signature_matrix(nonempty)
 
-        base = len(self._records)
+        base = self.n_rows
         full = np.zeros((len(batch), self.config.num_perm), dtype=np.uint64)
         keys = np.zeros((len(batch), self.config.bands), dtype=np.uint64)
         nonempty_offsets = np.fromiter(
@@ -287,49 +414,37 @@ class MatchIndex:
             full[nonempty_offsets] = signatures
             keys[nonempty_offsets] = self._computer.band_hashes(signatures)
 
-        self._ensure_capacity(len(batch))
-        self._sig_buf[base : base + len(batch)] = full
-        self._sig16_buf[base : base + len(batch)] = full.astype(np.uint16)
-        self._keys_buf[base : base + len(batch)] = keys
-        self._live_buf[base : base + len(batch)] = True
-        self._records.extend(batch)
-        self._shingles.extend(hashes)
-        for offset, record in enumerate(batch):
-            self._row_of[record.record_id] = base + offset
+        record_ids = [record.record_id for record in batch]
+        shard_ids = shard_of(record_ids, self.config.shards)
+        self._storage.append(
+            record_ids,
+            [encode_attributes(record.attributes) for record in batch],
+            hashes,
+            full.astype(np.uint16),
+            keys,
+            shard_ids,
+        )
+        if len(self._record_cache) + len(batch) <= RECORD_CACHE_LIMIT:
+            for offset, record in enumerate(batch):
+                self._record_cache[base + offset] = record
+        for offset, record_id in enumerate(record_ids):
+            id_map[record_id] = base + offset
+        self._n_live += len(batch)
         self._added_total += len(batch)
 
+        touched: set[int] = set()
         if len(nonempty_offsets):
             rows = (base + nonempty_offsets).astype(np.int64)
-            self._append_postings(rows, keys[nonempty_offsets])
-        self._warm_normalization(batch)
+            touched = self._postings.add(
+                rows, keys[nonempty_offsets], shard_ids[nonempty_offsets]
+            )
+        self._mark_dirty(_COLUMN_PAYLOAD_NAMES, touched)
+        if warm:
+            self._warm_normalization(batch)
 
         if self._resolution is not None:
             self._extend_resolution((base + np.arange(len(batch))).tolist())
-        return [record.record_id for record in batch]
-
-    def _append_postings(self, rows: np.ndarray, keys: np.ndarray) -> None:
-        """Append rows to each band's posting lists, grouped per bucket key.
-
-        Rows within a bucket stay in ascending (insertion) order — candidate
-        generation sorts anyway, but deterministic posting order keeps
-        persisted state a pure function of the add/remove sequence.
-        """
-        for band in range(self.config.bands):
-            band_keys = keys[:, band]
-            order = np.argsort(band_keys, kind="stable")
-            sorted_keys = band_keys[order]
-            sorted_rows = rows[order]
-            boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
-            starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [len(sorted_keys)]))
-            postings = self._postings[band]
-            for start, end in zip(starts.tolist(), ends.tolist()):
-                key = int(sorted_keys[start])
-                bucket = postings.get(key)
-                if bucket is None:
-                    postings[key] = sorted_rows[start:end].tolist()
-                else:
-                    bucket.extend(sorted_rows[start:end].tolist())
+        return record_ids
 
     def _warm_normalization(self, batch: list[Record]) -> None:
         """Pre-normalize indexed attribute values into the extractor cache.
@@ -351,24 +466,28 @@ class MatchIndex:
 
         Unknown (or already removed) ids raise
         :class:`~repro.exceptions.DatasetError` before any state changes.
-        Tombstoned rows stay in the arrays and posting lists — masked out of
-        every query — until compaction; removal invalidates incremental
-        resolution state (union-find cannot split), so the next
-        :meth:`resolve` recomputes from the live corpus.
+        Tombstoned rows stay in the columns and posting shards — masked out
+        of every query — until compaction; only the live-mask payload is
+        dirtied, so an in-place save after removes rewrites one small file.
+        Removal invalidates incremental resolution state (union-find cannot
+        split), so the next :meth:`resolve` recomputes from the live corpus.
         """
         if isinstance(record_ids, str):
             record_ids = [record_ids]
         # Order-preserving dedup: mentioning an id twice in one call is one
         # removal, keeping the loop below exception-safe after the precheck.
         ids = list(dict.fromkeys(str(record_id) for record_id in record_ids))
-        missing = sorted({record_id for record_id in ids if record_id not in self._row_of})
+        id_map = self._ensure_id_map()
+        missing = sorted({record_id for record_id in ids if record_id not in id_map})
         if missing:
             raise DatasetError(f"record id(s) not in index: {missing}")
+        live = self._live
         for record_id in ids:
-            row = self._row_of.pop(record_id)
-            self._live[row] = False
-            self._n_tombstones += 1
+            live[id_map.pop(record_id)] = False
+        self._n_tombstones += len(ids)
+        self._n_live -= len(ids)
         self._resolution = None
+        self._mark_dirty((INDEX_LIVE_PAYLOAD,))
         if (
             self.n_rows
             and self.config.compaction_threshold < 1.0
@@ -382,71 +501,85 @@ class MatchIndex:
 
         Survivor order (and therefore query output order) is unchanged:
         compaction renumbers rows but preserves insertion order, so the index
-        stays aligned with its batch-equivalent corpus.
+        stays aligned with its batch-equivalent corpus.  All over-allocated
+        tail capacity is reclaimed — the post-compaction resident footprint
+        is exactly the surviving rows (columns gathered off any memory-mapped
+        bases become resident).  With zero tombstones this degenerates to a
+        pure capacity shrink that leaves payload bytes (and clean-payload
+        bookkeeping) untouched.
         """
         reclaimed = self._n_tombstones
         if reclaimed == 0:
+            self._storage.shrink()
             return 0
         keep = np.flatnonzero(self._live)
-        self._set_storage(
-            self._signatures[keep],
-            self._sig16[keep],
-            self._band_keys[keep],
-            np.ones(len(keep), dtype=bool),
-        )
-        self._records = [self._records[row] for row in keep]
-        self._shingles = [self._shingles[row] for row in keep]
-        self._row_of = {record.record_id: row for row, record in enumerate(self._records)}
-        self._n_tombstones = 0
-        self._shingle_sets.clear()
-        self._rebuild_postings()
-        return int(reclaimed)
-
-    def _rebuild_postings(self) -> None:
-        self._postings = [dict() for _ in range(self.config.bands)]
+        self._storage.compact(keep)
         rows = np.fromiter(
-            (row for row, hashes in enumerate(self._shingles) if hashes is not None),
+            (
+                row
+                for row in range(len(keep))
+                if self._storage.shingles.row_length(row)
+            ),
             dtype=np.int64,
         )
-        if len(rows):
-            self._append_postings(rows, self._band_keys[rows])
+        self._postings = ShardedPostings.rebuild(
+            self.config.bands,
+            self.config.shards,
+            rows,
+            self._storage.band_keys.take(rows),
+            self._storage.shard_ids.array[rows],
+        )
+        self._n_tombstones = 0
+        self._id_map = None
+        self._record_cache.clear()
+        self._shingle_sets.clear()
+        self._clean = {}
+        self._drop_fanout()
+        return int(reclaimed)
 
     # --------------------------------------------------------------- query
     def _collision_rows(self, keys: np.ndarray) -> np.ndarray:
-        """Live rows colliding with the given band keys, ascending and unique."""
-        hits = []
-        for band in range(self.config.bands):
-            bucket = self._postings[band].get(int(keys[band]))
-            if bucket:
-                hits.append(np.asarray(bucket, dtype=np.int64))
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        rows = np.unique(np.concatenate(hits))
+        """Live rows colliding with the given band keys, ascending and unique.
+
+        Fans out across posting shards — via the persistent process pool for
+        a pristine artifact-backed index, in-process otherwise — and merges
+        with a union, which is shard-partition invariant.
+        """
+        if self._fanout is not None:
+            rows = self._fanout.collision_rows(np.asarray(keys, dtype=np.uint64))
+        else:
+            rows = self._postings.collision_rows(keys)
+        if not len(rows):
+            return rows
         return rows[self._live[rows]]
 
     def _shingle_set(self, row: int) -> set[int]:
         cached = self._shingle_sets.get(row)
         if cached is None:
-            cached = self._shingle_sets[row] = set(self._shingles[row].tolist())
+            cached = self._shingle_sets[row] = set(
+                self._storage.shingles.row(row).tolist()
+            )
         return cached
 
     def _verify_rows(
-        self, signature: np.ndarray, hashes: np.ndarray, rows: np.ndarray
+        self, probe16: np.ndarray, hashes: np.ndarray, rows: np.ndarray
     ) -> np.ndarray:
         """Apply the configured verification pass to candidate rows.
 
         Identical decisions to the batch blocker: signature-agreement
         estimate with a 2σ recall slack, optionally re-scored by exact
-        shingle-set Jaccard (both sides' shingles are cached).
+        shingle-set Jaccard (both sides' shingles are cached).  ``probe16``
+        is the probe's 16-bit signature — the only resolution verification
+        ever uses, which is why the full 64-bit signatures are not stored.
         """
         verify = self.config.verify_threshold
         if verify is None or not len(rows):
             return rows
         estimates = SignatureComputer.estimate_agreement(
-            signature.astype(np.uint16),
-            self._sig16,
+            probe16,
+            self._storage.sig16.take(rows),
             np.zeros(len(rows), dtype=np.intp),
-            rows,
+            np.arange(len(rows), dtype=np.intp),
         )
         rows = rows[SignatureComputer.verification_mask(estimates, verify, self.config.num_perm)]
         if not self.config.exact_verify or not len(rows):
@@ -481,7 +614,7 @@ class MatchIndex:
         results: list[MatchScore] = []
         for start in range(0, len(row_list), chunk_size):
             chunk_rows = row_list[start : start + chunk_size]
-            pairs = [CandidatePair(record, self._records[row]) for row in chunk_rows]
+            pairs = [CandidatePair(record, self._record_at(row)) for row in chunk_rows]
             kept, scores, predictions = self._cascade.score_chunk(
                 pairs, floors=min_score
             )
@@ -489,7 +622,7 @@ class MatchIndex:
                 results.append(
                     MatchScore(
                         left_id=record.record_id,
-                        right_id=self._records[chunk_rows[offset]].record_id,
+                        right_id=pairs[offset].right.record_id,
                         score=float(score),
                         is_match=bool(prediction),
                     )
@@ -535,12 +668,12 @@ class MatchIndex:
             raise ConfigurationError("top_k must be at least 1 or None")
         probe = coerce_record(record)
         hashes = self._computer.shingle_hashes(probe)
-        if hashes is None or not self._row_of:
+        if hashes is None or not self._n_live:
             return []
         signature = self._computer.signature_matrix([hashes])
         keys = self._computer.band_hashes(signature)[0]
         rows = self._collision_rows(keys)
-        rows = self._verify_rows(signature, hashes, rows)
+        rows = self._verify_rows(signature.astype(np.uint16), hashes, rows)
         if not len(rows):
             return []
         results = self._score_rows(probe, rows, min_score)
@@ -594,7 +727,7 @@ class MatchIndex:
         hashes_list = [self._computer.shingle_hashes(probe) for probe in probes]
         pairs: list[CandidatePair] = []
         owners: list[int] = []
-        if self._row_of:
+        if self._n_live:
             usable = [i for i, hashes in enumerate(hashes_list) if hashes is not None]
             if usable:
                 signatures = self._computer.signature_matrix(
@@ -604,10 +737,12 @@ class MatchIndex:
                 for offset, i in enumerate(usable):
                     rows = self._collision_rows(keys[offset])
                     rows = self._verify_rows(
-                        signatures[offset : offset + 1], hashes_list[i], rows
+                        signatures[offset : offset + 1].astype(np.uint16),
+                        hashes_list[i],
+                        rows,
                     )
                     for row in rows.tolist():
-                        pairs.append(CandidatePair(probes[i], self._records[row]))
+                        pairs.append(CandidatePair(probes[i], self._record_at(row)))
                         owners.append(i)
 
         chunk_size = self.pipeline.config.chunk_size
@@ -644,12 +779,14 @@ class MatchIndex:
         incremental path (new rows against everything before them) provably
         equal to a full recompute.
         """
-        hashes = self._shingles[row]
+        hashes = self._storage.shingle_row(row)
         if hashes is None:
             return np.empty(0, dtype=np.int64)
-        rows = self._collision_rows(self._band_keys[row])
+        rows = self._collision_rows(np.asarray(self._storage.band_keys.row(row)))
         rows = rows[rows < row]
-        return self._verify_rows(self._signatures[row : row + 1], hashes, rows)
+        return self._verify_rows(
+            self._storage.sig16.take(np.asarray([row], dtype=np.int64)), hashes, rows
+        )
 
     def _union_accepted(
         self, uf: UnionFind, pairs: list[tuple[int, int]], min_score: float | None
@@ -665,7 +802,7 @@ class MatchIndex:
         for start in range(0, len(pairs), chunk_size):
             chunk = pairs[start : start + chunk_size]
             candidates = [
-                CandidatePair(self._records[first], self._records[second])
+                CandidatePair(self._record_at(first), self._record_at(second))
                 for first, second in chunk
             ]
             # accept_only: resolution only ever unions accepted pairs, so
@@ -676,10 +813,8 @@ class MatchIndex:
             )
             for offset, score, prediction in zip(kept.tolist(), scores, predictions):
                 if prediction and (min_score is None or float(score) >= min_score):
-                    first, second = chunk[offset]
-                    uf.union(
-                        self._records[first].record_id, self._records[second].record_id
-                    )
+                    pair = candidates[offset]
+                    uf.union(pair.left.record_id, pair.right.record_id)
         self._trim_extractor_cache()
 
     def _extend_resolution(self, new_rows: list[int]) -> None:
@@ -687,7 +822,7 @@ class MatchIndex:
         state = self._resolution
         pairs = []
         for row in new_rows:
-            state["uf"].add(self._records[row].record_id)
+            state["uf"].add(self._storage.record_id(row))
             for other in self._candidate_rows_below(row).tolist():
                 pairs.append((other, row))
         self._union_accepted(state["uf"], pairs, state["min_score"])
@@ -725,54 +860,104 @@ class MatchIndex:
         """Persist pipeline and index as one artifact; returns the manifest.
 
         The directory is a superset of a pipeline artifact — a plain
-        :meth:`MatchingPipeline.load` on it ignores the index payload — with
-        the pickled index state in a content-addressed ``index/state-*.pkl``
-        file (resolved and hash-verified via the manifest's ``payloads``
-        section, so in-place updates are crash-safe) and an ``index`` manifest
-        section carrying its own format version and config.  State excludes
-        everything derivable (posting lists, band keys, resolution cache), so
-        saving the same add/remove history twice is byte-identical.
+        :meth:`MatchingPipeline.load` on it ignores the index payloads — with
+        every column and posting shard in its own content-addressed ``.npy``
+        payload (resolved and verified via the manifest's ``payloads``
+        section, so in-place updates are crash-safe) and an ``index``
+        manifest section carrying its own format version and config.
+
+        Payload bytes are a pure function of the logical add/remove history
+        — never of batching, compaction timing or reloads — so saving the
+        same history twice is byte-identical, and an in-place re-save writes
+        only the payloads whose columns actually changed: a remove rewrites
+        the small live mask, an add leaves untouched posting shards' files
+        alone (dirty-only writes, asserted by the stream/shard tests).
         """
+        self._postings.freeze()
         body = self.pipeline._manifest_body()
         body["index"] = {
             "format_version": INDEX_FORMAT_VERSION,
             "config": self.config.to_dict(),
+            "shards": self.config.shards,
             "stats": {
                 "records": len(self),
                 "rows": self.n_rows,
                 "tombstones": self._n_tombstones,
             },
+            "state": {"added_total": self._added_total},
         }
-        state = {
-            "records": [
-                (record.record_id, dict(record.attributes)) for record in self._records
-            ],
-            "live": np.asarray(self._live, dtype=bool),
-            "signatures": self._signatures,
-            "shingles": self._shingles,
-            "n_tombstones": self._n_tombstones,
-            "added_total": self._added_total,
-        }
-        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-        return write_artifact(
-            path,
-            body,
-            self.pipeline._inference_state(),
-            payloads={INDEX_STATE_PAYLOAD: payload},
+        storage = self._storage
+        payloads: dict[str, bytes | PayloadRef] = {}
+
+        def put(name: str, make) -> None:
+            ref = self._clean.get(name)
+            payloads[name] = ref if ref is not None else make()
+
+        put(INDEX_SIG16_PAYLOAD, lambda: _npy_bytes(storage.sig16.to_array()))
+        put(INDEX_BAND_KEYS_PAYLOAD, lambda: _npy_bytes(storage.band_keys.to_array()))
+        put(INDEX_LIVE_PAYLOAD, lambda: _npy_bytes(storage.live.to_array()))
+        put(INDEX_SHARD_IDS_PAYLOAD, lambda: _npy_bytes(storage.shard_ids.to_array()))
+        for arena, data_name, offsets_name in (
+            (storage.shingles, INDEX_SHINGLES_PAYLOAD, INDEX_SHINGLE_OFFSETS_PAYLOAD),
+            (storage.ids, INDEX_IDS_PAYLOAD, INDEX_ID_OFFSETS_PAYLOAD),
+            (storage.attrs, INDEX_ATTRS_PAYLOAD, INDEX_ATTR_OFFSETS_PAYLOAD),
+        ):
+            if data_name in self._clean and offsets_name in self._clean:
+                payloads[data_name] = self._clean[data_name]
+                payloads[offsets_name] = self._clean[offsets_name]
+            else:
+                data, offsets = arena.to_parts()
+                payloads[data_name] = _npy_bytes(data)
+                payloads[offsets_name] = _npy_bytes(offsets)
+        for shard_index, shard in enumerate(self._postings.shards):
+            names = shard_payload_names(shard_index)
+            if all(name in self._clean for name in names):
+                for name in names:
+                    payloads[name] = self._clean[name]
+            else:
+                for name, part in zip(names, shard.to_parts()):
+                    payloads[name] = _npy_bytes(part)
+        manifest = write_artifact(
+            path, body, self.pipeline._inference_state(), payloads=payloads
         )
+        self._adopt_payloads(Path(path), manifest)
+        return manifest
+
+    def _adopt_payloads(self, directory: Path, manifest: dict) -> None:
+        """Mark every index payload clean, ref'd into the given artifact."""
+        clean: dict[str, PayloadRef] = {}
+        for name, entry in (manifest.get("payloads") or {}).items():
+            if name == INDEX_STATE_PAYLOAD or not name.startswith("index/"):
+                continue
+            clean[name] = PayloadRef(
+                directory / entry["file"], entry["sha256"], int(entry["bytes"])
+            )
+        self._clean = clean
 
     @classmethod
-    def load(cls, path) -> "MatchIndex":
+    def load(cls, path, mmap: bool = True, query_jobs: int = 1) -> "MatchIndex":
         """Reload a persisted index (pipeline included) from an artifact.
 
+        Columnar (version-2) payloads are **memory-mapped read-only** when
+        ``mmap`` is true: startup is O(1) — manifest, headers and the small
+        always-resident vectors — and column bytes page in on demand, so a
+        million-record index serves its first query milliseconds after
+        ``load`` returns.  Version-1 artifacts load through the legacy
+        pickled-state path and upgrade to the columnar layout on the next
+        :meth:`save`.
+
+        With ``query_jobs > 1`` on a multi-shard artifact, candidate lookups
+        fan out over a persistent process pool whose workers memory-map the
+        posting shards independently; the fan-out is dropped on the first
+        mutation (workers only see the immutable artifact bytes).
+
         Raises :class:`~repro.exceptions.ArtifactError` when the artifact
-        carries no index payload, the payload version is unsupported, or any
-        file fails its manifest hash check.  Derived structures (16-bit
-        signatures, band keys, posting lists) are rebuilt deterministically
-        from the persisted state, so a reloaded index answers queries
+        carries no index payloads, the payload version is unsupported, or
+        any file fails its manifest check.  A reloaded index answers queries
         bit-identically to the one that was saved.
         """
-        manifest = read_manifest(path)
+        directory = Path(path)
+        manifest = read_manifest(directory)
         section = manifest.get("index")
         if section is None:
             raise ArtifactError(
@@ -786,44 +971,141 @@ class MatchIndex:
                 f"(supported: {sorted(INDEX_SUPPORTED_VERSIONS)}); "
                 f"rebuild the index or upgrade repro"
             )
-        pipeline = MatchingPipeline.load(path)
+        pipeline = MatchingPipeline.load(directory)
         index = cls(pipeline, IndexConfig.from_dict(section.get("config", {})))
-        state = pickle.loads(read_payload(path, INDEX_STATE_PAYLOAD))
-        index._install_state(state)
+        if version == 1:
+            state = pickle.loads(read_payload(directory, INDEX_STATE_PAYLOAD))
+            index._install_legacy_state(state)
+            return index
+        index._install_payloads(directory, manifest, section, mmap=mmap)
+        if query_jobs > 1 and index.config.shards > 1:
+            shard_paths = [
+                tuple(
+                    read_payload_path(directory, name, manifest)[0]
+                    for name in shard_payload_names(shard_index)
+                )
+                for shard_index in range(index.config.shards)
+            ]
+            index._fanout = ShardFanout(shard_paths, index.config.bands, query_jobs)
         return index
 
-    def _install_state(self, state: dict) -> None:
-        self._records = [
+    def _install_payloads(
+        self, directory: Path, manifest: dict, section: dict, mmap: bool
+    ) -> None:
+        """Adopt version-2 columnar payloads (memory-mapped when possible)."""
+        config = self.config
+
+        def load_array(name: str, mapped: bool = True) -> np.ndarray:
+            payload_path, _ = read_payload_path(directory, name, manifest)
+            if mmap and mapped:
+                try:
+                    return np.load(payload_path, mmap_mode="r")
+                except (OSError, ValueError):
+                    pass  # zero-length arrays cannot be mapped on every platform
+            return np.load(payload_path)
+
+        storage = self._storage
+        storage.sig16 = GrowableMatrix(
+            np.uint16, config.num_perm, base=load_array(INDEX_SIG16_PAYLOAD)
+        )
+        storage.band_keys = GrowableMatrix(
+            np.uint64, config.bands, base=load_array(INDEX_BAND_KEYS_PAYLOAD)
+        )
+        storage.shingles = Arena(
+            np.uint64,
+            load_array(INDEX_SHINGLES_PAYLOAD),
+            load_array(INDEX_SHINGLE_OFFSETS_PAYLOAD),
+        )
+        storage.ids = Arena(
+            np.uint8, load_array(INDEX_IDS_PAYLOAD), load_array(INDEX_ID_OFFSETS_PAYLOAD)
+        )
+        storage.attrs = Arena(
+            np.uint8,
+            load_array(INDEX_ATTRS_PAYLOAD),
+            load_array(INDEX_ATTR_OFFSETS_PAYLOAD),
+        )
+        # The live mask mutates in place and shard ids are consulted per
+        # mutation — both stay resident (they are tiny: 5 bytes/row).
+        storage.live = GrowableVector(bool, load_array(INDEX_LIVE_PAYLOAD, mapped=False))
+        storage.shard_ids = GrowableVector(
+            np.uint32, load_array(INDEX_SHARD_IDS_PAYLOAD, mapped=False)
+        )
+        n = storage.n_rows
+        if not (
+            len(storage.sig16)
+            == len(storage.band_keys)
+            == len(storage.shingles)
+            == len(storage.ids)
+            == len(storage.attrs)
+            == len(storage.shard_ids)
+            == n
+        ):
+            raise ArtifactError(
+                f"artifact {str(directory)!r}: index columns disagree on row count"
+            )
+        shards = []
+        for shard_index in range(config.shards):
+            keys_name, rows_name, offsets_name = shard_payload_names(shard_index)
+            shards.append(
+                ShardPostings(
+                    config.bands,
+                    keys=load_array(keys_name),
+                    rows=load_array(rows_name),
+                    offsets=np.asarray(load_array(offsets_name, mapped=False)),
+                )
+            )
+        self._postings = ShardedPostings(config.bands, config.shards, shards)
+        self._n_live = int(np.count_nonzero(storage.live.array))
+        self._n_tombstones = n - self._n_live
+        state = section.get("state") or {}
+        self._added_total = int(state.get("added_total", n))
+        # Deferred until the first mutation / membership check: building the
+        # id map is the one O(n) decode a cold start must not pay.
+        self._id_map = None
+        self._adopt_payloads(directory, manifest)
+
+    def _install_legacy_state(self, state: dict) -> None:
+        """Rebuild columnar state from a version-1 pickled payload.
+
+        Everything is marked dirty, so the next :meth:`save` upgrades the
+        artifact to the columnar layout (and drops the pickle payload).
+        """
+        records = [
             Record(record_id=record_id, attributes=attributes)
             for record_id, attributes in state["records"]
         ]
-        # Copy arrays instead of adopting the unpickled ones: rebuilt arrays
-        # carry the canonical native dtype objects, so a reloaded index
-        # re-saves byte-identically (pickle memo-shares the dtype exactly as
-        # it does for a freshly built index).
-        self._shingles = [
+        shingles = [
             None if hashes is None else np.array(hashes, dtype=np.uint64)
             for hashes in state["shingles"]
         ]
         signatures = np.array(state["signatures"], dtype=np.uint64)
-        band_keys = np.zeros((len(self._records), self.config.bands), dtype=np.uint64)
+        band_keys = np.zeros((len(records), self.config.bands), dtype=np.uint64)
         rows = np.fromiter(
-            (row for row, hashes in enumerate(self._shingles) if hashes is not None),
+            (row for row, hashes in enumerate(shingles) if hashes is not None),
             dtype=np.int64,
         )
         if len(rows):
             band_keys[rows] = self._computer.band_hashes(signatures[rows])
-        self._set_storage(
-            signatures,
+        record_ids = [record.record_id for record in records]
+        shard_ids = shard_of(record_ids, self.config.shards)
+        self._storage.append(
+            record_ids,
+            [encode_attributes(record.attributes) for record in records],
+            shingles,
             signatures.astype(np.uint16),
             band_keys,
-            np.array(state["live"], dtype=bool),
+            shard_ids,
+        )
+        live = np.array(state["live"], dtype=bool)
+        self._live[:] = live
+        self._postings = ShardedPostings.rebuild(
+            self.config.bands, self.config.shards, rows, band_keys[rows], shard_ids[rows]
         )
         self._n_tombstones = int(state["n_tombstones"])
+        self._n_live = int(np.count_nonzero(live))
         self._added_total = int(state["added_total"])
-        self._row_of = {
-            record.record_id: row
-            for row, record in enumerate(self._records)
-            if self._live[row]
+        self._id_map = {
+            record_ids[row]: row for row in np.flatnonzero(live).tolist()
         }
-        self._rebuild_postings()
+        if len(records) <= RECORD_CACHE_LIMIT:
+            self._record_cache = dict(enumerate(records))

@@ -1,0 +1,435 @@
+"""Columnar row storage for the match index: frozen bases + growable tails.
+
+The index's per-record state (16-bit signatures, band keys, shingle hashes,
+record ids and attributes, the live mask) lives in a handful of numpy columns
+instead of per-record Python objects.  Each column is split into
+
+* a **frozen base** — an exact-size array that may be a read-only
+  ``np.memmap`` straight out of an artifact payload (demand-paged, never
+  copied at load), and
+* a **RAM tail** — geometrically grown storage for rows appended after the
+  base was frozen, so a trickle of single-record ``add()`` calls stays
+  O(batch) amortized without ever touching the base.
+
+Row ``i`` resolves to the base when ``i < len(base)`` and to the tail
+otherwise; ``compact(keep)`` gathers the surviving rows into a fresh
+exact-size RAM base and drops all over-allocated tail capacity (the
+post-compaction resident footprint shrinks, asserted by the storage tests).
+
+Variable-length rows (shingle hash arrays, encoded record bytes) use the
+same split over an *arena* — one flat data array plus an ``int64`` offsets
+array of length ``rows + 1`` — with the tail kept as per-batch chunks so a
+bulk build appends whole batches without per-row Python overhead.
+
+Serialization is canonical: :meth:`~GrowableMatrix.to_array` /
+:meth:`~Arena.to_parts` emit contiguous arrays with fixed dtypes whose
+``.npy`` encoding depends only on the logical row contents — never on how
+the rows were batched, grown or reloaded — which is what keeps artifact
+bytes a pure function of the add/remove history.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+
+import numpy as np
+
+__all__ = [
+    "Arena",
+    "GrowableMatrix",
+    "GrowableVector",
+    "IndexStorage",
+    "decode_attributes",
+    "encode_attributes",
+]
+
+
+def _nbytes(array: np.ndarray | None) -> int:
+    return 0 if array is None else int(array.nbytes)
+
+
+def _is_mapped(array: np.ndarray) -> bool:
+    return isinstance(array, np.memmap)
+
+
+class GrowableMatrix:
+    """A 2-D column (fixed row width): frozen base + geometric RAM tail."""
+
+    def __init__(self, dtype, width: int, base: np.ndarray | None = None):
+        self.dtype = np.dtype(dtype)
+        self.width = int(width)
+        if base is None:
+            base = np.empty((0, self.width), dtype=self.dtype)
+        self._base = base
+        self._tail = np.empty((0, self.width), dtype=self.dtype)
+        self._tail_len = 0
+
+    def __len__(self) -> int:
+        return len(self._base) + self._tail_len
+
+    def append(self, block: np.ndarray) -> None:
+        block = np.asarray(block, dtype=self.dtype)
+        needed = self._tail_len + len(block)
+        if needed > len(self._tail):
+            capacity = max(needed, 2 * len(self._tail), 64)
+            grown = np.empty((capacity, self.width), dtype=self.dtype)
+            grown[: self._tail_len] = self._tail[: self._tail_len]
+            self._tail = grown
+        self._tail[self._tail_len : needed] = block
+        self._tail_len = needed
+
+    def row(self, i: int) -> np.ndarray:
+        base_n = len(self._base)
+        if i < base_n:
+            return self._base[i]
+        return self._tail[i - base_n]
+
+    def take(self, rows: np.ndarray) -> np.ndarray:
+        """Gather rows (ascending or not) into a contiguous RAM array."""
+        rows = np.asarray(rows, dtype=np.int64)
+        base_n = len(self._base)
+        out = np.empty((len(rows), self.width), dtype=self.dtype)
+        in_base = rows < base_n
+        if in_base.any():
+            out[in_base] = self._base[rows[in_base]]
+        if not in_base.all():
+            out[~in_base] = self._tail[rows[~in_base] - base_n]
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """The full column as one contiguous RAM array (canonical dtype)."""
+        if self._tail_len == 0 and not _is_mapped(self._base):
+            return np.ascontiguousarray(self._base, dtype=self.dtype)
+        out = np.empty((len(self), self.width), dtype=self.dtype)
+        out[: len(self._base)] = self._base
+        out[len(self._base) :] = self._tail[: self._tail_len]
+        return out
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Replace storage with exactly the kept rows (RAM, no spare capacity)."""
+        self._base = self.take(keep)
+        self._tail = np.empty((0, self.width), dtype=self.dtype)
+        self._tail_len = 0
+
+    def shrink(self) -> bool:
+        """Fold the tail into an exact-size base; True when capacity dropped."""
+        spare = len(self._tail) - self._tail_len
+        if spare == 0 and self._tail_len == 0:
+            return False
+        self._base = self.to_array()
+        self._tail = np.empty((0, self.width), dtype=self.dtype)
+        self._tail_len = 0
+        return spare > 0
+
+    @property
+    def resident_bytes(self) -> int:
+        resident = _nbytes(self._tail)
+        if not _is_mapped(self._base):
+            resident += _nbytes(self._base)
+        return resident
+
+    @property
+    def mapped_bytes(self) -> int:
+        return _nbytes(self._base) if _is_mapped(self._base) else 0
+
+
+class GrowableVector:
+    """A 1-D always-resident column (live mask, shard ids): writable prefix."""
+
+    def __init__(self, dtype, base: np.ndarray | None = None):
+        self.dtype = np.dtype(dtype)
+        if base is None:
+            self._buf = np.empty(0, dtype=self.dtype)
+            self._len = 0
+        else:
+            # Always a RAM copy: the live mask mutates in place and a
+            # read-only memmap base would reject the writes.
+            self._buf = np.array(base, dtype=self.dtype)
+            self._len = len(self._buf)
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def array(self) -> np.ndarray:
+        """Writable view of the filled prefix."""
+        return self._buf[: self._len]
+
+    def append(self, block: np.ndarray) -> None:
+        block = np.asarray(block, dtype=self.dtype)
+        needed = self._len + len(block)
+        if needed > len(self._buf):
+            capacity = max(needed, 2 * len(self._buf), 64)
+            grown = np.empty(capacity, dtype=self.dtype)
+            grown[: self._len] = self._buf[: self._len]
+            self._buf = grown
+        self._buf[self._len : needed] = block
+        self._len = needed
+
+    def to_array(self) -> np.ndarray:
+        return np.ascontiguousarray(self.array, dtype=self.dtype)
+
+    def compact(self, keep: np.ndarray) -> None:
+        self._buf = np.ascontiguousarray(self.array[keep], dtype=self.dtype)
+        self._len = len(self._buf)
+
+    def shrink(self) -> bool:
+        spare = len(self._buf) - self._len
+        if spare > 0:
+            self._buf = self.to_array()
+        return spare > 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return _nbytes(self._buf)
+
+
+class Arena:
+    """Variable-length rows: flat data + offsets base, per-batch tail chunks.
+
+    ``row(i)`` is a zero-copy view; a zero-length row is the arena's encoding
+    of "no data" (e.g. an empty-text record's shingle array).
+    """
+
+    def __init__(
+        self,
+        dtype,
+        base_data: np.ndarray | None = None,
+        base_offsets: np.ndarray | None = None,
+    ):
+        self.dtype = np.dtype(dtype)
+        if base_data is None:
+            base_data = np.empty(0, dtype=self.dtype)
+            base_offsets = np.zeros(1, dtype=np.int64)
+        self._base_data = base_data
+        self._base_offsets = base_offsets
+        self._chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._chunk_starts: list[int] = []
+        self._n = len(base_offsets) - 1
+        self._tail_bytes = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append_batch(self, rows: list[np.ndarray]) -> None:
+        """Append one batch of rows as a single (data, offsets) chunk."""
+        if not rows:
+            return
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum([len(row) for row in rows], out=offsets[1:])
+        data = (
+            np.concatenate(rows).astype(self.dtype, copy=False)
+            if offsets[-1]
+            else np.empty(0, dtype=self.dtype)
+        )
+        self._chunk_starts.append(self._n)
+        self._chunks.append((data, offsets))
+        self._n += len(rows)
+        self._tail_bytes += data.nbytes + offsets.nbytes
+
+    def row(self, i: int) -> np.ndarray:
+        base_n = len(self._base_offsets) - 1
+        if i < base_n:
+            return self._base_data[self._base_offsets[i] : self._base_offsets[i + 1]]
+        chunk_index = bisect_right(self._chunk_starts, i) - 1
+        data, offsets = self._chunks[chunk_index]
+        j = i - self._chunk_starts[chunk_index]
+        return data[offsets[j] : offsets[j + 1]]
+
+    def row_length(self, i: int) -> int:
+        base_n = len(self._base_offsets) - 1
+        if i < base_n:
+            return int(self._base_offsets[i + 1] - self._base_offsets[i])
+        chunk_index = bisect_right(self._chunk_starts, i) - 1
+        _, offsets = self._chunks[chunk_index]
+        j = i - self._chunk_starts[chunk_index]
+        return int(offsets[j + 1] - offsets[j])
+
+    def to_parts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical contiguous ``(data, offsets)`` for the whole arena."""
+        if not self._chunks and not _is_mapped(self._base_data):
+            return (
+                np.ascontiguousarray(self._base_data, dtype=self.dtype),
+                np.ascontiguousarray(self._base_offsets, dtype=np.int64),
+            )
+        datas = [np.asarray(self._base_data)]
+        offsets = np.empty(self._n + 1, dtype=np.int64)
+        offsets[: len(self._base_offsets)] = self._base_offsets
+        position = len(self._base_offsets) - 1
+        total = int(self._base_offsets[-1])
+        for data, chunk_offsets in self._chunks:
+            datas.append(data)
+            count = len(chunk_offsets) - 1
+            offsets[position + 1 : position + 1 + count] = chunk_offsets[1:] + total
+            position += count
+            total += int(chunk_offsets[-1])
+        return np.concatenate(datas).astype(self.dtype, copy=False), offsets
+
+    def _install(self, data: np.ndarray, offsets: np.ndarray) -> None:
+        self._base_data = data
+        self._base_offsets = offsets
+        self._chunks = []
+        self._chunk_starts = []
+        self._n = len(offsets) - 1
+        self._tail_bytes = 0
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Keep exactly the given rows, in the given order; exact-size RAM."""
+        rows = [np.array(self.row(int(i)), dtype=self.dtype) for i in keep]
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum([len(row) for row in rows], out=offsets[1:])
+        data = (
+            np.concatenate(rows).astype(self.dtype, copy=False)
+            if rows and offsets[-1]
+            else np.empty(0, dtype=self.dtype)
+        )
+        self._install(data, offsets)
+
+    def shrink(self) -> bool:
+        if not self._chunks:
+            return False
+        data, offsets = self.to_parts()
+        self._install(data, offsets)
+        return True
+
+    @property
+    def resident_bytes(self) -> int:
+        resident = self._tail_bytes
+        if not _is_mapped(self._base_data):
+            resident += _nbytes(self._base_data) + _nbytes(self._base_offsets)
+        return resident
+
+    @property
+    def mapped_bytes(self) -> int:
+        if _is_mapped(self._base_data):
+            return _nbytes(self._base_data) + _nbytes(self._base_offsets)
+        return 0
+
+
+def encode_attributes(attributes) -> np.ndarray:
+    """A record's attribute mapping as UTF-8 JSON bytes (order-preserving).
+
+    JSON keeps key order, so the decoded record's ``text()`` — and therefore
+    every downstream feature — is bit-identical to the original's.  Exotic
+    non-JSON values fall back to ``str``, matching how scoring reads them.
+    """
+    blob = json.dumps(
+        dict(attributes), ensure_ascii=False, separators=(",", ":"), default=str
+    ).encode("utf-8")
+    return np.frombuffer(blob, dtype=np.uint8)
+
+
+def decode_attributes(data: np.ndarray) -> dict:
+    return json.loads(data.tobytes().decode("utf-8"))
+
+
+def encode_text(text: str) -> np.ndarray:
+    return np.frombuffer(text.encode("utf-8"), dtype=np.uint8)
+
+
+def decode_text(data: np.ndarray) -> str:
+    return data.tobytes().decode("utf-8")
+
+
+class IndexStorage:
+    """All row-aligned columns of a :class:`~repro.index.MatchIndex`.
+
+    ============  =======================  =================================
+    column        type                     purpose
+    ============  =======================  =================================
+    ``sig16``     uint16 ``(n, num_perm)`` Jaccard-agreement verification
+    ``band_keys`` uint64 ``(n, bands)``    probe keys for self-join/rebuild
+    ``shingles``  uint64 arena             exact verification; zero-length
+                                           row ⇔ empty-text record
+    ``ids``       uint8 arena              record ids (UTF-8)
+    ``attrs``     uint8 arena              attribute maps (UTF-8 JSON)
+    ``live``      bool, resident           tombstone mask (mutates in place)
+    ``shard_ids`` uint32, resident         posting-shard of each row
+    ============  =======================  =================================
+
+    Matrix/arena bases may be read-only memmaps straight from an artifact;
+    ``live`` and ``shard_ids`` are always RAM (the mask mutates, and both are
+    tiny).  :meth:`resident_bytes` / :meth:`mapped_bytes` split the footprint
+    accordingly for ``stats()``.
+    """
+
+    def __init__(self, num_perm: int, bands: int):
+        self.num_perm = num_perm
+        self.bands = bands
+        self.sig16 = GrowableMatrix(np.uint16, num_perm)
+        self.band_keys = GrowableMatrix(np.uint64, bands)
+        self.shingles = Arena(np.uint64)
+        self.ids = Arena(np.uint8)
+        self.attrs = Arena(np.uint8)
+        self.live = GrowableVector(bool)
+        self.shard_ids = GrowableVector(np.uint32)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.live)
+
+    def append(
+        self,
+        record_ids: list[str],
+        attr_blobs: list[np.ndarray],
+        shingles: list[np.ndarray | None],
+        sig16: np.ndarray,
+        band_keys: np.ndarray,
+        shard_ids: np.ndarray,
+    ) -> None:
+        empty = np.empty(0, dtype=np.uint64)
+        self.sig16.append(sig16)
+        self.band_keys.append(band_keys)
+        self.shingles.append_batch([empty if h is None else h for h in shingles])
+        self.ids.append_batch([encode_text(record_id) for record_id in record_ids])
+        self.attrs.append_batch(attr_blobs)
+        self.live.append(np.ones(len(record_ids), dtype=bool))
+        self.shard_ids.append(shard_ids)
+
+    def shingle_row(self, row: int) -> np.ndarray | None:
+        """The row's shingle hashes, ``None`` for an empty-text record."""
+        hashes = self.shingles.row(row)
+        return None if len(hashes) == 0 else hashes
+
+    def record_parts(self, row: int) -> tuple[str, dict]:
+        return decode_text(self.ids.row(row)), decode_attributes(self.attrs.row(row))
+
+    def record_id(self, row: int) -> str:
+        return decode_text(self.ids.row(row))
+
+    def compact(self, keep: np.ndarray) -> None:
+        keep = np.asarray(keep, dtype=np.int64)
+        self.sig16.compact(keep)
+        self.band_keys.compact(keep)
+        self.shingles.compact(keep)
+        self.ids.compact(keep)
+        self.attrs.compact(keep)
+        self.live.compact(keep)
+        self.shard_ids.compact(keep)
+
+    def shrink(self) -> bool:
+        """Reclaim spare tail capacity everywhere; True when anything shrank."""
+        shrank = False
+        for column in self._columns():
+            shrank = column.shrink() or shrank
+        return shrank
+
+    def _columns(self):
+        return (
+            self.sig16,
+            self.band_keys,
+            self.shingles,
+            self.ids,
+            self.attrs,
+            self.live,
+            self.shard_ids,
+        )
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(column.resident_bytes for column in self._columns())
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(getattr(column, "mapped_bytes", 0) for column in self._columns())

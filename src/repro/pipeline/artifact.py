@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import pickle
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..exceptions import ArtifactError
@@ -58,11 +59,29 @@ def _write_atomic(path: Path, data: bytes) -> None:
     tmp.replace(path)  # atomic on POSIX
 
 
+@dataclass(frozen=True)
+class PayloadRef:
+    """A payload whose bytes already live in a content-addressed file.
+
+    :func:`write_artifact` accepts a ``PayloadRef`` wherever it accepts raw
+    bytes: the manifest entry is rebuilt from the recorded digest and the
+    file is only materialized (copied from ``source``) when the target
+    content-addressed name does not exist yet.  Saving back to the directory
+    a payload was loaded from therefore writes **nothing** for that payload —
+    the mechanism behind dirty-only index saves, where an untouched shard or
+    column never hits the disk again.
+    """
+
+    source: Path
+    sha256: str
+    nbytes: int
+
+
 def write_artifact(
     path: str | os.PathLike,
     manifest: dict,
     model_state: object,
-    payloads: dict[str, bytes] | None = None,
+    payloads: dict[str, "bytes | PayloadRef"] | None = None,
 ) -> dict:
     """Persist a pipeline artifact and return the completed manifest.
 
@@ -118,16 +137,29 @@ def write_artifact(
         # the previous manifest keeps referencing intact bytes until the
         # manifest swap commits the update — a crash anywhere in between
         # leaves a loadable artifact (old or new, never torn).
-        digest = _sha256(data)
+        is_ref = isinstance(data, PayloadRef)
+        digest = data.sha256 if is_ref else _sha256(data)
+        nbytes = data.nbytes if is_ref else len(data)
         stored = str(relative.with_name(f"{relative.stem}-{digest[:12]}{relative.suffix}"))
         target = directory / stored
         target.parent.mkdir(parents=True, exist_ok=True)
         if not target.exists():
-            _write_atomic(target, data)
+            if is_ref:
+                # Clean payload saved to a *new* directory: copy the bytes
+                # from the referenced file.  (An in-place save hits the
+                # target.exists() fast path above and writes nothing.)
+                source = Path(data.source)
+                if not source.exists():
+                    raise ArtifactError(
+                        f"payload {name!r} references missing file {str(source)!r}"
+                    )
+                _write_atomic(target, source.read_bytes())
+            else:
+                _write_atomic(target, data)
         payload_section[name] = {
             "file": stored,
             "sha256": digest,
-            "bytes": len(data),
+            "bytes": nbytes,
         }
 
     completed = {
@@ -207,6 +239,37 @@ def read_payload(path: str | os.PathLike, name: str) -> bytes:
             f"manifest hash (truncated or corrupted write?)"
         )
     return data
+
+
+def read_payload_path(
+    path: str | os.PathLike, name: str, manifest: dict | None = None
+) -> tuple[Path, dict]:
+    """Resolve one named payload to ``(file path, manifest entry)``, O(1).
+
+    The cheap-verification complement of :func:`read_payload` for payloads
+    that are *memory-mapped* rather than read: the file's byte count is
+    checked against the manifest (catching truncation without touching the
+    contents), while the full SHA-256 check is left to callers that actually
+    read the bytes.  Raises :class:`~repro.exceptions.ArtifactError` for a
+    missing payload entry, a missing file, or a size mismatch.  Pass an
+    already-loaded ``manifest`` to skip re-reading it per payload.
+    """
+    directory = Path(path)
+    if manifest is None:
+        manifest = read_manifest(directory)
+    entry = (manifest.get("payloads") or {}).get(name)
+    if entry is None:
+        raise ArtifactError(f"artifact {str(directory)!r} carries no payload {name!r}")
+    payload_path = directory / entry.get("file", name)
+    if not payload_path.exists():
+        raise ArtifactError(f"artifact {str(directory)!r} is missing payload file {name!r}")
+    expected = entry.get("bytes")
+    if expected is not None and payload_path.stat().st_size != expected:
+        raise ArtifactError(
+            f"artifact {str(directory)!r}: payload {name!r} does not match its "
+            f"manifest byte count (truncated or corrupted write?)"
+        )
+    return payload_path, entry
 
 
 def read_artifact(path: str | os.PathLike) -> tuple[dict, object]:

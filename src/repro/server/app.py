@@ -29,11 +29,17 @@ requests are drained into one
 acquisition (see :mod:`repro.server.batching`) — responses are bit-identical
 to unbatched queries by ``query_batch``'s equivalence contract.
 
-Snapshots and hot reloads reuse the PR-5 artifact machinery unchanged:
-snapshotting is a read-locked :meth:`~repro.index.MatchIndex.save` (crash-safe,
-content-addressed), reloading is :meth:`~repro.index.MatchIndex.load` (format-
-version gated) executed *outside* the locks with only the pointer swap
-exclusive, so queries keep flowing while the new artifact loads.
+Snapshots and hot reloads reuse the artifact machinery unchanged, and are
+*shard-aware* through the index's columnar payloads: snapshotting is a
+read-locked :meth:`~repro.index.MatchIndex.save` (crash-safe,
+content-addressed) that rewrites only dirty columns and posting shards — an
+unchanged shard's bytes never hit the disk again — and reloading is
+:meth:`~repro.index.MatchIndex.load` (format-version gated), which
+memory-maps the columns read-only so the swap costs O(1) regardless of
+corpus size.  The load executes *outside* the locks with only the pointer
+swap exclusive, so queries keep flowing while the new artifact pages in.
+``GET /stats`` surfaces the index's per-shard posting/tombstone counts and
+its resident/mapped byte split alongside the server counters.
 """
 
 from __future__ import annotations
@@ -237,7 +243,9 @@ class MatchServer:
     def snapshot(self, path: str | None = None, force: bool = True) -> dict | None:
         """Persist the served index; read-locked (queries keep flowing,
         mutations wait).  With ``force=False`` the write is skipped (returns
-        ``None``) when no mutation happened since the last snapshot."""
+        ``None``) when no mutation happened since the last snapshot.  Even a
+        forced write is dirty-only: columns and posting shards untouched
+        since the last save/load keep their content-addressed files."""
         target = path or self.snapshot_path
         if target is None:
             raise ConfigurationError(

@@ -39,6 +39,22 @@ class TestReadEndpoints:
         assert payload["server"]["batching"] is None  # batching off by default
         assert payload["server"]["snapshotter"] is None
 
+    def test_stats_carries_shard_and_memory_counters(self, make_server):
+        """``/stats`` breaks the index down per posting shard and splits the
+        footprint into resident vs memory-mapped bytes."""
+        server, client = make_server()
+        _, payload = client.get("/stats")
+        index_stats = payload["index"]
+        shards = index_stats["shards"]
+        assert len(shards) == server._index.config.shards
+        for entry in shards:
+            assert set(entry) == {"shard", "entries", "posting_lists", "tombstones"}
+        assert index_stats["posting_lists"] == sum(
+            entry["posting_lists"] for entry in shards
+        )
+        assert index_stats["resident_bytes"] > 0
+        assert index_stats["mapped_bytes"] >= 0
+
     def test_stats_cascade_counters(self, make_server, probes):
         """``/stats`` exposes the score-cascade counters and they advance.
 

@@ -250,8 +250,10 @@ class TestIndex:
     def test_build_reports_stats(self, index_path, capsys):
         # The class fixture already built it; building again overwrites.
         assert (index_path / "manifest.json").exists()
-        # The state payload is content-addressed: index/state-<sha12>.pkl.
-        assert list((index_path / "index").glob("state-*.pkl"))
+        # Columnar payloads are content-addressed: index/sig16-<sha12>.npy
+        # plus one CSR file triple per posting shard.
+        assert list((index_path / "index").glob("sig16-*.npy"))
+        assert list((index_path / "index" / "postings").glob("0000.keys-*.npy"))
 
     def test_build_json_prints_gated_manifest(self, model_path, tmp_path, capsys):
         out_dir = tmp_path / "index-json"
@@ -263,9 +265,9 @@ class TestIndex:
         ) == 0
         out = capsys.readouterr().out
         manifest = json.loads(out[out.index("{"):])
-        assert manifest["index"]["format_version"] == 1
+        assert manifest["index"]["format_version"] == 2
         assert manifest["index"]["stats"]["records"] > 0
-        assert "index/state.pkl" in manifest["payloads"]
+        assert "index/sig16.npy" in manifest["payloads"]
 
     def test_build_requires_exactly_one_source(self, model_path, tmp_path, capsys):
         assert cli.main(

@@ -19,7 +19,7 @@ from repro.core import ActiveLearningConfig, IndexConfig, PipelineConfig
 from repro.datasets import Record, load_dataset
 from repro.exceptions import ArtifactError, ConfigurationError, DatasetError
 from repro.index import (
-    INDEX_STATE_PAYLOAD,
+    INDEX_SIG16_PAYLOAD,
     MatchIndex,
     UnionFind,
     stable_clusters,
@@ -63,11 +63,12 @@ def probes(dataset) -> list[Record]:
 
 
 def state_payload_path(path):
-    """Resolve the content-addressed index payload file via the manifest."""
+    """Resolve a representative content-addressed index payload file (the
+    signature column) via the manifest."""
     import json
 
     manifest = json.loads((path / MANIFEST_NAME).read_text())
-    return path / manifest["payloads"][INDEX_STATE_PAYLOAD]["file"]
+    return path / manifest["payloads"][INDEX_SIG16_PAYLOAD]["file"]
 
 
 def batch_reference(pipeline: MatchingPipeline, index: MatchIndex) -> MatchingPipeline:
@@ -410,9 +411,9 @@ class TestPersistence:
 
     def test_manifest_carries_a_gated_index_section(self, saved):
         _, _, manifest = saved
-        assert manifest["index"]["format_version"] == 1
+        assert manifest["index"]["format_version"] == 2
         assert manifest["index"]["stats"]["tombstones"] == 2
-        assert INDEX_STATE_PAYLOAD in manifest["payloads"]
+        assert INDEX_SIG16_PAYLOAD in manifest["payloads"]
 
     def test_loaded_index_answers_identically(self, saved, probes):
         index, path, _ = saved

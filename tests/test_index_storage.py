@@ -1,0 +1,190 @@
+"""Unit tests for the columnar storage layer (`repro.index.storage`).
+
+These pin the invariants the MatchIndex rewrite leans on: canonical
+serialization (logical rows in → identical bytes out, regardless of how the
+rows were batched), correct frozen-base/RAM-tail resolution, and — the
+capacity-reclaim fix — that ``compact()`` actually drops over-allocated
+arena capacity so the resident estimate shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.storage import (
+    Arena,
+    GrowableMatrix,
+    GrowableVector,
+    IndexStorage,
+    decode_attributes,
+    encode_attributes,
+)
+
+
+class TestGrowableMatrix:
+    def test_append_and_row_resolution(self):
+        matrix = GrowableMatrix(np.uint16, 4)
+        matrix.append(np.arange(8, dtype=np.uint16).reshape(2, 4))
+        matrix.append(np.arange(8, 12, dtype=np.uint16).reshape(1, 4))
+        assert len(matrix) == 3
+        assert matrix.row(2).tolist() == [8, 9, 10, 11]
+        assert matrix.take(np.array([2, 0])).tolist() == [
+            [8, 9, 10, 11],
+            [0, 1, 2, 3],
+        ]
+
+    def test_to_array_is_batching_invariant(self):
+        rows = np.arange(40, dtype=np.uint16).reshape(10, 4)
+        one_shot = GrowableMatrix(np.uint16, 4)
+        one_shot.append(rows)
+        trickled = GrowableMatrix(np.uint16, 4)
+        for row in rows:
+            trickled.append(row.reshape(1, 4))
+        assert one_shot.to_array().tobytes() == trickled.to_array().tobytes()
+
+    def test_frozen_base_plus_tail(self):
+        base = np.arange(8, dtype=np.uint16).reshape(2, 4)
+        matrix = GrowableMatrix(np.uint16, 4, base=base)
+        matrix.append(np.full((1, 4), 99, dtype=np.uint16))
+        assert len(matrix) == 3
+        assert matrix.row(0).tolist() == [0, 1, 2, 3]
+        assert matrix.row(2).tolist() == [99] * 4
+        assert matrix.to_array().shape == (3, 4)
+
+    def test_compact_reclaims_capacity(self):
+        matrix = GrowableMatrix(np.uint64, 8)
+        matrix.append(np.zeros((100, 8), dtype=np.uint64))
+        before = matrix.resident_bytes
+        matrix.compact(np.arange(5))
+        assert len(matrix) == 5
+        assert matrix.resident_bytes == 5 * 8 * 8
+        assert matrix.resident_bytes < before
+
+    def test_shrink_drops_spare_tail(self):
+        matrix = GrowableMatrix(np.uint16, 2)
+        matrix.append(np.zeros((3, 2), dtype=np.uint16))
+        assert matrix.shrink() is True
+        assert matrix.resident_bytes == 3 * 2 * 2
+        assert matrix.shrink() is False
+
+
+class TestGrowableVector:
+    def test_writable_prefix_and_growth(self):
+        vector = GrowableVector(bool)
+        vector.append(np.ones(3, dtype=bool))
+        vector.array[1] = False
+        assert vector.to_array().tolist() == [True, False, True]
+
+    def test_base_is_copied_to_ram(self):
+        base = np.ones(4, dtype=bool)
+        base.setflags(write=False)
+        vector = GrowableVector(bool, base)
+        vector.array[0] = False  # would raise on a read-only adopted base
+        assert vector.to_array().tolist() == [False, True, True, True]
+
+    def test_compact_is_exact_size(self):
+        vector = GrowableVector(np.uint32)
+        vector.append(np.arange(100, dtype=np.uint32))
+        vector.compact(np.array([0, 99]))
+        assert vector.to_array().tolist() == [0, 99]
+        assert vector.resident_bytes == 2 * 4
+
+
+class TestArena:
+    def test_rows_round_trip_across_batches(self):
+        arena = Arena(np.uint64)
+        arena.append_batch([np.array([1, 2], dtype=np.uint64)])
+        arena.append_batch(
+            [np.empty(0, dtype=np.uint64), np.array([3], dtype=np.uint64)]
+        )
+        assert len(arena) == 3
+        assert arena.row(0).tolist() == [1, 2]
+        assert arena.row_length(1) == 0
+        assert arena.row(2).tolist() == [3]
+
+    def test_to_parts_is_batching_invariant(self):
+        rows = [np.arange(n, dtype=np.uint64) for n in (3, 0, 5, 1)]
+        one_shot = Arena(np.uint64)
+        one_shot.append_batch(rows)
+        trickled = Arena(np.uint64)
+        for row in rows:
+            trickled.append_batch([row])
+        for left, right in zip(one_shot.to_parts(), trickled.to_parts()):
+            assert left.tobytes() == right.tobytes()
+            assert left.dtype == right.dtype
+
+    def test_compact_keeps_selected_rows_in_order(self):
+        arena = Arena(np.uint8)
+        arena.append_batch([np.frombuffer(text, dtype=np.uint8) for text in (b"aa", b"b", b"cc")])
+        arena.compact(np.array([2, 0]))
+        assert arena.row(0).tobytes() == b"cc"
+        assert arena.row(1).tobytes() == b"aa"
+
+
+class TestAttributeCodec:
+    def test_round_trip_preserves_key_order(self):
+        attributes = {"title": "x", "authors": "y", "year": "1999"}
+        decoded = decode_attributes(encode_attributes(attributes))
+        assert list(decoded) == list(attributes)
+        assert decoded == attributes
+
+    def test_unicode_and_empty_values(self):
+        attributes = {"name": "naïve — ügly", "blank": ""}
+        assert decode_attributes(encode_attributes(attributes)) == attributes
+
+
+class TestIndexStorage:
+    def _filled(self, n: int = 6) -> IndexStorage:
+        storage = IndexStorage(num_perm=4, bands=2)
+        storage.append(
+            [f"r{i}" for i in range(n)],
+            [encode_attributes({"v": str(i)}) for i in range(n)],
+            [np.array([i, i + 1], dtype=np.uint64) if i % 3 else None for i in range(n)],
+            np.zeros((n, 4), dtype=np.uint16),
+            np.zeros((n, 2), dtype=np.uint64),
+            np.zeros(n, dtype=np.uint32),
+        )
+        return storage
+
+    def test_round_trip_and_empty_shingle_encoding(self):
+        storage = self._filled()
+        assert storage.n_rows == 6
+        assert storage.record_id(4) == "r4"
+        assert storage.record_parts(2) == ("r2", {"v": "2"})
+        assert storage.shingle_row(0) is None  # empty text ⇔ zero-length row
+        assert storage.shingle_row(1).tolist() == [1, 2]
+
+    def test_compact_drops_resident_bytes(self):
+        """Satellite fix: post-compaction resident footprint must shrink —
+        geometric tails and dead rows are both reclaimed."""
+        storage = IndexStorage(num_perm=8, bands=4)
+        for i in range(50):  # trickle: forces over-allocated tails
+            storage.append(
+                [f"r{i}"],
+                [encode_attributes({"v": "x" * 20})],
+                [np.arange(10, dtype=np.uint64)],
+                np.zeros((1, 8), dtype=np.uint16),
+                np.zeros((1, 4), dtype=np.uint64),
+                np.zeros(1, dtype=np.uint32),
+            )
+        before = storage.resident_bytes
+        storage.compact(np.arange(10))
+        assert storage.n_rows == 10
+        assert storage.resident_bytes < before
+        # Exact-size check on the fixed-width columns: no spare capacity.
+        assert storage.sig16.resident_bytes == 10 * 8 * 2
+        assert storage.band_keys.resident_bytes == 10 * 4 * 8
+
+    def test_shrink_reclaims_without_changing_rows(self):
+        storage = self._filled()
+        parts_before = storage.shingles.to_parts()[0].tobytes()
+        assert storage.shrink() is True
+        assert storage.n_rows == 6
+        assert storage.shingles.to_parts()[0].tobytes() == parts_before
+        assert storage.record_id(5) == "r5"
+
+    def test_row_count_mismatch_is_visible(self):
+        storage = self._filled()
+        with pytest.raises(IndexError):
+            storage.record_id(6)
