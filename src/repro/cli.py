@@ -699,6 +699,16 @@ def _command_index_build(args: argparse.Namespace) -> int:
         index.build_stream(_stream_jsonl_batches(args.records, args.batch_size))
     else:
         if has_records:
+            if args.stream:
+                # Only JSON Lines can be read lazily; anything else is one
+                # JSON document that must be parsed whole.  Say so instead of
+                # silently voiding the peak-memory guarantee --stream implies.
+                print(
+                    f"warning: --stream reads lazily only from .jsonl files; "
+                    f"{args.records!r} will be loaded into memory in full "
+                    f"(batched appends only)",
+                    file=sys.stderr,
+                )
             records = _load_records_file(args.records)
         else:
             dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)

@@ -21,10 +21,13 @@ Each shard stores its postings in two tiers:
   outgrows the frozen block geometrically it is merged in (one
   ``np.lexsort``), keeping amortized build cost O(n log n).
 
-Freezing publishes the merged CSR *before* clearing the delta, so a
-concurrent reader (the serving daemon snapshots under a read lock) sees at
-worst duplicated hits — removed again by the caller's ``np.unique`` — never
-missing ones.
+Freezing publishes the merged CSR *before* clearing the delta, and
+``lookup`` snapshots the delta *before* reading the frozen block — the
+matching order, so a concurrent reader (the serving daemon snapshots under a
+read lock while queries keep flowing) sees at worst duplicated hits —
+removed again by the caller's ``np.unique`` — never missing ones.  Freezes
+themselves serialize on a per-shard mutex, so two read-locked freeze paths
+(a snapshot's save racing ``/stats``) cannot both merge the same delta.
 
 For corpora big enough that scanning many shards in one process dominates,
 :class:`ShardFanout` queries artifact-backed shards through a persistent
@@ -36,6 +39,7 @@ in-process path.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from pathlib import Path
 
@@ -87,6 +91,11 @@ class ShardPostings:
         self._delta: list[tuple[np.ndarray, np.ndarray]] = []
         self._delta_rows = 0
         self.dirty = fresh
+        # Serializes freeze(): mutation is single-writer by contract, but
+        # freezes are also reached from *read-locked* paths (save/to_parts),
+        # so two may race — the mutex makes the second a no-op instead of a
+        # double merge that would duplicate every delta entry.
+        self._freeze_lock = threading.Lock()
 
     # ------------------------------------------------------------- mutation
     def append(self, rows: np.ndarray, keys: np.ndarray) -> None:
@@ -106,37 +115,44 @@ class ShardPostings:
             self.freeze()
 
     def freeze(self) -> None:
-        """Merge the delta into the frozen CSR (canonical (key, row) order)."""
-        if not self._delta:
-            return
-        keys, rows, offsets = self._frozen
-        bands = self.bands
-        band_parts = [np.repeat(np.arange(bands, dtype=np.uint32), np.diff(offsets))]
-        key_parts = [keys]
-        row_parts = [rows]
-        for chunk_rows, chunk_keys in self._delta:
-            band_parts.append(np.tile(np.arange(bands, dtype=np.uint32), len(chunk_rows)))
-            key_parts.append(chunk_keys.ravel())
-            row_parts.append(np.repeat(chunk_rows, bands))
-        all_bands = np.concatenate(band_parts)
-        all_keys = np.concatenate(key_parts).astype(np.uint64, copy=False)
-        all_rows = np.concatenate(row_parts).astype(np.int64, copy=False)
-        # (band, row) pairs are unique, so this total order is unambiguous —
-        # the frozen block is a pure function of the entry *set*, never of
-        # the append/freeze history.
-        order = np.lexsort((all_rows, all_keys, all_bands))
-        sorted_bands = all_bands[order]
-        merged = (
-            np.ascontiguousarray(all_keys[order]),
-            np.ascontiguousarray(all_rows[order]),
-            np.searchsorted(sorted_bands, np.arange(bands + 1)).astype(np.int64),
-        )
-        # Publish the merged block first, then drop the delta: a concurrent
-        # reader sees duplicates at worst (deduplicated by np.unique), never
-        # a gap.
-        self._frozen = merged
-        self._delta = []
-        self._delta_rows = 0
+        """Merge the delta into the frozen CSR (canonical (key, row) order).
+
+        Serialized on the per-shard mutex: concurrent freeze attempts (e.g.
+        two read-locked saves) are idempotent — the loser observes the
+        already-merged block and an empty delta, instead of merging the same
+        delta twice and permanently duplicating its entries.
+        """
+        with self._freeze_lock:
+            if not self._delta:
+                return
+            keys, rows, offsets = self._frozen
+            bands = self.bands
+            band_parts = [np.repeat(np.arange(bands, dtype=np.uint32), np.diff(offsets))]
+            key_parts = [keys]
+            row_parts = [rows]
+            for chunk_rows, chunk_keys in self._delta:
+                band_parts.append(np.tile(np.arange(bands, dtype=np.uint32), len(chunk_rows)))
+                key_parts.append(chunk_keys.ravel())
+                row_parts.append(np.repeat(chunk_rows, bands))
+            all_bands = np.concatenate(band_parts)
+            all_keys = np.concatenate(key_parts).astype(np.uint64, copy=False)
+            all_rows = np.concatenate(row_parts).astype(np.int64, copy=False)
+            # (band, row) pairs are unique, so this total order is unambiguous —
+            # the frozen block is a pure function of the entry *set*, never of
+            # the append/freeze history.
+            order = np.lexsort((all_rows, all_keys, all_bands))
+            sorted_bands = all_bands[order]
+            merged = (
+                np.ascontiguousarray(all_keys[order]),
+                np.ascontiguousarray(all_rows[order]),
+                np.searchsorted(sorted_bands, np.arange(bands + 1)).astype(np.int64),
+            )
+            # Publish the merged block first, then drop the delta: a concurrent
+            # reader (which snapshots the delta before the frozen block) sees
+            # duplicates at worst (deduplicated by np.unique), never a gap.
+            self._frozen = merged
+            self._delta = []
+            self._delta_rows = 0
 
     @classmethod
     def build(cls, bands: int, rows: np.ndarray, keys: np.ndarray) -> "ShardPostings":
@@ -154,9 +170,19 @@ class ShardPostings:
 
     # --------------------------------------------------------------- lookup
     def lookup(self, probe_keys: np.ndarray) -> list[np.ndarray]:
-        """Posting hits (row arrays) for one probe's band keys, all bands."""
-        keys, rows, offsets = self._frozen
+        """Posting hits (row arrays) for one probe's band keys, all bands.
+
+        Lock-free: the delta is snapshotted *before* the frozen block is
+        read.  Freeze publishes in the opposite order (merged block first,
+        then clears the delta), so a freeze racing this read can only make
+        delta rows show up twice — once from the snapshot, once from the
+        merged block — never vanish; the caller's ``np.unique`` drops the
+        duplicates.  (Reading the frozen block first would open a window
+        where a completed freeze empties the delta while the reader still
+        holds the *old* block, silently losing every delta row.)
+        """
         delta = list(self._delta)
+        keys, rows, offsets = self._frozen
         hits: list[np.ndarray] = []
         for band in range(self.bands):
             lo, hi = int(offsets[band]), int(offsets[band + 1])
@@ -185,17 +211,31 @@ class ShardPostings:
 
     @property
     def n_entries(self) -> int:
-        return len(self._frozen[0]) + self._delta_rows * self.bands
+        # Delta first, frozen second — same snapshot order as lookup(), so a
+        # racing freeze can transiently overcount but never undercount.
+        delta = list(self._delta)
+        frozen = len(self._frozen[0])
+        return frozen + sum(len(chunk_rows) for chunk_rows, _ in delta) * self.bands
 
     def posting_lists(self) -> int:
-        """Distinct non-empty (band, key) buckets; freezes pending deltas."""
-        self.freeze()
+        """Distinct non-empty (band, key) buckets, frozen and delta combined.
+
+        Read-only: counts pending delta keys without merging them, so stats
+        paths (``GET /stats`` runs under the server's *read* lock) never
+        mutate shared postings state.
+        """
+        delta = list(self._delta)
         keys, _, offsets = self._frozen
         distinct = 0
         for band in range(self.bands):
             lo, hi = int(offsets[band]), int(offsets[band + 1])
-            if hi > lo:
-                segment = keys[lo:hi]
+            segment = keys[lo:hi]
+            if delta:
+                band_keys = np.concatenate(
+                    [segment] + [chunk_keys[:, band] for _, chunk_keys in delta]
+                )
+                distinct += len(np.unique(band_keys))
+            elif hi > lo:
                 distinct += 1 + int(np.count_nonzero(segment[1:] != segment[:-1]))
         return distinct
 

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,6 +46,12 @@ SUPPORTED_VERSIONS = frozenset({1})
 
 MANIFEST_NAME = "manifest.json"
 MODEL_NAME = "model.pkl"
+
+#: Matches the content-addressed payload naming scheme
+#: (``<stem>-<sha256[:12]><suffix>``) — the garbage collector below only
+#: ever touches files of this shape, so ``manifest.json``, ``model.pkl``
+#: and anything a user drops into the directory are never swept.
+_CONTENT_ADDRESSED = re.compile(r"-[0-9a-f]{12}(\.[^.]+)?$")
 
 
 def _sha256(data: bytes) -> str:
@@ -178,12 +185,30 @@ def write_artifact(
         (json.dumps(completed, indent=2, sort_keys=True) + "\n").encode("utf-8"),
     )
 
+    # Post-commit garbage collection: with the manifest swapped, any
+    # content-addressed payload file it does not reference is unreachable —
+    # superseded payloads from this save, *and* leftovers of saves that
+    # crashed between writing payloads and swapping the manifest (which the
+    # old previous-manifest diff could never reclaim, letting a long-running
+    # snapshotting server accumulate orphans).  Sweep every directory that
+    # holds (or held) payload files and delete the unreferenced ones.
     written = {entry["file"] for entry in payload_section.values()}
-    for stale in sorted(previous_payload_files - written):
-        relative = Path(stale)
+    swept: set[Path] = set()
+    for stored in written | previous_payload_files:
+        relative = Path(stored)
         if relative.is_absolute() or ".." in relative.parts:
             continue  # never follow a corrupt manifest outside the artifact
-        (directory / relative).unlink(missing_ok=True)
+        parent = (directory / relative).parent
+        if parent in swept:
+            continue
+        swept.add(parent)
+        if not parent.is_dir():
+            continue
+        for candidate in parent.iterdir():
+            if not candidate.is_file() or not _CONTENT_ADDRESSED.search(candidate.name):
+                continue
+            if str(candidate.relative_to(directory)) not in written:
+                candidate.unlink(missing_ok=True)
     return completed
 
 

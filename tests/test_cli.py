@@ -269,6 +269,45 @@ class TestIndex:
         assert manifest["index"]["stats"]["records"] > 0
         assert "index/sig16.npy" in manifest["payloads"]
 
+    def test_build_stream_non_jsonl_warns_about_materializing(
+        self, model_path, tmp_path, capsys
+    ):
+        records = tmp_path / "corpus.json"  # one JSON document, not JSON Lines
+        records.write_text(
+            json.dumps(
+                [
+                    {"record_id": "s1", "title": "streaming fallback one"},
+                    {"record_id": "s2", "title": "streaming fallback two"},
+                ]
+            )
+        )
+        out_dir = tmp_path / "stream-json"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(out_dir),
+                "--records", str(records), "--stream", "--batch-size", "1",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err and "loaded into memory" in err
+
+    def test_build_stream_jsonl_does_not_warn(self, model_path, tmp_path, capsys):
+        records = tmp_path / "corpus.jsonl"
+        records.write_text(
+            json.dumps({"record_id": "s1", "title": "streaming lazily one"})
+            + "\n"
+            + json.dumps({"record_id": "s2", "title": "streaming lazily two"})
+            + "\n"
+        )
+        out_dir = tmp_path / "stream-jsonl"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(out_dir),
+                "--records", str(records), "--stream", "--batch-size", "1",
+            ]
+        ) == 0
+        assert "warning" not in capsys.readouterr().err
+
     def test_build_requires_exactly_one_source(self, model_path, tmp_path, capsys):
         assert cli.main(
             ["index", "build", "--model", str(model_path), "--out", str(tmp_path / "x")]

@@ -350,3 +350,176 @@ class TestLegacyArtifacts:
         if rows:
             full[rows] = computer.signature_matrix([hashes[row] for row in rows])
         return full
+
+
+# ---------------------------------------------------------------- races
+def _shard_with_frozen_and_delta():
+    """Two frozen rows, one delta row — the smallest two-tier shard.
+
+    Probe ``[10, 40]`` must hit row 0 (band-0 key 10, frozen), row 1
+    (band-1 key 40, frozen) and row 2 (band-0 key 10, delta).
+    """
+    from repro.index.shards import ShardPostings
+
+    shard = ShardPostings(bands=2)
+    shard.append(
+        np.array([0, 1], dtype=np.int64),
+        np.array([[10, 20], [30, 40]], dtype=np.uint64),
+    )
+    shard.freeze()
+    shard.append(np.array([2], dtype=np.int64), np.array([[10, 99]], dtype=np.uint64))
+    assert shard._delta  # still pending — below the freeze threshold
+    return shard
+
+
+class _FreezeTrippingDelta:
+    """Stands in for ``ShardPostings._delta`` to pin one exact interleaving
+    of a concurrent freeze against a lock-free ``lookup``.
+
+    ``before=True`` completes a full freeze the moment the delta is first
+    iterated and then yields nothing — the state a reader sees when a freeze
+    lands *between* its two reads.  ``before=False`` yields the chunks and
+    freezes *afterwards* — the reader holds a pre-freeze delta snapshot and
+    then reads the merged frozen block (the duplicates-at-worst case).
+    """
+
+    def __init__(self, shard, chunks, before):
+        self._shard = shard
+        self._chunks = list(chunks)
+        self._before = before
+        self._fired = False
+
+    def __len__(self):
+        return len(self._chunks)
+
+    def __iter__(self):
+        if self._before:
+            self._trip()
+            return
+        yield from self._chunks
+        self._trip()
+
+    def _trip(self):
+        if not self._fired:
+            self._fired = True
+            self._shard._delta = list(self._chunks)  # hand freeze the real list
+            self._shard.freeze()
+
+
+class TestLookupFreezeRace:
+    PROBE = np.array([10, 40], dtype=np.uint64)
+
+    def _race(self, before):
+        shard = _shard_with_frozen_and_delta()
+        shard._delta = _FreezeTrippingDelta(shard, shard._delta, before=before)
+        hits = shard.lookup(self.PROBE)
+        return np.unique(np.concatenate(hits)).tolist()
+
+    def test_freeze_completing_mid_lookup_loses_no_rows(self):
+        # Regression: lookup() must snapshot the delta BEFORE reading the
+        # frozen block.  The old frozen-first order made this interleaving
+        # return the pre-merge block plus an empty delta — row 2 vanished.
+        assert self._race(before=True) == [0, 1, 2]
+
+    def test_freeze_after_delta_snapshot_yields_duplicates_at_worst(self):
+        assert self._race(before=False) == [0, 1, 2]
+
+    def test_concurrent_freezes_never_duplicate_entries(self):
+        import threading
+
+        from repro.index.shards import ShardPostings
+
+        rows = np.arange(64, dtype=np.int64)
+        keys = np.arange(128, dtype=np.uint64).reshape(64, 2)
+        for _ in range(20):
+            shard = ShardPostings(bands=2)
+            shard.append(rows, keys)
+            barrier = threading.Barrier(4)
+
+            def hammer():
+                barrier.wait()
+                shard.freeze()
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # A double merge would duplicate every delta entry permanently.
+            assert shard.n_entries == 64 * 2
+            merged_keys, merged_rows, _ = shard.to_parts()
+            assert len(merged_keys) == len(merged_rows) == 64 * 2
+
+
+class TestReadOnlyStats:
+    def test_posting_lists_does_not_merge_the_delta(self):
+        shard = _shard_with_frozen_and_delta()
+        frozen_before = shard._frozen
+        first_chunk = shard._delta[0]
+        # band 0 keys {10, 30} + delta {10} -> 2; band 1 {20, 40} + {99} -> 3
+        assert shard.posting_lists() == 5
+        assert shard._frozen is frozen_before  # nothing merged
+        assert shard._delta and shard._delta[0] is first_chunk
+        shard.freeze()
+        assert shard.posting_lists() == 5  # same count once merged
+
+    def test_index_stats_does_not_freeze_postings(self, fitted, corpus):
+        index = MatchIndex(fitted, IndexConfig(shards=2))
+        index.add(corpus[:10])
+        assert any(shard._delta for shard in index._postings.shards)
+        before = index.stats()
+        assert any(shard._delta for shard in index._postings.shards)
+        index._postings.freeze()
+        after = index.stats()
+        assert after["posting_lists"] == before["posting_lists"]
+        assert [s["entries"] for s in after["shards"]] == [
+            s["entries"] for s in before["shards"]
+        ]
+
+
+class TestArtifactGarbageCollection:
+    def test_crashed_save_leftovers_are_collected(self, fitted, corpus, tmp_path):
+        index = MatchIndex(fitted, IndexConfig(shards=2, compaction_threshold=1.0))
+        index.add(corpus[:20])
+        path = tmp_path / "gc"
+        index.save(path)
+        # Simulate a save that crashed after writing payload files but before
+        # the manifest swap: content-addressed files no manifest references.
+        orphans = [
+            path / "index" / ("live-" + "0" * 12 + ".npy"),
+            path / "index" / "postings" / ("0001.keys-" + "f" * 12 + ".npy"),
+        ]
+        for orphan in orphans:
+            orphan.write_bytes(b"crashed-save leftover")
+        keeper = path / "index" / "NOTES.txt"  # not content-addressed: kept
+        keeper.write_text("user file")
+        index.remove([corpus[0].record_id])
+        index.save(path)
+        for orphan in orphans:
+            assert not orphan.exists(), orphan
+        assert keeper.exists()
+        loaded = MatchIndex.load(path)
+        assert loaded.record_ids() == index.record_ids()
+
+    def test_superseded_payloads_do_not_accumulate(self, fitted, corpus, tmp_path):
+        index = MatchIndex(fitted, IndexConfig(shards=2, compaction_threshold=1.0))
+        index.add(corpus[:20])
+        path = tmp_path / "churn"
+        index.save(path)
+        initial = artifact_payload_files(path)
+        # Snapshotting-daemon churn: every remove supersedes the live-mask
+        # file, every re-add supersedes the columns and one shard's triple.
+        for record in corpus[:6]:
+            index.remove([record.record_id])
+            index.save(path)
+            index.add([record])
+            index.save(path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        referenced = {entry["file"] for entry in manifest["payloads"].values()}
+        assert referenced != initial  # the churn really superseded files
+        on_disk = {
+            str(p.relative_to(path))
+            for p in path.rglob("*")
+            if p.is_file() and p.name not in (MANIFEST_NAME, "model.pkl")
+        }
+        assert on_disk == referenced  # no orphans, nothing referenced missing
