@@ -1,0 +1,121 @@
+"""Resolve-under-churn regression benchmark: scoped repair vs full recompute.
+
+Guards the bugfix contract of :meth:`~repro.index.MatchIndex.upsert` /
+:meth:`~repro.index.MatchIndex.remove`: churn no longer invalidates the
+cached resolution state, it *repairs* it via the accepted-pair log — O(log)
+union-find replay, zero candidate re-scoring.  A ``resolve()`` right after a
+remove/upsert burst must therefore beat a from-scratch recompute over the
+same corpus by at least :data:`REQUIRED_SPEEDUP`×, while returning exactly
+the same clusters.
+
+``REPRO_EXAMPLE_SCALE`` scales the corpus (floored at ≥12k records so the
+recompute side is meaningfully expensive); ``REPRO_RESOLVE_CHURN_FLOOR``
+overrides the required speedup for constrained environments.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import ActiveLearningConfig, IndexConfig, PipelineConfig
+from repro.datasets import load_dataset
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+
+import pytest
+
+from .conftest import EXAMPLE_SCALE
+
+#: Same floor as test_index_query: ≥12k records even in CI smoke runs.
+CORPUS_SCALE = max(60.0, 300.0 * min(EXAMPLE_SCALE, 1.0))
+REQUIRED_SPEEDUP = float(os.environ.get("REPRO_RESOLVE_CHURN_FLOOR", "10"))
+
+#: The serving-shaped regime of the query benchmark: verification keeps
+#: candidate pair sets small without emptying them.
+INDEX_CONFIG = IndexConfig(verify_threshold=0.5, exact_verify=True)
+
+
+@pytest.fixture(scope="module")
+def pipeline() -> MatchingPipeline:
+    fitted = MatchingPipeline(
+        PipelineConfig(
+            combination="Trees(2)",
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=3,
+                target_f1=None, random_state=0,
+            ),
+            scale=0.15,
+        )
+    )
+    fitted.fit("dblp_acm")
+    return fitted
+
+
+@pytest.fixture(scope="module")
+def tables():
+    dataset = load_dataset("dblp_acm", scale=CORPUS_SCALE)
+    return dataset.right.records, dataset.left.records
+
+
+def test_resolve_after_churn_speedup(pipeline, tables, emit):
+    """Scoped repair makes resolve-after-churn ≥10× a full recompute."""
+    corpus, extras = tables
+    index = MatchIndex(pipeline, INDEX_CONFIG)
+    index.add(corpus)
+
+    # The cost being avoided: a from-scratch resolution of the corpus.
+    recompute_start = time.perf_counter()
+    index.resolve()
+    recompute_seconds = time.perf_counter() - recompute_start
+    assert index.stats()["resolution_recomputes"] == 1
+
+    # A churn burst against the primed state: remove a spread-out slice and
+    # upsert revised versions of another, then time the repaired resolve.
+    removed = [record.record_id for record in corpus[:: max(1, len(corpus) // 200)]]
+    revised = [
+        type(record)(
+            record_id=record.record_id,
+            attributes={
+                **record.attributes,
+                "title": f"{record.attributes.get('title', '')} (revised)",
+            },
+        )
+        for record in corpus[7 :: max(1, len(corpus) // 100)]
+        if record.record_id not in set(removed)
+    ]
+    churn_start = time.perf_counter()
+    index.remove(removed)
+    index.upsert(revised)
+    clusters = index.resolve()
+    churn_seconds = time.perf_counter() - churn_start
+    stats = index.stats()
+    assert stats["resolution_recomputes"] == 1, "churn fell back to a recompute"
+    assert stats["resolution_repairs"] == 2  # one per mutation
+
+    # Equivalence first, speed second: the repaired state must answer
+    # exactly as a fresh index over the surviving corpus.
+    fresh = MatchIndex(pipeline, INDEX_CONFIG)
+    fresh.add(index.records())
+    assert clusters == fresh.resolve(), "repaired resolution drifted from recompute"
+
+    speedup = recompute_seconds / churn_seconds
+    emit(
+        "index_resolve_churn",
+        "\n".join(
+            [
+                f"corpus records:    {len(corpus)}",
+                f"full resolve:      {recompute_seconds:.2f}s",
+                f"churned records:   {len(removed)} removed, {len(revised)} upserted",
+                f"repair + resolve:  {churn_seconds * 1000:.1f}ms "
+                "(includes re-scoring the upserted rows)",
+                f"speedup:           {speedup:.0f}x (required ≥ {REQUIRED_SPEEDUP:.0f}x)",
+                "equivalence:       repaired clusters == fresh recompute",
+            ]
+        ),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"resolve after churn is only {speedup:.1f}x faster than a full "
+        f"recompute on a {len(corpus)}-record corpus "
+        f"(required {REQUIRED_SPEEDUP:.0f}x)"
+    )

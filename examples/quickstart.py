@@ -7,8 +7,8 @@ committee selection — against a perfect Oracle.  It then trains the same
 combination as a persistable :class:`~repro.pipeline.MatchingPipeline`,
 saves it, reloads it, and scores record pairs with the reloaded model.
 Finally it wraps the pipeline in an incremental
-:class:`~repro.index.MatchIndex`: build → add → query → dedup without ever
-re-blocking the indexed corpus.
+:class:`~repro.index.MatchIndex`: build → add → query → dedup → upsert
+without ever re-blocking the indexed corpus.
 
 Run:  python examples/quickstart.py
 
@@ -125,6 +125,16 @@ def main() -> None:
     merged = [c for c in clusters if len(c) > 1]
     print(f"dedup: {len(index)} records -> {len(clusters)} entities "
           f"({len(merged)} clusters with duplicates)")
+    # Records that change in place are one atomic upsert, not remove + add;
+    # the cached resolution state is repaired, not recomputed.
+    outcome = index.upsert([{"record_id": "fresh-1",                 # upsert
+                             **dict(probe.attributes),
+                             "note": "revised in place"}])
+    stats = index.stats()
+    print(f"upsert: updated={outcome['updated']} inserted={outcome['inserted']}; "
+          f"{len(index.resolve())} entities after "
+          f"{stats['resolution_repairs']} in-place resolution repair(s), "
+          f"{stats['resolution_recomputes']} recompute(s)")
 
     # 8. The daemon: the same index behind concurrent HTTP endpoints —
     #    coalesced queries (bit-identical to index.query), generation

@@ -45,7 +45,8 @@ Train a matching pipeline, persist it, and score record pairs with it later
         --scale 0.3 --jobs 4 --json
 
 Index a corpus for low-latency single-record queries and dedup (incremental:
-``index add`` / ``index remove`` update the persisted artifact in place)::
+``index add`` / ``index upsert`` / ``index remove`` update the persisted
+artifact in place)::
 
     python -m repro index build --model models/abt_buy --dataset abt_buy \
         --scale 0.3 --out models/abt_buy_index
@@ -255,6 +256,18 @@ def _build_parser() -> argparse.ArgumentParser:
     index_add.add_argument("--index", required=True, help="index artifact directory")
     index_add.add_argument("--records", required=True, help="JSON file with the records to add")
     index_add.add_argument("--json", action="store_true", help="print the updated stats as JSON")
+
+    index_upsert = index_sub.add_parser(
+        "upsert", help="atomically replace-or-insert records in a persisted index"
+    )
+    index_upsert.add_argument("--index", required=True, help="index artifact directory")
+    index_upsert.add_argument("--records", required=True, help="JSON file with the records to upsert")
+    index_upsert.add_argument(
+        "--no-insert",
+        action="store_true",
+        help="reject record ids not already in the index instead of inserting them",
+    )
+    index_upsert.add_argument("--json", action="store_true", help="print the updated stats as JSON")
 
     index_remove = index_sub.add_parser(
         "remove", help="remove records by id from a persisted index (saved back in place)"
@@ -736,6 +749,29 @@ def _command_index_add(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index_upsert(args: argparse.Namespace) -> int:
+    index = _load_index(args.index)
+    outcome = index.upsert(
+        _load_records_file(args.records), insert_missing=not args.no_insert
+    )
+    index.save(args.index)
+    if args.json:
+        payload = {
+            "index": args.index,
+            "updated": outcome["updated"],
+            "inserted": outcome["inserted"],
+            "stats": index.stats(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"upserted {len(outcome['updated']) + len(outcome['inserted'])} record(s) "
+        f"({len(outcome['updated'])} updated, {len(outcome['inserted'])} inserted)"
+    )
+    _print_index_stats(index, args.index, as_json=False)
+    return 0
+
+
 def _command_index_remove(args: argparse.Namespace) -> int:
     index = _load_index(args.index)
     ids = [record_id.strip() for record_id in args.ids.split(",") if record_id.strip()]
@@ -820,6 +856,7 @@ def _command_index(args: argparse.Namespace) -> int:
     handlers = {
         "build": _command_index_build,
         "add": _command_index_add,
+        "upsert": _command_index_upsert,
         "remove": _command_index_remove,
         "query": _command_index_query,
         "dedup": _command_index_dedup,

@@ -37,10 +37,20 @@ the payloads read-only — O(1) startup with demand paging instead of
 unpickling the corpus.  Streaming bulk builds (:meth:`build_stream`) append
 record batches to the columns without ever materializing the full corpus.
 
+In-place updates are first-class: :meth:`upsert` atomically replaces (or
+inserts) records — validation is all-or-nothing, the old row is tombstoned
+and the new one appended in one logical step, and an in-place save stays
+dirty-only (live mask plus touched shards).
+
 On top of the pairwise layer, :meth:`resolve` runs union-find over accepted
 match pairs (prediction = match, optionally ``score >= min_score``) and emits
-stable entity clusters; cluster state is maintained incrementally on
-:meth:`add` and recomputed after :meth:`remove` (union-find cannot split).
+stable entity clusters.  Cluster state is maintained incrementally across
+every mutation: :meth:`add` extends it with the new rows, and
+:meth:`remove` / :meth:`upsert` run a *scoped repair* — union-find cannot
+split, but the state keeps a log of every accepted pair, and dropping a row
+only removes pairs incident to it, so replaying the surviving log rebuilds
+the clustering without re-scoring a single candidate (provably equal to a
+from-scratch :meth:`resolve`; property-tested).
 """
 
 from __future__ import annotations
@@ -211,7 +221,13 @@ class MatchIndex:
         self._n_live = 0
         self._n_tombstones = 0
         self._added_total = 0
+        self._upserts_total = 0
+        self._resolution_repairs = 0
+        self._resolution_recomputes = 0
         self._shingle_sets: dict[int, set[int]] = {}
+        #: Cached resolution state: ``{"min_score", "uf", "pairs"}`` where
+        #: ``pairs`` logs every accepted (left id, right id) pair the
+        #: union-find was built from — the structure scoped repair replays.
         self._resolution: dict | None = None
         #: payload name → ref into the artifact this state was loaded from /
         #: saved to; a clean payload's bytes are provably unchanged, so an
@@ -234,14 +250,20 @@ class MatchIndex:
         return self._id_map
 
     def _record_at(self, row: int) -> Record:
-        """The record at a physical row, decoded from the arenas (memoized)."""
-        record = self._record_cache.get(row)
+        """The record at a physical row, decoded from the arenas (memoized).
+
+        Eviction is FIFO (oldest insertion first, one entry per miss): a
+        corpus slightly over ``RECORD_CACHE_LIMIT`` degrades gracefully
+        instead of wiping every hot entry the moment the ceiling is hit.
+        """
+        cache = self._record_cache
+        record = cache.get(row)
         if record is None:
             record_id, attributes = self._storage.record_parts(row)
             record = Record(record_id=record_id, attributes=attributes)
-            if len(self._record_cache) >= RECORD_CACHE_LIMIT:
-                self._record_cache.clear()
-            self._record_cache[row] = record
+            while len(cache) >= RECORD_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[row] = record
         return record
 
     def _mark_dirty(self, names, shards=()) -> None:
@@ -317,6 +339,9 @@ class MatchIndex:
             "records": len(self),
             "rows": self.n_rows,
             "tombstones": self._n_tombstones,
+            "upserts_total": self._upserts_total,
+            "resolution_repairs": self._resolution_repairs,
+            "resolution_recomputes": self._resolution_recomputes,
             "bands": self.config.bands,
             "num_perm": self.config.num_perm,
             "posting_lists": sum(entry["posting_lists"] for entry in shard_stats),
@@ -387,19 +412,41 @@ class MatchIndex:
             total += len(self._add_batch(self._coerce_batch(batch), warm=warm))
         return total
 
+    @staticmethod
+    def _batch_duplicates(batch: list[Record]) -> list[str]:
+        """Record ids mentioned more than once within one batch, sorted."""
+        seen: set[str] = set()
+        duplicates: set[str] = set()
+        for record in batch:
+            if record.record_id in seen:
+                duplicates.add(record.record_id)
+            seen.add(record.record_id)
+        return sorted(duplicates)
+
     def _add_batch(self, batch: list[Record], warm: bool) -> list[str]:
         id_map = self._ensure_id_map()
-        seen: set[str] = set()
-        duplicates = []
-        for record in batch:
-            if record.record_id in id_map or record.record_id in seen:
-                duplicates.append(record.record_id)
-            seen.add(record.record_id)
+        duplicates = set(self._batch_duplicates(batch))
+        duplicates.update(r.record_id for r in batch if r.record_id in id_map)
         if duplicates:
-            raise DatasetError(f"record id(s) already indexed: {sorted(set(duplicates))}")
+            raise DatasetError(f"record id(s) already indexed: {sorted(duplicates)}")
         if not batch:
             return []
+        new_rows = self._append_rows(batch, warm)
+        if self._resolution is not None:
+            self._extend_resolution(new_rows)
+        return [record.record_id for record in batch]
 
+    def _append_rows(self, batch: list[Record], warm: bool) -> list[int]:
+        """Sign, encode and append validated records; returns their new rows.
+
+        All throwing work (shingling, the signature kernel, attribute
+        encoding) happens before the first mutation, so a failure leaves the
+        index untouched — the exception-safety building block :meth:`add`
+        and :meth:`upsert` both build their all-or-nothing contract on.
+        Resolution maintenance is the *caller's* job: :meth:`upsert` must
+        repair the state for replaced rows before extending it with new ones.
+        """
+        id_map = self._ensure_id_map()
         hashes = [self._computer.shingle_hashes(record) for record in batch]
         nonempty = [h for h in hashes if h is not None]
         signatures = self._computer.signature_matrix(nonempty)
@@ -441,10 +488,7 @@ class MatchIndex:
         self._mark_dirty(_COLUMN_PAYLOAD_NAMES, touched)
         if warm:
             self._warm_normalization(batch)
-
-        if self._resolution is not None:
-            self._extend_resolution((base + np.arange(len(batch))).tolist())
-        return record_ids
+        return list(range(base, base + len(batch)))
 
     def _warm_normalization(self, batch: list[Record]) -> None:
         """Pre-normalize indexed attribute values into the extractor cache.
@@ -460,6 +504,64 @@ class MatchIndex:
             for column in self._extractor.matched_columns:
                 normalize_cached(record.value(column))
 
+    # ------------------------------------------------------------- upsert
+    def upsert(self, records, insert_missing: bool = True) -> dict:
+        """Atomically replace — or insert — records; one logical step each.
+
+        For every record whose id is already live, the old row is
+        tombstoned and the new one appended (the record moves to the *end*
+        of insertion order, exactly as a ``remove`` + ``add`` would place
+        it); ids not yet indexed are plain inserts, unless
+        ``insert_missing=False`` turns them into a
+        :class:`~repro.exceptions.DatasetError` (strict update mode).
+        Returns ``{"updated": [ids], "inserted": [ids]}`` in batch order.
+
+        The operation is **all-or-nothing**: coercion, duplicate-in-batch
+        detection, the strict-mode membership check and every throwing
+        computation (shingling, the signature kernel, attribute encoding)
+        run before the first mutation, so a failed upsert leaves the index —
+        and its cached resolution state — exactly as it was.  Saves stay
+        dirty-only: an upsert dirties the columns, the touched posting
+        shards and the live mask, never clean shards.
+
+        The cached resolution state survives: replaced rows are repaired out
+        via the accepted-pair log (:meth:`_repair_resolution` — no
+        re-scoring) and the new rows are folded in incrementally, provably
+        equal to a from-scratch :meth:`resolve` over the resulting corpus.
+        """
+        batch = self._coerce_batch(records)
+        id_map = self._ensure_id_map()
+        duplicates = self._batch_duplicates(batch)
+        if duplicates:
+            raise DatasetError(
+                f"record id(s) repeated in upsert batch: {duplicates}"
+            )
+        updated = [r.record_id for r in batch if r.record_id in id_map]
+        inserted = [r.record_id for r in batch if r.record_id not in id_map]
+        if not insert_missing and inserted:
+            raise DatasetError(f"record id(s) not in index: {sorted(inserted)}")
+        if not batch:
+            return {"updated": [], "inserted": []}
+        old_rows = [id_map[record_id] for record_id in updated]
+        # -- mutation starts here; nothing below raises on valid input ----
+        new_rows = self._append_rows(batch, warm=True)
+        live = self._live
+        for row in old_rows:
+            live[row] = False
+            self._record_cache.pop(row, None)
+            self._shingle_sets.pop(row, None)
+        self._n_tombstones += len(old_rows)
+        self._n_live -= len(old_rows)
+        self._upserts_total += len(batch)
+        if old_rows:
+            self._mark_dirty((INDEX_LIVE_PAYLOAD,))
+        if self._resolution is not None:
+            if updated:
+                self._repair_resolution(set(updated))
+            self._extend_resolution(new_rows)
+        self._maybe_compact()
+        return {"updated": updated, "inserted": inserted}
+
     # -------------------------------------------------------------- remove
     def remove(self, record_ids) -> int:
         """Tombstone records by id; returns the number removed.
@@ -469,8 +571,11 @@ class MatchIndex:
         Tombstoned rows stay in the columns and posting shards — masked out
         of every query — until compaction; only the live-mask payload is
         dirtied, so an in-place save after removes rewrites one small file.
-        Removal invalidates incremental resolution state (union-find cannot
-        split), so the next :meth:`resolve` recomputes from the live corpus.
+        The rows' record-cache and shingle-set entries are evicted with
+        them, so tombstones never pin payloads in RAM.  Cached resolution
+        state is *repaired in place* (accepted pairs incident to the dead
+        rows are dropped and the log replayed — :meth:`_repair_resolution`),
+        so the next :meth:`resolve` costs union ops, not a corpus rescore.
         """
         if isinstance(record_ids, str):
             record_ids = [record_ids]
@@ -483,18 +588,25 @@ class MatchIndex:
             raise DatasetError(f"record id(s) not in index: {missing}")
         live = self._live
         for record_id in ids:
-            live[id_map.pop(record_id)] = False
+            row = id_map.pop(record_id)
+            live[row] = False
+            self._record_cache.pop(row, None)
+            self._shingle_sets.pop(row, None)
         self._n_tombstones += len(ids)
         self._n_live -= len(ids)
-        self._resolution = None
+        self._repair_resolution(set(ids))
         self._mark_dirty((INDEX_LIVE_PAYLOAD,))
+        self._maybe_compact()
+        return len(ids)
+
+    def _maybe_compact(self) -> None:
+        """Compact when tombstones cross ``config.compaction_threshold``."""
         if (
             self.n_rows
             and self.config.compaction_threshold < 1.0
             and self._n_tombstones / self.n_rows > self.config.compaction_threshold
         ):
             self.compact()
-        return len(ids)
 
     def compact(self) -> int:
         """Physically drop tombstoned rows; returns the number reclaimed.
@@ -788,16 +900,19 @@ class MatchIndex:
             self._storage.sig16.take(np.asarray([row], dtype=np.int64)), hashes, rows
         )
 
-    def _union_accepted(
-        self, uf: UnionFind, pairs: list[tuple[int, int]], min_score: float | None
-    ) -> None:
+    def _union_accepted(self, state: dict, pairs: list[tuple[int, int]]) -> None:
         """Score row pairs in chunks and union the accepted ones.
 
         A pair is accepted when the predictor calls it a match and (when
         ``min_score`` is set) its score reaches the floor — the same
         acceptance rule however the pairs were discovered, which is what
-        makes incremental and full resolution agree.
+        makes incremental and full resolution agree.  Every accepted pair
+        is also appended to the state's pair log, the structure
+        :meth:`_repair_resolution` replays after removals.
         """
+        min_score = state["min_score"]
+        uf: UnionFind = state["uf"]
+        log: list[tuple[str, str]] = state["pairs"]
         chunk_size = self.pipeline.config.chunk_size
         for start in range(0, len(pairs), chunk_size):
             chunk = pairs[start : start + chunk_size]
@@ -815,6 +930,7 @@ class MatchIndex:
                 if prediction and (min_score is None or float(score) >= min_score):
                     pair = candidates[offset]
                     uf.union(pair.left.record_id, pair.right.record_id)
+                    log.append((pair.left.record_id, pair.right.record_id))
         self._trim_extractor_cache()
 
     def _extend_resolution(self, new_rows: list[int]) -> None:
@@ -825,7 +941,38 @@ class MatchIndex:
             state["uf"].add(self._storage.record_id(row))
             for other in self._candidate_rows_below(row).tolist():
                 pairs.append((other, row))
-        self._union_accepted(state["uf"], pairs, state["min_score"])
+        self._union_accepted(state, pairs)
+
+    def _repair_resolution(self, dead_ids: set[str]) -> None:
+        """Scoped repair of the cached resolution state after rows died.
+
+        Union-find cannot split, but it never has to: a pair's candidacy
+        (band collision + verification) and acceptance (its score) are both
+        functions of the two records alone, so removing a row deletes
+        exactly the accepted pairs *incident to it* — every pair among the
+        survivors stays accepted and no new pair can appear.  Replaying the
+        surviving entries of the accepted-pair log therefore rebuilds the
+        union-find exactly as a from-scratch :meth:`resolve` over the live
+        corpus would (property-tested): components untouched by the dead
+        rows replay unchanged, touched components fall apart into whatever
+        the remaining edges still connect.  Cost is O(log) union-find
+        operations and **zero candidate scoring** — the difference the
+        churn benchmark (``benchmarks/test_index_churn.py``) gates at ≥10×.
+        """
+        state = self._resolution
+        if state is None:
+            return
+        survivors = [
+            pair
+            for pair in state["pairs"]
+            if pair[0] not in dead_ids and pair[1] not in dead_ids
+        ]
+        uf = UnionFind()
+        for left_id, right_id in survivors:
+            uf.union(left_id, right_id)
+        state["pairs"] = survivors
+        state["uf"] = uf
+        self._resolution_repairs += 1
 
     def resolve(self, min_score: float | None = None) -> list[list[str]]:
         """Cluster the live corpus into entities; returns stable clusters.
@@ -835,24 +982,31 @@ class MatchIndex:
         :meth:`query`).  Output is a partition of the live record ids:
         lexicographically sorted clusters, ordered by first member,
         singletons included — identical whether the state was built
-        incrementally by :meth:`add` or recomputed from scratch.
+        incrementally by :meth:`add` / :meth:`upsert` / :meth:`remove` or
+        recomputed from scratch.
 
         ``min_score`` defaults to ``config.resolve_min_score``.  The computed
-        state is cached and maintained incrementally across :meth:`add`;
-        :meth:`remove` invalidates it (a recompute happens on the next call)
-        and calling with a different ``min_score`` recomputes too.
+        state is cached and maintained incrementally across every mutation
+        (adds extend it, removals and upserts repair it via the accepted-pair
+        log); only the first call — or a call with a different ``min_score``
+        — pays a full recompute (counted in ``stats()``).
         """
         if min_score is None:
             min_score = self.config.resolve_min_score
         state = self._resolution
         if state is None or state["min_score"] != min_score:
-            uf = UnionFind(self.record_ids())
+            state = {
+                "min_score": min_score,
+                "uf": UnionFind(self.record_ids()),
+                "pairs": [],
+            }
             pairs = []
             for row in np.flatnonzero(self._live).tolist():
                 for other in self._candidate_rows_below(row).tolist():
                     pairs.append((other, row))
-            self._union_accepted(uf, pairs, min_score)
-            self._resolution = state = {"min_score": min_score, "uf": uf}
+            self._union_accepted(state, pairs)
+            self._resolution = state
+            self._resolution_recomputes += 1
         return stable_clusters(state["uf"], self.record_ids())
 
     # --------------------------------------------------------- persistence
@@ -866,12 +1020,14 @@ class MatchIndex:
         section, so in-place updates are crash-safe) and an ``index``
         manifest section carrying its own format version and config.
 
-        Payload bytes are a pure function of the logical add/remove history
-        — never of batching, compaction timing or reloads — so saving the
-        same history twice is byte-identical, and an in-place re-save writes
-        only the payloads whose columns actually changed: a remove rewrites
-        the small live mask, an add leaves untouched posting shards' files
-        alone (dirty-only writes, asserted by the stream/shard tests).
+        Payload bytes are a pure function of the logical add/upsert/remove
+        history — never of batching, compaction timing or reloads — so
+        saving the same history twice is byte-identical (an upsert saves
+        exactly as the equivalent remove + add would), and an in-place
+        re-save writes only the payloads whose columns actually changed: a
+        remove rewrites the small live mask, an add leaves untouched posting
+        shards' files alone (dirty-only writes, asserted by the stream/shard
+        tests).
         """
         self._postings.freeze()
         body = self.pipeline._manifest_body()

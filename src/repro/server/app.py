@@ -8,6 +8,7 @@ and answers JSON endpoints from memory —
 ========================  ======  ==============================================
 ``POST /query``           read    match one record against the corpus
 ``POST /add``             write   index new records
+``POST /upsert``          write   atomically replace-or-insert records
 ``POST /remove``          write   tombstone records by id
 ``POST /resolve``         write   entity clusters over the live corpus
 ``GET /healthz``          read    liveness + corpus summary
@@ -209,6 +210,26 @@ class MatchServer:
                 "generation": self._generation,
             }
         self._count("add")
+        return payload
+
+    def upsert(self, records, insert_missing: bool = True) -> dict:
+        """Atomically replace-or-insert records (one generation bump).
+
+        Validation is the index's all-or-nothing contract: a failed upsert
+        mutates nothing and the generation stays put.  The index repairs its
+        resolution state in place, so a served ``/resolve`` after churn does
+        not pay a full recompute.
+        """
+        with self._lock.write():
+            outcome = self._index.upsert(records, insert_missing=insert_missing)
+            self._generation += 1
+            payload = {
+                "updated": outcome["updated"],
+                "inserted": outcome["inserted"],
+                "records": len(self._index),
+                "generation": self._generation,
+            }
+        self._count("upsert")
         return payload
 
     def remove(self, record_ids) -> dict:

@@ -87,19 +87,39 @@ class QueryBatcher:
         return job.result
 
     def _lead(self) -> None:
-        """Drain and execute batches until the queue is empty, then step down."""
-        if self._window:
-            time.sleep(self._window)
-        while True:
+        """Drain and execute batches until the queue is empty, then step down.
+
+        Leadership must end in every exit path: ``_run`` never raises, but
+        the window sleep can (``KeyboardInterrupt``, a signal-raised
+        exception) and an abandoned leadership would leave
+        ``_leader_active`` stuck ``True`` — every later :meth:`submit`
+        would enqueue behind a leader that no longer exists and block
+        forever.  On an abnormal exit the leader steps down, drains the
+        queued jobs it can no longer serve, and wakes them with the fatal
+        exception; the next :meth:`submit` elects a fresh leader.
+        """
+        try:
+            if self._window:
+                time.sleep(self._window)
+            while True:
+                with self._lock:
+                    batch = [
+                        self._queue.popleft()
+                        for _ in range(min(len(self._queue), self._max_batch))
+                    ]
+                    if not batch:
+                        self._leader_active = False
+                        return
+                self._run(batch)
+        except BaseException as exc:
             with self._lock:
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(min(len(self._queue), self._max_batch))
-                ]
-                if not batch:
-                    self._leader_active = False
-                    return
-            self._run(batch)
+                self._leader_active = False
+                orphans = list(self._queue)
+                self._queue.clear()
+            for job in orphans:
+                job.error = exc
+                job.event.set()
+            raise
 
     def _run(self, batch: list[_Job]) -> None:
         try:

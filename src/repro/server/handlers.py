@@ -168,6 +168,18 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         )
         return self.app.add(records)
 
+    def _handle_upsert(self) -> dict:
+        body = self._read_body()
+        records = body.get("records")
+        _require(isinstance(records, list), "'records' must be a JSON list")
+        _require(
+            all(isinstance(entry, dict) for entry in records),
+            "'records' entries must be JSON objects",
+        )
+        insert = body.get("insert", True)
+        _require(isinstance(insert, bool), "'insert' must be a boolean")
+        return self.app.upsert(records, insert_missing=insert)
+
     def _handle_remove(self) -> dict:
         body = self._read_body()
         ids = body.get("ids")
@@ -217,6 +229,7 @@ _GET_ROUTES = {
 _POST_ROUTES = {
     "/query": MatchRequestHandler._handle_query,
     "/add": MatchRequestHandler._handle_add,
+    "/upsert": MatchRequestHandler._handle_upsert,
     "/remove": MatchRequestHandler._handle_remove,
     "/resolve": MatchRequestHandler._handle_resolve,
     "/admin/snapshot": MatchRequestHandler._handle_snapshot,

@@ -134,6 +134,39 @@ class TestMutationEndpoints:
         assert "already indexed" in payload["error"]
         assert server.generation == 0  # failed mutation must not bump
 
+    def test_upsert_replaces_record_and_bumps_generation(
+        self, make_server, corpus, probes
+    ):
+        _, client = make_server()
+        revised = as_json(corpus[0])
+        key = next(k for k, v in revised["attributes"].items() if isinstance(v, str))
+        revised["attributes"][key] = revised["attributes"][key] + " revised edition"
+        new = as_json(probes[5])
+        status, payload = client.post("/upsert", {"records": [revised, new]})
+        assert status == 200
+        assert payload == {
+            "updated": [corpus[0].record_id],
+            "inserted": [probes[5].record_id],
+            "records": len(corpus) + 1,
+            "generation": 1,
+        }
+        # The revision is what queries now see (one live row per id).
+        _, after = client.post("/query", {"record": revised, "top_k": 1})
+        assert after["generation"] == 1
+        assert after["pairs"][0]["right_id"] == corpus[0].record_id
+        _, stats = client.get("/stats")
+        assert stats["index"]["upserts_total"] == 2
+        assert stats["server"]["requests"]["upsert"] == 1
+
+    def test_upsert_strict_mode_unknown_id_is_404(self, make_server, probes):
+        server, client = make_server()
+        status, payload = client.post(
+            "/upsert", {"records": [as_json(probes[5])], "insert": False}
+        )
+        assert status == 404
+        assert "not in index" in payload["error"]
+        assert server.generation == 0  # failed mutation must not bump
+
     def test_remove_accepts_string_and_list(self, make_server, corpus):
         _, client = make_server()
         status, payload = client.post("/remove", {"ids": corpus[0].record_id})
@@ -202,6 +235,9 @@ class TestErrorHandling:
             ("/add", {}),
             ("/add", {"records": {"not": "a list"}}),
             ("/add", {"records": [5]}),
+            ("/upsert", {}),
+            ("/upsert", {"records": "not a list"}),
+            ("/upsert", {"records": [], "insert": "yes"}),
             ("/remove", {}),
             ("/remove", {"ids": []}),
             ("/remove", {"ids": [7]}),

@@ -394,6 +394,52 @@ class TestIndex:
         after = json.loads(capsys.readouterr().out)["stats"]
         assert after["records"] == stats["records"] - 1
 
+    def test_upsert_round_trip(self, model_path, tmp_path, capsys):
+        index_dir = tmp_path / "ups"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(index_dir),
+                "--dataset", "dblp_acm", "--scale", "0.15",
+            ]
+        ) == 0
+        capsys.readouterr()
+        records = tmp_path / "upserts.json"
+        records.write_text(json.dumps([{"record_id": "x1", "title": "brand new paper"}]))
+        assert cli.main(
+            ["index", "upsert", "--index", str(index_dir), "--records", str(records), "--json"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["updated"] == [] and first["inserted"] == ["x1"]
+        records.write_text(json.dumps([{"record_id": "x1", "title": "revised paper"}]))
+        assert cli.main(
+            ["index", "upsert", "--index", str(index_dir), "--records", str(records), "--json"]
+        ) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["updated"] == ["x1"] and second["inserted"] == []
+        assert second["stats"]["records"] == first["stats"]["records"]
+        # Counters are process-local (not persisted): one upsert this run.
+        assert second["stats"]["upserts_total"] == 1
+        assert second["stats"]["tombstones"] == 1
+
+    def test_upsert_no_insert_rejects_unknown_id(self, model_path, tmp_path, capsys):
+        index_dir = tmp_path / "strict"
+        assert cli.main(
+            [
+                "index", "build", "--model", str(model_path), "--out", str(index_dir),
+                "--dataset", "dblp_acm", "--scale", "0.15",
+            ]
+        ) == 0
+        capsys.readouterr()
+        records = tmp_path / "strict.json"
+        records.write_text(json.dumps([{"record_id": "ghost", "title": "nope"}]))
+        assert cli.main(
+            [
+                "index", "upsert", "--index", str(index_dir),
+                "--records", str(records), "--no-insert",
+            ]
+        ) == 1
+        assert "not in index" in capsys.readouterr().err
+
     def test_remove_unknown_id_fails_cleanly(self, index_path, capsys):
         assert cli.main(
             ["index", "remove", "--index", str(index_path), "--ids", "definitely-not-there"]

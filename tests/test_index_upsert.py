@@ -1,0 +1,306 @@
+"""Atomic ``upsert()`` and churn-safe incremental entity resolution.
+
+Three contracts under test, all phrased as equivalences:
+
+* **Atomicity** — a failed ``upsert`` (duplicate ids in the batch, strict
+  update mode hitting an unknown id) mutates *nothing*: corpus, stats and
+  the cached resolution state are exactly as before.
+* **History equivalence** — an upsert behaves as the remove + add it
+  replaces: the record moves to the end of insertion order, queries match a
+  fresh index of the surviving corpus bit-for-bit, and saved artifacts are
+  byte-identical to the remove+add history with the same survivors.
+* **Scoped resolution repair** — after any random add/upsert/remove
+  interleaving, the incrementally maintained resolution state equals a
+  from-scratch ``resolve()`` (zero re-scoring on the repair path, counted
+  in ``stats()``).
+
+Shares fixtures with ``test_index.py`` (same dataset slice, same reference
+builders) so equivalence means the same thing in both suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexConfig
+from repro.datasets import Record
+from repro.exceptions import DatasetError
+from repro.index import MatchIndex
+
+from .test_index import (  # noqa: F401 - fixtures are used by injection
+    corpus,
+    dataset,
+    fitted,
+    probes,
+    score_rows,
+    small_config,
+)
+
+
+def bump(record: Record, version: int) -> Record:
+    """A new version of ``record``: same id, visibly different attributes."""
+    attributes = dict(record.attributes)
+    key = next(k for k, v in attributes.items() if isinstance(v, str))
+    attributes[key] = f"{attributes[key]} rev{version}"
+    return Record(record_id=record.record_id, attributes=attributes)
+
+
+def snapshot(index: MatchIndex) -> tuple:
+    """Observable state for before/after atomicity comparisons."""
+    stats = index.stats()
+    stats.pop("cascade")  # cascade counters move on queries, not mutations
+    return (index.record_ids(), index.n_tombstones, stats, index._resolution)
+
+
+class TestUpsertSemantics:
+    def test_update_moves_record_to_end_and_changes_answers(
+        self, fitted, corpus, probes
+    ):
+        index = MatchIndex(fitted)
+        index.add(corpus[:20])
+        revised = bump(corpus[0], 1)
+        outcome = index.upsert([revised])
+        assert outcome == {"updated": [revised.record_id], "inserted": []}
+        assert len(index) == 20
+        assert index.n_tombstones == 1
+        assert index.record_ids()[-1] == revised.record_id
+        # Queries are bit-identical to a fresh index of the equivalent
+        # corpus: the 19 untouched records, then the revision at the end.
+        fresh = MatchIndex(fitted)
+        fresh.add(corpus[1:20] + [revised])
+        for probe in probes[:5]:
+            assert score_rows(index.query(probe)) == score_rows(fresh.query(probe))
+
+    def test_mixed_update_and_insert_reports_both(self, fitted, corpus):
+        index = MatchIndex(fitted)
+        index.add(corpus[:5])
+        batch = [bump(corpus[2], 1), corpus[7], bump(corpus[4], 1)]
+        outcome = index.upsert(batch)
+        assert outcome["updated"] == [corpus[2].record_id, corpus[4].record_id]
+        assert outcome["inserted"] == [corpus[7].record_id]
+        assert len(index) == 6
+        assert index.stats()["upserts_total"] == 3
+        tail = [record.record_id for record in batch]
+        assert index.record_ids()[-3:] == tail
+
+    def test_empty_upsert_is_a_noop(self, fitted, corpus):
+        index = MatchIndex(fitted)
+        index.add(corpus[:3])
+        before = snapshot(index)
+        assert index.upsert([]) == {"updated": [], "inserted": []}
+        assert snapshot(index) == before
+
+    def test_strict_mode_rejects_unknown_ids_atomically(self, fitted, corpus):
+        index = MatchIndex(fitted)
+        index.add(corpus[:5])
+        index.resolve()
+        before = snapshot(index)
+        batch = [bump(corpus[0], 1), corpus[9]]  # one known, one unknown
+        with pytest.raises(DatasetError, match="not in index"):
+            index.upsert(batch, insert_missing=False)
+        assert snapshot(index) == before
+
+    def test_duplicate_ids_in_batch_rejected_atomically(self, fitted, corpus):
+        index = MatchIndex(fitted)
+        index.add(corpus[:5])
+        index.resolve()
+        before = snapshot(index)
+        with pytest.raises(DatasetError, match="repeated in upsert batch"):
+            index.upsert([bump(corpus[0], 1), bump(corpus[0], 2)])
+        assert snapshot(index) == before
+        # The index still works and still answers from the untouched state.
+        assert index.upsert([bump(corpus[0], 3)])["updated"] == [corpus[0].record_id]
+
+    def test_strict_mode_accepts_all_known_ids(self, fitted, corpus):
+        index = MatchIndex(fitted)
+        index.add(corpus[:5])
+        outcome = index.upsert(
+            [bump(corpus[1], 1), bump(corpus[3], 1)], insert_missing=False
+        )
+        assert outcome["updated"] == [corpus[1].record_id, corpus[3].record_id]
+        assert outcome["inserted"] == []
+
+
+class TestResolutionRepair:
+    def test_upsert_repairs_cached_resolution_without_recompute(
+        self, fitted, corpus, probes
+    ):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        index.add(probes[:10])
+        index.resolve()
+        assert index.stats()["resolution_recomputes"] == 1
+        index.upsert([bump(probes[0], 1), bump(corpus[3], 1)])
+        clusters = index.resolve()
+        stats = index.stats()
+        assert stats["resolution_recomputes"] == 1  # repaired, not recomputed
+        assert stats["resolution_repairs"] == 1
+        fresh = MatchIndex(fitted)
+        fresh.add(index.records())
+        assert clusters == fresh.resolve()
+
+    def test_remove_repairs_instead_of_invalidating(self, fitted, corpus, probes):
+        index = MatchIndex(fitted)
+        index.add(corpus)
+        index.add(probes[:10])
+        index.resolve()
+        index.remove([probes[0].record_id, corpus[5].record_id])
+        assert index._resolution is not None  # the bugfix: state survives
+        fresh = MatchIndex(fitted)
+        fresh.add(index.records())
+        assert index.resolve() == fresh.resolve()
+        assert index.stats()["resolution_recomputes"] == 1
+        assert index.stats()["resolution_repairs"] == 1
+
+
+class TestCacheHygiene:
+    def test_remove_evicts_record_cache_and_shingle_sets(self, fitted, corpus):
+        index = MatchIndex(fitted, IndexConfig(compaction_threshold=1.0))
+        index.add(corpus[:10])
+        victim_row = index._ensure_id_map()[corpus[4].record_id]
+        index._record_at(victim_row)
+        index._shingle_set(victim_row)
+        assert victim_row in index._record_cache
+        assert victim_row in index._shingle_sets
+        index.remove([corpus[4].record_id])
+        assert victim_row not in index._record_cache
+        assert victim_row not in index._shingle_sets
+
+    def test_upsert_evicts_replaced_rows_entries(self, fitted, corpus):
+        index = MatchIndex(fitted, IndexConfig(compaction_threshold=1.0))
+        index.add(corpus[:10])
+        old_row = index._ensure_id_map()[corpus[2].record_id]
+        index._record_at(old_row)
+        index._shingle_set(old_row)
+        index.upsert([bump(corpus[2], 1)])
+        assert old_row not in index._record_cache
+        assert old_row not in index._shingle_sets
+
+    def test_record_cache_evicts_fifo_not_wholesale(self, fitted, corpus, monkeypatch):
+        monkeypatch.setattr("repro.index.match_index.RECORD_CACHE_LIMIT", 4)
+        index = MatchIndex(fitted)
+        index.add(corpus[:6])  # over the limit: nothing prepopulated
+        assert not index._record_cache
+        decodes = 0
+        inner = index._storage.record_parts
+
+        def counting(row):
+            nonlocal decodes
+            decodes += 1
+            return inner(row)
+
+        monkeypatch.setattr(index._storage, "record_parts", counting)
+        for row in range(4):
+            index._record_at(row)
+        assert decodes == 4
+        index._record_at(4)  # one miss evicts ONE entry (the oldest) ...
+        assert decodes == 5
+        assert len(index._record_cache) == 4
+        assert 0 not in index._record_cache
+        for row in (1, 2, 3, 4):  # ... so the rest stay hot
+            index._record_at(row)
+        assert decodes == 5
+        index._record_at(0)
+        assert decodes == 6
+        assert len(index._record_cache) == 4
+
+
+class TestUpsertProperties:
+    """Random add/upsert/remove interleavings keep every equivalence."""
+
+    @given(data=st.data())
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_interleavings_match_fresh_state(
+        self, data, fitted, corpus, probes, tmp_path_factory
+    ):
+        pool = corpus[:30] + probes[:10]
+        config = IndexConfig(compaction_threshold=1.0)
+        index = MatchIndex(fitted, config)
+        # The shadow history: every upsert performed as the remove + add it
+        # claims to equal.  Artifacts must come out byte-identical.
+        mirror = MatchIndex(fitted, config)
+        index.resolve()  # prime the state so every mutation maintains it
+        live: dict[str, Record] = {}
+        versions: dict[str, int] = {}
+        n_steps = data.draw(st.integers(min_value=1, max_value=4), label="steps")
+        for _ in range(n_steps):
+            live_ids = list(live)
+            absent = [r for r in pool if r.record_id not in live]
+            op = data.draw(
+                st.sampled_from(
+                    (["remove"] if live_ids else []) + (["add", "upsert"] if absent or live_ids else [])
+                ),
+                label="op",
+            )
+            if op == "remove":
+                victims = data.draw(
+                    st.lists(st.sampled_from(live_ids), min_size=1, unique=True),
+                    label="victims",
+                )
+                index.remove(victims)
+                mirror.remove(victims)
+                for victim in victims:
+                    live.pop(victim)
+            elif op == "add":
+                count = data.draw(
+                    st.integers(min_value=1, max_value=min(6, len(absent))),
+                    label="count",
+                )
+                batch = absent[:count]
+                index.add(batch)
+                mirror.add(batch)
+                for record in batch:
+                    live[record.record_id] = record
+            else:
+                updates = (
+                    data.draw(
+                        st.lists(st.sampled_from(live_ids), max_size=3, unique=True),
+                        label="updates",
+                    )
+                    if live_ids
+                    else []
+                )
+                inserts = absent[: data.draw(st.integers(0, min(2, len(absent))), label="inserts")]
+                batch = [
+                    bump(live[record_id], versions.setdefault(record_id, 0) + 1)
+                    for record_id in updates
+                ] + inserts
+                if not batch:
+                    continue
+                for record_id in updates:
+                    versions[record_id] += 1
+                index.upsert(batch)
+                if updates:
+                    mirror.remove(updates)
+                mirror.add(batch)
+                for record in batch:
+                    live.pop(record.record_id, None)
+                for record in batch:
+                    live[record.record_id] = record
+        survivors = list(live.values())
+        assert index.record_ids() == [record.record_id for record in survivors]
+        fresh = MatchIndex(fitted, config)
+        fresh.add(survivors)
+        # (a) queries bit-identical to a fresh index of the final corpus
+        for probe in probes[:2]:
+            assert score_rows(index.query(probe)) == score_rows(fresh.query(probe))
+        # (b) incrementally maintained resolution equals a full recompute
+        assert index.resolve() == fresh.resolve()
+        assert index.stats()["resolution_recomputes"] == 1
+        # (c) artifacts byte-identical to the remove+add shadow history
+        base = tmp_path_factory.mktemp("churn-equiv")
+        index.save(base / "upserted")
+        mirror.save(base / "mirrored")
+        files = sorted(p for p in (base / "upserted").rglob("*") if p.is_file())
+        assert files
+        for path in files:
+            relative = path.relative_to(base / "upserted")
+            assert (base / "mirrored" / relative).read_bytes() == path.read_bytes(), (
+                relative
+            )

@@ -170,6 +170,49 @@ class TestQueryBatcher:
         with pytest.raises(ValueError):
             QueryBatcher(lambda r: r, window=0.0, max_batch=0)
 
+    def test_leader_death_steps_down_and_wakes_followers(self, monkeypatch):
+        """A leader killed outside ``_run`` (e.g. ``KeyboardInterrupt`` in
+        the window sleep) must not leak leadership: queued followers get the
+        fatal error instead of blocking forever, and the next submit elects
+        a fresh leader that works normally."""
+        import repro.server.batching as batching
+
+        batcher = QueryBatcher(lambda reqs: list(reqs), window=0.05, max_batch=8)
+        leader_sleeping = threading.Event()
+        real_sleep = time.sleep  # the patch below replaces the shared module's
+
+        def dying_sleep(seconds):
+            leader_sleeping.set()
+            real_sleep(0.1)  # let the follower enqueue behind the leader
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(batching.time, "sleep", dying_sleep)
+        outcomes = {}
+
+        def leader():
+            try:
+                batcher.submit("leader")
+            except BaseException as exc:  # noqa: BLE001 - the point of the test
+                outcomes["leader"] = exc
+
+        def follower():
+            leader_sleeping.wait(WAIT)
+            try:
+                batcher.submit("follower")
+            except BaseException as exc:  # noqa: BLE001
+                outcomes["follower"] = exc
+
+        threads = [start_thread(leader), start_thread(follower)]
+        for thread in threads:
+            thread.join(WAIT)
+        assert not any(thread.is_alive() for thread in threads), "a submit hung"
+        assert isinstance(outcomes["leader"], KeyboardInterrupt)
+        assert isinstance(outcomes["follower"], KeyboardInterrupt)
+        # Leadership was released: a fresh submit leads and round-trips.
+        monkeypatch.setattr(batching.time, "sleep", lambda seconds: None)
+        assert not batcher._leader_active
+        assert batcher.submit("next") == "next"
+
 
 class TestSnapshotter:
     def test_trigger_counts_completed_skipped_failed(self):
