@@ -1,0 +1,150 @@
+"""Telemetry overhead gate: instrumentation must be effectively free.
+
+The observability contract (docs/observability.md) is that metrics and
+tracing never perturb results and cost almost nothing:
+
+* with telemetry **enabled** (the default), single-record query latency may
+  regress by at most ``REPRO_TELEMETRY_OVERHEAD_PCT`` percent (default 3)
+  against the disabled baseline — measured interleaved, same index, same
+  probes, so clock drift and cache effects cancel;
+* with telemetry **disabled**, the timing instrumentation is provably off:
+  the lookup histogram records nothing and ``Histogram.time()`` hands back
+  a shared no-op (zero clock reads), which is what makes the disabled
+  overhead ~0 by construction;
+* results are bit-identical in both modes — flipping the gate moves no
+  score by any amount.
+
+``REPRO_EXAMPLE_SCALE`` sizes the corpus; the gate override exists for
+noisy shared CI runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import ActiveLearningConfig, IndexConfig, PipelineConfig
+from repro.datasets import load_dataset
+from repro.index import MatchIndex
+from repro.pipeline import MatchingPipeline
+
+from .conftest import EXAMPLE_SCALE
+
+CORPUS_SCALE = max(10.0, 50.0 * min(EXAMPLE_SCALE, 1.0))
+N_PROBES = 8
+ROUNDS = 25
+OVERHEAD_PCT = float(os.environ.get("REPRO_TELEMETRY_OVERHEAD_PCT", "3"))
+
+#: Same serving-shaped verification regime as the other index benchmarks.
+INDEX_CONFIG = IndexConfig(verify_threshold=0.5, exact_verify=True)
+
+
+@pytest.fixture(scope="module")
+def index():
+    fitted = MatchingPipeline(
+        PipelineConfig(
+            combination="Trees(2)",
+            config=ActiveLearningConfig(
+                seed_size=20, batch_size=10, max_iterations=3,
+                target_f1=None, random_state=0,
+            ),
+            scale=0.15,
+        )
+    )
+    fitted.fit("dblp_acm")
+    built = MatchIndex(fitted, INDEX_CONFIG)
+    built.add(load_dataset("dblp_acm", scale=CORPUS_SCALE).right.records)
+    return built
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return load_dataset("dblp_acm", scale=CORPUS_SCALE).left.records[:N_PROBES]
+
+
+def rows(scores) -> list[list]:
+    return [[s.left_id, s.right_id, s.score, s.is_match] for s in scores]
+
+
+@pytest.fixture
+def telemetry_gate():
+    """Restore the process-wide gate no matter how the test exits."""
+    previous = telemetry.enabled()
+    yield
+    telemetry.set_enabled(previous)
+
+
+def timed_query(index, probe, enabled: bool) -> float:
+    telemetry.set_enabled(enabled)
+    start = time.perf_counter()
+    index.query(probe)
+    return time.perf_counter() - start
+
+
+def test_enabled_overhead_within_gate(index, probes, telemetry_gate, emit):
+    for probe in probes:  # warm caches outside the clock
+        index.query(probe)
+    enabled_samples: list[float] = []
+    disabled_samples: list[float] = []
+    # Pair the modes per probe, alternating which goes first each round, so
+    # slow drift (thermal, page cache) and per-probe cost differences hit
+    # both modes symmetrically.
+    for round_index in range(ROUNDS):
+        enabled_first = round_index % 2 == 0
+        for probe in probes:
+            if enabled_first:
+                enabled_samples.append(timed_query(index, probe, True))
+                disabled_samples.append(timed_query(index, probe, False))
+            else:
+                disabled_samples.append(timed_query(index, probe, False))
+                enabled_samples.append(timed_query(index, probe, True))
+
+    enabled_ms = float(np.median(enabled_samples)) * 1000
+    disabled_ms = float(np.median(disabled_samples)) * 1000
+    overhead_pct = (enabled_ms / disabled_ms - 1.0) * 100
+    emit(
+        "telemetry_overhead",
+        "\n".join(
+            [
+                f"corpus records:    {len(index)}",
+                f"samples per mode:  {len(enabled_samples)} queries",
+                f"disabled median:   {disabled_ms:.3f}ms (baseline)",
+                f"enabled median:    {enabled_ms:.3f}ms",
+                f"overhead:          {overhead_pct:+.2f}% "
+                f"(gate < {OVERHEAD_PCT:g}%)",
+            ]
+        ),
+    )
+    assert overhead_pct < OVERHEAD_PCT, (
+        f"telemetry adds {overhead_pct:.2f}% to median query latency "
+        f"(gate {OVERHEAD_PCT:g}%)"
+    )
+
+
+def test_disabled_mode_does_no_timing_work(index, probes, telemetry_gate):
+    """The ~0%-disabled half of the contract, checked structurally: the
+    lookup-latency histogram only advances while the gate is on, and the
+    disabled timer is the shared no-op (no clock reads at all)."""
+    lookup = index.metrics.get("repro_index_lookup_seconds")
+    telemetry.set_enabled(True)
+    before = lookup.count
+    index.query(probes[0])
+    assert lookup.count > before, "enabled queries must time the lookup"
+
+    telemetry.set_enabled(False)
+    before = lookup.count
+    index.query(probes[0])
+    assert lookup.count == before, "disabled queries must skip the clock"
+    assert lookup.time() is lookup.time(), "disabled timer must be the shared no-op"
+
+
+def test_gate_never_perturbs_results(index, probes, telemetry_gate):
+    telemetry.set_enabled(True)
+    enabled_rows = [rows(index.query(probe)) for probe in probes]
+    telemetry.set_enabled(False)
+    disabled_rows = [rows(index.query(probe)) for probe in probes]
+    assert enabled_rows == disabled_rows, "telemetry gate changed query results"

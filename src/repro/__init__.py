@@ -30,6 +30,10 @@ The package is organised as in the paper's architecture (Fig. 1a):
   concurrent queries under a single-writer/many-reader lock, request
   coalescing into vectorized scoring calls, periodic snapshots and atomic
   hot-reload.
+* :mod:`repro.telemetry` — unified observability: thread-safe metrics
+  (the registry behind ``stats()`` and the daemon's Prometheus
+  ``GET /metrics``), per-request span tracing, structured text/JSON
+  logging.
 """
 
 from .core import (

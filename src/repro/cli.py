@@ -298,6 +298,11 @@ def _build_parser() -> argparse.ArgumentParser:
     index_query.add_argument(
         "--min-score", type=float, default=None, help="only report pairs scoring at least this"
     )
+    index_query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree for the query (timings per stage; see docs/observability.md)",
+    )
     index_query.add_argument("--json", action="store_true", help="print the scored pairs as JSON")
 
     index_dedup = index_sub.add_parser(
@@ -340,6 +345,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="structured log output format (json emits one object per line)",
     )
 
     block = subparsers.add_parser(
@@ -802,7 +813,15 @@ def _command_index_query(args: argparse.Namespace) -> int:
     index = _load_index(args.index, query_jobs=args.jobs)
     if args.cascade is not None:
         index.set_cascade_mode(args.cascade)
-    scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
+    trace_tree = None
+    if args.trace:
+        from .telemetry import start_trace
+
+        with start_trace("cli.query") as root:
+            scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
+        trace_tree = root.to_dict()
+    else:
+        scores = index.query(record, top_k=args.top_k, min_score=args.min_score)
     index.close()
     if args.json:
         payload = {
@@ -812,6 +831,8 @@ def _command_index_query(args: argparse.Namespace) -> int:
             "cascade": index.stats()["cascade"],
             "pairs": [score.to_dict() for score in scores],
         }
+        if trace_tree is not None:
+            payload["trace"] = trace_tree
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     matches = sum(1 for score in scores if score.is_match)
@@ -824,7 +845,22 @@ def _command_index_query(args: argparse.Namespace) -> int:
                 title="scored candidates",
             )
         )
+    if trace_tree is not None:
+        print("trace:")
+        _print_span_tree(trace_tree)
     return 0
+
+
+def _print_span_tree(node: dict, depth: int = 1) -> None:
+    """Indented one-line-per-span view of a trace tree (``--trace``)."""
+    meta = node.get("meta") or {}
+    extra = "".join(f" {key}={value}" for key, value in sorted(meta.items()))
+    print(
+        f"{'  ' * depth}{node['name']}  "
+        f"wall={node['wall_ms']:.3f}ms cpu={node['cpu_ms']:.3f}ms{extra}"
+    )
+    for child in node.get("children", ()):
+        _print_span_tree(child, depth + 1)
 
 
 def _command_index_dedup(args: argparse.Namespace) -> int:
@@ -872,8 +908,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from . import telemetry
     from .server import MatchServer, ServerConfig
 
+    # Route every server log record (request access lines, snapshot
+    # failures, protocol notices) through the structured logger.
+    telemetry.configure(log_format=args.log_format)
     config = ServerConfig(
         host=args.host,
         port=args.port,

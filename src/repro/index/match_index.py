@@ -75,6 +75,7 @@ from ..pipeline.artifact import (
 )
 from ..pipeline.matching import MatchingPipeline, MatchScore, coerce_record
 from ..scoring import CascadeScorer
+from ..telemetry import MetricsRegistry, span
 from .resolution import UnionFind, stable_clusters
 from .shards import ShardFanout, ShardPostings, ShardedPostings, shard_of
 from .storage import (
@@ -177,6 +178,12 @@ class MatchIndex:
         resolved blocking when it is ``minhash_lsh`` (so indexed queries
         block exactly as the pipeline's own ``match`` would), else the
         :class:`~repro.core.config.IndexConfig` defaults.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` receiving the
+        index's metrics (mutation counters, corpus gauges, lookup timings,
+        cascade counters).  Default is a fresh per-index registry — two
+        indexes (and thus two in-process servers) never mix metrics — held
+        as :attr:`metrics`; :meth:`stats` is a read-only view over it.
 
     The equivalence contract — for any add/remove history, ``query(r)``
     returns exactly what ``match([r], live_corpus)`` returns under
@@ -186,7 +193,12 @@ class MatchIndex:
     (``tests/test_index_stream_shards.py``).
     """
 
-    def __init__(self, pipeline: MatchingPipeline, config: IndexConfig | None = None):
+    def __init__(
+        self,
+        pipeline: MatchingPipeline,
+        config: IndexConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         pipeline._require_fitted()
         if config is None:
             resolved = pipeline.resolved_blocking
@@ -196,6 +208,38 @@ class MatchIndex:
                 config = IndexConfig()
         self.pipeline = pipeline
         self.config = config
+        #: The index's metric namespace.  The cascade scorer shares it (its
+        #: ``repro_cascade_*`` counters accumulate for the index's lifetime)
+        #: and the serving daemon adopts it wholesale, so ``GET /metrics``
+        #: exports exactly what :meth:`stats` summarizes.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._metric_upserts = self.metrics.counter(
+            "repro_index_upserts_total", "Records upserted (updates + inserts)"
+        )
+        self._metric_added = self.metrics.counter(
+            "repro_index_added_total", "Records appended (adds, upserts, bulk builds)"
+        )
+        self._metric_removed = self.metrics.counter(
+            "repro_index_removed_total", "Records tombstoned by remove()"
+        )
+        self._metric_repairs = self.metrics.counter(
+            "repro_index_resolution_repairs_total",
+            "Scoped resolution repairs (pair-log replays)",
+        )
+        self._metric_recomputes = self.metrics.counter(
+            "repro_index_resolution_recomputes_total",
+            "Full resolution recomputes (first resolve / changed floor)",
+        )
+        self._metric_records = self.metrics.gauge(
+            "repro_index_records", "Live (queryable) records"
+        )
+        self._metric_tombstones = self.metrics.gauge(
+            "repro_index_tombstones", "Tombstoned rows awaiting compaction"
+        )
+        self._metric_lookup = self.metrics.histogram(
+            "repro_index_lookup_seconds",
+            "Posting lookup latency per probe (union across shards)",
+        )
         self._computer = SignatureComputer(
             num_perm=config.num_perm,
             bands=config.bands,
@@ -209,10 +253,14 @@ class MatchIndex:
         #: lifetime, surfaced through :meth:`stats` (and from there the
         #: serving daemon's ``/stats``).
         self._cascade = CascadeScorer(
-            pipeline._predictor, self._extractor, pipeline.config.cascade
+            pipeline._predictor,
+            self._extractor,
+            pipeline.config.cascade,
+            registry=self.metrics,
         )
         self._storage = IndexStorage(config.num_perm, config.bands)
         self._postings = ShardedPostings(config.bands, config.shards)
+        self._postings.lookup_timer = self._metric_lookup
         #: record id → row for live rows; ``None`` means "not built yet" —
         #: a freshly loaded index defers the O(n) id decode until the first
         #: mutation or membership check, keeping :meth:`load` O(1).
@@ -220,10 +268,10 @@ class MatchIndex:
         self._record_cache: dict[int, Record] = {}
         self._n_live = 0
         self._n_tombstones = 0
+        #: Logical insertion count — *state*, not telemetry: it numbers
+        #: auto-generated record ids and persists in the artifact manifest,
+        #: so it stays an attribute (mirrored into ``repro_index_added_total``).
         self._added_total = 0
-        self._upserts_total = 0
-        self._resolution_repairs = 0
-        self._resolution_recomputes = 0
         self._shingle_sets: dict[int, set[int]] = {}
         #: Cached resolution state: ``{"min_score", "uf", "pairs"}`` where
         #: ``pairs`` logs every accepted (left id, right id) pair the
@@ -280,6 +328,11 @@ class MatchIndex:
             self._fanout.close()
             self._fanout = None
 
+    def _sync_gauges(self) -> None:
+        """Refresh the corpus gauges after any live/tombstone change."""
+        self._metric_records.set(self._n_live)
+        self._metric_tombstones.set(self._n_tombstones)
+
     def close(self) -> None:
         """Release the query fan-out pool (no-op for in-process indexes)."""
         self._drop_fanout()
@@ -317,6 +370,11 @@ class MatchIndex:
         split: ``resident_bytes`` estimates RAM actually owned by the index
         (columns, tails, posting deltas), ``mapped_bytes`` counts read-only
         memory-mapped artifact payloads served from the page cache.
+
+        The mutation and resolution counters are a *view over the metrics
+        registry* (:attr:`metrics`) — the same series a serving daemon
+        exports on ``GET /metrics`` as ``repro_index_*`` — so this dict and
+        a Prometheus scrape can never disagree.
         """
         live = self._live
         dead_shards = (
@@ -339,9 +397,9 @@ class MatchIndex:
             "records": len(self),
             "rows": self.n_rows,
             "tombstones": self._n_tombstones,
-            "upserts_total": self._upserts_total,
-            "resolution_repairs": self._resolution_repairs,
-            "resolution_recomputes": self._resolution_recomputes,
+            "upserts_total": self._metric_upserts.value,
+            "resolution_repairs": self._metric_repairs.value,
+            "resolution_recomputes": self._metric_recomputes.value,
             "bands": self.config.bands,
             "num_perm": self.config.num_perm,
             "posting_lists": sum(entry["posting_lists"] for entry in shard_stats),
@@ -358,18 +416,15 @@ class MatchIndex:
     def set_cascade_mode(self, mode: str) -> None:
         """Override the pipeline's cascade mode for this index (CLI hook).
 
-        Rebuilds the scorer under the new :class:`CascadeConfig`; accumulated
-        prune counters carry over so ``stats()`` stays monotone.
+        Rebuilds the scorer under the new :class:`CascadeConfig`.  The new
+        scorer shares the index's registry, so the accumulated prune
+        counters carry over automatically and ``stats()`` stays monotone.
         """
-        previous = self._cascade
         self._cascade = CascadeScorer(
-            self.pipeline._predictor, self._extractor, CascadeConfig(mode=mode)
-        )
-        counts = previous.stats()
-        self._cascade.merge_counts(
-            counts["candidates_seen"],
-            counts["pruned_at_bound"],
-            counts["fully_scored"],
+            self.pipeline._predictor,
+            self._extractor,
+            CascadeConfig(mode=mode),
+            registry=self.metrics,
         )
 
     # ----------------------------------------------------------------- add
@@ -478,6 +533,8 @@ class MatchIndex:
             id_map[record_id] = base + offset
         self._n_live += len(batch)
         self._added_total += len(batch)
+        self._metric_added.inc(len(batch))
+        self._sync_gauges()
 
         touched: set[int] = set()
         if len(nonempty_offsets):
@@ -552,7 +609,8 @@ class MatchIndex:
             self._shingle_sets.pop(row, None)
         self._n_tombstones += len(old_rows)
         self._n_live -= len(old_rows)
-        self._upserts_total += len(batch)
+        self._metric_upserts.inc(len(batch))
+        self._sync_gauges()
         if old_rows:
             self._mark_dirty((INDEX_LIVE_PAYLOAD,))
         if self._resolution is not None:
@@ -594,6 +652,8 @@ class MatchIndex:
             self._shingle_sets.pop(row, None)
         self._n_tombstones += len(ids)
         self._n_live -= len(ids)
+        self._metric_removed.inc(len(ids))
+        self._sync_gauges()
         self._repair_resolution(set(ids))
         self._mark_dirty((INDEX_LIVE_PAYLOAD,))
         self._maybe_compact()
@@ -641,7 +701,9 @@ class MatchIndex:
             self._storage.band_keys.take(rows),
             self._storage.shard_ids.array[rows],
         )
+        self._postings.lookup_timer = self._metric_lookup
         self._n_tombstones = 0
+        self._sync_gauges()
         self._id_map = None
         self._record_cache.clear()
         self._shingle_sets.clear()
@@ -778,19 +840,26 @@ class MatchIndex:
         """
         if top_k is not None and top_k < 1:
             raise ConfigurationError("top_k must be at least 1 or None")
-        probe = coerce_record(record)
-        hashes = self._computer.shingle_hashes(probe)
-        if hashes is None or not self._n_live:
-            return []
-        signature = self._computer.signature_matrix([hashes])
-        keys = self._computer.band_hashes(signature)[0]
-        rows = self._collision_rows(keys)
-        rows = self._verify_rows(signature.astype(np.uint16), hashes, rows)
-        if not len(rows):
-            return []
-        results = self._score_rows(probe, rows, min_score)
-        self._trim_extractor_cache()
-        return self._filter_scores(results, top_k, min_score)
+        with span("index.query") as query_span:
+            probe = coerce_record(record)
+            hashes = self._computer.shingle_hashes(probe)
+            if hashes is None or not self._n_live:
+                return []
+            with span("query.block") as block_span:
+                signature = self._computer.signature_matrix([hashes])
+                keys = self._computer.band_hashes(signature)[0]
+                rows = self._collision_rows(keys)
+                block_span.annotate(collisions=int(len(rows)))
+            with span("query.verify") as verify_span:
+                rows = self._verify_rows(signature.astype(np.uint16), hashes, rows)
+                verify_span.annotate(candidates=int(len(rows)))
+            if not len(rows):
+                return []
+            with span("query.score"):
+                results = self._score_rows(probe, rows, min_score)
+            query_span.annotate(results=len(results))
+            self._trim_extractor_cache()
+            return self._filter_scores(results, top_k, min_score)
 
     @staticmethod
     def _broadcast_option(name: str, value, count: int) -> list:
@@ -839,42 +908,51 @@ class MatchIndex:
         hashes_list = [self._computer.shingle_hashes(probe) for probe in probes]
         pairs: list[CandidatePair] = []
         owners: list[int] = []
-        if self._n_live:
-            usable = [i for i, hashes in enumerate(hashes_list) if hashes is not None]
-            if usable:
-                signatures = self._computer.signature_matrix(
-                    [hashes_list[i] for i in usable]
-                )
-                keys = self._computer.band_hashes(signatures)
-                for offset, i in enumerate(usable):
-                    rows = self._collision_rows(keys[offset])
-                    rows = self._verify_rows(
-                        signatures[offset : offset + 1].astype(np.uint16),
-                        hashes_list[i],
-                        rows,
+        with span("query.block") as block_span:
+            if self._n_live:
+                usable = [
+                    i for i, hashes in enumerate(hashes_list) if hashes is not None
+                ]
+                if usable:
+                    signatures = self._computer.signature_matrix(
+                        [hashes_list[i] for i in usable]
                     )
-                    for row in rows.tolist():
-                        pairs.append(CandidatePair(probes[i], self._record_at(row)))
-                        owners.append(i)
+                    keys = self._computer.band_hashes(signatures)
+                    for offset, i in enumerate(usable):
+                        rows = self._collision_rows(keys[offset])
+                        rows = self._verify_rows(
+                            signatures[offset : offset + 1].astype(np.uint16),
+                            hashes_list[i],
+                            rows,
+                        )
+                        for row in rows.tolist():
+                            pairs.append(CandidatePair(probes[i], self._record_at(row)))
+                            owners.append(i)
+            block_span.annotate(probes=len(probes), candidates=len(pairs))
 
         chunk_size = self.pipeline.config.chunk_size
-        for start in range(0, len(pairs), chunk_size):
-            chunk = pairs[start : start + chunk_size]
-            # Per-pair floors: each pair inherits its owning probe's
-            # min_score, so coalesced chunks prune exactly as the equivalent
-            # one-at-a-time queries would.
-            floors = [min_scores[owners[start + offset]] for offset in range(len(chunk))]
-            kept, scores, predictions = self._cascade.score_chunk(chunk, floors=floors)
-            for offset, score, prediction in zip(kept.tolist(), scores, predictions):
-                pair = chunk[offset]
-                results[owners[start + offset]].append(
-                    MatchScore(
-                        left_id=pair.left.record_id,
-                        right_id=pair.right.record_id,
-                        score=float(score),
-                        is_match=bool(prediction),
-                    )
+        with span("query.score"):
+            for start in range(0, len(pairs), chunk_size):
+                chunk = pairs[start : start + chunk_size]
+                # Per-pair floors: each pair inherits its owning probe's
+                # min_score, so coalesced chunks prune exactly as the
+                # equivalent one-at-a-time queries would.
+                floors = [
+                    min_scores[owners[start + offset]] for offset in range(len(chunk))
+                ]
+                kept, scores, predictions = self._cascade.score_chunk(
+                    chunk, floors=floors
                 )
+                for offset, score, prediction in zip(kept.tolist(), scores, predictions):
+                    pair = chunk[offset]
+                    results[owners[start + offset]].append(
+                        MatchScore(
+                            left_id=pair.left.record_id,
+                            right_id=pair.right.record_id,
+                            score=float(score),
+                            is_match=bool(prediction),
+                        )
+                    )
         if pairs:
             self._trim_extractor_cache()
         return [
@@ -972,7 +1050,7 @@ class MatchIndex:
             uf.union(left_id, right_id)
         state["pairs"] = survivors
         state["uf"] = uf
-        self._resolution_repairs += 1
+        self._metric_repairs.inc()
 
     def resolve(self, min_score: float | None = None) -> list[list[str]]:
         """Cluster the live corpus into entities; returns stable clusters.
@@ -1006,7 +1084,7 @@ class MatchIndex:
                     pairs.append((other, row))
             self._union_accepted(state, pairs)
             self._resolution = state
-            self._resolution_recomputes += 1
+            self._metric_recomputes.inc()
         return stable_clusters(state["uf"], self.record_ids())
 
     # --------------------------------------------------------- persistence
@@ -1091,7 +1169,13 @@ class MatchIndex:
         self._clean = clean
 
     @classmethod
-    def load(cls, path, mmap: bool = True, query_jobs: int = 1) -> "MatchIndex":
+    def load(
+        cls,
+        path,
+        mmap: bool = True,
+        query_jobs: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> "MatchIndex":
         """Reload a persisted index (pipeline included) from an artifact.
 
         Columnar (version-2) payloads are **memory-mapped read-only** when
@@ -1128,7 +1212,13 @@ class MatchIndex:
                 f"rebuild the index or upgrade repro"
             )
         pipeline = MatchingPipeline.load(directory)
-        index = cls(pipeline, IndexConfig.from_dict(section.get("config", {})))
+        # An explicit registry (the serving daemon's hot-reload path passes
+        # its own) keeps metric series monotone across index swaps.
+        index = cls(
+            pipeline,
+            IndexConfig.from_dict(section.get("config", {})),
+            registry=registry,
+        )
         if version == 1:
             state = pickle.loads(read_payload(directory, INDEX_STATE_PAYLOAD))
             index._install_legacy_state(state)
@@ -1143,6 +1233,7 @@ class MatchIndex:
                 for shard_index in range(index.config.shards)
             ]
             index._fanout = ShardFanout(shard_paths, index.config.bands, query_jobs)
+            index._fanout.lookup_timer = index._metric_lookup
         return index
 
     def _install_payloads(
@@ -1211,8 +1302,10 @@ class MatchIndex:
                 )
             )
         self._postings = ShardedPostings(config.bands, config.shards, shards)
+        self._postings.lookup_timer = self._metric_lookup
         self._n_live = int(np.count_nonzero(storage.live.array))
         self._n_tombstones = n - self._n_live
+        self._sync_gauges()
         state = section.get("state") or {}
         self._added_total = int(state.get("added_total", n))
         # Deferred until the first mutation / membership check: building the
@@ -1257,8 +1350,10 @@ class MatchIndex:
         self._postings = ShardedPostings.rebuild(
             self.config.bands, self.config.shards, rows, band_keys[rows], shard_ids[rows]
         )
+        self._postings.lookup_timer = self._metric_lookup
         self._n_tombstones = int(state["n_tombstones"])
         self._n_live = int(np.count_nonzero(live))
+        self._sync_gauges()
         self._added_total = int(state["added_total"])
         self._id_map = {
             record_ids[row]: row for row in np.flatnonzero(live).tolist()

@@ -41,11 +41,15 @@ from __future__ import annotations
 
 import threading
 import zlib
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["ShardFanout", "ShardPostings", "ShardedPostings", "shard_of"]
+
+#: Reusable stand-in for an un-attached lookup timer (see ``lookup_timer``).
+_NO_TIMER = nullcontext()
 
 #: A shard's delta is merged into its frozen CSR once it holds more than
 #: ``max(_FREEZE_MIN_ROWS, frozen_rows)`` rows — geometric growth, so a
@@ -264,6 +268,11 @@ class ShardedPostings:
         self.bands = bands
         self.n_shards = n_shards
         self.shards = shards or [ShardPostings(bands) for _ in range(n_shards)]
+        #: Optional injected histogram series (``.time()`` context manager)
+        #: observing whole-probe lookup latency.  :class:`MatchIndex` attaches
+        #: its registry's ``repro_index_lookup_seconds`` here; standalone
+        #: postings (tests, compaction rebuilds before adoption) stay untimed.
+        self.lookup_timer = None
 
     def add(self, rows: np.ndarray, keys: np.ndarray, shard_ids: np.ndarray) -> set[int]:
         """Route a batch's postings to their shards; returns touched shards."""
@@ -286,12 +295,14 @@ class ShardedPostings:
         the same records yields the same candidate set — the shard-count
         invariance the equivalence suites pin down.
         """
-        hits: list[np.ndarray] = []
-        for shard in self.shards:
-            hits.extend(shard.lookup(probe_keys))
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(hits))
+        timer = self.lookup_timer
+        with timer.time() if timer is not None else _NO_TIMER:
+            hits: list[np.ndarray] = []
+            for shard in self.shards:
+                hits.extend(shard.lookup(probe_keys))
+            if not hits:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(np.concatenate(hits))
 
     @classmethod
     def rebuild(
@@ -369,6 +380,9 @@ class ShardFanout:
         self._bands = bands
         self.jobs = max(1, min(jobs, len(shard_paths)))
         self._pool = None
+        #: Same injectable timing hook as :attr:`ShardedPostings.lookup_timer`
+        #: — one observation per probe covering the full fan-out round trip.
+        self.lookup_timer = None
 
     def _executor(self):
         if self._pool is None:
@@ -381,11 +395,15 @@ class ShardFanout:
 
     def collision_rows(self, probe_keys: np.ndarray) -> np.ndarray:
         """Union of posting hits across all shards (unique, ascending)."""
-        tasks = [(paths, self._bands, probe_keys) for paths in self._paths]
-        hits = [rows for rows in self._executor().map(_fanout_lookup, tasks) if len(rows)]
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(hits))
+        timer = self.lookup_timer
+        with timer.time() if timer is not None else _NO_TIMER:
+            tasks = [(paths, self._bands, probe_keys) for paths in self._paths]
+            hits = [
+                rows for rows in self._executor().map(_fanout_lookup, tasks) if len(rows)
+            ]
+            if not hits:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(np.concatenate(hits))
 
     def close(self) -> None:
         if self._pool is not None:

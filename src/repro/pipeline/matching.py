@@ -32,6 +32,7 @@ from ..core.base import Learner
 from ..core.config import BlockingConfig, PipelineConfig
 from ..datasets.base import CandidatePair, EMDataset, Record, Table
 from ..exceptions import ConfigurationError, NotFittedError
+from ..telemetry import span
 from .artifact import read_artifact, write_artifact
 
 #: Jaccard threshold used when a pipeline is fitted on a plain
@@ -282,10 +283,12 @@ class MatchingPipeline:
         self._require_fitted()
         from ..harness.preparation import build_blocker
 
-        left = self._as_table("left", records_a)
-        right = self._as_table("right", records_b)
-        blocker = build_blocker(self.resolved_blocking, FALLBACK_BLOCKING_THRESHOLD)
-        triples = blocker.candidate_pairs(left, right)
+        with span("match.block") as block_span:
+            left = self._as_table("left", records_a)
+            right = self._as_table("right", records_b)
+            blocker = build_blocker(self.resolved_blocking, FALLBACK_BLOCKING_THRESHOLD)
+            triples = blocker.candidate_pairs(left, right)
+            block_span.annotate(candidates=len(triples))
         return [CandidatePair(left_rec, right_rec) for left_rec, right_rec, _ in triples]
 
     def match(
@@ -342,30 +345,35 @@ class MatchingPipeline:
             return []
         chunks = [pairs[start : start + chunk_size] for start in range(0, len(pairs), chunk_size)]
 
-        if jobs == 1 or len(chunks) == 1:
-            from ..harness.preparation import make_extractor
-            from ..scoring import CascadeScorer
+        with span("match.score") as score_span:
+            if jobs == 1 or len(chunks) == 1:
+                from ..harness.preparation import make_extractor
+                from ..scoring import CascadeScorer
 
-            extractor = make_extractor(self.matched_columns, self.feature_kind)
-            scorer = CascadeScorer(self._predictor, extractor, self.config.cascade)
-            scored = [
-                scorer.score_chunk(chunk, floors=min_score) for chunk in chunks
-            ]
-            self.last_match_stats = scorer.stats()
-        else:
-            state = pickle.dumps(self._inference_state(min_score), protocol=pickle.HIGHEST_PROTOCOL)
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(chunks)),
-                initializer=_init_match_worker,
-                initargs=(state,),
-            ) as pool:
-                scored = list(pool.map(_match_chunk_worker, chunks))
-            self.last_match_stats = {
-                "mode": self.config.cascade.mode,
-                "candidates_seen": len(pairs),
-                "pruned_at_bound": len(pairs) - sum(len(kept) for kept, _, _ in scored),
-                "fully_scored": sum(len(kept) for kept, _, _ in scored),
-            }
+                extractor = make_extractor(self.matched_columns, self.feature_kind)
+                scorer = CascadeScorer(self._predictor, extractor, self.config.cascade)
+                scored = [
+                    scorer.score_chunk(chunk, floors=min_score) for chunk in chunks
+                ]
+                self.last_match_stats = scorer.stats()
+            else:
+                state = pickle.dumps(
+                    self._inference_state(min_score), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(chunks)),
+                    initializer=_init_match_worker,
+                    initargs=(state,),
+                ) as pool:
+                    scored = list(pool.map(_match_chunk_worker, chunks))
+                self.last_match_stats = {
+                    "mode": self.config.cascade.mode,
+                    "candidates_seen": len(pairs),
+                    "pruned_at_bound": len(pairs)
+                    - sum(len(kept) for kept, _, _ in scored),
+                    "fully_scored": sum(len(kept) for kept, _, _ in scored),
+                }
+            score_span.annotate(chunks=len(chunks), jobs=jobs)
 
         results: list[MatchScore] = []
         for chunk, (kept, scores, predictions) in zip(chunks, scored):

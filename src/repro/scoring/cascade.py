@@ -25,13 +25,12 @@ cascade still uses staged extraction but scores every candidate.  See
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
 from ..core.config import CascadeConfig
 from ..datasets.base import CandidatePair
 from ..features.extractor import FeatureExtractor
+from ..telemetry import MetricsRegistry, span
 from .linear import analyze_predictor
 
 __all__ = ["CascadeScorer"]
@@ -68,12 +67,36 @@ class CascadeScorer:
     config:
         :class:`~repro.core.config.CascadeConfig`; ``None`` means defaults
         (mode ``"auto"``).
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` backing the
+        cascade counters.  Default is a fresh private registry, so a
+        scorer built per ``match()`` call still reports per-call counts;
+        :class:`~repro.index.MatchIndex` injects its own registry so the
+        counters accumulate (and export) for the index's lifetime.
     """
 
-    def __init__(self, predictor, extractor, config: CascadeConfig | None = None):
+    def __init__(
+        self,
+        predictor,
+        extractor,
+        config: CascadeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.predictor = predictor
         self.extractor = extractor
         self.config = config or CascadeConfig()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._seen = self.metrics.counter(
+            "repro_cascade_candidates_total", "Candidate pairs entering the cascade"
+        )
+        self._pruned = self.metrics.counter(
+            "repro_cascade_pruned_total",
+            "Candidates pruned at the optimistic bound (Stage B)",
+        )
+        self._scored = self.metrics.counter(
+            "repro_cascade_fully_scored_total",
+            "Candidates fully scored by the real predictor",
+        )
         self._staged = self.config.mode != "off" and isinstance(
             extractor, FeatureExtractor
         )
@@ -82,31 +105,46 @@ class CascadeScorer:
             # Dimensionality mismatch (shouldn't happen for a consistent
             # pipeline) — never prune on weights we can't line up.
             self.analysis = None
-        self._lock = threading.Lock()
-        self.candidates_seen = 0
-        self.pruned_at_bound = 0
-        self.fully_scored = 0
 
     # ------------------------------------------------------------- counters
+    # Counter state lives in the registry (each series has its own lock);
+    # the attribute names survive as read-only views for callers and docs.
+    @property
+    def candidates_seen(self) -> int:
+        return self._seen.value
+
+    @property
+    def pruned_at_bound(self) -> int:
+        return self._pruned.value
+
+    @property
+    def fully_scored(self) -> int:
+        return self._scored.value
+
     def _count(self, seen: int, pruned: int, scored: int) -> None:
-        with self._lock:
-            self.candidates_seen += seen
-            self.pruned_at_bound += pruned
-            self.fully_scored += scored
+        if seen:
+            self._seen.inc(seen)
+        if pruned:
+            self._pruned.inc(pruned)
+        if scored:
+            self._scored.inc(scored)
 
     def merge_counts(self, seen: int, pruned: int, scored: int) -> None:
         """Fold counters produced elsewhere (worker processes) into this one."""
         self._count(seen, pruned, scored)
 
     def stats(self) -> dict:
-        """Counter snapshot for observability surfaces (index stats, CLI)."""
-        with self._lock:
-            return {
-                "mode": self.config.mode,
-                "candidates_seen": self.candidates_seen,
-                "pruned_at_bound": self.pruned_at_bound,
-                "fully_scored": self.fully_scored,
-            }
+        """Counter snapshot for observability surfaces (index stats, CLI).
+
+        A view over the backing registry — the same numbers the daemon's
+        ``GET /metrics`` exports as ``repro_cascade_*_total``.
+        """
+        return {
+            "mode": self.config.mode,
+            "candidates_seen": self._seen.value,
+            "pruned_at_bound": self._pruned.value,
+            "fully_scored": self._scored.value,
+        }
 
     # -------------------------------------------------------------- scoring
     def score_chunk(
@@ -140,60 +178,70 @@ class CascadeScorer:
         if self.analysis is None or (not accept_prune and floor_values is None):
             # Staged extraction without pruning: every column through the
             # batched kernels, every row scored.
-            plan = self.extractor.begin_partial(chunk)
-            plan.fill_all()
-            scores, predictions = self._predict(plan.matrix)
+            with span("cascade.extract") as extract_span:
+                plan = self.extractor.begin_partial(chunk)
+                plan.fill_all()
+                extract_span.annotate(candidates=count)
+            with span("cascade.predict"):
+                scores, predictions = self._predict(plan.matrix)
             self._count(count, 0, count)
             return np.arange(count, dtype=np.int64), scores, predictions
 
         extractor = self.extractor
         analysis = self.analysis
-        plan = extractor.begin_partial(chunk)
-        plan.fill(extractor.cheap_suite_indices)
-        weights = analysis.weights
-        cheap_part = (
-            plan.matrix[:, extractor.cheap_column_indices]
-            @ weights[extractor.cheap_column_indices]
-        )
-        gains = np.maximum(weights[extractor.expensive_column_indices], 0.0)
-        optimistic = (
-            cheap_part
-            + plan.upper_bounds() @ gains
-            + analysis.bias
-            + analysis.slack
-        )
-        prune = np.zeros(count, dtype=bool)
-        if accept_prune:
-            prune |= optimistic <= 0.0
-        if floor_values is not None:
-            # Probability-space comparison: sigmoid∘clip is monotone, so the
-            # optimistic probability dominates the true one.
-            optimistic_proba = 1.0 / (
-                1.0 + np.exp(-np.clip(optimistic, -30.0, 30.0))
+        with span("cascade.stage_a") as stage_a:
+            plan = extractor.begin_partial(chunk)
+            plan.fill(extractor.cheap_suite_indices)
+            stage_a.annotate(candidates=count)
+        with span("cascade.stage_b") as stage_b:
+            weights = analysis.weights
+            cheap_part = (
+                plan.matrix[:, extractor.cheap_column_indices]
+                @ weights[extractor.cheap_column_indices]
             )
-            floored = ~np.isnan(floor_values)
-            prune[floored] |= optimistic_proba[floored] < floor_values[floored]
-        kept = np.flatnonzero(~prune).astype(np.int64)
-        if len(kept):
-            plan.fill(extractor.expensive_suite_indices, rows=kept)
-            matrix = plan.matrix
-            if len(kept) < count:
-                # Predict over the full-size matrix with pruned rows
-                # zero-filled and their outputs discarded.  BLAS matrix-vector
-                # kernels are row-independent but not row-count-independent
-                # (the <4-row tail uses a different accumulation order), so
-                # scoring a survivor *submatrix* could flip last-ulp bits vs
-                # the uncascaded path.  Keeping the row count — the dot
-                # products are nanoseconds; the savings are in the skipped
-                # expensive feature columns — makes survivor scores
-                # structurally bit-identical.
-                matrix[np.isnan(matrix)] = 0.0
-            scores_all, predictions_all = self._predict(matrix)
-            scores = scores_all[kept]
-            predictions = predictions_all[kept]
-        else:
-            scores = np.zeros(0)
-            predictions = np.zeros(0, dtype=np.int64)
+            gains = np.maximum(weights[extractor.expensive_column_indices], 0.0)
+            optimistic = (
+                cheap_part
+                + plan.upper_bounds() @ gains
+                + analysis.bias
+                + analysis.slack
+            )
+            prune = np.zeros(count, dtype=bool)
+            if accept_prune:
+                prune |= optimistic <= 0.0
+            if floor_values is not None:
+                # Probability-space comparison: sigmoid∘clip is monotone, so
+                # the optimistic probability dominates the true one.
+                optimistic_proba = 1.0 / (
+                    1.0 + np.exp(-np.clip(optimistic, -30.0, 30.0))
+                )
+                floored = ~np.isnan(floor_values)
+                prune[floored] |= optimistic_proba[floored] < floor_values[floored]
+            kept = np.flatnonzero(~prune).astype(np.int64)
+            stage_b.annotate(pruned=count - len(kept))
+        with span("cascade.stage_c") as stage_c:
+            if len(kept):
+                plan.fill(extractor.expensive_suite_indices, rows=kept)
+                matrix = plan.matrix
+                if len(kept) < count:
+                    # Predict over the full-size matrix with pruned rows
+                    # zero-filled and their outputs discarded.  BLAS
+                    # matrix-vector kernels are row-independent but not
+                    # row-count-independent (the <4-row tail uses a different
+                    # accumulation order), so scoring a survivor *submatrix*
+                    # could flip last-ulp bits vs the uncascaded path.
+                    # Keeping the row count — the dot products are
+                    # nanoseconds; the savings are in the skipped expensive
+                    # feature columns — makes survivor scores structurally
+                    # bit-identical.
+                    matrix[np.isnan(matrix)] = 0.0
+                scores_all, predictions_all = self._predict(matrix)
+                scores = scores_all[kept]
+                predictions = predictions_all[kept]
+            else:
+                scores = np.zeros(0)
+                predictions = np.zeros(0, dtype=np.int64)
+            stage_c.annotate(survivors=len(kept))
         self._count(count, count - len(kept), len(kept))
         return kept, scores, predictions
 

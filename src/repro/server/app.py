@@ -13,6 +13,7 @@ and answers JSON endpoints from memory —
 ``POST /resolve``         write   entity clusters over the live corpus
 ``GET /healthz``          read    liveness + corpus summary
 ``GET /stats``            read    index + server counters
+``GET /metrics``          read    Prometheus text exposition of the registry
 ``POST /admin/snapshot``  read    persist the index artifact now
 ``POST /admin/reload``    write   atomically swap in an artifact from disk
 ``POST /admin/shutdown``  —       stop serving cleanly
@@ -45,12 +46,15 @@ its resident/mapped byte split alongside the server counters.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import uuid
 from dataclasses import dataclass
 from http.server import ThreadingHTTPServer
 
 from ..exceptions import ArtifactError, ConfigurationError
 from ..index import MatchIndex
+from ..telemetry import get_logger, render_prometheus, start_trace
 from .batching import QueryBatcher
 from .handlers import MatchRequestHandler
 from .locks import RWLock
@@ -127,10 +131,34 @@ class MatchServer:
         self.config = config or ServerConfig()
         self.artifact = str(artifact) if artifact is not None else None
         self._index = index
+        #: The server's metric namespace IS the index's: one registry behind
+        #: ``GET /metrics``, ``/stats`` and ``MatchIndex.stats()``, isolated
+        #: per server instance (two in-process servers never mix series).
+        self.metrics = index.metrics
+        self._requests = self.metrics.counter(
+            "repro_requests_total",
+            "Requests served, by endpoint (errors as error_<status>)",
+            labelnames=("endpoint",),
+        )
+        self._query_total = self.metrics.counter(
+            "repro_query_total", "Query requests served"
+        )
+        self._latency = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency, by endpoint",
+            labelnames=("endpoint",),
+        )
+        self._generation_gauge = self.metrics.gauge(
+            "repro_server_generation", "Current index generation"
+        )
+        self.log = get_logger("server")
+        #: Request ids: a per-instance prefix plus a process-wide monotone
+        #: sequence — unique across the daemon's lifetime, and two servers
+        #: in one process can never mint the same id.
+        self._request_id_prefix = uuid.uuid4().hex[:8]
+        self._request_seq = itertools.count(1)
         self._lock = RWLock()
         self._generation = 0
-        self._counters: dict[str, int] = {}
-        self._counter_lock = threading.Lock()
         self._snapshot_mutex = threading.Lock()
         self._snapshotted_generation: int | None = None
         self._shutdown_requested = threading.Event()
@@ -141,12 +169,18 @@ class MatchServer:
                 self._execute_query_batch,
                 window=self.config.batch_window,
                 max_batch=self.config.max_batch,
+                registry=self.metrics,
             )
             if self.config.batch_window > 0
             else None
         )
         self._snapshotter = (
-            Snapshotter(self._background_snapshot, self.config.snapshot_interval)
+            Snapshotter(
+                self._background_snapshot,
+                self.config.snapshot_interval,
+                registry=self.metrics,
+                context=self._snapshot_context,
+            )
             if self.config.snapshot_interval > 0
             else None
         )
@@ -167,8 +201,19 @@ class MatchServer:
         return self.config.snapshot_path or self.artifact
 
     def _count(self, key: str) -> None:
-        with self._counter_lock:
-            self._counters[key] = self._counters.get(key, 0) + 1
+        self._requests.labels(endpoint=key).inc()
+
+    def next_request_id(self) -> str:
+        """Mint the id the handler stamps on (and echoes in) a response."""
+        return f"{self._request_id_prefix}-{next(self._request_seq):06d}"
+
+    def _snapshot_context(self) -> dict:
+        """Failure-log fields for the background snapshotter."""
+        return {"path": self.snapshot_path, "generation": self._generation}
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text format (``GET /metrics``)."""
+        return render_prometheus(self.metrics)
 
     # ------------------------------------------------------------ query path
     def _execute_query_batch(self, requests: list[tuple]) -> list[tuple]:
@@ -182,28 +227,55 @@ class MatchServer:
             )
         return [(scores, generation) for scores in batches]
 
-    def query(self, record, top_k: int | None = None, min_score: float | None = None) -> dict:
+    def query(
+        self,
+        record,
+        top_k: int | None = None,
+        min_score: float | None = None,
+        trace: bool = False,
+        request_id: str | None = None,
+    ) -> dict:
         """Match one record; coalesced with concurrent callers when batching
-        is on.  Returns the JSON-shaped response payload."""
-        if self._batcher is not None:
+        is on.  Returns the JSON-shaped response payload.
+
+        With ``trace=True`` the request *bypasses the batcher* — a coalesced
+        leader would attribute its whole batch's work to one span tree — and
+        runs under a root span instead; the payload gains a ``"trace"`` key
+        holding the serialized tree.  Batched and unbatched queries are
+        bit-identical by :meth:`~repro.index.MatchIndex.query_batch`'s
+        equivalence contract, so tracing never changes the pairs returned.
+        """
+        if trace:
+            with start_trace("request", request_id=request_id) as root:
+                with self._lock.read():
+                    generation = self._generation
+                    scores = self._index.query(
+                        record, top_k=top_k, min_score=min_score
+                    )
+        elif self._batcher is not None:
             scores, generation = self._batcher.submit((record, top_k, min_score))
         else:
             with self._lock.read():
                 generation = self._generation
                 scores = self._index.query(record, top_k=top_k, min_score=min_score)
         self._count("query")
-        return {
+        self._query_total.inc()
+        payload = {
             "pairs": [score.to_dict() for score in scores],
             "candidates": len(scores),
             "matches": sum(1 for score in scores if score.is_match),
             "generation": generation,
         }
+        if trace:
+            payload["trace"] = root.to_dict()
+        return payload
 
     # -------------------------------------------------------------- mutation
     def add(self, records) -> dict:
         with self._lock.write():
             added = self._index.add(records)
             self._generation += 1
+            self._generation_gauge.set(self._generation)
             payload = {
                 "added": added,
                 "records": len(self._index),
@@ -223,6 +295,7 @@ class MatchServer:
         with self._lock.write():
             outcome = self._index.upsert(records, insert_missing=insert_missing)
             self._generation += 1
+            self._generation_gauge.set(self._generation)
             payload = {
                 "updated": outcome["updated"],
                 "inserted": outcome["inserted"],
@@ -236,6 +309,7 @@ class MatchServer:
         with self._lock.write():
             removed = self._index.remove(record_ids)
             self._generation += 1
+            self._generation_gauge.set(self._generation)
             payload = {
                 "removed": removed,
                 "records": len(self._index),
@@ -303,10 +377,14 @@ class MatchServer:
         target = path or self.snapshot_path
         if target is None:
             raise ArtifactError("no artifact path to reload from")
-        replacement = MatchIndex.load(target)
+        # The replacement adopts this server's registry: metric series stay
+        # monotone across the swap (counters continue, gauges re-sync to the
+        # loaded corpus) and /metrics keeps exporting one namespace.
+        replacement = MatchIndex.load(target, registry=self.metrics)
         with self._lock.write():
             self._index = replacement
             self._generation += 1
+            self._generation_gauge.set(self._generation)
             payload = {
                 "path": str(target),
                 "records": len(self._index),
@@ -325,11 +403,16 @@ class MatchServer:
             }
 
     def stats(self) -> dict:
+        """Index + server counters — a read-only view over :attr:`metrics`.
+
+        Every number here is backed by a registry series that ``GET
+        /metrics`` exports verbatim, so ``/stats`` and a Prometheus scrape
+        can never disagree.
+        """
         with self._lock.read():
             index_stats = self._index.stats()
             generation = self._generation
-        with self._counter_lock:
-            counters = dict(sorted(self._counters.items()))
+        counters = dict(sorted(self.metrics.label_values("repro_requests_total").items()))
         server: dict = {
             "generation": generation,
             "requests": counters,

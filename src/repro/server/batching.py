@@ -54,22 +54,36 @@ class QueryBatcher:
     max_batch:
         Hard cap on requests per ``execute`` call (bounds peak memory of one
         coalesced scoring pass); excess requests form the next batch.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` backing the
+        coalescing counters (the server passes its own, so ``GET /metrics``
+        exports them as ``repro_batch_*``); default is a private registry.
     """
 
-    def __init__(self, execute, window: float, max_batch: int) -> None:
+    def __init__(self, execute, window: float, max_batch: int, registry=None) -> None:
         if window < 0:
             raise ValueError("window must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if registry is None:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         self._execute = execute
         self._window = window
         self._max_batch = max_batch
         self._lock = threading.Lock()
         self._queue: deque[_Job] = deque()
         self._leader_active = False
-        self._batches = 0
-        self._coalesced = 0
-        self._largest_batch = 0
+        self._batches = registry.counter(
+            "repro_batch_batches_total", "Coalesced query batches executed"
+        )
+        self._coalesced = registry.counter(
+            "repro_batch_requests_total", "Query requests served through batches"
+        )
+        self._largest_batch = registry.gauge(
+            "repro_batch_largest", "Largest coalesced batch so far"
+        )
 
     def submit(self, request):
         """Enqueue one request; blocks until its batch ran, returns its result."""
@@ -130,20 +144,26 @@ class QueryBatcher:
             for job in batch:
                 job.error = exc
         finally:
-            with self._lock:
-                self._batches += 1
-                self._coalesced += len(batch)
-                self._largest_batch = max(self._largest_batch, len(batch))
+            self._batches.inc()
+            self._coalesced.inc(len(batch))
+            # Benign read-modify-write race: two concurrent batches may both
+            # publish, but the larger value wins on the next larger batch and
+            # the gauge is only ever advisory.
+            if len(batch) > self._largest_batch.value:
+                self._largest_batch.set(len(batch))
             for job in batch:
                 job.event.set()
 
     def stats(self) -> dict:
-        """Cumulative coalescing counters (deterministic fields only)."""
-        with self._lock:
-            return {
-                "window_seconds": self._window,
-                "max_batch": self._max_batch,
-                "batches": self._batches,
-                "batched_requests": self._coalesced,
-                "largest_batch": self._largest_batch,
-            }
+        """Cumulative coalescing counters (deterministic fields only).
+
+        A view over the backing registry — the same series ``GET /metrics``
+        exports as ``repro_batch_*``.
+        """
+        return {
+            "window_seconds": self._window,
+            "max_batch": self._max_batch,
+            "batches": self._batches.value,
+            "batched_requests": self._coalesced.value,
+            "largest_batch": self._largest_batch.value,
+        }

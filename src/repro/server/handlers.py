@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler
+from time import perf_counter
 
+from .. import telemetry
 from ..exceptions import ConfigurationError, DatasetError, ReproError
 
 __all__ = ["MatchRequestHandler", "RequestError"]
@@ -62,15 +64,27 @@ def _optional_number(body: dict, key: str):
 class MatchRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-match-server"
+    #: Set by :meth:`_dispatch` before any endpoint handler runs.
+    request_id: str | None = None
 
     @property
     def app(self):
         return self.server.app
 
     # --------------------------------------------------------------- plumbing
+    def log_request(self, code="-", size="-") -> None:
+        # The stdlib access line is replaced by the structured record
+        # _dispatch emits (request id, endpoint, status, latency).
+        pass
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        # Stdlib-originated notices (protocol errors and the like) route
+        # through the structured logger so every line carries a timestamp
+        # and thread name.
         if not self.app.config.quiet:
-            super().log_message(format, *args)
+            self.app.log.warning(
+                format % args, extra={"context": {"client": self.address_string()}}
+            )
 
     def _read_body(self) -> dict:
         """The request body as a JSON object; empty bodies mean ``{}``."""
@@ -95,6 +109,16 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, text: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     @staticmethod
     def _error_status(exc: Exception) -> int:
         if isinstance(exc, RequestError):
@@ -113,6 +137,17 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         return 500
 
     def _dispatch(self, routes: dict) -> None:
+        app = self.app
+        # Every response — success or error — echoes a server-assigned
+        # request id, so a client report can be joined against the access
+        # log and a trace can be attributed to its request.
+        self.request_id = app.next_request_id()
+        endpoint = _ENDPOINT_NAMES.get(self.path, "unknown")
+        verbose = not app.config.quiet
+        # One clock read per request when timing is wanted; with telemetry
+        # disabled and quiet mode on, no clock is touched at all.
+        start = perf_counter() if (verbose or telemetry.enabled()) else None
+        status = 200
         handler = routes.get(self.path)
         try:
             if handler is None:
@@ -122,20 +157,43 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
                     f"{'method not allowed for' if known_elsewhere else 'unknown endpoint'} "
                     f"{self.path!r}",
                 )
-            self._send_json(200, handler(self))
+            payload = handler(self)
+            payload["request_id"] = self.request_id
+            self._send_json(200, payload)
         except Exception as exc:  # every failure becomes a clean JSON response
             status = self._error_status(exc)
             if status == 500 and not isinstance(exc, ReproError):
                 # Unexpected bug: log it (even in quiet mode), answer generically.
-                super().log_message("unhandled %s: %s", type(exc).__name__, exc)
+                app.log.error(
+                    "unhandled %s: %s",
+                    type(exc).__name__,
+                    exc,
+                    extra={"context": {"request_id": self.request_id, "path": self.path}},
+                )
                 message = f"internal error: {type(exc).__name__}"
             else:
                 message = str(exc)
-            self.app._count(f"error_{status}")
+            app._count(f"error_{status}")
             try:
-                self._send_json(status, {"error": message})
+                self._send_json(
+                    status, {"error": message, "request_id": self.request_id}
+                )
             except OSError:
                 pass  # client hung up mid-response; nothing left to tell it
+        finally:
+            elapsed = perf_counter() - start if start is not None else None
+            if elapsed is not None and telemetry.enabled():
+                self.app._latency.labels(endpoint=endpoint).observe(elapsed)
+            if verbose:
+                context = {
+                    "request_id": self.request_id,
+                    "endpoint": endpoint,
+                    "status": status,
+                    "generation": app.generation,
+                }
+                if elapsed is not None:
+                    context["latency_ms"] = round(elapsed * 1000.0, 3)
+                app.log.info("request", extra={"context": context})
 
     # --------------------------------------------------------------- endpoints
     def _handle_healthz(self) -> dict:
@@ -156,7 +214,15 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         if top_k is not None and top_k < 1:
             raise RequestError(400, "'top_k' must be at least 1")
         min_score = _optional_number(body, "min_score")
-        return self.app.query(record, top_k=top_k, min_score=min_score)
+        trace = body.get("trace", False)
+        _require(isinstance(trace, bool), "'trace' must be a boolean")
+        return self.app.query(
+            record,
+            top_k=top_k,
+            min_score=min_score,
+            trace=trace,
+            request_id=self.request_id,
+        )
 
     def _handle_add(self) -> dict:
         body = self._read_body()
@@ -215,6 +281,12 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         return {"status": "shutting down", "generation": generation}
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path == "/metrics":
+            # Prometheus text exposition, not JSON — served outside the JSON
+            # dispatch (no request id in the body; scrapers parse samples).
+            self.app._count("metrics")
+            self._send_text(200, self.app.metrics_text())
+            return
         self._dispatch(_GET_ROUTES)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
@@ -235,4 +307,20 @@ _POST_ROUTES = {
     "/admin/snapshot": MatchRequestHandler._handle_snapshot,
     "/admin/reload": MatchRequestHandler._handle_reload,
     "/admin/shutdown": MatchRequestHandler._handle_shutdown,
+}
+
+#: Path → metric/log label.  Matches the ``repro_requests_total`` endpoint
+#: keys the server counts, so latency series and request counters line up.
+_ENDPOINT_NAMES = {
+    "/healthz": "healthz",
+    "/stats": "stats",
+    "/metrics": "metrics",
+    "/query": "query",
+    "/add": "add",
+    "/upsert": "upsert",
+    "/remove": "remove",
+    "/resolve": "resolve",
+    "/admin/snapshot": "snapshot",
+    "/admin/reload": "reload",
+    "/admin/shutdown": "shutdown",
 }

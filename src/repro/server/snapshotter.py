@@ -13,11 +13,19 @@ Snapshots are generation-gated: the background loop skips the write when no
 mutation happened since the last snapshot.  :meth:`trigger` (the
 ``POST /admin/snapshot`` path) always writes.  Both paths serialize on one
 mutex — the artifact directory is written by at most one thread at a time.
+
+Failures are *counted and logged*, never fatal: a failed background
+snapshot emits a structured exception record (with the artifact path and
+generation from the ``context`` callable) through
+:mod:`repro.telemetry.logging`, so a full disk is diagnosable from the logs
+without taking queries down.
 """
 
 from __future__ import annotations
 
 import threading
+
+from ..telemetry import get_logger
 
 __all__ = ["Snapshotter"]
 
@@ -25,23 +33,49 @@ __all__ = ["Snapshotter"]
 class Snapshotter:
     """Background thread calling ``snapshot()`` every ``interval`` seconds.
 
-    ``snapshot`` is a callable returning a summary dict (the server wires it
-    to a read-locked, generation-aware save); exceptions are caught, counted
-    and exposed via :meth:`stats` instead of killing the thread — a full
-    disk must not take queries down with it.
+    Parameters
+    ----------
+    snapshot:
+        Callable returning a summary dict (the server wires it to a
+        read-locked, generation-aware save) or ``None`` for "unchanged,
+        write skipped".  Exceptions are caught, counted, logged and exposed
+        via :meth:`stats` instead of killing the thread.
+    interval:
+        Seconds between background snapshot attempts.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` backing the
+        outcome counters (exported as ``repro_snapshot_*_total``); default
+        is a private registry.
+    context:
+        Optional zero-argument callable returning extra fields (artifact
+        path, generation, ...) attached to the failure log record — the
+        server passes one, so a failed snapshot names the path it could not
+        write and the generation it was trying to persist.
     """
 
-    def __init__(self, snapshot, interval: float) -> None:
+    def __init__(self, snapshot, interval: float, registry=None, context=None) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
+        if registry is None:
+            from ..telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
         self._snapshot = snapshot
         self._interval = interval
+        self._context = context
+        self._log = get_logger("server.snapshotter")
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
-        self._completed = 0
-        self._skipped = 0
-        self._failed = 0
+        self._completed = registry.counter(
+            "repro_snapshot_completed_total", "Background/manual snapshots written"
+        )
+        self._skipped = registry.counter(
+            "repro_snapshot_skipped_total", "Snapshots skipped (no mutation since last)"
+        )
+        self._failed = registry.counter(
+            "repro_snapshot_failed_total", "Snapshots that raised"
+        )
         self._last_error: str | None = None
 
     def start(self) -> None:
@@ -56,9 +90,13 @@ class Snapshotter:
             self._thread.join()
             self._thread = None
 
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            self.trigger(raise_errors=False)
+    def _failure_context(self) -> dict:
+        if self._context is None:
+            return {}
+        try:
+            return dict(self._context())
+        except Exception:  # context must never mask the original failure
+            return {}
 
     def trigger(self, raise_errors: bool = True) -> dict | None:
         """Run one snapshot now.  ``None`` from the callable means "nothing
@@ -66,26 +104,38 @@ class Snapshotter:
         try:
             result = self._snapshot()
         except Exception as exc:
+            self._failed.inc()
             with self._lock:
-                self._failed += 1
                 self._last_error = f"{type(exc).__name__}: {exc}"
+            self._log.error(
+                "snapshot failed",
+                extra={"context": self._failure_context()},
+                exc_info=True,
+            )
             if raise_errors:
                 raise
             return None
+        if result is None:
+            self._skipped.inc()
+        else:
+            self._completed.inc()
         with self._lock:
-            if result is None:
-                self._skipped += 1
-            else:
-                self._completed += 1
             self._last_error = None
         return result
 
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.trigger(raise_errors=False)
+
     def stats(self) -> dict:
+        """Outcome counters — a view over the backing registry (the same
+        series ``GET /metrics`` exports as ``repro_snapshot_*_total``)."""
         with self._lock:
-            return {
-                "interval_seconds": self._interval,
-                "completed": self._completed,
-                "skipped": self._skipped,
-                "failed": self._failed,
-                "last_error": self._last_error,
-            }
+            last_error = self._last_error
+        return {
+            "interval_seconds": self._interval,
+            "completed": self._completed.value,
+            "skipped": self._skipped.value,
+            "failed": self._failed.value,
+            "last_error": last_error,
+        }

@@ -1,0 +1,97 @@
+"""Unified observability: metrics, request tracing, structured logging.
+
+Three pieces, one package:
+
+* :mod:`repro.telemetry.registry` — thread-safe :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) and a Prometheus text
+  renderer; the daemon's ``GET /metrics`` serves it directly.
+* :mod:`repro.telemetry.tracing` — per-request span trees
+  (``with span("query.block"): ...``) carried by a server-assigned
+  request id and returned inline on ``POST /query {"trace": true}``.
+* :mod:`repro.telemetry.logging` — structured text/JSON logging for the
+  daemon (request id, generation, latency fields).
+
+The enabled gate (``REPRO_TELEMETRY`` / :func:`set_enabled`) controls the
+*timing* instrumentation only: histogram timers and clock reads become
+no-ops when disabled, making the disabled overhead effectively zero.
+Counters and gauges always count — they are the substrate behind
+``MatchIndex.stats()`` and the daemon's ``/stats`` view, are plain locked
+integer adds, and cost nothing measurable.  Tracing is opt-in per request
+regardless of the gate: spans only materialise under an explicitly opened
+root trace.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from .logging import JsonFormatter, TextFormatter, configure, get_logger
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .tracing import Span, active_span, span, start_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Span",
+    "TextFormatter",
+    "active_span",
+    "configure",
+    "default_registry",
+    "enabled",
+    "get_logger",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+    "start_trace",
+]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_TELEMETRY", "1").strip().lower()
+    return value not in ("0", "false", "no", "off", "")
+
+
+_enabled = _env_enabled()
+
+_default_registry: MetricsRegistry | None = None
+_default_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether timing instrumentation (histogram timers, spans) is on."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip the timing-instrumentation gate; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry, for code without a natural owner.
+
+    Components that *have* an owner (an index, a server) use per-instance
+    registries so two in-process servers never mix metrics; this one backs
+    ad-hoc scripts and the pipeline's module-level instrumentation.
+    """
+    global _default_registry
+    if _default_registry is None:
+        with _default_lock:
+            if _default_registry is None:
+                _default_registry = MetricsRegistry()
+    return _default_registry

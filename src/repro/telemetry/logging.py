@@ -1,0 +1,119 @@
+"""Structured logging for the serving daemon.
+
+Thin layer over :mod:`logging`: ``get_logger()`` returns ordinary stdlib
+loggers under the ``repro`` hierarchy, and :func:`configure` installs one
+stream handler whose formatter is either human-readable text (UTC
+timestamp, level, thread, logger, message, ``key=value`` context) or one
+JSON object per line with the same fields — ``repro serve
+--log-format json`` flips between them.  Request-scoped fields (request
+id, endpoint, status, latency, generation) travel in a single ``context``
+dict passed via ``extra``:
+
+    log.info("request", context={"request_id": rid, "latency_ms": 4.2})
+
+Keeping the transport stdlib means tests can capture records with
+``caplog`` and applications embedding :class:`~repro.server.MatchServer`
+can re-route the ``repro`` logger tree however they like.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import sys
+import threading
+from datetime import datetime, timezone
+
+__all__ = ["JsonFormatter", "TextFormatter", "configure", "get_logger"]
+
+_ROOT_NAME = "repro"
+_configure_lock = threading.Lock()
+_handler: logging.Handler | None = None
+
+
+def _utc_timestamp(record: logging.LogRecord) -> str:
+    return (
+        datetime.fromtimestamp(record.created, tz=timezone.utc)
+        .isoformat(timespec="milliseconds")
+        .replace("+00:00", "Z")
+    )
+
+
+def _record_context(record: logging.LogRecord) -> dict:
+    context = getattr(record, "context", None)
+    return context if isinstance(context, dict) else {}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; context fields merge into the top level."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": _utc_timestamp(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "thread": record.threadName,
+            "message": record.getMessage(),
+        }
+        for key, value in _record_context(record).items():
+            if key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable: timestamp, level, thread, logger, message, k=v pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            _utc_timestamp(record),
+            f"{record.levelname:<7}",
+            f"[{record.threadName}]",
+            record.name,
+            record.getMessage(),
+        ]
+        context = _record_context(record)
+        if context:
+            parts.append(" ".join(f"{key}={value}" for key, value in context.items()))
+        line = " ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure(
+    log_format: str = "text",
+    level: int = logging.INFO,
+    stream: io.TextIOBase | None = None,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` tree's stream handler.
+
+    Idempotent: calling again swaps the handler, so ``repro serve`` can be
+    restarted in-process (tests do) without duplicating output lines.
+    """
+    global _handler
+    if log_format not in ("text", "json"):
+        raise ValueError(f"log_format must be 'text' or 'json', got {log_format!r}")
+    root = logging.getLogger(_ROOT_NAME)
+    with _configure_lock:
+        if _handler is not None:
+            root.removeHandler(_handler)
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _handler = handler
+    return root
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

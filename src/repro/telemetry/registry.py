@@ -1,0 +1,436 @@
+"""Thread-safe metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a namespace of named metric *families*; a
+family with label names fans out into one *series* per distinct label-value
+combination (``requests.labels(endpoint="query")``), a family without label
+names is its own single series.  The hot path is deliberately boring:
+
+* **Lock striping** — the registry owns a small fixed array of locks and
+  every series is pinned to one stripe by the hash of its identity, so two
+  unrelated metrics almost never contend and no lock is ever allocated per
+  observation.
+* **Allocation-free observations** — ``inc`` / ``set`` / ``observe`` touch
+  preallocated slots only.  Label children are created (and cached) on the
+  first ``labels(...)`` call; instrumented code resolves its children once
+  at setup and holds the series object.
+* **Isolation by construction** — registries are cheap instances with no
+  hidden global state; each :class:`~repro.index.MatchIndex` (and therefore
+  each serving daemon) gets its own, so two servers in one process never
+  mix counters.  A process-global default lives in
+  :func:`repro.telemetry.default_registry` for code without a natural owner.
+
+Rendering for scrapers lives in :func:`render_prometheus` — the text
+exposition format (``GET /metrics`` on the daemon serves exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from time import perf_counter
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+#: Default histogram bucket upper bounds (seconds) — tuned for the serving
+#: daemon's query latencies: sub-millisecond cache hits up to multi-second
+#: cold scans, roughly geometric.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Lock stripes per registry.  Observations hash their series identity into
+#: this array, so contention only happens between series that collide.
+_N_STRIPES = 16
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager: the disabled-telemetry timer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+class _Timer:
+    """Times a ``with`` block into a histogram (seconds)."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+
+    def __enter__(self):
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._histogram.observe(perf_counter() - self._start)
+        return False
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels_kv", "_lock", "_value")
+
+    def __init__(self, name: str, labels_kv: tuple, lock: threading.Lock) -> None:
+        self.name = name
+        self.labels_kv = labels_kv
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels_kv", "_lock", "_value")
+
+    def __init__(self, name: str, labels_kv: tuple, lock: threading.Lock) -> None:
+        self.name = name
+        self.labels_kv = labels_kv
+        self._lock = lock
+        self._value = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (Prometheus semantics).
+
+    Bucket bounds are fixed at construction; ``observe`` is one bisect plus
+    three slot updates under the stripe lock — no allocation, no resizing.
+    ``time()`` returns a context manager observing the block's wall time in
+    seconds; when telemetry is disabled it returns a shared no-op (no clock
+    calls at all — the "~0% disabled overhead" half of the contract).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels_kv", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        labels_kv: tuple,
+        lock: threading.Lock,
+        buckets: tuple = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.labels_kv = labels_kv
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = lock
+        self._counts = [0] * (len(self.buckets) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self):
+        """Context manager observing the block's duration in seconds."""
+        from . import enabled
+
+        if not enabled():
+            return _NOOP_TIMER
+        return _Timer(self)
+
+    def snapshot(self) -> dict:
+        """Consistent ``{"count", "sum", "buckets"}`` view (cumulative)."""
+        with self._lock:
+            counts = list(self._counts)
+            total, running = self._sum, 0
+        cumulative = []
+        for count in counts[:-1]:
+            running += count
+            cumulative.append(running)
+        return {"count": sum(counts), "sum": total, "buckets": cumulative}
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+class MetricFamily:
+    """One named metric; with label names it fans out into child series."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_registry", "_children", "_kwargs")
+
+    def __init__(self, registry, name, kind, help, labelnames, **kwargs):
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._registry = registry
+        self._children: dict[tuple, object] = {}
+        self._kwargs = kwargs
+        if not self.labelnames:
+            self._children[()] = self._make(())
+
+    def _make(self, label_values: tuple):
+        cls = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}[self.kind]
+        lock = self._registry._stripe(self.name, label_values)
+        kv = tuple(zip(self.labelnames, label_values))
+        return cls(self.name, kv, lock, **self._kwargs)
+
+    def labels(self, *values, **kv):
+        """The child series for one label-value combination (cached)."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            if set(kv) != set(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name!r} takes labels {self.labelnames}, "
+                    f"got {tuple(sorted(kv))}"
+                )
+            values = tuple(kv[name] for name in self.labelnames)
+        values = tuple(str(value) for value in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {values}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            with self._registry._families_lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._make(values)
+                    self._children[values] = child
+        return child
+
+    def series(self) -> list:
+        """All child series, label-sorted (deterministic render order)."""
+        with self._registry._families_lock:
+            return [self._children[key] for key in sorted(self._children)]
+
+    # Unlabelled families proxy the single series so `registry.counter(n).inc()`
+    # reads naturally without a labels(()) hop.
+    def _only(self):
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} requires labels {self.labelnames}")
+        return self._children[()]
+
+    def inc(self, amount=1):
+        self._only().inc(amount)
+
+    def dec(self, amount=1):
+        self._only().dec(amount)
+
+    def set(self, value):
+        self._only().set(value)
+
+    def observe(self, value):
+        self._only().observe(value)
+
+    def time(self):
+        return self._only().time()
+
+    @property
+    def value(self):
+        return self._only().value
+
+    @property
+    def count(self):
+        return self._only().count
+
+    @property
+    def sum(self):
+        return self._only().sum
+
+    def snapshot(self):
+        return self._only().snapshot()
+
+
+class MetricsRegistry:
+    """A namespace of metrics with get-or-create registration.
+
+    Registering the same name twice returns the existing family (so layered
+    components can share counters through a common registry); re-registering
+    under a different kind or label set is a bug and raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._families_lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(_N_STRIPES)]
+
+    def _stripe(self, name: str, label_values: tuple) -> threading.Lock:
+        return self._stripes[hash((name, label_values)) % _N_STRIPES]
+
+    def _register(self, name, kind, help, labelnames, **kwargs) -> MetricFamily:
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._families_lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(self, name, kind, help, labelnames, **kwargs)
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} "
+                f"with labels {family.labelnames}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets: tuple = DEFAULT_BUCKETS
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames, buckets=tuple(buckets))
+
+    def collect(self) -> list[MetricFamily]:
+        """Families sorted by name (the deterministic render order)."""
+        with self._families_lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._families_lock:
+            return self._families.get(name)
+
+    def value(self, name: str, **labels):
+        """Convenience read for stats views: the series' current value."""
+        family = self.get(name)
+        if family is None:
+            return 0
+        child = family.labels(**labels) if labels else family._only()
+        return child.value
+
+    def label_values(self, name: str) -> dict:
+        """``{label-value-tuple-or-string: value}`` over a family's series."""
+        family = self.get(name)
+        if family is None:
+            return {}
+        out = {}
+        for child in family.series():
+            values = tuple(value for _, value in child.labels_kv)
+            key = values[0] if len(values) == 1 else values
+            out[key] = child.value
+        return out
+
+
+# --------------------------------------------------------------- exposition
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_string(kv: tuple, extra: tuple = ()) -> str:
+    parts = [f'{name}="{_escape_label(str(value))}"' for name, value in (*kv, *extra)]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Families are name-sorted and series label-sorted, so two scrapes of an
+    unchanged registry are byte-identical.  Histograms emit cumulative
+    ``_bucket`` series (``+Inf`` included), ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for series in family.series():
+            if family.kind == "histogram":
+                snap = series.snapshot()
+                running = 0
+                for bound, cumulative in zip(series.buckets, snap["buckets"]):
+                    running = cumulative
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_string(series.labels_kv, (('le', _format_value(bound)),))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket"
+                    f"{_label_string(series.labels_kv, (('le', '+Inf'),))}"
+                    f" {snap['count']}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_string(series.labels_kv)}"
+                    f" {_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_string(series.labels_kv)} {snap['count']}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_label_string(series.labels_kv)}"
+                    f" {_format_value(series.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,139 @@
+"""Span-based request tracing.
+
+A *trace* is a per-request tree of timed spans: the server opens a root
+span for the request, the index adds ``index.query`` with children for
+blocking, candidate lookup and scoring, and the cascade adds per-stage
+leaves.  Each span records wall time (``perf_counter``) and CPU time
+(``thread_time``) in milliseconds; the finished tree serialises with
+:meth:`Span.to_dict` and rides back inline on ``POST /query`` responses
+when the caller asked for it (``{"trace": true}``).
+
+The design constraint is that instrumented code never checks "am I being
+traced" — it always writes ``with span("query.block"): ...``.  Outside an
+active trace (the overwhelmingly common case), :func:`span` returns a
+shared no-op singleton: no allocation, no clock reads, no contextvar
+writes.  Propagation uses a :class:`contextvars.ContextVar`, so a trace
+follows its request across the call stack but never leaks between the
+daemon's worker threads.
+
+Traced queries bypass the server's batcher — coalescing would attribute a
+leader's work to follower requests — which is safe because batched and
+unbatched queries are bit-identical by contract.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from time import perf_counter, thread_time
+
+__all__ = ["Span", "active_span", "span", "start_trace"]
+
+_current_span: ContextVar["Span | None"] = ContextVar("repro_trace_span", default=None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: what :func:`span` returns outside a trace."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def annotate(self, **fields) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    Use as a context manager; children opened inside the ``with`` block
+    (on the same context) attach automatically.
+    """
+
+    __slots__ = (
+        "name",
+        "request_id",
+        "children",
+        "meta",
+        "wall_ms",
+        "cpu_ms",
+        "_parent",
+        "_token",
+        "_wall_start",
+        "_cpu_start",
+    )
+
+    def __init__(self, name: str, request_id: str | None = None) -> None:
+        self.name = name
+        self.request_id = request_id
+        self.children: list[Span] = []
+        self.meta: dict = {}
+        self.wall_ms = 0.0
+        self.cpu_ms = 0.0
+        self._parent: Span | None = None
+        self._token = None
+
+    def __enter__(self) -> "Span":
+        self._parent = _current_span.get()
+        if self._parent is not None:
+            self._parent.children.append(self)
+            if self.request_id is None:
+                self.request_id = self._parent.request_id
+        self._token = _current_span.set(self)
+        self._cpu_start = thread_time()
+        self._wall_start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.wall_ms = (perf_counter() - self._wall_start) * 1000.0
+        self.cpu_ms = (thread_time() - self._cpu_start) * 1000.0
+        _current_span.reset(self._token)
+        return False
+
+    def annotate(self, **fields) -> None:
+        """Attach key/value detail (candidate counts, chunk sizes, ...)."""
+        self.meta.update(fields)
+
+    def to_dict(self) -> dict:
+        """JSON-ready span tree: name, wall/CPU ms, meta, children."""
+        node: dict = {
+            "name": self.name,
+            "wall_ms": round(self.wall_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
+        }
+        if self.request_id is not None and self._parent is None:
+            node["request_id"] = self.request_id
+        if self.meta:
+            node["meta"] = dict(self.meta)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+
+def start_trace(name: str, request_id: str | None = None) -> Span:
+    """A root span — opens a new trace on the current context.
+
+    Unlike :func:`span`, this always returns a real :class:`Span`; it is
+    the one call sites make *deliberately* (the server, the CLI ``--trace``
+    path).  Everything below uses :func:`span` and stays no-op unless a
+    root is active.
+    """
+    return Span(name, request_id=request_id)
+
+
+def span(name: str) -> "Span | _NoopSpan":
+    """A child span if a trace is active here, else the shared no-op."""
+    if _current_span.get() is None:
+        return _NOOP_SPAN
+    return Span(name)
+
+
+def active_span() -> "Span | None":
+    """The innermost open span on this context, if any."""
+    return _current_span.get()

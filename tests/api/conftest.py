@@ -51,10 +51,17 @@ def as_json(record: Record) -> dict:
 
 
 class Client:
-    """Minimal JSON-over-HTTP client: every call returns ``(status, payload)``."""
+    """Minimal JSON-over-HTTP client: every call returns ``(status, payload)``.
+
+    Every JSON response carries a server-assigned ``request_id`` unique to
+    that request; the client pops it off the payload (keeping the last one in
+    :attr:`last_request_id`) so tests can compare payloads across requests and
+    servers.  ``tests/api/test_metrics.py`` covers the id contract itself.
+    """
 
     def __init__(self, base_url: str) -> None:
         self.base_url = base_url
+        self.last_request_id: str | None = None
 
     def request(self, method: str, path: str, body=None, *, raw: bytes | None = None):
         data = raw if raw is not None else (
@@ -68,9 +75,12 @@ class Client:
         )
         try:
             with urllib.request.urlopen(request, timeout=30) as response:
-                return response.status, json.loads(response.read())
+                status, payload = response.status, json.loads(response.read())
         except urllib.error.HTTPError as exc:
-            return exc.code, json.loads(exc.read())
+            status, payload = exc.code, json.loads(exc.read())
+        if isinstance(payload, dict):
+            self.last_request_id = payload.pop("request_id", None)
+        return status, payload
 
     def get(self, path: str):
         return self.request("GET", path)

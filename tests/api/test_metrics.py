@@ -1,0 +1,178 @@
+"""Telemetry surface of the daemon: ``GET /metrics``, request ids, tracing.
+
+Satellite coverage for the observability PR: every scraped line parses as
+Prometheus text format, counters move monotonically under add/query/upsert
+traffic, two in-process servers never share a registry, every JSON response
+echoes a server-assigned request id, and ``POST /query {"trace": true}``
+returns a span tree whose stage durations nest consistently.
+"""
+
+from __future__ import annotations
+
+import urllib.request
+
+from ..test_telemetry import parse_prometheus
+from .conftest import as_json
+
+
+def scrape(base_url: str) -> dict:
+    """``GET /metrics`` parsed into ``{"samples", "types"}`` (strict)."""
+    with urllib.request.urlopen(base_url + "/metrics", timeout=30) as response:
+        assert response.status == 200
+        content_type = response.headers["Content-Type"]
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        return parse_prometheus(response.read().decode("utf-8"))
+
+
+# ----------------------------------------------------------------- scraping
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_carries_core_series(self, make_server, probes):
+        _, client = make_server()
+        client.post("/query", {"record": as_json(probes[0])})
+        parsed = scrape(client.base_url)
+        samples, types = parsed["samples"], parsed["types"]
+        assert types["repro_query_total"] == "counter"
+        assert types["repro_requests_total"] == "counter"
+        assert types["repro_request_latency_seconds"] == "histogram"
+        assert types["repro_server_generation"] == "gauge"
+        assert types["repro_index_records"] == "gauge"
+        assert types["repro_cascade_candidates_total"] == "counter"
+        assert samples["repro_query_total"] == 1
+        assert samples['repro_requests_total{endpoint="query"}'] == 1
+        assert samples["repro_server_generation"] == 0
+        assert samples["repro_index_records"] > 0
+        # The latency histogram observed the query request.
+        assert samples['repro_request_latency_seconds_count{endpoint="query"}'] == 1
+
+    def test_counters_monotone_across_mutation_traffic(self, make_server, probes):
+        _, client = make_server()
+        previous: dict | None = None
+        traffic = [
+            ("POST", "/query", {"record": as_json(probes[0])}),
+            ("POST", "/add", {"records": [as_json(probes[5])]}),
+            ("POST", "/query", {"record": as_json(probes[1])}),
+            ("POST", "/upsert", {"records": [as_json(probes[5])]}),
+            ("POST", "/query", {"record": as_json(probes[2])}),
+        ]
+        for method, path, body in traffic:
+            status, _ = client.request(method, path, body)
+            assert status == 200
+            samples = scrape(client.base_url)["samples"]
+            if previous is not None:
+                for series, value in previous.items():
+                    if "_total" in series or series.endswith("_count"):
+                        assert samples.get(series, 0) >= value, series
+            previous = samples
+        assert previous["repro_query_total"] == 3
+        assert previous['repro_requests_total{endpoint="add"}'] == 1
+        assert previous['repro_requests_total{endpoint="upsert"}'] == 1
+        assert previous["repro_index_upserts_total"] == 1
+        assert previous["repro_index_added_total"] > 0
+        # The scrape endpoint counts itself (one label among the rest).
+        assert previous['repro_requests_total{endpoint="metrics"}'] >= 4
+
+    def test_metrics_view_agrees_with_stats(self, make_server, probes):
+        """``/stats`` is a view over the same registry ``/metrics`` exports."""
+        _, client = make_server()
+        client.post("/query", {"record": as_json(probes[0])})
+        _, stats = client.get("/stats")
+        samples = scrape(client.base_url)["samples"]
+        assert samples["repro_query_total"] == stats["server"]["requests"]["query"]
+        assert samples["repro_index_records"] == stats["index"]["records"]
+        cascade = stats["index"]["cascade"]
+        assert samples["repro_cascade_candidates_total"] == cascade["candidates_seen"]
+        assert samples["repro_cascade_pruned_total"] == cascade["pruned_at_bound"]
+        assert samples["repro_cascade_fully_scored_total"] == cascade["fully_scored"]
+
+    def test_two_servers_have_isolated_registries(self, make_server, probes):
+        _, first = make_server()
+        _, second = make_server()
+        first.post("/query", {"record": as_json(probes[0])})
+        first.post("/query", {"record": as_json(probes[1])})
+        second.post("/query", {"record": as_json(probes[2])})
+        assert scrape(first.base_url)["samples"]["repro_query_total"] == 2
+        assert scrape(second.base_url)["samples"]["repro_query_total"] == 1
+
+
+# -------------------------------------------------------------- request ids
+class TestRequestIds:
+    def test_every_response_carries_a_unique_request_id(self, make_server, probes):
+        _, client = make_server()
+        seen = set()
+        for status_expected, method, path, body, raw in [
+            (200, "GET", "/healthz", None, None),
+            (200, "GET", "/stats", None, None),
+            (200, "POST", "/query", {"record": as_json(probes[0])}, None),
+            (400, "POST", "/query", None, b"{not json"),
+            (404, "GET", "/nope", None, None),
+        ]:
+            status, _ = client.request(method, path, body, raw=raw)
+            assert status == status_expected
+            request_id = client.last_request_id
+            assert isinstance(request_id, str) and request_id
+            prefix, _, sequence = request_id.partition("-")
+            assert len(prefix) == 8 and sequence.isdigit()
+            seen.add(request_id)
+        assert len(seen) == 5, "request ids must be unique per request"
+
+
+# ------------------------------------------------------------------ tracing
+class TestQueryTracing:
+    def test_untraced_query_has_no_trace_key(self, make_server, probes):
+        _, client = make_server()
+        _, payload = client.post("/query", {"record": as_json(probes[0])})
+        assert "trace" not in payload
+
+    def test_traced_query_returns_span_tree(self, make_server, probes):
+        _, client = make_server()
+        status, payload = client.post(
+            "/query", {"record": as_json(probes[0]), "trace": True}
+        )
+        assert status == 200
+        traced_request_id = client.last_request_id
+        # The traced response carries the same pairs as an untraced one.
+        _, untraced = client.post("/query", {"record": as_json(probes[0])})
+        assert payload["pairs"] == untraced["pairs"]
+
+        trace = payload["trace"]
+        assert trace["name"] == "request"
+        assert trace["request_id"] == traced_request_id
+        (query,) = trace["children"]
+        assert query["name"] == "index.query"
+        stages = [child["name"] for child in query["children"]]
+        assert stages == ["query.block", "query.verify", "query.score"]
+        # Durations nest: each parent covers the sum of its children, and the
+        # stage durations approximately account for the query's total time.
+        stage_sum = sum(child["wall_ms"] for child in query["children"])
+        assert trace["wall_ms"] >= query["wall_ms"] >= stage_sum >= 0.0
+        assert all(child["cpu_ms"] >= 0.0 for child in query["children"])
+        # Blocking annotated its candidate count; the root saw results.
+        assert query["children"][0]["meta"]["collisions"] >= 0
+        assert query["meta"]["results"] == len(payload["pairs"])
+
+    def test_trace_request_id_matches_response(self, make_server, probes):
+        _, client = make_server()
+        _, payload = client.post(
+            "/query", {"record": as_json(probes[0]), "trace": True}
+        )
+        assert payload["trace"]["request_id"] == client.last_request_id
+
+    def test_traced_queries_coexist_with_batching(self, make_server, probes):
+        from repro.server import ServerConfig
+
+        server, client = make_server(ServerConfig(batch_window=0.01))
+        _, traced = client.post(
+            "/query", {"record": as_json(probes[0]), "trace": True}
+        )
+        _, batched = client.post("/query", {"record": as_json(probes[0])})
+        assert traced["pairs"] == batched["pairs"]
+        # The traced request bypassed the batcher (attribution would lie).
+        assert server._batcher.stats()["batched_requests"] == 1
+
+    def test_trace_flag_validated(self, make_server, probes):
+        _, client = make_server()
+        status, payload = client.post(
+            "/query", {"record": as_json(probes[0]), "trace": "yes"}
+        )
+        assert status == 400
+        assert "'trace'" in payload["error"]

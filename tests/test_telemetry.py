@@ -1,0 +1,363 @@
+"""Unit tests for :mod:`repro.telemetry` — registry, tracing, logging.
+
+The registry tests pin the metric semantics the instrumented layers rely
+on (get-or-create families, label fan-out, monotone counters, cumulative
+histogram buckets) and the Prometheus text rendering the daemon serves on
+``GET /metrics``.  The tracing tests pin the no-op-outside-a-trace
+contract that keeps un-traced queries free of tracing cost.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    active_span,
+    render_prometheus,
+    span,
+    start_trace,
+)
+from repro.telemetry.tracing import _NOOP_SPAN
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+# ---------------------------------------------------------------- registry
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("repro_things_total", "help text")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_family(self, registry):
+        first = registry.counter("repro_things_total")
+        first.inc()
+        again = registry.counter("repro_things_total")
+        assert again is first
+        assert again.value == 1
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("repro_things_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_things_total", labelnames=("path",))
+
+    def test_invalid_name_rejected(self, registry):
+        for bad in ("", "has space", "has-dash", "has.dot"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_labelled_series_are_independent(self, registry):
+        family = registry.counter("repro_requests_total", labelnames=("endpoint",))
+        family.labels(endpoint="query").inc(3)
+        family.labels(endpoint="add").inc()
+        assert registry.value("repro_requests_total", endpoint="query") == 3
+        assert registry.value("repro_requests_total", endpoint="add") == 1
+        assert registry.label_values("repro_requests_total") == {"query": 3, "add": 1}
+
+    def test_labels_cached(self, registry):
+        family = registry.counter("repro_requests_total", labelnames=("endpoint",))
+        assert family.labels(endpoint="query") is family.labels("query")
+
+    def test_unlabelled_family_rejects_labels_and_vice_versa(self, registry):
+        plain = registry.counter("repro_plain_total")
+        with pytest.raises(ValueError):
+            plain.labels(endpoint="query")
+        labelled = registry.counter("repro_labelled_total", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            labelled.inc()  # must go through .labels()
+
+    def test_concurrent_increments_are_exact(self, registry):
+        counter = registry.counter("repro_things_total")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_records")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        histogram = registry.histogram(
+            "repro_latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+        assert snap["buckets"] == [1, 2, 3]  # cumulative; +Inf is the count
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        histogram = registry.histogram("repro_h_seconds", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1.0" includes exactly 1.0
+        assert histogram.snapshot()["buckets"] == [1, 1]
+
+    def test_time_context_observes(self, registry):
+        histogram = registry.histogram("repro_h_seconds")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_time_is_noop_when_disabled(self, registry):
+        histogram = registry.histogram("repro_h_seconds")
+        previous = telemetry.set_enabled(False)
+        try:
+            timer = histogram.time()
+            with timer:
+                pass
+            # The shared no-op: no observation recorded, same object each call.
+            assert histogram.count == 0
+            assert histogram.time() is timer
+        finally:
+            telemetry.set_enabled(previous)
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("repro_h_seconds", buckets=(1.0, 0.5))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistryIsolation:
+    def test_two_registries_never_share_series(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("repro_things_total").inc(7)
+        assert right.value("repro_things_total") == 0
+
+    def test_default_registry_is_a_stable_singleton(self):
+        assert telemetry.default_registry() is telemetry.default_registry()
+
+
+# -------------------------------------------------------------- exposition
+def parse_prometheus(text: str) -> dict:
+    """Strict parser for the text exposition format: ``{series: value}``.
+
+    Raises on any line that is not a well-formed comment or sample, which is
+    what makes the round-trip tests meaningful.
+    """
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line:
+            raise AssertionError("blank line in exposition output")
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4, line
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        series, _, value = line.rpartition(" ")
+        assert series and value, line
+        samples[series] = float(value)
+    return {"samples": samples, "types": types}
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_and_labels(self, registry):
+        registry.counter("repro_things_total", "Things done").inc(3)
+        registry.gauge("repro_records", "Live records").set(41)
+        family = registry.counter("repro_requests_total", labelnames=("endpoint",))
+        family.labels(endpoint="query").inc(2)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["types"] == {
+            "repro_records": "gauge",
+            "repro_requests_total": "counter",
+            "repro_things_total": "counter",
+        }
+        assert parsed["samples"]["repro_things_total"] == 3
+        assert parsed["samples"]["repro_records"] == 41
+        assert parsed["samples"]['repro_requests_total{endpoint="query"}'] == 2
+
+    def test_histogram_series(self, registry):
+        registry.histogram("repro_h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        samples = parse_prometheus(render_prometheus(registry))["samples"]
+        assert samples['repro_h_seconds_bucket{le="0.1"}'] == 0
+        assert samples['repro_h_seconds_bucket{le="1"}'] == 1
+        assert samples['repro_h_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["repro_h_seconds_sum"] == 0.5
+        assert samples["repro_h_seconds_count"] == 1
+
+    def test_label_values_escaped(self, registry):
+        family = registry.counter("repro_things_total", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_render_is_deterministic(self, registry):
+        registry.counter("repro_b_total").inc()
+        registry.counter("repro_a_total").inc(2)
+        assert render_prometheus(registry) == render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_prometheus(registry) == ""
+
+
+# ----------------------------------------------------------------- tracing
+class TestTracing:
+    def test_span_outside_trace_is_shared_noop(self):
+        assert span("query.block") is _NOOP_SPAN
+        assert span("anything.else") is _NOOP_SPAN
+        with span("query.block") as node:
+            node.annotate(candidates=3)  # swallowed, no error
+        assert active_span() is None
+
+    def test_trace_builds_tree_with_timings(self):
+        with start_trace("request", request_id="abc-000001") as root:
+            with span("index.query"):
+                with span("query.block") as block:
+                    block.annotate(collisions=5)
+                with span("query.score"):
+                    pass
+        tree = root.to_dict()
+        assert tree["name"] == "request"
+        assert tree["request_id"] == "abc-000001"
+        (query,) = tree["children"]
+        assert [child["name"] for child in query["children"]] == [
+            "query.block",
+            "query.score",
+        ]
+        assert query["children"][0]["meta"] == {"collisions": 5}
+        # Wall time nests: the parent covers its children.
+        assert tree["wall_ms"] >= query["wall_ms"]
+        assert query["wall_ms"] >= sum(c["wall_ms"] for c in query["children"])
+        assert all(node["cpu_ms"] >= 0.0 for node in (tree, query))
+
+    def test_children_inherit_request_id_but_only_root_serialises_it(self):
+        with start_trace("request", request_id="abc-000001") as root:
+            with span("child") as child:
+                pass
+        assert child.request_id == "abc-000001"
+        assert "request_id" not in root.to_dict()["children"][0]
+
+    def test_trace_does_not_leak_across_threads(self):
+        seen = []
+
+        def worker():
+            seen.append(span("elsewhere"))
+
+        with start_trace("request"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [_NOOP_SPAN]
+
+    def test_contextvar_restored_after_exit(self):
+        with start_trace("outer") as outer:
+            with span("inner"):
+                assert active_span() is not outer
+            assert active_span() is outer
+        assert active_span() is None
+
+
+# ----------------------------------------------------------------- logging
+class TestLogging:
+    def configure(self, log_format: str):
+        stream = io.StringIO()
+        telemetry.configure(log_format=log_format, stream=stream)
+        return stream
+
+    def teardown_method(self):
+        # Leave no handler behind for other tests (configure is idempotent,
+        # so re-installing the default costs nothing).
+        telemetry.configure(stream=io.StringIO())
+
+    def test_json_lines_carry_context_fields(self):
+        stream = self.configure("json")
+        telemetry.get_logger("server").info(
+            "request",
+            extra={"context": {"request_id": "abc-000001", "latency_ms": 4.2}},
+        )
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "request"
+        assert record["logger"] == "repro.server"
+        assert record["level"] == "INFO"
+        assert record["request_id"] == "abc-000001"
+        assert record["latency_ms"] == 4.2
+        assert record["ts"].endswith("Z")
+        assert record["thread"]
+
+    def test_text_lines_carry_context_fields(self):
+        stream = self.configure("text")
+        telemetry.get_logger("server").info(
+            "request", extra={"context": {"request_id": "abc-000001"}}
+        )
+        line = stream.getvalue().strip()
+        assert " INFO " in line
+        assert "repro.server" in line
+        assert "request_id=abc-000001" in line
+
+    def test_exceptions_serialise(self):
+        stream = self.configure("json")
+        try:
+            raise RuntimeError("disk full")
+        except RuntimeError:
+            telemetry.get_logger("server.snapshotter").error(
+                "snapshot failed", exc_info=True
+            )
+        record = json.loads(stream.getvalue())
+        assert "RuntimeError: disk full" in record["exception"]
+
+    def test_configure_swaps_handler_instead_of_stacking(self):
+        first = self.configure("text")
+        second = self.configure("text")
+        telemetry.get_logger().warning("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(ValueError, match="log_format"):
+            telemetry.configure(log_format="yaml")
+
+    def test_get_logger_normalises_names(self):
+        assert telemetry.get_logger().name == "repro"
+        assert telemetry.get_logger("server").name == "repro.server"
+        assert telemetry.get_logger("repro.server").name == "repro.server"
+
+    def test_levels_below_threshold_dropped(self):
+        stream = self.configure("text")
+        telemetry.configure(log_format="text", level=logging.WARNING, stream=stream)
+        telemetry.get_logger("server").info("quiet")
+        telemetry.get_logger("server").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
